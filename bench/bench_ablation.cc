@@ -1,0 +1,112 @@
+// Ablation benches for the design choices DESIGN.md calls out (beyond the
+// paper's own figures):
+//  (a) early expansion termination on/off (the §4.5 interval-label cutoff),
+//  (b) simulation pass budget N = 1 / 3 (paper) / exact fixpoint,
+//  (c) batch BFS reachability pruning vs per-pair probes,
+//  (d) parallel MJoin speedup over the sequential enumerator.
+
+#include "bench_common.h"
+#include "enumerate/mjoin_parallel.h"
+#include "order/search_order.h"
+#include "query/transitive_reduction.h"
+
+using namespace rigpm;
+using namespace rigpm::bench;
+
+int main() {
+  PrintBenchHeader("Ablations — early termination / pass budget / batch "
+                   "reachability / parallel MJoin",
+                   "scale=" + std::to_string(DatasetScaleFromEnv()));
+  Graph g = MakeDatasetByName("ep");
+  std::printf("graph: %s\n", g.Summary().c_str());
+  GmEngine engine(g);
+  auto queries = TemplateWorkload(g, {"HQ3", "HQ8", "HQ12", "HQ16"},
+                                  QueryVariant::kHybrid);
+
+  // --- (a) Early expansion termination.
+  std::printf("\n-- (a) early expansion termination (matching time)\n");
+  {
+    TablePrinter table({"Query", "on(s)", "off(s)"});
+    for (const auto& nq : queries) {
+      GmOptions on;
+      on.limit = 1;
+      GmOptions off = on;
+      off.early_termination = false;
+      GmResult r_on, r_off;
+      engine.Evaluate(nq.query, on, nullptr);
+      r_on = engine.Evaluate(nq.query, on);
+      r_off = engine.Evaluate(nq.query, off);
+      table.AddRow({nq.name, FormatSeconds(r_on.MatchingMs()),
+                    FormatSeconds(r_off.MatchingMs())});
+    }
+    table.Print();
+  }
+
+  // --- (b) Simulation pass budget.
+  std::printf("\n-- (b) simulation pass budget (RIG size, total time)\n");
+  {
+    TablePrinter table({"Query", "N=1 RIG", "N=3 RIG", "exact RIG", "N=1(s)",
+                        "N=3(s)", "exact(s)"});
+    for (const auto& nq : queries) {
+      std::vector<std::string> sizes, times;
+      for (int passes : {1, 3, 0}) {
+        GmOptions opts;
+        opts.sim.max_passes = passes;
+        opts.limit = MatchLimitFromEnv();
+        GmResult r;
+        double ms = TimeMs([&] { r = engine.Evaluate(nq.query, opts); });
+        sizes.push_back(std::to_string(r.rig_nodes + r.rig_edges));
+        times.push_back(FormatSeconds(ms));
+      }
+      table.AddRow({nq.name, sizes[0], sizes[1], sizes[2], times[0], times[1],
+                    times[2]});
+    }
+    table.Print();
+  }
+
+  // --- (c) Batch BFS reachability pruning vs per-pair probes.
+  std::printf("\n-- (c) descendant-edge pruning: batch BFS vs per-pair (matching time)\n");
+  {
+    TablePrinter table({"Query", "batch(s)", "per-pair(s)"});
+    for (const auto& nq : queries) {
+      GmOptions batch;
+      batch.limit = 1;
+      GmOptions pairwise = batch;
+      pairwise.sim.batch_reachability = false;
+      GmResult r_b = engine.Evaluate(nq.query, batch);
+      GmResult r_p = engine.Evaluate(nq.query, pairwise);
+      table.AddRow({nq.name, FormatSeconds(r_b.MatchingMs()),
+                    FormatSeconds(r_p.MatchingMs())});
+    }
+    table.Print();
+  }
+
+  // --- (d) Parallel MJoin.
+  std::printf("\n-- (d) parallel MJoin speedup (enumeration only)\n");
+  {
+    TablePrinter table({"Query", "matches", "1 thread(s)", "2(s)", "4(s)", "8(s)"});
+    for (const auto& nq : queries) {
+      PatternQuery reduced = QueryTransitiveReduction(nq.query);
+      GmResult rr;
+      Rig rig = engine.BuildRigOnly(nq.query, GmOptions{}, &rr);
+      if (rig.AnyEmpty()) continue;
+      auto order = ComputeSearchOrder(reduced, rig, OrderStrategy::kJO);
+      std::vector<std::string> row = {nq.name};
+      uint64_t matches = 0;
+      for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+        ParallelMJoinOptions popts;
+        popts.num_threads = threads;
+        popts.limit = MatchLimitFromEnv();
+        uint64_t n = 0;
+        double ms = TimeMs(
+            [&] { n = MJoinParallelCount(reduced, rig, order, popts); });
+        matches = n;
+        row.push_back(FormatSeconds(ms));
+      }
+      row.insert(row.begin() + 1, std::to_string(matches));
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 8: H-query evaluation time of GM, TM and JM.
+//  (a)/(b): template instances of the acyclic/cyclic/clique/combo classes on
+//           em and ep;
+//  (c)-(e): random (extracted) hybrid queries of growing size on hp, yt, hu.
+// Expected shape: GM solves everything; TM/JM lag by orders of magnitude and
+// fail (TO/OM) on the heavy clique/combo queries and the largest sizes.
+
+#include "bench_common.h"
+
+using namespace rigpm;
+using namespace rigpm::bench;
+
+namespace {
+
+void TemplatePart(const std::string& dataset) {
+  Graph g = MakeDatasetByName(dataset);
+  std::printf("\n-- %s: %s\n", dataset.c_str(), g.Summary().c_str());
+  GmEngine engine(g);
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+
+  TablePrinter table({"Class", "Query", "GM(s)", "TM(s)", "JM(s)", "GM matches"});
+  auto queries = TemplateWorkload(g, RepresentativeTemplateNames(),
+                                  QueryVariant::kHybrid);
+  for (const auto& nq : queries) {
+    auto gm = RunGm(engine, nq.query);
+    auto tm = RunTm(ctx, nq.query);
+    auto jm = RunJm(ctx, nq.query);
+    table.AddRow({PatternClassName(TemplateByName(nq.name).cls), nq.name,
+                  gm.formatted, tm.formatted, jm.formatted,
+                  std::to_string(gm.matches)});
+  }
+  table.Print();
+}
+
+void ExtractedPart(const std::string& dataset,
+                   const std::vector<uint32_t>& sizes) {
+  Graph g = MakeDatasetByName(dataset);
+  std::printf("\n-- %s (random H-queries): %s\n", dataset.c_str(),
+              g.Summary().c_str());
+  GmEngine engine(g);
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+
+  TablePrinter table({"Query", "GM(s)", "TM(s)", "JM(s)", "GM matches"});
+  auto queries = ExtractedWorkload(g, sizes, QueryVariant::kHybrid);
+  for (const auto& nq : queries) {
+    auto gm = RunGm(engine, nq.query);
+    auto tm = RunTm(ctx, nq.query);
+    auto jm = RunJm(ctx, nq.query);
+    table.AddRow({nq.name, gm.formatted, tm.formatted, jm.formatted,
+                  std::to_string(gm.matches)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Fig. 8 — H-query evaluation time: GM vs TM vs JM",
+                   "limit=" + std::to_string(MatchLimitFromEnv()) +
+                       " timeout=" + FormatSeconds(TimeoutMsFromEnv()) + "s" +
+                       " scale=" + std::to_string(DatasetScaleFromEnv()));
+  TemplatePart("em");
+  TemplatePart("ep");
+  ExtractedPart("hp", {4, 8, 16, 24, 32});
+  ExtractedPart("yt", {4, 8, 16, 24, 32});
+  ExtractedPart("hu", {4, 8, 12, 16, 20});
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 9: C-query (child-edge-only) evaluation time of GM, TM, JM and ISO on
+// ep, bs and hu. Expected shape: GM solves everything; JM is competitive on
+// ep but fails on the denser graphs; ISO is sometimes faster (injectivity
+// prunes harder) but fails on dense/low-label inputs.
+
+#include "bench_common.h"
+
+using namespace rigpm;
+using namespace rigpm::bench;
+
+namespace {
+
+void TemplatePart(const std::string& dataset) {
+  Graph g = MakeDatasetByName(dataset);
+  std::printf("\n-- %s: %s\n", dataset.c_str(), g.Summary().c_str());
+  GmEngine engine(g);
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+
+  TablePrinter table({"Query", "GM(s)", "TM(s)", "JM(s)", "ISO(s)"});
+  auto queries = TemplateWorkload(g, RepresentativeTemplateNames(),
+                                  QueryVariant::kChildOnly);
+  for (const auto& nq : queries) {
+    // The paper does not apply pre-filtering for GM on C-queries (it is not
+    // beneficial there).
+    GmOptions gopts;
+    gopts.use_prefilter = false;
+    auto gm = RunGm(engine, nq.query, gopts);
+    auto tm = RunTm(ctx, nq.query);
+    auto jm = RunJm(ctx, nq.query);
+    auto iso = RunIso(g, nq.query);
+    table.AddRow(
+        {nq.name, gm.formatted, tm.formatted, jm.formatted, iso.formatted});
+  }
+  table.Print();
+}
+
+void ExtractedPart(const std::string& dataset,
+                   const std::vector<uint32_t>& sizes) {
+  Graph g = MakeDatasetByName(dataset);
+  std::printf("\n-- %s (random C-queries): %s\n", dataset.c_str(),
+              g.Summary().c_str());
+  GmEngine engine(g);
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+
+  TablePrinter table({"Query", "GM(s)", "TM(s)", "JM(s)", "ISO(s)"});
+  for (const auto& nq : ExtractedWorkload(g, sizes, QueryVariant::kChildOnly)) {
+    GmOptions gopts;
+    gopts.use_prefilter = false;
+    auto gm = RunGm(engine, nq.query, gopts);
+    auto tm = RunTm(ctx, nq.query);
+    auto jm = RunJm(ctx, nq.query);
+    auto iso = RunIso(g, nq.query);
+    table.AddRow(
+        {nq.name, gm.formatted, tm.formatted, jm.formatted, iso.formatted});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Fig. 9 — C-query evaluation time: GM vs TM vs JM vs ISO",
+                   "scale=" + std::to_string(DatasetScaleFromEnv()));
+  TemplatePart("ep");
+  TemplatePart("bs");
+  ExtractedPart("hu", {4, 8, 12, 16, 20});
+  return 0;
+}

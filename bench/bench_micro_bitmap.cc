@@ -1,0 +1,94 @@
+// Microbenchmarks (google-benchmark) for the compressed-bitmap substrate —
+// the operations Section 6 identifies as the hot path of BuildRIG and MJoin.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "bitmap/bitmap.h"
+
+namespace {
+
+using rigpm::Bitmap;
+
+Bitmap RandomBitmap(uint32_t universe, uint32_t count, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> dist(0, universe - 1);
+  Bitmap b;
+  for (uint32_t i = 0; i < count; ++i) b.Add(dist(rng));
+  return b;
+}
+
+void BM_BitmapAnd(benchmark::State& state) {
+  const uint32_t universe = 1u << 20;
+  const uint32_t count = static_cast<uint32_t>(state.range(0));
+  Bitmap a = RandomBitmap(universe, count, 1);
+  Bitmap b = RandomBitmap(universe, count, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitmap::And(a, b));
+  }
+}
+BENCHMARK(BM_BitmapAnd)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_BitmapIntersectsEarlyExit(benchmark::State& state) {
+  const uint32_t universe = 1u << 20;
+  Bitmap a = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 3);
+  Bitmap b = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersects(b));
+  }
+}
+BENCHMARK(BM_BitmapIntersectsEarlyExit)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_BitmapAndMany(benchmark::State& state) {
+  const uint32_t universe = 1u << 20;
+  std::vector<Bitmap> bitmaps;
+  for (int i = 0; i < state.range(0); ++i) {
+    bitmaps.push_back(RandomBitmap(universe, 1u << 14, 10 + i));
+  }
+  std::vector<const Bitmap*> ptrs;
+  for (auto& b : bitmaps) ptrs.push_back(&b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitmap::AndMany(ptrs));
+  }
+}
+BENCHMARK(BM_BitmapAndMany)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BitmapOrMany(benchmark::State& state) {
+  const uint32_t universe = 1u << 20;
+  std::vector<Bitmap> bitmaps;
+  for (int i = 0; i < state.range(0); ++i) {
+    bitmaps.push_back(RandomBitmap(universe, 1u << 12, 20 + i));
+  }
+  std::vector<const Bitmap*> ptrs;
+  for (auto& b : bitmaps) ptrs.push_back(&b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitmap::OrMany(ptrs));
+  }
+}
+BENCHMARK(BM_BitmapOrMany)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BitmapForEach(benchmark::State& state) {
+  Bitmap b = RandomBitmap(1u << 20, 1u << 16, 5);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    b.ForEach([&sum](uint32_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitmapForEach);
+
+void BM_BitmapContains(benchmark::State& state) {
+  Bitmap b = RandomBitmap(1u << 20, 1u << 16, 6);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<uint32_t> dist(0, (1u << 20) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.Contains(dist(rng)));
+  }
+}
+BENCHMARK(BM_BitmapContains);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Microbenchmarks (google-benchmark) for the reachability indexes: build
+// cost and per-query cost of BFL vs BFS vs the full transitive closure.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/generators.h"
+#include "reach/reachability.h"
+
+namespace {
+
+using namespace rigpm;
+
+Graph MakeGraph(uint32_t nodes) {
+  return GeneratePowerLaw({.num_nodes = nodes,
+                           .num_edges = static_cast<uint64_t>(nodes) * 4,
+                           .num_labels = 10,
+                           .seed = 99});
+}
+
+void BM_BuildIndex(benchmark::State& state) {
+  Graph g = MakeGraph(static_cast<uint32_t>(state.range(0)));
+  ReachKind kind = static_cast<ReachKind>(state.range(1));
+  for (auto _ : state) {
+    auto idx = BuildReachabilityIndex(g, kind);
+    benchmark::DoNotOptimize(idx.get());
+  }
+  state.SetLabel(ReachKindName(kind));
+}
+BENCHMARK(BM_BuildIndex)
+    ->Args({2000, static_cast<int>(ReachKind::kBfs)})
+    ->Args({2000, static_cast<int>(ReachKind::kBfl)})
+    ->Args({2000, static_cast<int>(ReachKind::kTransitiveClosure)})
+    ->Args({20000, static_cast<int>(ReachKind::kBfs)})
+    ->Args({20000, static_cast<int>(ReachKind::kBfl)})
+    ->Args({20000, static_cast<int>(ReachKind::kTransitiveClosure)});
+
+void BM_QueryIndex(benchmark::State& state) {
+  Graph g = MakeGraph(static_cast<uint32_t>(state.range(0)));
+  ReachKind kind = static_cast<ReachKind>(state.range(1));
+  auto idx = BuildReachabilityIndex(g, kind);
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<uint32_t> dist(0, g.NumNodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx->Reaches(dist(rng), dist(rng)));
+  }
+  state.SetLabel(idx->Name());
+}
+BENCHMARK(BM_QueryIndex)
+    ->Args({20000, static_cast<int>(ReachKind::kBfs)})
+    ->Args({20000, static_cast<int>(ReachKind::kBfl)})
+    ->Args({20000, static_cast<int>(ReachKind::kTransitiveClosure)});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 3: large D-queries (descendant-only) on hu, hp and yt. For each
+// algorithm: how many queries time out, run out of memory, are solved, and
+// the average time of the solved ones. Expected shape: GM solves all ten;
+// JM solves only the small ones (OM dominates); TM solves more than JM but
+// is much slower.
+
+#include "bench_common.h"
+
+using namespace rigpm;
+using namespace rigpm::bench;
+
+int main() {
+  PrintBenchHeader("Table 3 — large D-queries: solved counts and times",
+                   "scale=" + std::to_string(DatasetScaleFromEnv()));
+
+  TablePrinter table({"Dataset", "Alg.", "Timeout", "OutOfMem", "Solved",
+                      "Avg time solved (s)"});
+  for (const std::string& dataset : {"hu", "hp", "yt"}) {
+    Graph g = MakeDatasetByName(dataset);
+    GmEngine engine(g);
+    auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+    MatchContext ctx(g, *reach);
+    auto queries = ExtractedWorkload(g, {4, 6, 8, 10, 12, 14, 16, 20, 24, 28},
+                                     QueryVariant::kDescendantOnly);
+
+    struct Tally {
+      int to = 0, om = 0, solved = 0;
+      double total_ms = 0;
+    } jm_t, tm_t, gm_t;
+    auto account = [](Tally* t, const RunOutcome& o) {
+      if (o.status == EvalStatus::kOk) {
+        ++t->solved;
+        t->total_ms += o.ms;
+      } else if (o.status == EvalStatus::kTimeout) {
+        ++t->to;
+      } else {
+        ++t->om;
+      }
+    };
+    for (const auto& nq : queries) {
+      account(&jm_t, RunJm(ctx, nq.query));
+      account(&tm_t, RunTm(ctx, nq.query));
+      account(&gm_t, RunGm(engine, nq.query));
+    }
+    auto emit = [&](const char* name, const Tally& t) {
+      table.AddRow({dataset, name, std::to_string(t.to), std::to_string(t.om),
+                    std::to_string(t.solved),
+                    t.solved ? FormatSeconds(t.total_ms / t.solved) : "-"});
+    };
+    emit("JM", jm_t);
+    emit("TM", tm_t);
+    emit("GM", gm_t);
+  }
+  table.Print();
+  return 0;
+}

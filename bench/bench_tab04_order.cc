@@ -1,0 +1,33 @@
+// Table 4: effectiveness of the search ordering strategies on em and ep —
+// GM with RI (topology only), JO (RIG cardinalities, the default) and BJ
+// (exact DP left-deep plan). Expected shape: JO best overall, BJ close
+// behind, RI noticeably worse on most H-queries.
+
+#include "bench_common.h"
+
+using namespace rigpm;
+using namespace rigpm::bench;
+
+int main() {
+  PrintBenchHeader("Table 4 — search order strategies: GM-RI / GM-JO / GM-BJ",
+                   "scale=" + std::to_string(DatasetScaleFromEnv()));
+  TablePrinter table({"Dataset", "Query", "GM-RI(s)", "GM-JO(s)", "GM-BJ(s)"});
+  for (const std::string& dataset : {"em", "ep"}) {
+    Graph g = MakeDatasetByName(dataset);
+    GmEngine engine(g);
+    auto queries = TemplateWorkload(
+        g, {"HQ2", "HQ3", "HQ4", "HQ15", "HQ18"}, QueryVariant::kHybrid);
+    for (const auto& nq : queries) {
+      std::vector<std::string> row = {dataset, nq.name};
+      for (OrderStrategy s :
+           {OrderStrategy::kRI, OrderStrategy::kJO, OrderStrategy::kBJ}) {
+        GmOptions opts;
+        opts.order = s;
+        row.push_back(RunGm(engine, nq.query, opts).formatted);
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// University-graph query — the scenario of Fig. 1(b): find students who TA a
+// course whose (transitive) prerequisite is taught by the professor who
+// advises that same student. Demonstrates a cyclic hybrid pattern and the
+// ablation switches (pre-filter / double simulation / search orders).
+
+#include <cstdio>
+#include <random>
+
+#include "engine/gm_engine.h"
+#include "graph/graph_builder.h"
+
+namespace {
+
+using namespace rigpm;
+
+constexpr LabelId kStudent = 0;
+constexpr LabelId kCourse = 1;
+constexpr LabelId kProfessor = 2;
+
+Graph MakeUniversity(uint32_t students, uint32_t courses, uint32_t profs,
+                     uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  GraphBuilder b;
+  std::vector<NodeId> S, C, P;
+  for (uint32_t i = 0; i < students; ++i) S.push_back(b.AddNode(kStudent));
+  for (uint32_t i = 0; i < courses; ++i) C.push_back(b.AddNode(kCourse));
+  for (uint32_t i = 0; i < profs; ++i) P.push_back(b.AddNode(kProfessor));
+  auto pick = [&rng](const std::vector<NodeId>& v) {
+    std::uniform_int_distribution<size_t> d(0, v.size() - 1);
+    return v[d(rng)];
+  };
+  // Prerequisite DAG over courses (course i requires some earlier course).
+  std::uniform_int_distribution<int> npre(0, 2);
+  for (uint32_t i = 1; i < courses; ++i) {
+    int k = npre(rng);
+    std::uniform_int_distribution<uint32_t> earlier(0, i - 1);
+    for (int j = 0; j < k; ++j) b.AddEdge(C[i], C[earlier(rng)]);
+  }
+  // TA-ships, teaching and advising.
+  for (uint32_t i = 0; i < students; ++i) {
+    b.AddEdge(S[i], C[pick(C) % courses]);                 // student TAs a course
+    b.AddEdge(P[pick(P) % profs], S[i]);                   // professor advises
+  }
+  for (uint32_t i = 0; i < courses; ++i) {
+    b.AddEdge(P[pick(P) % profs], C[i]);                   // professor teaches
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+int main() {
+  Graph g = MakeUniversity(/*students=*/800, /*courses=*/300, /*profs=*/60,
+                           /*seed=*/42);
+  std::printf("university graph: %s\n", g.Summary().c_str());
+
+  // Query nodes: 0=Student, 1=Course (TA'd), 2=Course (prereq), 3=Professor.
+  // The pattern is an undirected cycle: S -> C1 => C2 <- P -> S.
+  PatternQuery q = PatternQuery::FromParts(
+      {kStudent, kCourse, kCourse, kProfessor},
+      {{0, 1, EdgeKind::kChild},       // student TAs course C1
+       {1, 2, EdgeKind::kDescendant},  // C1's transitive prerequisite C2
+       {3, 2, EdgeKind::kChild},       // professor teaches C2
+       {3, 0, EdgeKind::kChild}});     // and advises the student
+
+  GmEngine engine(g);
+
+  // Full GM.
+  GmResult gm;
+  auto matches = engine.EvaluateCollect(q, GmOptions{}, &gm);
+  std::printf("GM     : %llu matches, RIG %llu+%llu, %.2f ms\n",
+              static_cast<unsigned long long>(gm.num_occurrences),
+              static_cast<unsigned long long>(gm.rig_nodes),
+              static_cast<unsigned long long>(gm.rig_edges), gm.TotalMs());
+  for (size_t i = 0; i < matches.size() && i < 3; ++i) {
+    std::printf("  student %u TAs course %u; prereq %u taught by advisor %u\n",
+                matches[i][0], matches[i][1], matches[i][2], matches[i][3]);
+  }
+
+  // Ablations: how much work does each GM ingredient save?
+  auto report = [&](const char* name, GmOptions opts) {
+    GmResult r;
+    engine.EvaluateCollect(q, opts, &r);
+    std::printf("%-7s: %llu matches, RIG %llu+%llu, %.2f ms\n", name,
+                static_cast<unsigned long long>(r.num_occurrences),
+                static_cast<unsigned long long>(r.rig_nodes),
+                static_cast<unsigned long long>(r.rig_edges), r.TotalMs());
+  };
+  GmOptions no_sim;
+  no_sim.use_double_simulation = false;
+  report("GM-F", no_sim);
+  GmOptions no_pre;
+  no_pre.use_prefilter = false;
+  report("GM-S", no_pre);
+  GmOptions ri;
+  ri.order = OrderStrategy::kRI;
+  report("GM-RI", ri);
+  GmOptions bj;
+  bj.order = OrderStrategy::kBJ;
+  report("GM-BJ", bj);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Substructure screening over a database of small graphs — the subgraph
+// searching application of the paper's related work (Section 8), in a
+// cheminformatics dress: screen a library of synthetic "molecules" for a
+// functional-group pattern, with both homomorphic and isomorphic semantics.
+
+#include <cstdio>
+#include <random>
+
+#include "graph/generators.h"
+#include "graphdb/graph_database.h"
+#include "query/pattern_parser.h"
+
+int main() {
+  using namespace rigpm;
+
+  // Labels: 0=C, 1=O, 2=N, 3=S. Build a library of small random molecules.
+  GraphDatabase db;
+  std::mt19937_64 rng(2023);
+  for (uint32_t i = 0; i < 400; ++i) {
+    GeneratorOptions opts;
+    std::uniform_int_distribution<uint32_t> size(6, 18);
+    opts.num_nodes = size(rng);
+    opts.num_edges = opts.num_nodes + opts.num_nodes / 2;
+    opts.num_labels = 4;
+    opts.label_zipf = 1.0;  // carbon-dominated, like real molecules
+    opts.seed = rng();
+    db.Add(GenerateErdosRenyi(opts), "mol" + std::to_string(i));
+  }
+  std::printf("library: %zu molecules\n", db.Size());
+
+  // Functional-group pattern: a carbon bonded to an oxygen AND connected
+  // (through any chain) to a nitrogen that is directly bonded to a sulfur.
+  auto pattern = ParsePattern("(c:0)->(o:1), (c)=>(n:2), (n)->(s:3)");
+  if (!pattern.has_value()) {
+    std::fprintf(stderr, "bad pattern\n");
+    return 1;
+  }
+
+  GraphDatabase::SearchStats stats;
+  auto hom_hits = db.Search(*pattern, {.isomorphic = false}, &stats);
+  std::printf("homomorphic screen: %zu hit(s); filter kept %zu of %zu "
+              "members\n",
+              hom_hits.size(), stats.candidates_after_filter, db.Size());
+  for (size_t i = 0; i < hom_hits.size() && i < 5; ++i) {
+    std::printf("  %s (%s)\n", db.Name(hom_hits[i]).c_str(),
+                db.MemberGraph(hom_hits[i]).Summary().c_str());
+  }
+
+  // Isomorphic semantics require child-only patterns (an injective match of
+  // a reachability edge is not a subgraph): screen for a C-O-C bridge.
+  auto bridge = ParsePattern("(c1:0)->(o:1), (c2:0)->(o)");
+  GraphDatabase::SearchStats iso_stats;
+  auto iso_hits = db.Search(*bridge, {.isomorphic = true}, &iso_stats);
+  auto hom_bridge_hits = db.Search(*bridge, {.isomorphic = false});
+  std::printf("C-O-C bridge: %zu isomorphic hit(s) vs %zu homomorphic "
+              "hit(s)\n",
+              iso_hits.size(), hom_bridge_hits.size());
+  std::printf("(homomorphisms may fold the two carbons onto one atom, so "
+              "the homomorphic count is an upper bound)\n");
+  return 0;
+}

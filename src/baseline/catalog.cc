@@ -1,0 +1,81 @@
+#include "baseline/catalog.h"
+
+#include <chrono>
+#include <unordered_map>
+
+namespace rigpm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t TripleKey(LabelId a, LabelId b, LabelId c) {
+  return (static_cast<uint64_t>(a) << 42) | (static_cast<uint64_t>(b) << 21) |
+         c;
+}
+
+}  // namespace
+
+CatalogResult BuildCatalog(const Graph& g, uint64_t max_entries) {
+  CatalogResult result;
+  auto t0 = Clock::now();
+
+  std::unordered_map<uint64_t, uint64_t> stats;
+  auto bump = [&](uint64_t key) {
+    ++stats[key];
+    return stats.size() <= max_entries;
+  };
+
+  // Labeled edge statistics.
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (!bump(TripleKey(g.Label(u), g.Label(v), 0x1FFFFF))) {
+        result.status = EvalStatus::kOutOfMemory;
+      }
+    }
+  }
+
+  // Labeled wedge statistics in the three orientations WCO optimizers use:
+  // out-out (u<-w->v), in-out (u->w->v), in-in (u->w<-v).
+  for (NodeId w = 0; w < g.NumNodes() && result.status == EvalStatus::kOk;
+       ++w) {
+    auto outs = g.OutNeighbors(w);
+    auto ins = g.InNeighbors(w);
+    for (NodeId u : outs) {
+      for (NodeId v : outs) {
+        if (!bump(TripleKey(g.Label(u), g.Label(w), g.Label(v)))) {
+          result.status = EvalStatus::kOutOfMemory;
+          break;
+        }
+      }
+      if (result.status != EvalStatus::kOk) break;
+    }
+    for (NodeId u : ins) {
+      for (NodeId v : outs) {
+        if (!bump(TripleKey(g.Label(u), g.Label(w), g.Label(v)) ^
+                  0x8000000000000000ull)) {
+          result.status = EvalStatus::kOutOfMemory;
+          break;
+        }
+      }
+      if (result.status != EvalStatus::kOk) break;
+    }
+    for (NodeId u : ins) {
+      for (NodeId v : ins) {
+        if (!bump(TripleKey(g.Label(u), g.Label(w), g.Label(v)) ^
+                  0x4000000000000000ull)) {
+          result.status = EvalStatus::kOutOfMemory;
+          break;
+        }
+      }
+      if (result.status != EvalStatus::kOk) break;
+    }
+  }
+
+  result.entries = stats.size();
+  result.build_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                        .count();
+  return result;
+}
+
+}  // namespace rigpm

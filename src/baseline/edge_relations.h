@@ -1,0 +1,32 @@
+#ifndef RIGPM_BASELINE_EDGE_RELATIONS_H_
+#define RIGPM_BASELINE_EDGE_RELATIONS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "baseline/eval_status.h"
+#include "sim/match_sets.h"
+
+namespace rigpm {
+
+/// Materialized match set ms(e) of one query edge: the binary relation the
+/// join-based approach (JM) evaluates over (Section 1: "JM first computes
+/// the occurrences for each edge of the input query").
+struct EdgeRelation {
+  QueryEdgeId edge = 0;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+/// Materializes every query edge's relation from the given candidate sets.
+/// Stops and reports kOutOfMemory once the total pair count exceeds
+/// `max_total_pairs` (the experiments' memory budget — descendant edges can
+/// produce quadratically many pairs, which is exactly JM's failure mode).
+EvalStatus BuildEdgeRelations(const MatchContext& ctx, const PatternQuery& q,
+                              const CandidateSets& candidates,
+                              uint64_t max_total_pairs,
+                              std::vector<EdgeRelation>* out);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_BASELINE_EDGE_RELATIONS_H_

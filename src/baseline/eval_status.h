@@ -1,0 +1,33 @@
+#ifndef RIGPM_BASELINE_EVAL_STATUS_H_
+#define RIGPM_BASELINE_EVAL_STATUS_H_
+
+namespace rigpm {
+
+/// Outcome of a baseline evaluation run. The experiments in Section 7 report
+/// unsolved queries in two buckets — out-of-memory (JM's typical failure)
+/// and timeout (TM's typical failure) — so the baselines track both instead
+/// of aborting the process.
+enum class EvalStatus {
+  kOk,
+  kOutOfMemory,  // intermediate results exceeded the configured budget
+  kTimeout,      // wall-clock budget exhausted
+  kUnsupported,  // engine cannot express the query (e.g. ISO + descendant)
+};
+
+inline const char* EvalStatusName(EvalStatus s) {
+  switch (s) {
+    case EvalStatus::kOk:
+      return "ok";
+    case EvalStatus::kOutOfMemory:
+      return "OM";
+    case EvalStatus::kTimeout:
+      return "TO";
+    case EvalStatus::kUnsupported:
+      return "NA";
+  }
+  return "?";
+}
+
+}  // namespace rigpm
+
+#endif  // RIGPM_BASELINE_EVAL_STATUS_H_

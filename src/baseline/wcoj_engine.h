@@ -1,0 +1,62 @@
+#ifndef RIGPM_BASELINE_WCOJ_ENGINE_H_
+#define RIGPM_BASELINE_WCOJ_ENGINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "baseline/eval_status.h"
+#include "enumerate/mjoin.h"
+#include "graph/graph.h"
+#include "query/pattern_query.h"
+
+namespace rigpm {
+
+/// Options for the worst-case-optimal-join baseline.
+struct WcojOptions {
+  /// Order query nodes purely topologically (RI) instead of by inverted-list
+  /// cardinality (the GF-style default).
+  bool use_ri_order = false;
+  double timeout_ms = 0.0;
+  uint64_t limit = std::numeric_limits<uint64_t>::max();
+};
+
+struct WcojResult {
+  EvalStatus status = EvalStatus::kOk;
+  uint64_t num_occurrences = 0;
+  uint64_t intersections = 0;
+  double total_ms = 0.0;
+};
+
+/// A Graphflow/EmptyHeaded/RapidMatch-style engine: generic worst-case
+/// optimal joins executed *directly on the data graph* (no runtime index
+/// graph), matching one query node at a time by intersecting label inverted
+/// lists with the adjacency lists of already-matched neighbors.
+///
+/// Like those systems it natively supports only child (edge-to-edge) edges.
+/// Descendant edges require `MaterializeClosure()` first — the per-node
+/// transitive-closure adjacency the paper had to feed GraphflowDB
+/// (Section 7.5, Fig. 18) — whose cost is exactly what that experiment
+/// charges the system with.
+class WcojEngine {
+ public:
+  explicit WcojEngine(const Graph& g) : graph_(g) {}
+
+  /// Materializes closure adjacency bitmaps for every node. Fails with
+  /// kOutOfMemory when the estimated footprint would exceed `max_bytes`.
+  EvalStatus MaterializeClosure(size_t max_bytes, double* build_ms);
+
+  bool HasClosure() const { return !closure_fwd_.empty(); }
+
+  WcojResult Evaluate(const PatternQuery& q, const WcojOptions& opts = {},
+                      const OccurrenceSink& sink = nullptr) const;
+
+ private:
+  const Graph& graph_;
+  std::vector<Bitmap> closure_fwd_;  // reachable-from sets (>= 1 edge)
+  std::vector<Bitmap> closure_bwd_;  // reaching sets
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_BASELINE_WCOJ_ENGINE_H_

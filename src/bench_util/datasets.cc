@@ -1,0 +1,98 @@
+#include "bench_util/datasets.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "graph/generators.h"
+
+namespace rigpm {
+
+namespace {
+
+std::vector<DatasetSpec> BuildRegistry() {
+  using Shape = DatasetSpec::Shape;
+  return {
+      // Biology: small, moderately dense, many labels.
+      {"yt", "Biology", 3'100, 12'000, 71, Shape::kErdosRenyi, 0.3},
+      {"hu", "Biology", 4'600, 86'000, 44, Shape::kPowerLaw, 0.3},
+      {"hp", "Biology", 9'400, 35'000, 307, Shape::kErdosRenyi, 0.3},
+      // Social.
+      {"ep", "Social", 76'000, 509'000, 20, Shape::kPowerLaw, 0.3},
+      {"db", "Social", 317'000, 1'049'000, 20, Shape::kDag, 0.3},
+      // Communication.
+      {"em", "Communication", 265'000, 420'000, 20, Shape::kPowerLaw, 0.3},
+      // Product co-purchasing.
+      {"am", "Product", 403'000, 3'500'000, 3, Shape::kDag, 0.2},
+      // Web.
+      {"bs", "Web", 685'000, 7'600'000, 5, Shape::kPowerLaw, 0.2},
+      {"go", "Web", 876'000, 5'100'000, 5, Shape::kPowerLaw, 0.2},
+  };
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& DatasetRegistry() {
+  static const std::vector<DatasetSpec>& registry =
+      *new std::vector<DatasetSpec>(BuildRegistry());
+  return registry;
+}
+
+const DatasetSpec& DatasetByName(const std::string& name) {
+  for (const DatasetSpec& spec : DatasetRegistry()) {
+    if (spec.name == name) return spec;
+  }
+  std::abort();  // unknown dataset name is a programming error
+}
+
+double DatasetScaleFromEnv() {
+  const char* env = std::getenv("RIGPM_SCALE");
+  if (env == nullptr) return 0.1;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 0.1;
+}
+
+Graph MakeDataset(const DatasetSpec& spec, double scale, uint64_t seed) {
+  GeneratorOptions opts;
+  opts.num_nodes = std::max<uint32_t>(
+      500, static_cast<uint32_t>(spec.base_nodes * scale));
+  opts.num_edges = std::max<uint64_t>(
+      2000, static_cast<uint64_t>(spec.base_edges * scale));
+  opts.num_labels = spec.num_labels;
+  opts.label_zipf = spec.label_zipf;
+  opts.seed = seed;
+  switch (spec.shape) {
+    case DatasetSpec::Shape::kPowerLaw:
+      return GeneratePowerLaw(opts);
+    case DatasetSpec::Shape::kErdosRenyi:
+      return GenerateErdosRenyi(opts);
+    case DatasetSpec::Shape::kDag:
+      return GenerateRandomDag(opts);
+    case DatasetSpec::Shape::kLayeredDag:
+      return GenerateLayeredDag(opts, /*layers=*/12);
+  }
+  return GeneratePowerLaw(opts);
+}
+
+Graph MakeDatasetByName(const std::string& name) {
+  return MakeDataset(DatasetByName(name), DatasetScaleFromEnv());
+}
+
+Graph MakeDatasetWithLabels(const DatasetSpec& spec, double scale,
+                            uint32_t num_labels, uint64_t seed) {
+  DatasetSpec modified = spec;
+  modified.num_labels = num_labels;
+  return MakeDataset(modified, scale, seed);
+}
+
+Graph MakeDatasetWithNodes(const DatasetSpec& spec, uint32_t num_nodes,
+                           uint64_t seed) {
+  DatasetSpec modified = spec;
+  double ratio = static_cast<double>(num_nodes) /
+                 static_cast<double>(spec.base_nodes);
+  modified.base_nodes = num_nodes;
+  modified.base_edges =
+      std::max<uint64_t>(1, static_cast<uint64_t>(spec.base_edges * ratio));
+  return MakeDataset(modified, /*scale=*/1.0, seed);
+}
+
+}  // namespace rigpm

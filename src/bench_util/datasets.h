@@ -1,0 +1,58 @@
+#ifndef RIGPM_BENCH_UTIL_DATASETS_H_
+#define RIGPM_BENCH_UTIL_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rigpm {
+
+/// Synthetic analogue of one of the nine SNAP datasets of Table 2. The real
+/// files cannot be redistributed, so the bench harness regenerates graphs
+/// with the same |V| / |E| / |L| proportions and a degree distribution of
+/// the right family (heavy-tailed for web/social graphs, acyclic for the
+/// citation/co-purchase graphs). Absolute runtimes differ from the paper;
+/// the relative behaviour of the algorithms — which is what every figure
+/// reports — is preserved.
+struct DatasetSpec {
+  enum class Shape { kPowerLaw, kErdosRenyi, kDag, kLayeredDag };
+
+  std::string name;       // paper's abbreviation: yt, hu, hp, ep, db, ...
+  std::string domain;     // Biology, Social, ...
+  uint32_t base_nodes = 0;
+  uint64_t base_edges = 0;
+  uint32_t num_labels = 0;
+  Shape shape = Shape::kPowerLaw;
+  double label_zipf = 0.3;  // mild label skew, like real attribute data
+};
+
+/// All nine datasets of Table 2.
+const std::vector<DatasetSpec>& DatasetRegistry();
+const DatasetSpec& DatasetByName(const std::string& name);
+
+/// Scale factor applied to base_nodes/base_edges when generating. Read from
+/// the RIGPM_SCALE environment variable; defaults to 0.1 so the full bench
+/// suite completes in minutes on a laptop. Set RIGPM_SCALE=1 for
+/// paper-sized graphs.
+double DatasetScaleFromEnv();
+
+/// Generates the dataset at the given scale (deterministic for a seed).
+Graph MakeDataset(const DatasetSpec& spec, double scale, uint64_t seed = 7);
+
+/// Convenience: registry lookup + env scale.
+Graph MakeDatasetByName(const std::string& name);
+
+/// Variant used by the label-scaling experiment (Fig. 10): same shape and
+/// size, different label alphabet.
+Graph MakeDatasetWithLabels(const DatasetSpec& spec, double scale,
+                            uint32_t num_labels, uint64_t seed = 7);
+
+/// Variant used by the size-scaling experiment (Fig. 11): same shape,
+/// explicit node count (edges scaled proportionally).
+Graph MakeDatasetWithNodes(const DatasetSpec& spec, uint32_t num_nodes,
+                           uint64_t seed = 7);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_BENCH_UTIL_DATASETS_H_

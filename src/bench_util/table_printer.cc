@@ -1,0 +1,40 @@
+#include "bench_util/table_printer.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace rigpm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      for (size_t pad = cells[c].size(); pad < widths[c] + 2; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::Print() const { Print(std::cout); }
+
+}  // namespace rigpm

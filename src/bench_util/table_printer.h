@@ -1,0 +1,32 @@
+#ifndef RIGPM_BENCH_UTIL_TABLE_PRINTER_H_
+#define RIGPM_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rigpm {
+
+/// Column-aligned plain-text table, the output format of every bench binary
+/// (one table per paper table/figure).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders to `out` with a header underline.
+  void Print(std::ostream& out) const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_BENCH_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,42 @@
+#ifndef RIGPM_BENCH_UTIL_WORKLOADS_H_
+#define RIGPM_BENCH_UTIL_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/pattern_query.h"
+#include "query/query_templates.h"
+
+namespace rigpm {
+
+/// One query of a bench workload.
+struct NamedQuery {
+  std::string name;
+  PatternQuery query;
+};
+
+/// Instantiates the given Fig. 7 templates against a data graph's label
+/// alphabet. Labels are drawn from the data graph's most frequent labels so
+/// instances are selective-but-nonempty with high probability; seeded and
+/// deterministic.
+std::vector<NamedQuery> TemplateWorkload(const Graph& g,
+                                         const std::vector<std::string>& names,
+                                         QueryVariant variant,
+                                         uint64_t seed = 11);
+
+/// The representative per-class selection most figures plot: three queries
+/// from each of the acyclic / cyclic / clique / combo classes.
+std::vector<std::string> RepresentativeTemplateNames();
+
+/// Extracted queries with guaranteed matches (Section 7.1's random queries
+/// for the biology datasets): `count` queries of each size in `sizes`.
+std::vector<NamedQuery> ExtractedWorkload(const Graph& g,
+                                          const std::vector<uint32_t>& sizes,
+                                          QueryVariant variant,
+                                          uint32_t count_per_size = 1,
+                                          uint64_t seed = 13);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_BENCH_UTIL_WORKLOADS_H_

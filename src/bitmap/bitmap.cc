@@ -1,0 +1,595 @@
+#include "bitmap/bitmap.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace rigpm {
+
+namespace {
+
+constexpr uint32_t kWordsPerBitset = 1024;  // 1024 * 64 = 65536 bits
+
+uint16_t HighBits(uint32_t value) { return static_cast<uint16_t>(value >> 16); }
+uint16_t LowBits(uint32_t value) { return static_cast<uint16_t>(value & 0xFFFF); }
+
+uint32_t Combine(uint16_t key, uint16_t low) {
+  return (static_cast<uint32_t>(key) << 16) | low;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Container helpers
+// ---------------------------------------------------------------------------
+
+bool Bitmap::Container::Contains(uint16_t low) const {
+  if (kind == Kind::kArray) {
+    return std::binary_search(array.begin(), array.end(), low);
+  }
+  return (words[low >> 6] >> (low & 63)) & 1;
+}
+
+void Bitmap::Container::ToBitset() {
+  if (kind == Kind::kBitset) return;
+  words.assign(kWordsPerBitset, 0);
+  for (uint16_t low : array) {
+    words[low >> 6] |= uint64_t{1} << (low & 63);
+  }
+  array.clear();
+  array.shrink_to_fit();
+  kind = Kind::kBitset;
+}
+
+void Bitmap::Container::ToArrayIfSmall() {
+  if (kind == Kind::kArray || cardinality > kArrayCapacity) return;
+  array.clear();
+  array.reserve(cardinality);
+  for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      array.push_back(static_cast<uint16_t>((w << 6) | bit));
+      word &= word - 1;
+    }
+  }
+  words.clear();
+  words.shrink_to_fit();
+  kind = Kind::kArray;
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Bitmap::Bitmap(std::initializer_list<uint32_t> values) {
+  for (uint32_t v : values) Add(v);
+}
+
+Bitmap Bitmap::FromSorted(std::span<const uint32_t> sorted_values) {
+  Bitmap result;
+  size_t i = 0;
+  while (i < sorted_values.size()) {
+    uint16_t key = HighBits(sorted_values[i]);
+    size_t j = i;
+    while (j < sorted_values.size() && HighBits(sorted_values[j]) == key) ++j;
+    Container c;
+    c.key = key;
+    c.cardinality = static_cast<uint32_t>(j - i);
+    if (c.cardinality <= kArrayCapacity) {
+      c.kind = Container::Kind::kArray;
+      c.array.reserve(c.cardinality);
+      for (size_t k = i; k < j; ++k) c.array.push_back(LowBits(sorted_values[k]));
+    } else {
+      c.kind = Container::Kind::kBitset;
+      c.words.assign(kWordsPerBitset, 0);
+      for (size_t k = i; k < j; ++k) {
+        uint16_t low = LowBits(sorted_values[k]);
+        c.words[low >> 6] |= uint64_t{1} << (low & 63);
+      }
+    }
+    result.containers_.push_back(std::move(c));
+    result.cardinality_ += j - i;
+    i = j;
+  }
+  return result;
+}
+
+Bitmap Bitmap::FromUnsorted(std::span<const uint32_t> values) {
+  std::vector<uint32_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return FromSorted(sorted);
+}
+
+Bitmap Bitmap::FromRange(uint32_t n) {
+  std::vector<uint32_t> values(n);
+  for (uint32_t i = 0; i < n; ++i) values[i] = i;
+  return FromSorted(values);
+}
+
+// ---------------------------------------------------------------------------
+// Point operations
+// ---------------------------------------------------------------------------
+
+size_t Bitmap::FindContainer(uint16_t key) const {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint16_t k) { return c.key < k; });
+  if (it != containers_.end() && it->key == key) {
+    return static_cast<size_t>(it - containers_.begin());
+  }
+  return containers_.size();
+}
+
+Bitmap::Container& Bitmap::GetOrCreateContainer(uint16_t key) {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint16_t k) { return c.key < k; });
+  if (it != containers_.end() && it->key == key) return *it;
+  Container c;
+  c.key = key;
+  return *containers_.insert(it, std::move(c));
+}
+
+void Bitmap::Add(uint32_t value) {
+  Container& c = GetOrCreateContainer(HighBits(value));
+  uint16_t low = LowBits(value);
+  if (c.kind == Container::Kind::kArray) {
+    auto it = std::lower_bound(c.array.begin(), c.array.end(), low);
+    if (it != c.array.end() && *it == low) return;
+    c.array.insert(it, low);
+    ++c.cardinality;
+    ++cardinality_;
+    if (c.cardinality > kArrayCapacity) c.ToBitset();
+  } else {
+    uint64_t& word = c.words[low >> 6];
+    uint64_t mask = uint64_t{1} << (low & 63);
+    if (word & mask) return;
+    word |= mask;
+    ++c.cardinality;
+    ++cardinality_;
+  }
+}
+
+void Bitmap::Remove(uint32_t value) {
+  size_t idx = FindContainer(HighBits(value));
+  if (idx == containers_.size()) return;
+  Container& c = containers_[idx];
+  uint16_t low = LowBits(value);
+  if (c.kind == Container::Kind::kArray) {
+    auto it = std::lower_bound(c.array.begin(), c.array.end(), low);
+    if (it == c.array.end() || *it != low) return;
+    c.array.erase(it);
+    --c.cardinality;
+    --cardinality_;
+  } else {
+    uint64_t& word = c.words[low >> 6];
+    uint64_t mask = uint64_t{1} << (low & 63);
+    if (!(word & mask)) return;
+    word &= ~mask;
+    --c.cardinality;
+    --cardinality_;
+    c.ToArrayIfSmall();
+  }
+  if (c.cardinality == 0) {
+    containers_.erase(containers_.begin() + static_cast<ptrdiff_t>(idx));
+  }
+}
+
+bool Bitmap::Contains(uint32_t value) const {
+  size_t idx = FindContainer(HighBits(value));
+  if (idx == containers_.size()) return false;
+  return containers_[idx].Contains(LowBits(value));
+}
+
+void Bitmap::Clear() {
+  containers_.clear();
+  cardinality_ = 0;
+}
+
+uint32_t Bitmap::First() const {
+  assert(!Empty());
+  const Container& c = containers_.front();
+  if (c.kind == Container::Kind::kArray) return Combine(c.key, c.array.front());
+  for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
+    if (c.words[w] != 0) {
+      return Combine(c.key,
+                     static_cast<uint16_t>((w << 6) | std::countr_zero(c.words[w])));
+    }
+  }
+  return 0;  // unreachable given cardinality > 0
+}
+
+// ---------------------------------------------------------------------------
+// Container-level set algebra
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Intersection of two sorted uint16 arrays, linear merge with galloping when
+// the sizes are lopsided.
+void IntersectArrays(const std::vector<uint16_t>& a,
+                     const std::vector<uint16_t>& b,
+                     std::vector<uint16_t>* out) {
+  const std::vector<uint16_t>* small = &a;
+  const std::vector<uint16_t>* big = &b;
+  if (small->size() > big->size()) std::swap(small, big);
+  if (big->size() > 32 * small->size()) {
+    // Galloping: binary-search each element of the small side.
+    auto begin = big->begin();
+    for (uint16_t v : *small) {
+      begin = std::lower_bound(begin, big->end(), v);
+      if (begin == big->end()) break;
+      if (*begin == v) out->push_back(v);
+    }
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+Bitmap::Container Bitmap::AndContainers(const Container& a, const Container& b) {
+  Container out;
+  out.key = a.key;
+  using Kind = Container::Kind;
+  if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
+    IntersectArrays(a.array, b.array, &out.array);
+    out.cardinality = static_cast<uint32_t>(out.array.size());
+    return out;
+  }
+  if (a.kind == Kind::kBitset && b.kind == Kind::kBitset) {
+    out.words.assign(kWordsPerBitset, 0);
+    uint32_t card = 0;
+    for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
+      out.words[w] = a.words[w] & b.words[w];
+      card += static_cast<uint32_t>(std::popcount(out.words[w]));
+    }
+    out.cardinality = card;
+    out.kind = Kind::kBitset;
+    out.ToArrayIfSmall();
+    return out;
+  }
+  // array x bitset: probe the bitset with each array element.
+  const Container& arr = (a.kind == Kind::kArray) ? a : b;
+  const Container& bits = (a.kind == Kind::kArray) ? b : a;
+  out.array.reserve(arr.array.size());
+  for (uint16_t low : arr.array) {
+    if ((bits.words[low >> 6] >> (low & 63)) & 1) out.array.push_back(low);
+  }
+  out.cardinality = static_cast<uint32_t>(out.array.size());
+  return out;
+}
+
+Bitmap::Container Bitmap::OrContainers(const Container& a, const Container& b) {
+  Container out;
+  out.key = a.key;
+  using Kind = Container::Kind;
+  if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
+    out.array.reserve(a.array.size() + b.array.size());
+    std::set_union(a.array.begin(), a.array.end(), b.array.begin(),
+                   b.array.end(), std::back_inserter(out.array));
+    out.cardinality = static_cast<uint32_t>(out.array.size());
+    if (out.cardinality > kArrayCapacity) out.ToBitset();
+    return out;
+  }
+  // At least one bitset: result is a bitset.
+  out.kind = Kind::kBitset;
+  out.words.assign(kWordsPerBitset, 0);
+  auto blend = [&out](const Container& c) {
+    if (c.kind == Kind::kBitset) {
+      for (uint32_t w = 0; w < kWordsPerBitset; ++w) out.words[w] |= c.words[w];
+    } else {
+      for (uint16_t low : c.array) out.words[low >> 6] |= uint64_t{1} << (low & 63);
+    }
+  };
+  blend(a);
+  blend(b);
+  uint32_t card = 0;
+  for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
+    card += static_cast<uint32_t>(std::popcount(out.words[w]));
+  }
+  out.cardinality = card;
+  return out;
+}
+
+Bitmap::Container Bitmap::AndNotContainers(const Container& a,
+                                           const Container& b) {
+  Container out;
+  out.key = a.key;
+  using Kind = Container::Kind;
+  if (a.kind == Kind::kArray) {
+    out.array.reserve(a.array.size());
+    for (uint16_t low : a.array) {
+      if (!b.Contains(low)) out.array.push_back(low);
+    }
+    out.cardinality = static_cast<uint32_t>(out.array.size());
+    return out;
+  }
+  out.kind = Kind::kBitset;
+  out.words = a.words;
+  if (b.kind == Kind::kBitset) {
+    for (uint32_t w = 0; w < kWordsPerBitset; ++w) out.words[w] &= ~b.words[w];
+  } else {
+    for (uint16_t low : b.array) {
+      out.words[low >> 6] &= ~(uint64_t{1} << (low & 63));
+    }
+  }
+  uint32_t card = 0;
+  for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
+    card += static_cast<uint32_t>(std::popcount(out.words[w]));
+  }
+  out.cardinality = card;
+  out.ToArrayIfSmall();
+  return out;
+}
+
+bool Bitmap::ContainersIntersect(const Container& a, const Container& b) {
+  using Kind = Container::Kind;
+  if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
+    size_t i = 0, j = 0;
+    while (i < a.array.size() && j < b.array.size()) {
+      if (a.array[i] < b.array[j]) {
+        ++i;
+      } else if (a.array[i] > b.array[j]) {
+        ++j;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (a.kind == Kind::kBitset && b.kind == Kind::kBitset) {
+    for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
+      if (a.words[w] & b.words[w]) return true;
+    }
+    return false;
+  }
+  const Container& arr = (a.kind == Kind::kArray) ? a : b;
+  const Container& bits = (a.kind == Kind::kArray) ? b : a;
+  for (uint16_t low : arr.array) {
+    if ((bits.words[low >> 6] >> (low & 63)) & 1) return true;
+  }
+  return false;
+}
+
+bool Bitmap::ContainerSubset(const Container& a, const Container& b) {
+  using Kind = Container::Kind;
+  if (a.cardinality > b.cardinality) return false;
+  if (a.kind == Kind::kBitset && b.kind == Kind::kBitset) {
+    for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
+      if (a.words[w] & ~b.words[w]) return false;
+    }
+    return true;
+  }
+  if (a.kind == Kind::kArray) {
+    for (uint16_t low : a.array) {
+      if (!b.Contains(low)) return false;
+    }
+    return true;
+  }
+  // a bitset, b array with b.cardinality >= a.cardinality > kArrayCapacity is
+  // impossible (arrays hold <= kArrayCapacity), so a cannot be a subset unless
+  // it fits; fall back to an element scan.
+  for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
+    uint64_t word = a.words[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      if (!b.Contains(static_cast<uint16_t>((w << 6) | bit))) return false;
+      word &= word - 1;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap-level set algebra
+// ---------------------------------------------------------------------------
+
+bool Bitmap::Intersects(const Bitmap& other) const {
+  size_t i = 0, j = 0;
+  while (i < containers_.size() && j < other.containers_.size()) {
+    uint16_t ka = containers_[i].key;
+    uint16_t kb = other.containers_[j].key;
+    if (ka < kb) {
+      ++i;
+    } else if (ka > kb) {
+      ++j;
+    } else {
+      if (ContainersIntersect(containers_[i], other.containers_[j])) return true;
+      ++i;
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool Bitmap::IsSubsetOf(const Bitmap& other) const {
+  if (cardinality_ > other.cardinality_) return false;
+  size_t j = 0;
+  for (const Container& c : containers_) {
+    while (j < other.containers_.size() && other.containers_[j].key < c.key) ++j;
+    if (j == other.containers_.size() || other.containers_[j].key != c.key) {
+      return false;
+    }
+    if (!ContainerSubset(c, other.containers_[j])) return false;
+  }
+  return true;
+}
+
+Bitmap Bitmap::And(const Bitmap& a, const Bitmap& b) {
+  Bitmap out;
+  size_t i = 0, j = 0;
+  while (i < a.containers_.size() && j < b.containers_.size()) {
+    uint16_t ka = a.containers_[i].key;
+    uint16_t kb = b.containers_[j].key;
+    if (ka < kb) {
+      ++i;
+    } else if (ka > kb) {
+      ++j;
+    } else {
+      Container c = AndContainers(a.containers_[i], b.containers_[j]);
+      if (c.cardinality > 0) {
+        out.cardinality_ += c.cardinality;
+        out.containers_.push_back(std::move(c));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+Bitmap Bitmap::Or(const Bitmap& a, const Bitmap& b) {
+  Bitmap out;
+  size_t i = 0, j = 0;
+  while (i < a.containers_.size() || j < b.containers_.size()) {
+    if (j == b.containers_.size() ||
+        (i < a.containers_.size() && a.containers_[i].key < b.containers_[j].key)) {
+      out.containers_.push_back(a.containers_[i]);
+      out.cardinality_ += a.containers_[i].cardinality;
+      ++i;
+    } else if (i == a.containers_.size() ||
+               b.containers_[j].key < a.containers_[i].key) {
+      out.containers_.push_back(b.containers_[j]);
+      out.cardinality_ += b.containers_[j].cardinality;
+      ++j;
+    } else {
+      Container c = OrContainers(a.containers_[i], b.containers_[j]);
+      out.cardinality_ += c.cardinality;
+      out.containers_.push_back(std::move(c));
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+Bitmap Bitmap::AndNot(const Bitmap& a, const Bitmap& b) {
+  Bitmap out;
+  size_t j = 0;
+  for (const Container& c : a.containers_) {
+    while (j < b.containers_.size() && b.containers_[j].key < c.key) ++j;
+    if (j < b.containers_.size() && b.containers_[j].key == c.key) {
+      Container diff = AndNotContainers(c, b.containers_[j]);
+      if (diff.cardinality > 0) {
+        out.cardinality_ += diff.cardinality;
+        out.containers_.push_back(std::move(diff));
+      }
+    } else {
+      out.containers_.push_back(c);
+      out.cardinality_ += c.cardinality;
+    }
+  }
+  return out;
+}
+
+void Bitmap::AndWith(const Bitmap& other) { *this = And(*this, other); }
+void Bitmap::OrWith(const Bitmap& other) { *this = Or(*this, other); }
+void Bitmap::AndNotWith(const Bitmap& other) { *this = AndNot(*this, other); }
+
+Bitmap Bitmap::AndMany(std::span<const Bitmap* const> inputs) {
+  if (inputs.empty()) return Bitmap();
+  std::vector<const Bitmap*> sorted(inputs.begin(), inputs.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Bitmap* a, const Bitmap* b) {
+              return a->Cardinality() < b->Cardinality();
+            });
+  Bitmap result = *sorted[0];
+  for (size_t i = 1; i < sorted.size() && !result.Empty(); ++i) {
+    result.AndWith(*sorted[i]);
+  }
+  return result;
+}
+
+Bitmap Bitmap::OrMany(std::span<const Bitmap* const> inputs) {
+  if (inputs.empty()) return Bitmap();
+  // Balanced pairwise reduction keeps intermediate results small.
+  std::vector<Bitmap> level;
+  level.reserve((inputs.size() + 1) / 2);
+  for (size_t i = 0; i + 1 < inputs.size(); i += 2) {
+    level.push_back(Or(*inputs[i], *inputs[i + 1]));
+  }
+  if (inputs.size() % 2 == 1) level.push_back(*inputs.back());
+  while (level.size() > 1) {
+    std::vector<Bitmap> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(Or(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+// ---------------------------------------------------------------------------
+// Iteration and comparison
+// ---------------------------------------------------------------------------
+
+void Bitmap::ForEach(const std::function<void(uint32_t)>& fn) const {
+  for (const Container& c : containers_) {
+    if (c.kind == Container::Kind::kArray) {
+      for (uint16_t low : c.array) fn(Combine(c.key, low));
+    } else {
+      for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
+        uint64_t word = c.words[w];
+        while (word != 0) {
+          int bit = std::countr_zero(word);
+          fn(Combine(c.key, static_cast<uint16_t>((w << 6) | bit)));
+          word &= word - 1;
+        }
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> Bitmap::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(cardinality_);
+  ForEach([&out](uint32_t v) { out.push_back(v); });
+  return out;
+}
+
+bool Bitmap::operator==(const Bitmap& other) const {
+  if (cardinality_ != other.cardinality_) return false;
+  if (containers_.size() != other.containers_.size()) return false;
+  for (size_t i = 0; i < containers_.size(); ++i) {
+    const Container& a = containers_[i];
+    const Container& b = other.containers_[i];
+    if (a.key != b.key || a.cardinality != b.cardinality) return false;
+    if (a.kind == b.kind) {
+      if (a.kind == Container::Kind::kArray) {
+        if (a.array != b.array) return false;
+      } else {
+        if (a.words != b.words) return false;
+      }
+    } else {
+      if (!ContainerSubset(a, b)) return false;  // same cardinality => equal
+    }
+  }
+  return true;
+}
+
+size_t Bitmap::MemoryBytes() const {
+  size_t bytes = sizeof(Bitmap) + containers_.size() * sizeof(Container);
+  for (const Container& c : containers_) {
+    bytes += c.array.capacity() * sizeof(uint16_t);
+    bytes += c.words.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace rigpm

@@ -1,0 +1,23 @@
+#ifndef RIGPM_ENGINE_EXPLAIN_H_
+#define RIGPM_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "engine/gm_engine.h"
+
+namespace rigpm {
+
+/// EXPLAIN-style plan report for a GM evaluation: what the transitive
+/// reduction removed, how much each filtering stage pruned, the chosen
+/// search order with per-node candidate cardinalities, and the RIG edge
+/// statistics. Runs the matching phases (not the enumeration), so it is
+/// cheap relative to evaluating the query.
+///
+/// Intended for interactive debugging of slow queries — the same role
+/// EXPLAIN plays in a relational engine.
+std::string ExplainQuery(const GmEngine& engine, const PatternQuery& query,
+                         const GmOptions& opts = {});
+
+}  // namespace rigpm
+
+#endif  // RIGPM_ENGINE_EXPLAIN_H_

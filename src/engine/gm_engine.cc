@@ -1,0 +1,113 @@
+#include "engine/gm_engine.h"
+
+#include <chrono>
+
+#include "query/transitive_reduction.h"
+#include "sim/prefilter.h"
+
+namespace rigpm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+GmEngine::GmEngine(const Graph& g, ReachKind reach) : graph_(g) {
+  auto t0 = Clock::now();
+  reach_ = BuildReachabilityIndex(g, reach);
+  reach_build_ms_ = MsSince(t0);
+  condensation_ = std::make_unique<Condensation>(g);
+  intervals_ = std::make_unique<IntervalLabels>(g, *condensation_);
+}
+
+Rig GmEngine::BuildRigOnly(const PatternQuery& query, const GmOptions& opts,
+                           GmResult* result) const {
+  MatchContext ctx(graph_, *reach_);
+
+  // --- Transitive reduction of the query (Section 3).
+  auto t0 = Clock::now();
+  PatternQuery reduced =
+      opts.use_transitive_reduction ? QueryTransitiveReduction(query) : query;
+  if (result != nullptr) {
+    result->reduction_ms = MsSince(t0);
+    result->reduced_query_edges = reduced.NumEdges();
+  }
+
+  // --- Optional node pre-filtering [11, 63].
+  auto t1 = Clock::now();
+  CandidateSets seed;
+  if (opts.use_prefilter) {
+    seed = PreFilter(ctx, reduced, opts.sim);
+  } else {
+    seed = InitialMatchSets(graph_, reduced);
+  }
+  if (result != nullptr) result->prefilter_ms = MsSince(t1);
+
+  // --- RIG construction (select via double simulation + expand).
+  RigBuildOptions rig_opts;
+  rig_opts.sim_algorithm = opts.sim_algorithm;
+  rig_opts.sim = opts.sim;
+  rig_opts.skip_simulation = !opts.use_double_simulation;
+  rig_opts.early_termination = opts.early_termination;
+  RigBuildStats rig_stats;
+  Rig rig = BuildRig(ctx, reduced, std::move(seed), rig_opts, intervals_.get(),
+                     &rig_stats);
+  if (result != nullptr) {
+    result->rig_select_ms = rig_stats.select_ms;
+    result->rig_expand_ms = rig_stats.expand_ms;
+    result->rig_stats = rig_stats;
+    result->rig_nodes = rig.TotalNodes();
+    result->rig_edges = rig.TotalEdges();
+    result->rig_memory_bytes = rig.MemoryBytes();
+    result->empty_rig_shortcut = rig.AnyEmpty();
+  }
+  return rig;
+}
+
+GmResult GmEngine::Evaluate(const PatternQuery& query, const GmOptions& opts,
+                            const OccurrenceSink& sink) const {
+  GmResult result;
+
+  PatternQuery reduced =
+      opts.use_transitive_reduction ? QueryTransitiveReduction(query) : query;
+  Rig rig = BuildRigOnly(query, opts, &result);
+
+  if (rig.AnyEmpty()) {
+    // Empty RIG: the answer is provably empty; skip ordering + enumeration.
+    return result;
+  }
+
+  auto t0 = Clock::now();
+  result.order_used =
+      ComputeSearchOrder(reduced, rig, opts.order, &result.order_stats);
+  result.order_ms = MsSince(t0);
+
+  auto t1 = Clock::now();
+  MJoinOptions mopts;
+  mopts.limit = opts.limit;
+  result.num_occurrences =
+      MJoin(reduced, rig, result.order_used, sink, mopts, &result.mjoin_stats);
+  result.enumerate_ms = MsSince(t1);
+  result.hit_limit = result.num_occurrences >= opts.limit;
+  return result;
+}
+
+std::vector<Occurrence> GmEngine::EvaluateCollect(const PatternQuery& query,
+                                                  const GmOptions& opts,
+                                                  GmResult* result) const {
+  std::vector<Occurrence> out;
+  GmResult r = Evaluate(query, opts, [&out](const Occurrence& t) {
+    out.push_back(t);
+    return true;
+  });
+  if (result != nullptr) *result = std::move(r);
+  return out;
+}
+
+}  // namespace rigpm

@@ -1,0 +1,114 @@
+#ifndef RIGPM_ENGINE_GM_ENGINE_H_
+#define RIGPM_ENGINE_GM_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "enumerate/mjoin.h"
+#include "graph/interval_labels.h"
+#include "graph/scc.h"
+#include "order/search_order.h"
+#include "query/pattern_query.h"
+#include "reach/reachability.h"
+#include "rig/rig_builder.h"
+
+namespace rigpm {
+
+/// Configuration of one GM evaluation. The defaults reproduce the paper's
+/// GM; the named ablations of Section 7.4 are specific flag settings:
+///   GM    — defaults (pre-filter + double simulation + reduction),
+///   GM-S  — use_prefilter = false,
+///   GM-F  — use_double_simulation = false (pre-filter only),
+///   GM-NR — use_transitive_reduction = false.
+struct GmOptions {
+  bool use_transitive_reduction = true;
+  bool use_prefilter = true;
+  bool use_double_simulation = true;
+
+  SimAlgorithm sim_algorithm = SimAlgorithm::kDagMap;
+  /// Simulation tuning; the paper stops after 3 passes.
+  SimOptions sim = {.max_passes = 3};
+
+  OrderStrategy order = OrderStrategy::kJO;
+  bool early_termination = true;
+
+  /// Enumeration cap (the experiments stop at 1e7 matches).
+  uint64_t limit = std::numeric_limits<uint64_t>::max();
+};
+
+/// Everything one evaluation produces besides the occurrences themselves.
+struct GmResult {
+  uint64_t num_occurrences = 0;
+  bool hit_limit = false;
+
+  // Phase timings (milliseconds). "matching" = reduction + filtering + RIG +
+  // ordering; "enumeration" = the MJoin run — the two components the paper's
+  // Metrics section reports.
+  double reduction_ms = 0.0;
+  double prefilter_ms = 0.0;
+  double rig_select_ms = 0.0;
+  double rig_expand_ms = 0.0;
+  double order_ms = 0.0;
+  double enumerate_ms = 0.0;
+  double MatchingMs() const {
+    return reduction_ms + prefilter_ms + rig_select_ms + rig_expand_ms +
+           order_ms;
+  }
+  double TotalMs() const { return MatchingMs() + enumerate_ms; }
+
+  uint64_t rig_nodes = 0;
+  uint64_t rig_edges = 0;
+  size_t rig_memory_bytes = 0;
+  bool empty_rig_shortcut = false;  // answer proven empty before enumeration
+
+  std::vector<QueryNodeId> order_used;
+  RigBuildStats rig_stats;
+  OrderStats order_stats;
+  MJoinStats mjoin_stats;
+  uint32_t reduced_query_edges = 0;  // edge count after transitive reduction
+};
+
+/// The end-to-end GM graph pattern matching engine (Sections 3-6):
+/// transitive reduction -> (pre-filter) -> double simulation -> RIG ->
+/// search order -> MJoin. One engine instance amortizes the reachability
+/// index and interval labels across many queries on the same data graph.
+class GmEngine {
+ public:
+  /// Builds the reachability index (`reach`, default BFL as in the paper)
+  /// and the DFS interval labels over `g`. The graph must outlive the
+  /// engine.
+  explicit GmEngine(const Graph& g, ReachKind reach = ReachKind::kBfl);
+
+  GmEngine(const GmEngine&) = delete;
+  GmEngine& operator=(const GmEngine&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  const ReachabilityIndex& reach() const { return *reach_; }
+  const IntervalLabels& intervals() const { return *intervals_; }
+  double reach_build_ms() const { return reach_build_ms_; }
+
+  /// Evaluates `query`, streaming every occurrence into `sink` (may be
+  /// null to just count). Returns statistics; see GmResult.
+  GmResult Evaluate(const PatternQuery& query, const GmOptions& opts = {},
+                    const OccurrenceSink& sink = nullptr) const;
+
+  /// Convenience: materializes (up to opts.limit) occurrences.
+  std::vector<Occurrence> EvaluateCollect(const PatternQuery& query,
+                                          const GmOptions& opts = {},
+                                          GmResult* result = nullptr) const;
+
+  /// Builds the RIG for a query without enumerating (Fig. 13 measurements).
+  Rig BuildRigOnly(const PatternQuery& query, const GmOptions& opts,
+                   GmResult* result) const;
+
+ private:
+  const Graph& graph_;
+  std::unique_ptr<ReachabilityIndex> reach_;
+  std::unique_ptr<Condensation> condensation_;
+  std::unique_ptr<IntervalLabels> intervals_;
+  double reach_build_ms_ = 0.0;
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_ENGINE_GM_ENGINE_H_

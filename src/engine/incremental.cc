@@ -1,0 +1,62 @@
+#include "engine/incremental.h"
+
+namespace rigpm {
+
+IncrementalMatcher::IncrementalMatcher(Graph initial, PatternQuery query,
+                                       GmOptions options)
+    : query_(std::move(query)), options_(options) {
+  current_ = std::make_unique<Graph>(std::move(initial));
+  engine_ = std::make_unique<GmEngine>(*current_);
+}
+
+std::vector<Occurrence> IncrementalMatcher::CurrentAnswer() const {
+  return engine_->EvaluateCollect(query_, options_);
+}
+
+std::vector<Occurrence> IncrementalMatcher::ApplyAndDiff(
+    const std::vector<std::pair<NodeId, NodeId>>& new_edges) {
+  // Keep the old graph + reachability as the "was it already matched"
+  // oracle while the new engine enumerates.
+  std::unique_ptr<Graph> old_graph = std::move(current_);
+  std::unique_ptr<GmEngine> old_engine = std::move(engine_);
+
+  // Rebuild the graph with the extra edges.
+  std::vector<LabelId> labels(old_graph->NumNodes());
+  for (NodeId v = 0; v < old_graph->NumNodes(); ++v) {
+    labels[v] = old_graph->Label(v);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(old_graph->NumEdges() + new_edges.size());
+  for (NodeId v = 0; v < old_graph->NumNodes(); ++v) {
+    for (NodeId w : old_graph->OutNeighbors(v)) edges.emplace_back(v, w);
+  }
+  for (const auto& e : new_edges) edges.push_back(e);
+  current_ = std::make_unique<Graph>(
+      Graph::FromEdges(std::move(labels), std::move(edges)));
+  engine_ = std::make_unique<GmEngine>(*current_);
+
+  // An occurrence is OLD iff every query edge was already matched in the
+  // old graph; checking that per result keeps the delta exact even when the
+  // batch creates reachability only transitively.
+  const Graph& og = *old_graph;
+  const ReachabilityIndex& old_reach = old_engine->reach();
+  auto matched_in_old = [&](const Occurrence& t) {
+    for (const QueryEdge& e : query_.Edges()) {
+      NodeId u = t[e.from];
+      NodeId v = t[e.to];
+      bool ok = (e.kind == EdgeKind::kChild) ? og.HasEdge(u, v)
+                                             : old_reach.Reaches(u, v);
+      if (!ok) return false;
+    }
+    return true;
+  };
+
+  std::vector<Occurrence> delta;
+  engine_->Evaluate(query_, options_, [&](const Occurrence& t) {
+    if (!matched_in_old(t)) delta.push_back(t);
+    return true;
+  });
+  return delta;
+}
+
+}  // namespace rigpm

@@ -1,0 +1,57 @@
+#ifndef RIGPM_ENGINE_INCREMENTAL_H_
+#define RIGPM_ENGINE_INCREMENTAL_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/gm_engine.h"
+
+namespace rigpm {
+
+/// Incremental hybrid-pattern matching on a growing data graph — the
+/// "dynamic data graph setting where matches are computed incrementally"
+/// the paper names as future work (Section 9).
+///
+/// `ApplyAndDiff` ingests a batch of new edges and returns exactly the NEW
+/// occurrences of the query: Answer(G + ΔE) \ Answer(G). The implementation
+/// evaluates on the updated graph with GM but filters the enumeration
+/// through an "old-graph oracle": an occurrence is new iff at least one of
+/// its query-edge images was not matched in the old graph (a child edge
+/// mapping to a Δ edge, or a descendant edge whose path requires Δ). This is
+/// delta-correct for any batch, including batches that create new
+/// reachability transitively.
+///
+/// Cost model: a full (but RIG-pruned) re-enumeration per batch, plus one
+/// old-graph edge/reachability probe per query edge per result — the
+/// natural baseline the paper's future incremental algorithm would be
+/// compared against.
+class IncrementalMatcher {
+ public:
+  /// Starts from `initial`. The matcher owns its graphs.
+  IncrementalMatcher(Graph initial, PatternQuery query,
+                     GmOptions options = {});
+
+  const Graph& current_graph() const { return *current_; }
+  const PatternQuery& query() const { return query_; }
+
+  /// Occurrences of the query on the current graph (streamed; bounded by
+  /// options.limit).
+  std::vector<Occurrence> CurrentAnswer() const;
+
+  /// Applies the edge batch and returns only the occurrences that the batch
+  /// created. Both endpoints must already exist (node insertions can be
+  /// modeled by growing the graph out-of-band and re-constructing).
+  std::vector<Occurrence> ApplyAndDiff(
+      const std::vector<std::pair<NodeId, NodeId>>& new_edges);
+
+ private:
+  PatternQuery query_;
+  GmOptions options_;
+  std::unique_ptr<Graph> current_;
+  std::unique_ptr<GmEngine> engine_;
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_ENGINE_INCREMENTAL_H_

@@ -1,0 +1,70 @@
+#ifndef RIGPM_ENUMERATE_MJOIN_H_
+#define RIGPM_ENUMERATE_MJOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "query/pattern_query.h"
+#include "rig/rig.h"
+
+namespace rigpm {
+
+/// One occurrence of the query: occurrence[q] is the data node matched to
+/// query node q (Definition 2.6 — one row of the answer relation).
+using Occurrence = std::vector<NodeId>;
+
+/// Receives each occurrence as it is produced; return false to stop the
+/// enumeration early. The referenced vector is reused between calls — copy
+/// it if it must outlive the callback.
+using OccurrenceSink = std::function<bool(const Occurrence&)>;
+
+struct MJoinOptions {
+  /// Stop after this many occurrences (the experiments cap at 1e7).
+  uint64_t limit = std::numeric_limits<uint64_t>::max();
+
+  /// When non-null, the candidates of the FIRST node in the search order are
+  /// additionally intersected with this set. This is the partitioning hook
+  /// the parallel enumerator uses (mjoin_parallel.h): splitting cos(q_1)
+  /// across workers partitions the whole search space without locks.
+  const Bitmap* root_restriction = nullptr;
+};
+
+struct MJoinStats {
+  uint64_t occurrences = 0;        // tuples emitted
+  uint64_t intersections = 0;      // multiway-intersection operations
+  uint64_t candidates_scanned = 0; // nodes iterated across all cos_i sets
+  uint64_t max_depth_reached = 0;
+};
+
+/// Algorithm 5, MJoin: worst-case-optimal, query-node-at-a-time enumeration
+/// over a runtime index graph. At search step i the local candidate set is
+///   cos_i = cos(q_i) ∩ ⋂ { adjacency of t[j] in G_Q : q_j earlier neighbor }
+/// computed as one multiway bitmap intersection; the recursion therefore
+/// never materializes partial join results (space O(n * MaxCos),
+/// Theorem 5.1).
+///
+/// Returns the number of occurrences emitted. `order` must be a permutation
+/// of the query nodes; connected prefixes (as produced by ComputeSearchOrder)
+/// avoid Cartesian blowups but any permutation is correct.
+uint64_t MJoin(const PatternQuery& q, const Rig& rig,
+               std::span<const QueryNodeId> order, const OccurrenceSink& sink,
+               const MJoinOptions& opts = {}, MJoinStats* stats = nullptr);
+
+/// Convenience wrapper materializing the (possibly limited) answer.
+std::vector<Occurrence> MJoinCollect(const PatternQuery& q, const Rig& rig,
+                                     std::span<const QueryNodeId> order,
+                                     const MJoinOptions& opts = {},
+                                     MJoinStats* stats = nullptr);
+
+/// Counts occurrences without materializing them.
+uint64_t MJoinCount(const PatternQuery& q, const Rig& rig,
+                    std::span<const QueryNodeId> order,
+                    const MJoinOptions& opts = {},
+                    MJoinStats* stats = nullptr);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_ENUMERATE_MJOIN_H_

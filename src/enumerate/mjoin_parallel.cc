@@ -1,0 +1,116 @@
+#include "enumerate/mjoin_parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rigpm {
+
+namespace {
+
+// Round-robin split of a bitmap into `parts` bitmaps. Round-robin (rather
+// than contiguous ranges) balances skew: consecutive ids often share hubs.
+std::vector<Bitmap> SplitRoundRobin(const Bitmap& input, uint32_t parts) {
+  std::vector<std::vector<uint32_t>> buckets(parts);
+  uint64_t i = 0;
+  input.ForEach([&](uint32_t v) { buckets[i++ % parts].push_back(v); });
+  std::vector<Bitmap> out;
+  out.reserve(parts);
+  for (auto& b : buckets) out.push_back(Bitmap::FromSorted(b));
+  return out;
+}
+
+uint32_t ResolveThreads(uint32_t requested) {
+  if (requested > 0) return requested;
+  uint32_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 2;
+}
+
+}  // namespace
+
+uint64_t MJoinParallel(const PatternQuery& q, const Rig& rig,
+                       std::span<const QueryNodeId> order,
+                       const OccurrenceSink& sink,
+                       const ParallelMJoinOptions& opts, MJoinStats* stats) {
+  if (rig.AnyEmpty() || q.NumNodes() == 0) return 0;
+  const uint32_t threads =
+      std::min<uint32_t>(ResolveThreads(opts.num_threads),
+                         std::max<uint64_t>(1, rig.Cos(order[0]).Cardinality()));
+  if (threads <= 1) {
+    MJoinOptions seq;
+    seq.limit = opts.limit;
+    return MJoin(q, rig, order, sink, seq, stats);
+  }
+
+  std::vector<Bitmap> partitions = SplitRoundRobin(rig.Cos(order[0]), threads);
+  std::atomic<uint64_t> produced{0};
+  std::atomic<bool> aborted{false};
+  std::vector<MJoinStats> worker_stats(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      MJoinOptions wopts;
+      wopts.root_restriction = &partitions[t];
+      // Each worker claims occurrences against the shared budget; when the
+      // budget is gone (or a sink aborted), it stops via the sink callback.
+      OccurrenceSink wrapped = [&](const Occurrence& occ) {
+        if (aborted.load(std::memory_order_relaxed)) return false;
+        uint64_t ticket = produced.fetch_add(1, std::memory_order_relaxed);
+        if (ticket >= opts.limit) {
+          produced.fetch_sub(1, std::memory_order_relaxed);
+          aborted.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        if (sink && !sink(occ)) {
+          aborted.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        return ticket + 1 < opts.limit;
+      };
+      MJoin(q, rig, order, wrapped, wopts, &worker_stats[t]);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  if (stats != nullptr) {
+    *stats = MJoinStats();
+    for (const MJoinStats& ws : worker_stats) {
+      stats->intersections += ws.intersections;
+      stats->candidates_scanned += ws.candidates_scanned;
+      stats->max_depth_reached =
+          std::max(stats->max_depth_reached, ws.max_depth_reached);
+    }
+    stats->occurrences = std::min<uint64_t>(produced.load(), opts.limit);
+  }
+  return std::min<uint64_t>(produced.load(), opts.limit);
+}
+
+uint64_t MJoinParallelCount(const PatternQuery& q, const Rig& rig,
+                            std::span<const QueryNodeId> order,
+                            const ParallelMJoinOptions& opts,
+                            MJoinStats* stats) {
+  return MJoinParallel(q, rig, order, nullptr, opts, stats);
+}
+
+std::vector<Occurrence> MJoinParallelCollect(const PatternQuery& q,
+                                             const Rig& rig,
+                                             std::span<const QueryNodeId> order,
+                                             const ParallelMJoinOptions& opts,
+                                             MJoinStats* stats) {
+  std::mutex mu;
+  std::vector<Occurrence> out;
+  MJoinParallel(
+      q, rig, order,
+      [&](const Occurrence& occ) {
+        std::lock_guard<std::mutex> lock(mu);
+        out.push_back(occ);
+        return true;
+      },
+      opts, stats);
+  return out;
+}
+
+}  // namespace rigpm

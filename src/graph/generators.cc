@@ -1,0 +1,165 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+namespace rigpm {
+
+namespace {
+
+// Draws labels for all nodes; Zipf-skewed when opts.label_zipf > 0.
+std::vector<LabelId> DrawLabels(const GeneratorOptions& opts,
+                                std::mt19937_64& rng) {
+  std::vector<LabelId> labels(opts.num_nodes);
+  const uint32_t num_labels = std::max<uint32_t>(1, opts.num_labels);
+  if (opts.label_zipf <= 0.0) {
+    std::uniform_int_distribution<uint32_t> dist(0, num_labels - 1);
+    for (auto& l : labels) l = dist(rng);
+  } else {
+    std::vector<double> weights(num_labels);
+    for (uint32_t i = 0; i < num_labels; ++i) {
+      weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), opts.label_zipf);
+    }
+    std::discrete_distribution<uint32_t> dist(weights.begin(), weights.end());
+    for (auto& l : labels) l = dist(rng);
+  }
+  // Guarantee every label occurs at least once so inverted lists are
+  // non-empty (keeps query instantiation deterministic).
+  if (opts.num_nodes >= num_labels) {
+    for (uint32_t i = 0; i < num_labels; ++i) labels[i] = i;
+    std::shuffle(labels.begin(), labels.end(), rng);
+  }
+  return labels;
+}
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph GenerateErdosRenyi(const GeneratorOptions& opts) {
+  std::mt19937_64 rng(opts.seed);
+  std::vector<LabelId> labels = DrawLabels(opts, rng);
+  const uint32_t n = opts.num_nodes;
+  const uint64_t max_edges =
+      static_cast<uint64_t>(n) * (n > 0 ? n - 1 : 0);
+  const uint64_t m = std::min(opts.num_edges, max_edges);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(m);
+  std::uniform_int_distribution<uint32_t> dist(0, n > 0 ? n - 1 : 0);
+  while (edges.size() < m) {
+    NodeId u = dist(rng);
+    NodeId v = dist(rng);
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(std::move(labels), std::move(edges));
+}
+
+Graph GeneratePowerLaw(const GeneratorOptions& opts) {
+  std::mt19937_64 rng(opts.seed);
+  std::vector<LabelId> labels = DrawLabels(opts, rng);
+  const uint32_t n = opts.num_nodes;
+  const uint64_t m = opts.num_edges;
+
+  // Preferential attachment on the target side: targets are sampled from a
+  // pool seeded with every node once and fed with each chosen endpoint, so
+  // in-degrees follow a heavy tail. Sources are uniform.
+  std::vector<NodeId> pool;
+  pool.reserve(n + m);
+  for (NodeId v = 0; v < n; ++v) pool.push_back(v);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(m);
+  std::uniform_int_distribution<uint32_t> src_dist(0, n > 0 ? n - 1 : 0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = m * 20 + 1000;
+  while (edges.size() < m && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = src_dist(rng);
+    std::uniform_int_distribution<size_t> pool_dist(0, pool.size() - 1);
+    NodeId v = pool[pool_dist(rng)];
+    // Allow the occasional self loop (~0.1%) so cyclic SCC handling is
+    // exercised, as in real web graphs.
+    if (u == v && coin(rng) > 0.001) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.emplace_back(u, v);
+    pool.push_back(v);
+  }
+  return Graph::FromEdges(std::move(labels), std::move(edges));
+}
+
+Graph GenerateRandomDag(const GeneratorOptions& opts) {
+  std::mt19937_64 rng(opts.seed);
+  std::vector<LabelId> labels = DrawLabels(opts, rng);
+  const uint32_t n = opts.num_nodes;
+  const uint64_t max_edges =
+      static_cast<uint64_t>(n) * (n > 0 ? n - 1 : 0) / 2;
+  const uint64_t m = std::min(opts.num_edges, max_edges);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(m);
+  std::uniform_int_distribution<uint32_t> dist(0, n > 0 ? n - 1 : 0);
+  while (edges.size() < m) {
+    NodeId u = dist(rng);
+    NodeId v = dist(rng);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);  // edges go from smaller to larger rank
+    if (seen.insert(EdgeKey(u, v)).second) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(std::move(labels), std::move(edges));
+}
+
+Graph GenerateLayeredDag(const GeneratorOptions& opts, uint32_t layers,
+                         double skip_prob) {
+  std::mt19937_64 rng(opts.seed);
+  std::vector<LabelId> labels = DrawLabels(opts, rng);
+  const uint32_t n = opts.num_nodes;
+  layers = std::max<uint32_t>(2, std::min(layers, n));
+  const uint32_t per_layer = n / layers;
+
+  auto layer_of = [per_layer, layers](NodeId v) {
+    return std::min(v / std::max<uint32_t>(1, per_layer), layers - 1);
+  };
+  auto layer_range = [per_layer, layers, n](uint32_t layer) {
+    uint32_t lo = layer * per_layer;
+    uint32_t hi = (layer + 1 == layers) ? n : (layer + 1) * per_layer;
+    return std::make_pair(lo, hi);
+  };
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(opts.num_edges);
+  std::uniform_int_distribution<uint32_t> src_dist(0, n > 0 ? n - 1 : 0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = opts.num_edges * 20 + 1000;
+  while (edges.size() < opts.num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = src_dist(rng);
+    uint32_t lu = layer_of(u);
+    if (lu + 1 >= layers) continue;
+    uint32_t target_layer = lu + 1;
+    if (coin(rng) < skip_prob && lu + 2 < layers) target_layer = lu + 2;
+    auto [lo, hi] = layer_range(target_layer);
+    if (lo >= hi) continue;
+    std::uniform_int_distribution<uint32_t> dst_dist(lo, hi - 1);
+    NodeId v = dst_dist(rng);
+    if (seen.insert(EdgeKey(u, v)).second) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(std::move(labels), std::move(edges));
+}
+
+}  // namespace rigpm

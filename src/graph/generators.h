@@ -1,0 +1,51 @@
+#ifndef RIGPM_GRAPH_GENERATORS_H_
+#define RIGPM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace rigpm {
+
+/// Parameters shared by all synthetic data-graph generators.
+///
+/// The generators stand in for the SNAP datasets of Table 2 (which cannot be
+/// shipped): they reproduce the *shape* that matters for the paper's
+/// experiments — node/edge counts, label alphabet size, degree skew and label
+/// frequency skew — so the relative behaviour of GM / JM / TM carries over.
+struct GeneratorOptions {
+  uint32_t num_nodes = 1000;
+  uint64_t num_edges = 5000;
+  uint32_t num_labels = 10;
+  uint64_t seed = 42;
+  /// Zipf exponent for label frequencies. 0 = uniform labels; larger values
+  /// concentrate mass on low label ids (like real datasets where a few labels
+  /// dominate).
+  double label_zipf = 0.0;
+};
+
+/// Uniform random directed graph (Erdős–Rényi G(n, m) style). Duplicate
+/// edges and self loops are rejected, so the result has exactly
+/// min(num_edges, n*(n-1)) edges.
+Graph GenerateErdosRenyi(const GeneratorOptions& opts);
+
+/// Skewed directed graph: target endpoints are chosen by preferential
+/// attachment, giving a heavy-tailed in-degree distribution like web/social
+/// graphs (BerkStan, Google, Epinions). Self loops are allowed to appear
+/// with small probability, making the graph cyclic like the real datasets.
+Graph GeneratePowerLaw(const GeneratorOptions& opts);
+
+/// Random DAG: edges only go from smaller to larger node rank, so the graph
+/// is acyclic (citation-network shape, e.g. DBLP/Amazon-like experiments and
+/// the interval-label fast paths).
+Graph GenerateRandomDag(const GeneratorOptions& opts);
+
+/// Layered DAG with `layers` ranks; edges connect consecutive ranks with
+/// `skip_prob` chance of skipping one rank. Produces deep reachability
+/// structure (long paths), stressing edge-to-path matching.
+Graph GenerateLayeredDag(const GeneratorOptions& opts, uint32_t layers,
+                         double skip_prob = 0.1);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_GRAPH_GENERATORS_H_

@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace rigpm {
+
+Graph Graph::FromEdges(std::vector<LabelId> labels,
+                       std::vector<std::pair<NodeId, NodeId>> edges) {
+  Graph g;
+  g.labels_ = std::move(labels);
+  const uint32_t n = g.NumNodes();
+  g.num_labels_ = 0;
+  for (LabelId l : g.labels_) g.num_labels_ = std::max(g.num_labels_, l + 1);
+
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  g.fwd_offsets_.assign(n + 1, 0);
+  g.bwd_offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    assert(u < n && v < n);
+    ++g.fwd_offsets_[u + 1];
+    ++g.bwd_offsets_[v + 1];
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    g.fwd_offsets_[i + 1] += g.fwd_offsets_[i];
+    g.bwd_offsets_[i + 1] += g.bwd_offsets_[i];
+  }
+  g.fwd_targets_.resize(edges.size());
+  g.bwd_targets_.resize(edges.size());
+  std::vector<uint64_t> fpos(g.fwd_offsets_.begin(), g.fwd_offsets_.end() - 1);
+  std::vector<uint64_t> bpos(g.bwd_offsets_.begin(), g.bwd_offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.fwd_targets_[fpos[u]++] = v;
+    g.bwd_targets_[bpos[v]++] = u;
+  }
+  // Forward targets are already sorted per source (edge list was sorted);
+  // backward targets need a per-node sort.
+  for (uint32_t v = 0; v < n; ++v) {
+    std::sort(g.bwd_targets_.begin() + static_cast<ptrdiff_t>(g.bwd_offsets_[v]),
+              g.bwd_targets_.begin() + static_cast<ptrdiff_t>(g.bwd_offsets_[v + 1]));
+  }
+
+  g.BuildDerivedStructures();
+  return g;
+}
+
+void Graph::BuildDerivedStructures() {
+  const uint32_t n = NumNodes();
+
+  // Label inverted lists.
+  label_offsets_.assign(num_labels_ + 1, 0);
+  for (LabelId l : labels_) ++label_offsets_[l + 1];
+  for (uint32_t i = 0; i < num_labels_; ++i) {
+    label_offsets_[i + 1] += label_offsets_[i];
+  }
+  label_nodes_.resize(n);
+  std::vector<uint64_t> pos(label_offsets_.begin(), label_offsets_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) label_nodes_[pos[labels_[v]]++] = v;
+
+  // Bitmap forms of adjacency and inverted lists.
+  fwd_bitmaps_.resize(n);
+  bwd_bitmaps_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    fwd_bitmaps_[v] = Bitmap::FromSorted(OutNeighbors(v));
+    bwd_bitmaps_[v] = Bitmap::FromSorted(InNeighbors(v));
+  }
+  label_bitmaps_.resize(num_labels_);
+  for (LabelId a = 0; a < num_labels_; ++a) {
+    label_bitmaps_[a] = Bitmap::FromSorted(LabelNodes(a));
+  }
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto neigh = OutNeighbors(u);
+  return std::binary_search(neigh.begin(), neigh.end(), v);
+}
+
+uint32_t Graph::MaxLabelListSize() const {
+  uint32_t best = 0;
+  for (LabelId a = 0; a < num_labels_; ++a) best = std::max(best, LabelCount(a));
+  return best;
+}
+
+Graph Graph::MakeBidirected(const Graph& g) {
+  std::vector<LabelId> labels(g.labels_);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.NumEdges() * 2);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      edges.emplace_back(v, w);
+      edges.emplace_back(w, v);
+    }
+  }
+  return FromEdges(std::move(labels), std::move(edges));
+}
+
+std::string Graph::Summary() const {
+  std::ostringstream os;
+  os << "|V|=" << NumNodes() << " |E|=" << NumEdges() << " |L|=" << NumLabels()
+     << " d_avg=" << AverageDegree();
+  return os.str();
+}
+
+}  // namespace rigpm

@@ -1,0 +1,123 @@
+#ifndef RIGPM_GRAPH_GRAPH_H_
+#define RIGPM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bitmap/bitmap.h"
+
+namespace rigpm {
+
+/// Node identifier in a data graph (dense, 0-based).
+using NodeId = uint32_t;
+/// Label identifier (dense, 0-based).
+using LabelId = uint32_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An immutable directed node-labeled data graph in CSR form (Definition 2.1).
+///
+/// Both directions of the adjacency are materialized: forward lists (`adjf`
+/// in the paper) and backward lists (`adjb`). Per-node adjacency is also
+/// available as compressed bitmaps, which is what `BuildRIG`, double
+/// simulation's batch checks, and MJoin intersect against (Sections 4.5, 5).
+/// Label inverted lists `I_a` (Section 2) are exposed both as sorted vectors
+/// and as bitmaps.
+///
+/// Construct via `GraphBuilder` (graph_builder.h) or the generators.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from a label array and an edge list. Self-loops are kept
+  /// (they matter for reachability semantics); duplicate edges are removed.
+  static Graph FromEdges(std::vector<LabelId> labels,
+                         std::vector<std::pair<NodeId, NodeId>> edges);
+
+  uint32_t NumNodes() const { return static_cast<uint32_t>(labels_.size()); }
+  uint64_t NumEdges() const { return fwd_targets_.size(); }
+  uint32_t NumLabels() const { return num_labels_; }
+
+  LabelId Label(NodeId v) const { return labels_[v]; }
+
+  uint32_t OutDegree(NodeId v) const {
+    return static_cast<uint32_t>(fwd_offsets_[v + 1] - fwd_offsets_[v]);
+  }
+  uint32_t InDegree(NodeId v) const {
+    return static_cast<uint32_t>(bwd_offsets_[v + 1] - bwd_offsets_[v]);
+  }
+
+  /// Forward (children) adjacency of `v`, sorted by node id.
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    return {fwd_targets_.data() + fwd_offsets_[v],
+            fwd_targets_.data() + fwd_offsets_[v + 1]};
+  }
+  /// Backward (parents) adjacency of `v`, sorted by node id.
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {bwd_targets_.data() + bwd_offsets_[v],
+            bwd_targets_.data() + bwd_offsets_[v + 1]};
+  }
+
+  /// True iff (u, v) is an edge. O(log OutDegree(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Forward adjacency of `v` as a compressed bitmap.
+  const Bitmap& OutBitmap(NodeId v) const { return fwd_bitmaps_[v]; }
+  /// Backward adjacency of `v` as a compressed bitmap.
+  const Bitmap& InBitmap(NodeId v) const { return bwd_bitmaps_[v]; }
+
+  /// Inverted list I_a: all nodes labeled `a`, sorted.
+  std::span<const NodeId> LabelNodes(LabelId a) const {
+    return {label_nodes_.data() + label_offsets_[a],
+            label_nodes_.data() + label_offsets_[a + 1]};
+  }
+  /// Inverted list I_a as a bitmap.
+  const Bitmap& LabelBitmap(LabelId a) const { return label_bitmaps_[a]; }
+
+  uint32_t LabelCount(LabelId a) const {
+    return static_cast<uint32_t>(label_offsets_[a + 1] - label_offsets_[a]);
+  }
+
+  /// Size |I_max| of the largest inverted list (complexity analyses, §4.3).
+  uint32_t MaxLabelListSize() const;
+
+  double AverageDegree() const {
+    return NumNodes() == 0 ? 0.0
+                           : static_cast<double>(NumEdges()) / NumNodes();
+  }
+
+  /// Human-readable one-line summary (|V|, |E|, |L|, d_avg).
+  std::string Summary() const;
+
+  /// Returns a copy with every edge also present in the reverse direction —
+  /// the "store each edge in both directions" transformation the paper uses
+  /// to compare against engines that treat data graphs as undirected
+  /// (RapidMatch, Section 7.5).
+  static Graph MakeBidirected(const Graph& g);
+
+ private:
+  friend class GraphBuilder;
+
+  void BuildDerivedStructures();
+
+  std::vector<LabelId> labels_;
+  uint32_t num_labels_ = 0;
+
+  std::vector<uint64_t> fwd_offsets_;  // size NumNodes()+1
+  std::vector<NodeId> fwd_targets_;
+  std::vector<uint64_t> bwd_offsets_;
+  std::vector<NodeId> bwd_targets_;
+
+  std::vector<uint64_t> label_offsets_;  // size NumLabels()+1
+  std::vector<NodeId> label_nodes_;
+
+  std::vector<Bitmap> fwd_bitmaps_;
+  std::vector<Bitmap> bwd_bitmaps_;
+  std::vector<Bitmap> label_bitmaps_;
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_GRAPH_GRAPH_H_

@@ -1,0 +1,21 @@
+#include "graph/graph_builder.h"
+
+#include <cassert>
+
+namespace rigpm {
+
+NodeId GraphBuilder::AddNode(LabelId label) {
+  labels_.push_back(label);
+  return static_cast<NodeId>(labels_.size() - 1);
+}
+
+void GraphBuilder::AddEdge(NodeId from, NodeId to) {
+  assert(from < labels_.size() && to < labels_.size());
+  edges_.emplace_back(from, to);
+}
+
+Graph GraphBuilder::Build() && {
+  return Graph::FromEdges(std::move(labels_), std::move(edges_));
+}
+
+}  // namespace rigpm

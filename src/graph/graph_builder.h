@@ -1,0 +1,42 @@
+#ifndef RIGPM_GRAPH_GRAPH_BUILDER_H_
+#define RIGPM_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rigpm {
+
+/// Incremental construction of a `Graph`. Not thread-safe.
+///
+///   GraphBuilder b;
+///   NodeId a0 = b.AddNode(/*label=*/0);
+///   NodeId b0 = b.AddNode(/*label=*/1);
+///   b.AddEdge(a0, b0);
+///   Graph g = std::move(b).Build();
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds a node with the given label and returns its id (ids are dense and
+  /// assigned in insertion order).
+  NodeId AddNode(LabelId label);
+
+  /// Adds a directed edge. Both endpoints must already exist.
+  void AddEdge(NodeId from, NodeId to);
+
+  uint32_t NumNodes() const { return static_cast<uint32_t>(labels_.size()); }
+  uint64_t NumEdges() const { return edges_.size(); }
+
+  /// Finalizes the graph. The builder is consumed.
+  Graph Build() &&;
+
+ private:
+  std::vector<LabelId> labels_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_GRAPH_GRAPH_BUILDER_H_

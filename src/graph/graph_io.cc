@@ -1,0 +1,89 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rigpm {
+
+void WriteGraph(const Graph& g, std::ostream& out) {
+  out << "t " << g.NumNodes() << ' ' << g.NumEdges() << '\n';
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    out << "v " << v << ' ' << g.Label(v) << '\n';
+  }
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      out << "e " << v << ' ' << w << '\n';
+    }
+  }
+}
+
+std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
+  auto fail = [error](const std::string& msg) -> std::optional<Graph> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  std::vector<LabelId> labels;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 't') {
+      uint64_t n = 0, m = 0;
+      ls >> n >> m;
+      labels.reserve(n);
+      edges.reserve(m);
+    } else if (tag == 'v') {
+      uint64_t id = 0, label = 0;
+      if (!(ls >> id >> label)) {
+        return fail("malformed node at line " + std::to_string(line_no));
+      }
+      if (id != labels.size()) {
+        return fail("non-dense node id at line " + std::to_string(line_no));
+      }
+      labels.push_back(static_cast<LabelId>(label));
+    } else if (tag == 'e') {
+      uint64_t u = 0, v = 0;
+      if (!(ls >> u >> v)) {
+        return fail("malformed edge at line " + std::to_string(line_no));
+      }
+      if (u >= labels.size() || v >= labels.size()) {
+        return fail("edge endpoint out of range at line " +
+                    std::to_string(line_no));
+      }
+      edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    } else {
+      return fail("unknown record tag at line " + std::to_string(line_no));
+    }
+  }
+  return Graph::FromEdges(std::move(labels), std::move(edges));
+}
+
+bool WriteGraphFile(const Graph& g, const std::string& path,
+                    std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  WriteGraph(g, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Graph> ReadGraphFile(const std::string& path,
+                                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadGraph(in, error);
+}
+
+}  // namespace rigpm

@@ -1,0 +1,51 @@
+#include "graph/interval_labels.h"
+
+namespace rigpm {
+
+IntervalLabels::IntervalLabels(const Graph& g, const Condensation& cond) {
+  const uint32_t nc = cond.NumComponents();
+  begin_.assign(nc, 0);
+  end_.assign(nc, 0);
+
+  // Iterative DFS over the condensation DAG, restarting at every unvisited
+  // component in topological order so sources are natural roots.
+  std::vector<uint8_t> visited(nc, 0);
+  std::vector<std::pair<uint32_t, uint32_t>> stack;  // (comp, next child pos)
+  uint32_t clock = 0;
+  for (uint32_t root : cond.TopologicalOrder()) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    begin_[root] = clock++;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      uint32_t c = stack.back().first;
+      auto succ = cond.Successors(c);
+      bool descended = false;
+      while (stack.back().second < succ.size()) {
+        uint32_t child = succ[stack.back().second++];
+        if (!visited[child]) {
+          visited[child] = 1;
+          begin_[child] = clock++;
+          stack.emplace_back(child, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        end_[c] = clock++;
+        stack.pop_back();
+      }
+    }
+  }
+
+  const uint32_t n = g.NumNodes();
+  begin_node_.resize(n);
+  end_node_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t c = cond.Component(v);
+    begin_node_[v] = begin_[c];
+    end_node_[v] = end_[c];
+  }
+}
+
+}  // namespace rigpm

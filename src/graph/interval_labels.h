@@ -1,0 +1,56 @@
+#ifndef RIGPM_GRAPH_INTERVAL_LABELS_H_
+#define RIGPM_GRAPH_INTERVAL_LABELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/scc.h"
+
+namespace rigpm {
+
+/// DFS interval labels (begin, end) over the SCC condensation of a data
+/// graph, projected back onto data nodes (Section 4.5, "Early expansion
+/// termination for dags").
+///
+/// Properties used by the framework (u, v data nodes in different SCCs):
+///  * negative cut:   End(u) <  Begin(v)  =>  u does NOT reach v.
+///  * positive cut:   Begin(u) < Begin(v) && End(v) <= End(u)
+///                    => u reaches v (v lies in u's DFS subtree).
+/// These hold because the DFS runs over the condensation DAG and a node
+/// undiscovered when `u` finishes can never be below `u` in the DFS forest.
+class IntervalLabels {
+ public:
+  /// Builds labels from a graph and its already-computed condensation.
+  IntervalLabels(const Graph& g, const Condensation& cond);
+
+  /// Begin / end timestamps of a data node (those of its component).
+  uint32_t Begin(NodeId v) const { return begin_node_[v]; }
+  uint32_t End(NodeId v) const { return end_node_[v]; }
+
+  /// Component-level accessors.
+  uint32_t CompBegin(uint32_t comp) const { return begin_[comp]; }
+  uint32_t CompEnd(uint32_t comp) const { return end_[comp]; }
+
+  /// Necessary condition: returns true when the labels *prove* u cannot
+  /// reach v. False means "unknown".
+  bool DefinitelyNotReaches(NodeId u, NodeId v) const {
+    return end_node_[u] < begin_node_[v];
+  }
+
+  /// Sufficient condition: returns true when the labels *prove* u reaches v
+  /// via DFS-tree containment. False means "unknown".
+  bool DefinitelyReaches(NodeId u, NodeId v) const {
+    return begin_node_[u] < begin_node_[v] && end_node_[v] <= end_node_[u];
+  }
+
+ private:
+  std::vector<uint32_t> begin_;       // per component
+  std::vector<uint32_t> end_;         // per component
+  std::vector<uint32_t> begin_node_;  // per data node
+  std::vector<uint32_t> end_node_;    // per data node
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_GRAPH_INTERVAL_LABELS_H_

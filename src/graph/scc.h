@@ -1,0 +1,57 @@
+#ifndef RIGPM_GRAPH_SCC_H_
+#define RIGPM_GRAPH_SCC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rigpm {
+
+/// Strongly-connected-component condensation of a data graph.
+///
+/// Reachability on a general digraph reduces to reachability on its
+/// condensation DAG: u ≺ v (path with >= 1 edge, Definition 2.2) iff
+///   * Comp(u) != Comp(v) and Comp(u) reaches Comp(v) in the DAG, or
+///   * Comp(u) == Comp(v) and the component is cyclic (size > 1 or self-loop).
+/// Every reachability index in src/reach is built on this structure.
+class Condensation {
+ public:
+  /// Runs Tarjan's algorithm (iterative, safe for large graphs).
+  explicit Condensation(const Graph& g);
+
+  uint32_t NumComponents() const { return num_components_; }
+
+  /// Component of a data node.
+  uint32_t Component(NodeId v) const { return component_[v]; }
+
+  /// True iff the component contains a cycle (size > 1 or a self-loop).
+  bool IsCyclic(uint32_t comp) const { return cyclic_[comp] != 0; }
+
+  uint32_t ComponentSize(uint32_t comp) const { return comp_size_[comp]; }
+
+  /// Successor components (deduplicated, sorted) in the condensation DAG.
+  std::span<const uint32_t> Successors(uint32_t comp) const {
+    return {dag_targets_.data() + dag_offsets_[comp],
+            dag_targets_.data() + dag_offsets_[comp + 1]};
+  }
+
+  /// Components in topological order (sources first).
+  std::span<const uint32_t> TopologicalOrder() const { return topo_order_; }
+
+  uint64_t NumDagEdges() const { return dag_targets_.size(); }
+
+ private:
+  uint32_t num_components_ = 0;
+  std::vector<uint32_t> component_;
+  std::vector<uint8_t> cyclic_;
+  std::vector<uint32_t> comp_size_;
+  std::vector<uint64_t> dag_offsets_;
+  std::vector<uint32_t> dag_targets_;
+  std::vector<uint32_t> topo_order_;
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_GRAPH_SCC_H_

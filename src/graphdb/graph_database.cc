@@ -1,0 +1,87 @@
+#include "graphdb/graph_database.h"
+
+#include <algorithm>
+
+#include "baseline/iso_engine.h"
+#include "engine/gm_engine.h"
+
+namespace rigpm {
+
+std::vector<uint64_t> GraphDatabase::EdgeLabelFeatures(const Graph& g) {
+  std::vector<uint64_t> features;
+  features.reserve(g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      features.push_back((static_cast<uint64_t>(g.Label(v)) << 32) |
+                         g.Label(w));
+    }
+  }
+  std::sort(features.begin(), features.end());
+  features.erase(std::unique(features.begin(), features.end()),
+                 features.end());
+  return features;
+}
+
+size_t GraphDatabase::Add(Graph g, std::string name) {
+  Member m;
+  m.label_counts.assign(g.NumLabels(), 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) ++m.label_counts[g.Label(v)];
+  m.edge_labels = EdgeLabelFeatures(g);
+  m.graph = std::move(g);
+  m.name = std::move(name);
+  members_.push_back(std::move(m));
+  return members_.size() - 1;
+}
+
+bool GraphDatabase::PassesFilter(size_t id, const PatternQuery& q) const {
+  const Member& m = members_[id];
+  // Every query label must occur in the member.
+  for (QueryNodeId v = 0; v < q.NumNodes(); ++v) {
+    LabelId l = q.Label(v);
+    if (l >= m.label_counts.size() || m.label_counts[l] == 0) return false;
+  }
+  // Every CHILD query edge needs a data edge with the same label pair.
+  // (Descendant edges can match paths, so only the label test applies.)
+  for (const QueryEdge& e : q.Edges()) {
+    if (e.kind != EdgeKind::kChild) continue;
+    uint64_t feature = (static_cast<uint64_t>(q.Label(e.from)) << 32) |
+                       q.Label(e.to);
+    if (!std::binary_search(m.edge_labels.begin(), m.edge_labels.end(),
+                            feature)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<size_t> GraphDatabase::Search(const PatternQuery& q,
+                                          const SearchOptions& opts,
+                                          SearchStats* stats) const {
+  std::vector<size_t> hits;
+  size_t candidates = 0, verified = 0;
+  for (size_t id = 0; id < members_.size(); ++id) {
+    if (!PassesFilter(id, q)) continue;
+    ++candidates;
+    ++verified;
+    bool contains = false;
+    if (opts.isomorphic) {
+      IsoOptions iopts;
+      iopts.limit = 1;  // existence is enough
+      IsoResult r = IsoEvaluate(members_[id].graph, q, iopts);
+      contains = (r.status == EvalStatus::kOk && r.num_embeddings > 0);
+    } else {
+      GmEngine engine(members_[id].graph);
+      GmOptions gopts;
+      gopts.limit = 1;
+      contains = engine.Evaluate(q, gopts).num_occurrences > 0;
+    }
+    if (contains) hits.push_back(id);
+  }
+  if (stats != nullptr) {
+    stats->candidates_after_filter = candidates;
+    stats->verified = verified;
+  }
+  return hits;
+}
+
+}  // namespace rigpm

@@ -1,0 +1,75 @@
+#ifndef RIGPM_GRAPHDB_GRAPH_DATABASE_H_
+#define RIGPM_GRAPHDB_GRAPH_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/pattern_query.h"
+
+namespace rigpm {
+
+/// Subgraph searching over a collection of small data graphs (the problem
+/// Section 8 distinguishes from single-large-graph matching): given a query
+/// pattern, retrieve every member graph that contains at least one match.
+///
+/// Follows the standard indexing-filtering-verification paradigm:
+///  * index   — per-member feature vectors (label histogram + labeled-edge
+///              histogram) built once at insertion;
+///  * filter  — a member can be skipped when the query needs a label or a
+///              labeled edge the member lacks (sound for homomorphisms:
+///              every query node/edge must map somewhere);
+///  * verify  — the remaining members are checked with the GM engine
+///              (homomorphic semantics, hybrid edges supported) or the ISO
+///              engine (isomorphic semantics, child edges only).
+class GraphDatabase {
+ public:
+  struct SearchOptions {
+    /// Verify with subgraph isomorphism instead of homomorphism. Requires a
+    /// child-edge-only query.
+    bool isomorphic = false;
+  };
+
+  struct SearchStats {
+    size_t candidates_after_filter = 0;
+    size_t verified = 0;  // members actually evaluated
+  };
+
+  GraphDatabase() = default;
+
+  /// Inserts a member graph; returns its id (dense, insertion order).
+  size_t Add(Graph g, std::string name = "");
+
+  size_t Size() const { return members_.size(); }
+  const Graph& MemberGraph(size_t id) const { return members_[id].graph; }
+  const std::string& Name(size_t id) const { return members_[id].name; }
+
+  /// Ids of every member containing at least one match of `q`.
+  std::vector<size_t> Search(const PatternQuery& q, const SearchOptions& opts,
+                             SearchStats* stats = nullptr) const;
+  std::vector<size_t> Search(const PatternQuery& q) const {
+    return Search(q, SearchOptions());
+  }
+
+  /// True iff the feature filter alone rules the member out (exposed for
+  /// tests; a `false` return does not guarantee a match).
+  bool PassesFilter(size_t id, const PatternQuery& q) const;
+
+ private:
+  struct Member {
+    Graph graph;
+    std::string name;
+    // Feature vectors for filtering.
+    std::vector<uint32_t> label_counts;
+    std::vector<uint64_t> edge_labels;  // sorted (from_label << 32 | to_label)
+  };
+
+  static std::vector<uint64_t> EdgeLabelFeatures(const Graph& g);
+
+  std::vector<Member> members_;
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_GRAPHDB_GRAPH_DATABASE_H_

@@ -1,0 +1,44 @@
+#ifndef RIGPM_ORDER_SEARCH_ORDER_H_
+#define RIGPM_ORDER_SEARCH_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/pattern_query.h"
+#include "rig/rig.h"
+
+namespace rigpm {
+
+/// Search-order strategies for MJoin (Section 5.2, Table 4):
+///  * kJO — greedy join ordering on RIG statistics: start at the query node
+///    with the smallest cos(q); repeatedly append the connected node with
+///    the smallest cos(q). Data-dependent, the paper's default.
+///  * kRI — purely topological (Bonnici et al., RI): prefer nodes with the
+///    most edge constraints toward the partial order, introduced as early
+///    as possible; independent of the data graph.
+///  * kBJ — optimal left-deep plan by dynamic programming over connected
+///    subsets, minimizing estimated intermediate-result cost. Exponential
+///    in |V(Q)|; falls back to kJO beyond `kBjMaxNodes` nodes.
+enum class OrderStrategy : uint8_t { kJO, kRI, kBJ };
+
+const char* OrderStrategyName(OrderStrategy s);
+
+/// Largest query size the BJ dynamic program accepts (2^n subset DP).
+constexpr uint32_t kBjMaxNodes = 20;
+
+struct OrderStats {
+  uint64_t plans_considered = 0;  // DP states expanded (BJ) / 1 otherwise
+  bool fell_back_to_jo = false;   // BJ refused an oversized query
+};
+
+/// Computes a permutation of the query nodes. Every prefix of the returned
+/// order induces a connected subquery (required to avoid Cartesian
+/// products), provided the query itself is connected.
+std::vector<QueryNodeId> ComputeSearchOrder(const PatternQuery& q,
+                                            const Rig& rig,
+                                            OrderStrategy strategy,
+                                            OrderStats* stats = nullptr);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_ORDER_SEARCH_ORDER_H_

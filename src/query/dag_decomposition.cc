@@ -1,0 +1,73 @@
+#include "query/dag_decomposition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rigpm {
+
+DagDecomposition DecomposeDag(const PatternQuery& q) {
+  const uint32_t n = q.NumNodes();
+  DagDecomposition out;
+
+  // DFS that classifies every edge. An edge to a node currently on the DFS
+  // stack closes a directed cycle and is sent to Δ; all other edges keep the
+  // graph acyclic and stay in the DAG.
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::vector<uint8_t> color(n, kWhite);
+  std::vector<std::pair<QueryNodeId, uint32_t>> stack;  // node, out-edge pos
+  std::vector<uint8_t> is_back(q.NumEdges(), 0);
+
+  for (QueryNodeId root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    color[root] = kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      QueryNodeId v = stack.back().first;
+      auto out_edges = q.OutEdges(v);
+      bool descended = false;
+      while (stack.back().second < out_edges.size()) {
+        QueryEdgeId e = out_edges[stack.back().second++];
+        QueryNodeId w = q.Edge(e).to;
+        if (color[w] == kGray) {
+          is_back[e] = 1;  // closes a directed cycle
+        } else if (color[w] == kWhite) {
+          color[w] = kGray;
+          stack.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        // kBlack: forward/cross edge, keeps the DAG acyclic.
+      }
+      if (!descended && !stack.empty() && stack.back().first == v &&
+          stack.back().second >= out_edges.size()) {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+
+  for (QueryEdgeId e = 0; e < q.NumEdges(); ++e) {
+    (is_back[e] ? out.back_edges : out.dag_edges).push_back(e);
+  }
+
+  // Topological order of the DAG part (Kahn).
+  std::vector<uint32_t> indeg(n, 0);
+  for (QueryEdgeId e : out.dag_edges) ++indeg[q.Edge(e).to];
+  std::vector<QueryNodeId> order;
+  order.reserve(n);
+  for (QueryNodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) order.push_back(v);
+  }
+  for (size_t head = 0; head < order.size(); ++head) {
+    QueryNodeId v = order[head];
+    for (QueryEdgeId e : q.OutEdges(v)) {
+      if (is_back[e]) continue;
+      if (--indeg[q.Edge(e).to] == 0) order.push_back(q.Edge(e).to);
+    }
+  }
+  assert(order.size() == n && "DAG part must be acyclic");
+  out.topo_order = std::move(order);
+  return out;
+}
+
+}  // namespace rigpm

@@ -1,0 +1,32 @@
+#ifndef RIGPM_QUERY_DAG_DECOMPOSITION_H_
+#define RIGPM_QUERY_DAG_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "query/pattern_query.h"
+
+namespace rigpm {
+
+/// Decomposition of a (possibly cyclic) pattern query into a spanning DAG
+/// plus a set of back edges Δ — the "Dag+Δ" structure FBSim iterates over
+/// (Section 4.4, Algorithm 3).
+///
+/// `dag_edges` / `back_edges` partition the query's edge indices. The DAG
+/// formed by `dag_edges` admits `topo_order` as a topological order of all
+/// query nodes. For an acyclic query, `back_edges` is empty.
+struct DagDecomposition {
+  std::vector<QueryEdgeId> dag_edges;
+  std::vector<QueryEdgeId> back_edges;
+  std::vector<QueryNodeId> topo_order;
+
+  bool IsDagQuery() const { return back_edges.empty(); }
+};
+
+/// Computes the decomposition with a DFS: edges closing a directed cycle
+/// (pointing into the current DFS stack) become back edges. Deterministic
+/// for a given query.
+DagDecomposition DecomposeDag(const PatternQuery& q);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_QUERY_DAG_DECOMPOSITION_H_

@@ -1,0 +1,118 @@
+#include "query/pattern_query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace rigpm {
+
+PatternQuery PatternQuery::FromParts(std::vector<LabelId> labels,
+                                     std::vector<QueryEdge> edges) {
+  PatternQuery q;
+  q.labels_ = std::move(labels);
+  std::sort(edges.begin(), edges.end(),
+            [](const QueryEdge& a, const QueryEdge& b) {
+              return std::tie(a.from, a.to, a.kind, a.max_hops) <
+                     std::tie(b.from, b.to, b.kind, b.max_hops);
+            });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  q.edges_ = std::move(edges);
+  q.num_child_edges_ = 0;
+  for (const QueryEdge& e : q.edges_) {
+    assert(e.from < q.labels_.size() && e.to < q.labels_.size());
+    if (e.kind == EdgeKind::kChild) ++q.num_child_edges_;
+  }
+  q.BuildIncidence();
+  return q;
+}
+
+void PatternQuery::BuildIncidence() {
+  const uint32_t n = NumNodes();
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (const QueryEdge& e : edges_) {
+    ++out_offsets_[e.from + 1];
+    ++in_offsets_[e.to + 1];
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    out_offsets_[i + 1] += out_offsets_[i];
+    in_offsets_[i + 1] += in_offsets_[i];
+  }
+  out_edges_.resize(edges_.size());
+  in_edges_.resize(edges_.size());
+  std::vector<uint32_t> opos(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<uint32_t> ipos(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (QueryEdgeId i = 0; i < edges_.size(); ++i) {
+    out_edges_[opos[edges_[i].from]++] = i;
+    in_edges_[ipos[edges_[i].to]++] = i;
+  }
+}
+
+bool PatternQuery::HasEdgeBetween(QueryNodeId p, QueryNodeId q) const {
+  for (QueryEdgeId e : OutEdges(p)) {
+    if (edges_[e].to == q) return true;
+  }
+  return false;
+}
+
+bool PatternQuery::IsConnected() const {
+  const uint32_t n = NumNodes();
+  if (n == 0) return false;
+  std::vector<uint8_t> seen(n, 0);
+  std::vector<QueryNodeId> stack = {0};
+  seen[0] = 1;
+  uint32_t count = 1;
+  while (!stack.empty()) {
+    QueryNodeId q = stack.back();
+    stack.pop_back();
+    auto visit = [&](QueryNodeId w) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++count;
+        stack.push_back(w);
+      }
+    };
+    for (QueryEdgeId e : OutEdges(q)) visit(edges_[e].to);
+    for (QueryEdgeId e : InEdges(q)) visit(edges_[e].from);
+  }
+  return count == n;
+}
+
+bool PatternQuery::IsDag(std::vector<QueryNodeId>* topo_order) const {
+  const uint32_t n = NumNodes();
+  std::vector<uint32_t> indeg(n, 0);
+  for (const QueryEdge& e : edges_) ++indeg[e.to];
+  std::vector<QueryNodeId> order;
+  order.reserve(n);
+  for (QueryNodeId q = 0; q < n; ++q) {
+    if (indeg[q] == 0) order.push_back(q);
+  }
+  for (size_t head = 0; head < order.size(); ++head) {
+    QueryNodeId q = order[head];
+    for (QueryEdgeId e : OutEdges(q)) {
+      if (--indeg[edges_[e].to] == 0) order.push_back(edges_[e].to);
+    }
+  }
+  if (order.size() != n) return false;
+  if (topo_order != nullptr) *topo_order = std::move(order);
+  return true;
+}
+
+bool PatternQuery::IsUndirectedAcyclic() const {
+  if (!IsConnected()) return false;
+  std::set<std::pair<QueryNodeId, QueryNodeId>> undirected;
+  for (const QueryEdge& e : edges_) {
+    undirected.insert({std::min(e.from, e.to), std::max(e.from, e.to)});
+  }
+  return undirected.size() == NumNodes() - 1;
+}
+
+std::string PatternQuery::Summary() const {
+  std::ostringstream os;
+  os << "nodes=" << NumNodes() << " edges=" << NumEdges() << " (child "
+     << NumChildEdges() << ", desc " << NumDescendantEdges() << ")";
+  return os.str();
+}
+
+}  // namespace rigpm

@@ -1,0 +1,166 @@
+#include "query/query_generator.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rigpm {
+
+namespace {
+
+EdgeKind KindFor(QueryVariant variant, std::mt19937_64& rng) {
+  switch (variant) {
+    case QueryVariant::kChildOnly:
+      return EdgeKind::kChild;
+    case QueryVariant::kDescendantOnly:
+      return EdgeKind::kDescendant;
+    case QueryVariant::kHybrid:
+      return (rng() & 1) ? EdgeKind::kDescendant : EdgeKind::kChild;
+  }
+  return EdgeKind::kChild;
+}
+
+}  // namespace
+
+PatternQuery GenerateRandomQuery(const RandomQueryOptions& opts) {
+  std::mt19937_64 rng(opts.seed);
+  const uint32_t n = std::max<uint32_t>(2, opts.num_nodes);
+  const uint32_t max_edges = n * (n - 1) / 2;
+  const uint32_t m =
+      std::min(std::max(opts.num_edges, n - 1), max_edges);
+
+  std::vector<LabelId> labels(n);
+  std::uniform_int_distribution<uint32_t> label_dist(
+      0, opts.num_labels > 0 ? opts.num_labels - 1 : 0);
+  for (auto& l : labels) l = label_dist(rng);
+
+  // Random spanning tree first (connectivity), then extra forward edges.
+  std::set<std::pair<QueryNodeId, QueryNodeId>> chosen;
+  for (QueryNodeId v = 1; v < n; ++v) {
+    std::uniform_int_distribution<uint32_t> parent_dist(0, v - 1);
+    chosen.insert({parent_dist(rng), v});
+  }
+  std::uniform_int_distribution<uint32_t> node_dist(0, n - 1);
+  while (chosen.size() < m) {
+    QueryNodeId a = node_dist(rng);
+    QueryNodeId b = node_dist(rng);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);  // acyclic orientation
+    chosen.insert({a, b});
+  }
+
+  std::vector<QueryEdge> edges;
+  edges.reserve(chosen.size());
+  for (const auto& [a, b] : chosen) {
+    edges.push_back({a, b, KindFor(opts.variant, rng)});
+  }
+  return PatternQuery::FromParts(std::move(labels), std::move(edges));
+}
+
+std::optional<PatternQuery> ExtractQueryFromGraph(
+    const Graph& g, const ExtractedQueryOptions& opts) {
+  if (g.NumNodes() == 0 || opts.num_nodes < 2) return std::nullopt;
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_int_distribution<uint32_t> node_dist(0, g.NumNodes() - 1);
+
+  for (uint32_t attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    // Grow a connected node set by random expansion over both directions,
+    // remembering the discovery (spanning-tree) edges in data-graph space.
+    std::vector<NodeId> members;
+    std::unordered_set<NodeId> in_set;
+    std::vector<std::pair<NodeId, NodeId>> tree_edges;  // directed as in G
+    NodeId start = node_dist(rng);
+    if (g.OutDegree(start) + g.InDegree(start) == 0) continue;
+    members.push_back(start);
+    in_set.insert(start);
+    bool stuck = false;
+    while (members.size() < opts.num_nodes && !stuck) {
+      // Collect expansion candidates from a random member.
+      stuck = true;
+      // Sparse queries must keep every degree < 3: grow as a self-avoiding
+      // walk (expand only the latest node, giving a path). Otherwise expand
+      // a random member (giving a dense, branchy subgraph).
+      const bool want_path = opts.dense.has_value() && !*opts.dense;
+      for (uint32_t tries = 0; tries < 4 * members.size() + 8; ++tries) {
+        std::uniform_int_distribution<size_t> mem_dist(0, members.size() - 1);
+        NodeId v = want_path ? members.back() : members[mem_dist(rng)];
+        auto outs = g.OutNeighbors(v);
+        auto ins = g.InNeighbors(v);
+        const size_t total = outs.size() + ins.size();
+        if (total == 0) continue;
+        std::uniform_int_distribution<size_t> pick(0, total - 1);
+        size_t k = pick(rng);
+        bool forward = k < outs.size();
+        NodeId w = forward ? outs[k] : ins[k - outs.size()];
+        if (in_set.insert(w).second) {
+          members.push_back(w);
+          if (forward) {
+            tree_edges.emplace_back(v, w);
+          } else {
+            tree_edges.emplace_back(w, v);
+          }
+          stuck = false;
+          break;
+        }
+      }
+    }
+    if (members.size() < opts.num_nodes) continue;
+
+    // Induced edges, remapped to dense query node ids.
+    std::unordered_map<NodeId, QueryNodeId> remap;
+    std::vector<LabelId> labels(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      remap[members[i]] = static_cast<QueryNodeId>(i);
+      labels[i] = g.Label(members[i]);
+    }
+    std::vector<QueryEdge> edges;
+    if (opts.dense.has_value() && !*opts.dense) {
+      // Sparse queries: only the spanning-tree edges, so degrees stay low
+      // even on dense data graphs (the RapidMatch sparse-set rule).
+      for (const auto& [u, w] : tree_edges) {
+        edges.push_back({remap[u], remap[w], EdgeKind::kChild});
+      }
+    } else {
+      for (NodeId u : members) {
+        for (NodeId w : g.OutNeighbors(u)) {
+          auto it = remap.find(w);
+          if (it == remap.end()) continue;
+          if (u == w) continue;  // query self-loops are not meaningful
+          edges.push_back({remap[u], it->second, EdgeKind::kChild});
+        }
+      }
+    }
+
+    PatternQuery candidate =
+        PatternQuery::FromParts(labels, edges);
+    if (!candidate.IsConnected()) continue;
+
+    if (opts.dense.has_value()) {
+      bool ok = true;
+      for (QueryNodeId v = 0; v < candidate.NumNodes(); ++v) {
+        uint32_t deg = candidate.Degree(v);
+        if (*opts.dense ? (deg < 3) : (deg >= 3)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+    }
+
+    if (opts.variant == QueryVariant::kChildOnly) return candidate;
+    // Re-type edges for H / D variants; an edge is a path, so the query
+    // still has the identity match.
+    std::vector<QueryEdge> typed = candidate.Edges();
+    for (QueryEdge& e : typed) {
+      e.kind = (opts.variant == QueryVariant::kDescendantOnly)
+                   ? EdgeKind::kDescendant
+                   : ((rng() & 1) ? EdgeKind::kDescendant : EdgeKind::kChild);
+    }
+    return PatternQuery::FromParts(candidate.Labels(), std::move(typed));
+  }
+  return std::nullopt;
+}
+
+}  // namespace rigpm

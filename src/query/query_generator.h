@@ -1,0 +1,49 @@
+#ifndef RIGPM_QUERY_QUERY_GENERATOR_H_
+#define RIGPM_QUERY_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.h"
+#include "query/pattern_query.h"
+#include "query/query_templates.h"
+
+namespace rigpm {
+
+/// Random connected pattern query over a synthetic label alphabet.
+/// The directed shape is acyclic (edges go from lower to higher node rank),
+/// matching the published templates; labels are uniform.
+struct RandomQueryOptions {
+  uint32_t num_nodes = 6;
+  uint32_t num_edges = 8;  // clamped to [num_nodes-1, n*(n-1)/2]
+  uint32_t num_labels = 10;
+  QueryVariant variant = QueryVariant::kHybrid;
+  uint64_t seed = 1;
+};
+
+PatternQuery GenerateRandomQuery(const RandomQueryOptions& opts);
+
+/// Extracts a query from a data graph the way the subgraph-matching papers
+/// the evaluation reuses do ([53], Section 7.1): random-walk a connected
+/// subgraph of `num_nodes` nodes, take (a subset of) its induced edges, and
+/// copy the data labels. Guarantees at least one match on `g` for the C
+/// variant — and therefore also for H/D variants, because an edge is a path.
+///
+/// When `dense` is true the extraction retries until every query node has
+/// (undirected) degree >= 3, the "dense query set" rule of the RapidMatch
+/// comparison (Fig. 17); sparse queries cap every degree at < 3... returns
+/// std::nullopt if the structure cannot be found within `max_attempts`.
+struct ExtractedQueryOptions {
+  uint32_t num_nodes = 8;
+  QueryVariant variant = QueryVariant::kChildOnly;
+  uint64_t seed = 1;
+  std::optional<bool> dense;  // nullopt: no degree constraint
+  uint32_t max_attempts = 200;
+};
+
+std::optional<PatternQuery> ExtractQueryFromGraph(
+    const Graph& g, const ExtractedQueryOptions& opts);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_QUERY_QUERY_GENERATOR_H_

@@ -1,0 +1,89 @@
+#include "query/query_io.h"
+
+#include <sstream>
+#include <vector>
+
+namespace rigpm {
+
+void WriteQuery(const PatternQuery& q, std::ostream& out) {
+  out << "q " << q.NumNodes() << '\n';
+  for (QueryNodeId v = 0; v < q.NumNodes(); ++v) {
+    out << "v " << v << ' ' << q.Label(v) << '\n';
+  }
+  for (const QueryEdge& e : q.Edges()) {
+    out << "e " << e.from << ' ' << e.to << ' '
+        << (e.kind == EdgeKind::kChild ? 'c' : 'd');
+    if (e.kind == EdgeKind::kDescendant && e.max_hops > 0) {
+      out << ' ' << e.max_hops;
+    }
+    out << '\n';
+  }
+}
+
+std::optional<PatternQuery> ReadQuery(std::istream& in, std::string* error) {
+  auto fail = [error](const std::string& msg) -> std::optional<PatternQuery> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  std::vector<LabelId> labels;
+  std::vector<QueryEdge> edges;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'q') {
+      uint32_t n = 0;
+      ls >> n;
+      labels.reserve(n);
+    } else if (tag == 'v') {
+      uint64_t id = 0, label = 0;
+      if (!(ls >> id >> label)) {
+        return fail("malformed query node at line " + std::to_string(line_no));
+      }
+      if (id != labels.size()) {
+        return fail("non-dense query node id at line " +
+                    std::to_string(line_no));
+      }
+      labels.push_back(static_cast<LabelId>(label));
+    } else if (tag == 'e') {
+      uint64_t u = 0, v = 0;
+      char kind = 0;
+      if (!(ls >> u >> v >> kind) || (kind != 'c' && kind != 'd')) {
+        return fail("malformed query edge at line " + std::to_string(line_no));
+      }
+      if (u >= labels.size() || v >= labels.size()) {
+        return fail("query edge endpoint out of range at line " +
+                    std::to_string(line_no));
+      }
+      QueryEdge edge{static_cast<QueryNodeId>(u), static_cast<QueryNodeId>(v),
+                     kind == 'c' ? EdgeKind::kChild : EdgeKind::kDescendant};
+      uint64_t hops = 0;
+      if (kind == 'd' && (ls >> hops)) {
+        edge.max_hops = static_cast<uint32_t>(hops);
+      }
+      edges.push_back(edge);
+    } else {
+      return fail("unknown record tag at line " + std::to_string(line_no));
+    }
+  }
+  return PatternQuery::FromParts(std::move(labels), std::move(edges));
+}
+
+std::optional<PatternQuery> ParseQuery(const std::string& text,
+                                       std::string* error) {
+  std::istringstream in(text);
+  return ReadQuery(in, error);
+}
+
+std::string QueryToString(const PatternQuery& q) {
+  std::ostringstream os;
+  WriteQuery(q, os);
+  return os.str();
+}
+
+}  // namespace rigpm

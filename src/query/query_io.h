@@ -1,0 +1,32 @@
+#ifndef RIGPM_QUERY_QUERY_IO_H_
+#define RIGPM_QUERY_QUERY_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "query/pattern_query.h"
+
+namespace rigpm {
+
+/// Text serialization of pattern queries.
+///
+/// Format ('#' starts a comment):
+///   q <num_nodes>
+///   v <node_id> <label_id>
+///   e <src_id> <dst_id> c     -- child (direct) edge
+///   e <src_id> <dst_id> d     -- descendant (reachability) edge
+///   e <src_id> <dst_id> d <k> -- bounded descendant edge (path length <= k)
+void WriteQuery(const PatternQuery& q, std::ostream& out);
+std::optional<PatternQuery> ReadQuery(std::istream& in,
+                                      std::string* error = nullptr);
+
+/// Parses an inline string, e.g. "q 3\nv 0 0\nv 1 1\nv 2 2\ne 0 1 c\ne 1 2 d".
+std::optional<PatternQuery> ParseQuery(const std::string& text,
+                                       std::string* error = nullptr);
+
+std::string QueryToString(const PatternQuery& q);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_QUERY_QUERY_IO_H_

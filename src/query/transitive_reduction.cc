@@ -1,0 +1,84 @@
+#include "query/transitive_reduction.h"
+
+#include <vector>
+
+namespace rigpm {
+
+bool QueryReaches(const PatternQuery& q, QueryNodeId from, QueryNodeId to,
+                  QueryEdgeId skip) {
+  if (from == to) return false;
+  std::vector<uint8_t> seen(q.NumNodes(), 0);
+  std::vector<QueryNodeId> stack = {from};
+  seen[from] = 1;
+  while (!stack.empty()) {
+    QueryNodeId v = stack.back();
+    stack.pop_back();
+    for (QueryEdgeId e : q.OutEdges(v)) {
+      if (e == skip) continue;
+      QueryNodeId w = q.Edge(e).to;
+      if (w == to) return true;
+      if (!seen[w]) {
+        seen[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+PatternQuery QueryTransitiveClosure(const PatternQuery& q) {
+  const uint32_t n = q.NumNodes();
+  // reach[x][y] = 1 iff x ≺ y in Q. Seeded by IR1 (every edge implies
+  // reachability) and closed under IR2 (transitivity) with a simple
+  // Floyd-Warshall pass — queries are tiny, so O(n^3) is immaterial.
+  std::vector<std::vector<uint8_t>> reach(n, std::vector<uint8_t>(n, 0));
+  for (const QueryEdge& e : q.Edges()) reach[e.from][e.to] = 1;
+  for (uint32_t k = 0; k < n; ++k) {
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (uint32_t j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = 1;
+      }
+    }
+  }
+  std::vector<QueryEdge> edges;
+  for (const QueryEdge& e : q.Edges()) {
+    // Child edges and bounded descendant edges express constraints strictly
+    // stronger than plain reachability; they are kept verbatim.
+    if (e.kind == EdgeKind::kChild || e.max_hops > 0) edges.push_back(e);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (reach[i][j]) {
+        edges.push_back({i, j, EdgeKind::kDescendant});
+      }
+    }
+  }
+  return PatternQuery::FromParts(q.Labels(), std::move(edges));
+}
+
+PatternQuery QueryTransitiveReduction(const PatternQuery& q) {
+  // Greedy deterministic reduction: repeatedly drop a descendant edge whose
+  // endpoints stay connected by an alternative directed path. Child edges
+  // are never dropped (they express a strictly stronger constraint).
+  std::vector<QueryEdge> edges = q.Edges();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    PatternQuery current = PatternQuery::FromParts(q.Labels(), edges);
+    for (QueryEdgeId e = 0; e < current.NumEdges(); ++e) {
+      const QueryEdge& edge = current.Edge(e);
+      if (edge.kind != EdgeKind::kDescendant) continue;
+      if (edge.max_hops > 0) continue;  // bounded edges are never redundant
+      if (QueryReaches(current, edge.from, edge.to, e)) {
+        edges = current.Edges();
+        edges.erase(edges.begin() + e);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return PatternQuery::FromParts(q.Labels(), std::move(edges));
+}
+
+}  // namespace rigpm

@@ -1,0 +1,35 @@
+#ifndef RIGPM_QUERY_TRANSITIVE_REDUCTION_H_
+#define RIGPM_QUERY_TRANSITIVE_REDUCTION_H_
+
+#include "query/pattern_query.h"
+
+namespace rigpm {
+
+/// Query-level transitive closure and reduction (Section 3).
+///
+/// A reachability (descendant) edge e = (x, y) is *transitive* — hence
+/// redundant — when some other directed path from x to y exists in Q; the
+/// reachability constraint it expresses is implied by that path, whatever
+/// data graph the query runs on. Removing transitive edges before evaluation
+/// avoids the expensive edge-to-path matching work for them (Fig. 15 shows
+/// up to 12x speedups).
+
+/// Returns the transitive closure of `q`: a descendant edge (x, y) is added
+/// for every pair with x ≺ y in Q (inference rules IR1/IR2 iterated to a
+/// fixpoint). Child edges are preserved unchanged.
+PatternQuery QueryTransitiveClosure(const PatternQuery& q);
+
+/// Returns a transitive reduction of `q`: child edges are kept verbatim and
+/// every transitive descendant edge is dropped. For acyclic queries this is
+/// the unique minimal equivalent query (Definition 3.1); for cyclic queries
+/// a greedy (deterministic) reduction is returned.
+PatternQuery QueryTransitiveReduction(const PatternQuery& q);
+
+/// True iff there is a directed path from `from` to `to` in `q` using any
+/// edges except the single edge index `skip` (pass NumEdges() to skip none).
+bool QueryReaches(const PatternQuery& q, QueryNodeId from, QueryNodeId to,
+                  QueryEdgeId skip);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_QUERY_TRANSITIVE_REDUCTION_H_

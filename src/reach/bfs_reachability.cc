@@ -1,0 +1,37 @@
+#include "reach/bfs_reachability.h"
+
+namespace rigpm {
+
+BfsReachability::BfsReachability(const Graph& g) : cond_(g) {
+  visited_epoch_.assign(cond_.NumComponents(), 0);
+}
+
+bool BfsReachability::Reaches(NodeId u, NodeId v) const {
+  uint32_t cu = cond_.Component(u);
+  uint32_t cv = cond_.Component(v);
+  if (cu == cv) return cond_.IsCyclic(cu);
+  if (cu > cv) return false;  // topological numbering
+
+  ++epoch_;
+  frontier_.clear();
+  frontier_.push_back(cu);
+  visited_epoch_[cu] = epoch_;
+  for (size_t head = 0; head < frontier_.size(); ++head) {
+    uint32_t c = frontier_[head];
+    for (uint32_t d : cond_.Successors(c)) {
+      if (d == cv) return true;
+      if (d > cv) continue;  // cannot reach a smaller topological id
+      if (visited_epoch_[d] == epoch_) continue;
+      visited_epoch_[d] = epoch_;
+      frontier_.push_back(d);
+    }
+  }
+  return false;
+}
+
+size_t BfsReachability::MemoryBytes() const {
+  return visited_epoch_.capacity() * sizeof(uint32_t) +
+         frontier_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace rigpm

@@ -1,0 +1,34 @@
+#include "reach/reachability.h"
+
+#include "reach/bfl_index.h"
+#include "reach/bfs_reachability.h"
+#include "reach/transitive_closure.h"
+
+namespace rigpm {
+
+const char* ReachKindName(ReachKind kind) {
+  switch (kind) {
+    case ReachKind::kBfs:
+      return "BFS";
+    case ReachKind::kTransitiveClosure:
+      return "TC";
+    case ReachKind::kBfl:
+      return "BFL";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReachabilityIndex> BuildReachabilityIndex(const Graph& g,
+                                                          ReachKind kind) {
+  switch (kind) {
+    case ReachKind::kBfs:
+      return std::make_unique<BfsReachability>(g);
+    case ReachKind::kTransitiveClosure:
+      return std::make_unique<TransitiveClosure>(g);
+    case ReachKind::kBfl:
+      return std::make_unique<BflIndex>(g);
+  }
+  return nullptr;
+}
+
+}  // namespace rigpm

@@ -1,0 +1,45 @@
+#ifndef RIGPM_REACH_REACHABILITY_H_
+#define RIGPM_REACH_REACHABILITY_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace rigpm {
+
+/// Which reachability indexing scheme to build. The paper's implementation
+/// uses BFL (Bloom Filter Labeling, Su et al., TKDE 2017); the others serve
+/// as baselines for Fig. 18(a) (index construction cost) and as oracles in
+/// the test suite.
+enum class ReachKind {
+  kBfs,                // no index: per-query pruned BFS over the condensation
+  kTransitiveClosure,  // full materialized reachability (fast query, slow build)
+  kBfl,                // Bloom Filter Labeling + interval cuts + guided DFS
+};
+
+const char* ReachKindName(ReachKind kind);
+
+/// Answers node-reachability queries u ≺ v: "is there a path of one or more
+/// edges from u to v?" (Definition 2.2). Implementations are exact; they are
+/// not thread-safe (query-time scratch is reused between calls).
+class ReachabilityIndex {
+ public:
+  virtual ~ReachabilityIndex() = default;
+
+  /// True iff u reaches v through at least one edge.
+  virtual bool Reaches(NodeId u, NodeId v) const = 0;
+
+  virtual std::string Name() const = 0;
+
+  /// Approximate heap footprint of the index payload.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// Builds an index of the requested kind over `g`.
+std::unique_ptr<ReachabilityIndex> BuildReachabilityIndex(const Graph& g,
+                                                          ReachKind kind);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_REACH_REACHABILITY_H_

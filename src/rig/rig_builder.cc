@@ -1,0 +1,116 @@
+#include "rig/rig_builder.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rigpm {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Expands one query edge (Procedure expand): connects every vp in cos(p) to
+// its partners in cos(q).
+void ExpandEdge(const MatchContext& ctx, const PatternQuery& q, QueryEdgeId e,
+                const IntervalLabels* intervals, bool early_termination,
+                Rig* rig, RigBuildStats* stats) {
+  const QueryEdge& edge = q.Edge(e);
+  const Graph& g = ctx.graph();
+  const Bitmap& src = rig->Cos(edge.from);
+  const Bitmap& dst = rig->Cos(edge.to);
+  if (src.Empty() || dst.Empty()) return;
+
+  if (edge.kind == EdgeKind::kChild) {
+    // Direct connectivity as one set intersection per source node:
+    // adjf(vp) ∩ cos(q) (Section 4.5).
+    src.ForEach([&](NodeId vp) {
+      if (stats != nullptr) ++stats->expand_pair_checks;
+      Bitmap partners = Bitmap::And(g.OutBitmap(vp), dst);
+      partners.ForEach([&](NodeId vq) { rig->AddEdge(e, vp, vq); });
+    });
+    return;
+  }
+
+  // Reachability edge: probe pairs through the reachability index. With
+  // interval labels, scan cos(q) in ascending `begin` order and cut the
+  // scan at the first vq that starts after vp finished.
+  std::vector<NodeId> dst_nodes = dst.ToVector();
+  if (intervals != nullptr && early_termination) {
+    std::sort(dst_nodes.begin(), dst_nodes.end(), [&](NodeId a, NodeId b) {
+      return intervals->Begin(a) < intervals->Begin(b);
+    });
+  }
+  src.ForEach([&](NodeId vp) {
+    for (NodeId vq : dst_nodes) {
+      if (intervals != nullptr && early_termination &&
+          intervals->End(vp) < intervals->Begin(vq)) {
+        if (stats != nullptr) ++stats->early_cutoffs;
+        break;  // every later vq has an even larger begin
+      }
+      if (stats != nullptr) ++stats->expand_pair_checks;
+      bool reaches = (edge.max_hops > 0)
+                         ? BoundedReaches(g, vp, vq, edge.max_hops)
+                         : ctx.reach().Reaches(vp, vq);
+      if (reaches) rig->AddEdge(e, vp, vq);
+    }
+  });
+}
+
+}  // namespace
+
+Rig BuildRig(const MatchContext& ctx, const PatternQuery& q,
+             CandidateSets initial, const RigBuildOptions& opts,
+             const IntervalLabels* intervals, RigBuildStats* stats) {
+  // --- Node selection phase (Procedure select).
+  auto t0 = std::chrono::steady_clock::now();
+  CandidateSets cos;
+  if (opts.skip_simulation) {
+    cos = std::move(initial);
+  } else {
+    // The simulation runs from the provided sets; sound because FB computed
+    // from any superset of os(q) still contains os(q).
+    CandidateSets fb = std::move(initial);
+    MatchContext sub_ctx(ctx.graph(), ctx.reach());
+    // Reuse the FBSim machinery but seed it with `fb` by intersecting the
+    // result of the chosen algorithm (which starts from ms(q)) with fb: for
+    // the common case fb == ms(q) this is exact; for pre-filtered seeds it
+    // only removes more redundant nodes.
+    SimStats* sim_stats = (stats != nullptr) ? &stats->sim : nullptr;
+    CandidateSets sim =
+        ComputeDoubleSimulation(sub_ctx, q, opts.sim_algorithm, opts.sim,
+                                sim_stats);
+    cos.resize(q.NumNodes());
+    for (QueryNodeId i = 0; i < q.NumNodes(); ++i) {
+      cos[i] = Bitmap::And(sim[i], fb[i]);
+    }
+  }
+  if (stats != nullptr) stats->select_ms = MsSince(t0);
+
+  Rig rig(q, std::move(cos));
+
+  // --- Node expansion phase. Skipped entirely when some cos(q) is empty:
+  // the answer is empty (early termination, Section 4.3).
+  auto t1 = std::chrono::steady_clock::now();
+  if (!rig.AnyEmpty()) {
+    for (QueryEdgeId e = 0; e < q.NumEdges(); ++e) {
+      ExpandEdge(ctx, q, e, intervals, opts.early_termination, &rig, stats);
+    }
+    if (opts.prune_isolated) rig.PruneIsolated(q);
+  }
+  if (stats != nullptr) stats->expand_ms = MsSince(t1);
+  return rig;
+}
+
+Rig BuildRigFromMatchSets(const MatchContext& ctx, const PatternQuery& q,
+                          const RigBuildOptions& opts,
+                          const IntervalLabels* intervals,
+                          RigBuildStats* stats) {
+  return BuildRig(ctx, q, InitialMatchSets(ctx.graph(), q), opts, intervals,
+                  stats);
+}
+
+}  // namespace rigpm

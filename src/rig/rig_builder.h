@@ -1,0 +1,60 @@
+#ifndef RIGPM_RIG_RIG_BUILDER_H_
+#define RIGPM_RIG_RIG_BUILDER_H_
+
+#include "graph/interval_labels.h"
+#include "rig/rig.h"
+#include "sim/fbsim.h"
+#include "sim/match_sets.h"
+
+namespace rigpm {
+
+/// Options for Algorithm 4 (BuildRIG).
+struct RigBuildOptions {
+  /// Double-simulation algorithm for the node-selection phase.
+  SimAlgorithm sim_algorithm = SimAlgorithm::kDagMap;
+
+  /// Simulation tuning. The paper fixes max_passes = 3 ("approximate the
+  /// double simulation by stopping after N passes", Section 4.5).
+  SimOptions sim = {.max_passes = 3};
+
+  /// Skip the simulation entirely and expand over the given node sets
+  /// (match sets or pre-filtered sets) — the GM-F ablation of Fig. 13.
+  bool skip_simulation = false;
+
+  /// Early expansion termination using DFS interval labels: when scanning
+  /// cos(q) in ascending `begin` order, stop at the first vq with
+  /// end(vp) < begin(vq) (Section 4.5; up to 30% expansion speedup).
+  bool early_termination = true;
+
+  /// Drop candidates that end the expansion phase without a RIG edge on
+  /// some incident query edge. Off by default (matches the paper; MJoin
+  /// handles them through empty intersections).
+  bool prune_isolated = false;
+};
+
+struct RigBuildStats {
+  SimStats sim;
+  uint64_t expand_pair_checks = 0;  // candidate pairs probed in expansion
+  uint64_t early_cutoffs = 0;       // scans stopped by the interval cutoff
+  double select_ms = 0.0;
+  double expand_ms = 0.0;
+};
+
+/// Algorithm 4: node selection (double simulation over `ctx`) followed by
+/// node expansion into RIG edges. `intervals` enables the early-termination
+/// optimization and may be null. `initial` is the candidate sets to start
+/// from (typically ms(q); a pre-filtered subset for the GM variants).
+Rig BuildRig(const MatchContext& ctx, const PatternQuery& q,
+             CandidateSets initial, const RigBuildOptions& opts = {},
+             const IntervalLabels* intervals = nullptr,
+             RigBuildStats* stats = nullptr);
+
+/// Convenience: starts from the label match sets ms(q).
+Rig BuildRigFromMatchSets(const MatchContext& ctx, const PatternQuery& q,
+                          const RigBuildOptions& opts = {},
+                          const IntervalLabels* intervals = nullptr,
+                          RigBuildStats* stats = nullptr);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_RIG_RIG_BUILDER_H_

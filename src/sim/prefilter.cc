@@ -1,0 +1,20 @@
+#include "sim/prefilter.h"
+
+namespace rigpm {
+
+CandidateSets PreFilter(const MatchContext& ctx, const PatternQuery& q,
+                        const SimOptions& opts, SimStats* stats) {
+  CandidateSets sets = InitialMatchSets(ctx.graph(), q);
+  // One forward sweep ...
+  for (const QueryEdge& e : q.Edges()) {
+    ForwardPruneEdge(ctx, e, &sets[e.from], sets[e.to], opts, stats);
+  }
+  // ... and one backward sweep. No fixpoint iteration.
+  for (const QueryEdge& e : q.Edges()) {
+    BackwardPruneEdge(ctx, e, sets[e.from], &sets[e.to], opts, stats);
+  }
+  if (stats != nullptr) stats->passes = 1;
+  return sets;
+}
+
+}  // namespace rigpm

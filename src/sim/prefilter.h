@@ -1,0 +1,23 @@
+#ifndef RIGPM_SIM_PREFILTER_H_
+#define RIGPM_SIM_PREFILTER_H_
+
+#include "sim/match_sets.h"
+
+namespace rigpm {
+
+/// Node pre-filtering after Chen et al. [11] / Zeng & Zhuge [63], applied to
+/// JM and TM (and optionally GM) before evaluation (Section 7.1).
+///
+/// A single forward sweep followed by a single backward sweep over the query
+/// edges: each candidate must have at least one structural partner per
+/// incident edge. Unlike double simulation this does not iterate to a
+/// fixpoint, so it prunes strictly less — that gap is what Fig. 13 measures
+/// between GM-F and GM.
+///
+/// Sound: the result always contains the occurrence sets os(q).
+CandidateSets PreFilter(const MatchContext& ctx, const PatternQuery& q,
+                        const SimOptions& opts = {}, SimStats* stats = nullptr);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_SIM_PREFILTER_H_

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/catalog.h"
+#include "baseline/iso_engine.h"
+#include "baseline/jm_engine.h"
+#include "baseline/tm_engine.h"
+#include "baseline/wcoj_engine.h"
+#include "engine/gm_engine.h"
+#include "graph/generators.h"
+#include "query/query_generator.h"
+#include "test_util.h"
+
+namespace rigpm {
+namespace {
+
+using ::rigpm::testing::BruteForceAnswer;
+using ::rigpm::testing::PaperExample;
+
+std::set<std::vector<NodeId>> Collect(const std::vector<Occurrence>& v) {
+  return {v.begin(), v.end()};
+}
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  BaselineFixture()
+      : graph_(PaperExample::MakeGraph()),
+        query_(PaperExample::MakeQuery()),
+        reach_(BuildReachabilityIndex(graph_, ReachKind::kBfl)),
+        ctx_(graph_, *reach_) {}
+
+  Graph graph_;
+  PatternQuery query_;
+  std::unique_ptr<ReachabilityIndex> reach_;
+  MatchContext ctx_;
+};
+
+TEST_F(BaselineFixture, JmMatchesPaperAnswer) {
+  std::vector<Occurrence> tuples;
+  JmResult r = JmEvaluate(ctx_, query_, JmOptions{},
+                          [&tuples](const Occurrence& t) {
+                            tuples.push_back(t);
+                            return true;
+                          });
+  EXPECT_EQ(r.status, EvalStatus::kOk);
+  EXPECT_EQ(r.num_occurrences, 4u);
+  EXPECT_EQ(Collect(tuples), PaperExample::ExpectedAnswer());
+  EXPECT_GT(r.max_intermediate_size, 0u);
+}
+
+TEST_F(BaselineFixture, TmMatchesPaperAnswer) {
+  std::vector<Occurrence> tuples;
+  TmResult r = TmEvaluate(ctx_, query_, TmOptions{},
+                          [&tuples](const Occurrence& t) {
+                            tuples.push_back(t);
+                            return true;
+                          });
+  EXPECT_EQ(r.status, EvalStatus::kOk);
+  EXPECT_EQ(r.num_occurrences, 4u);
+  EXPECT_EQ(Collect(tuples), PaperExample::ExpectedAnswer());
+  // Tree solutions >= final answers (the non-tree edge filters).
+  EXPECT_GE(r.tree_solutions, r.num_occurrences);
+  EXPECT_GT(r.aux_graph_nodes, 0u);
+}
+
+TEST_F(BaselineFixture, JmReportsOutOfMemory) {
+  JmOptions opts;
+  opts.max_intermediate_tuples = 2;  // absurdly small budget
+  JmResult r = JmEvaluate(ctx_, query_, opts);
+  EXPECT_EQ(r.status, EvalStatus::kOutOfMemory);
+}
+
+TEST_F(BaselineFixture, JmHonorsLimit) {
+  JmOptions opts;
+  opts.limit = 2;
+  JmResult r = JmEvaluate(ctx_, query_, opts);
+  EXPECT_EQ(r.num_occurrences, 2u);
+}
+
+TEST_F(BaselineFixture, WcojUnsupportedWithoutClosure) {
+  WcojEngine wcoj(graph_);
+  WcojResult r = wcoj.Evaluate(query_);  // has a descendant edge
+  EXPECT_EQ(r.status, EvalStatus::kUnsupported);
+}
+
+TEST_F(BaselineFixture, WcojWithClosureMatchesAnswer) {
+  WcojEngine wcoj(graph_);
+  double build_ms = 0.0;
+  ASSERT_EQ(wcoj.MaterializeClosure(/*max_bytes=*/1 << 26, &build_ms),
+            EvalStatus::kOk);
+  std::vector<Occurrence> tuples;
+  WcojResult r = wcoj.Evaluate(query_, WcojOptions{},
+                               [&tuples](const Occurrence& t) {
+                                 tuples.push_back(t);
+                                 return true;
+                               });
+  EXPECT_EQ(r.status, EvalStatus::kOk);
+  EXPECT_EQ(Collect(tuples), PaperExample::ExpectedAnswer());
+}
+
+TEST_F(BaselineFixture, WcojClosureBudgetEnforced) {
+  WcojEngine wcoj(graph_);
+  EXPECT_EQ(wcoj.MaterializeClosure(/*max_bytes=*/1, nullptr),
+            EvalStatus::kOutOfMemory);
+  EXPECT_FALSE(wcoj.HasClosure());
+}
+
+TEST(Catalog, BuildsAndRespectsBudget) {
+  Graph g = GeneratePowerLaw({.num_nodes = 300, .num_edges = 1500,
+                              .num_labels = 8, .seed = 3});
+  CatalogResult ok = BuildCatalog(g, /*max_entries=*/1u << 24);
+  EXPECT_EQ(ok.status, EvalStatus::kOk);
+  EXPECT_GT(ok.entries, 0u);
+  CatalogResult oom = BuildCatalog(g, /*max_entries=*/4);
+  EXPECT_EQ(oom.status, EvalStatus::kOutOfMemory);
+}
+
+TEST(Catalog, CostGrowsWithLabelCount) {
+  GeneratorOptions base{.num_nodes = 400, .num_edges = 2500, .num_labels = 2,
+                        .seed = 5};
+  Graph few = GenerateErdosRenyi(base);
+  base.num_labels = 30;
+  Graph many = GenerateErdosRenyi(base);
+  CatalogResult a = BuildCatalog(few, 1u << 26);
+  CatalogResult b = BuildCatalog(many, 1u << 26);
+  EXPECT_GT(b.entries, a.entries);  // more labels -> more catalog entries
+}
+
+// --- ISO.
+
+TEST(Iso, RejectsDescendantEdges) {
+  Graph g = PaperExample::MakeGraph();
+  IsoResult r = IsoEvaluate(g, PaperExample::MakeQuery());
+  EXPECT_EQ(r.status, EvalStatus::kUnsupported);
+}
+
+TEST(Iso, InjectivityExcludesFoldedMatches) {
+  // Data: single b with two a-parents; query: two distinct A nodes sharing
+  // the child B. Homomorphisms may map both A's to the same a; isomorphism
+  // may not.
+  Graph g = Graph::FromEdges({0, 0, 1}, {{0, 2}, {1, 2}});
+  PatternQuery q = PatternQuery::FromParts(
+      {0, 0, 1},
+      {{0, 2, EdgeKind::kChild}, {1, 2, EdgeKind::kChild}});
+  IsoResult iso = IsoEvaluate(g, q);
+  EXPECT_EQ(iso.status, EvalStatus::kOk);
+  EXPECT_EQ(iso.num_embeddings, 2u);  // (a0,a1), (a1,a0)
+  // Homomorphic count includes the folded assignments.
+  EXPECT_EQ(BruteForceAnswer(g, q).size(), 4u);
+}
+
+TEST(Iso, AgreesWithInjectiveBruteForceOnRandomInputs) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = GeneratePowerLaw({.num_nodes = 60, .num_edges = 240,
+                                .num_labels = 3, .seed = seed});
+    PatternQuery q = GenerateRandomQuery({.num_nodes = 4, .num_edges = 4,
+                                          .num_labels = 3,
+                                          .variant = QueryVariant::kChildOnly,
+                                          .seed = seed + 100});
+    IsoResult iso = IsoEvaluate(g, q);
+    ASSERT_EQ(iso.status, EvalStatus::kOk);
+    uint64_t expected = 0;
+    for (const auto& t : BruteForceAnswer(g, q)) {
+      std::set<NodeId> distinct(t.begin(), t.end());
+      if (distinct.size() == t.size()) ++expected;
+    }
+    EXPECT_EQ(iso.num_embeddings, expected) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine differential property: GM == JM == TM == (WCOJ with closure)
+// == brute force on random hybrid queries.
+// ---------------------------------------------------------------------------
+
+struct CrossCase {
+  const char* label;
+  uint64_t seed;
+  uint32_t q_nodes;
+  uint32_t q_edges;
+  QueryVariant variant;
+};
+
+class CrossEngineTest : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(CrossEngineTest, AllEnginesAgree) {
+  const CrossCase& p = GetParam();
+  Graph g = GeneratePowerLaw({.num_nodes = 60, .num_edges = 220,
+                              .num_labels = 4, .seed = p.seed});
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+  PatternQuery q = GenerateRandomQuery({.num_nodes = p.q_nodes,
+                                        .num_edges = p.q_edges,
+                                        .num_labels = 4,
+                                        .variant = p.variant,
+                                        .seed = p.seed * 3 + 11});
+
+  auto expected = BruteForceAnswer(g, q);
+
+  GmEngine gm(g);
+  EXPECT_EQ(Collect(gm.EvaluateCollect(q)), expected) << "GM";
+
+  std::vector<Occurrence> jm_tuples;
+  JmResult jm = JmEvaluate(ctx, q, JmOptions{}, [&](const Occurrence& t) {
+    jm_tuples.push_back(t);
+    return true;
+  });
+  ASSERT_EQ(jm.status, EvalStatus::kOk);
+  EXPECT_EQ(Collect(jm_tuples), expected) << "JM";
+
+  std::vector<Occurrence> tm_tuples;
+  TmResult tm = TmEvaluate(ctx, q, TmOptions{}, [&](const Occurrence& t) {
+    tm_tuples.push_back(t);
+    return true;
+  });
+  ASSERT_EQ(tm.status, EvalStatus::kOk);
+  EXPECT_EQ(Collect(tm_tuples), expected) << "TM";
+
+  WcojEngine wcoj(g);
+  ASSERT_EQ(wcoj.MaterializeClosure(1 << 28, nullptr), EvalStatus::kOk);
+  std::vector<Occurrence> wcoj_tuples;
+  WcojResult wr = wcoj.Evaluate(q, WcojOptions{}, [&](const Occurrence& t) {
+    wcoj_tuples.push_back(t);
+    return true;
+  });
+  ASSERT_EQ(wr.status, EvalStatus::kOk);
+  EXPECT_EQ(Collect(wcoj_tuples), expected) << "WCOJ";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CrossEngineTest,
+    ::testing::Values(
+        CrossCase{"hybrid_small", 1, 4, 4, QueryVariant::kHybrid},
+        CrossCase{"hybrid_cyclic", 2, 5, 7, QueryVariant::kHybrid},
+        CrossCase{"child_only", 3, 5, 6, QueryVariant::kChildOnly},
+        CrossCase{"desc_only", 4, 4, 4, QueryVariant::kDescendantOnly},
+        CrossCase{"hybrid_six", 5, 6, 8, QueryVariant::kHybrid},
+        CrossCase{"child_clique", 6, 4, 6, QueryVariant::kChildOnly}),
+    [](const ::testing::TestParamInfo<CrossCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace rigpm

@@ -1,0 +1,258 @@
+#include "bitmap/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace rigpm {
+namespace {
+
+TEST(Bitmap, StartsEmpty) {
+  Bitmap b;
+  EXPECT_TRUE(b.Empty());
+  EXPECT_EQ(b.Cardinality(), 0u);
+  EXPECT_FALSE(b.Contains(0));
+  EXPECT_EQ(b.ToVector(), std::vector<uint32_t>{});
+}
+
+TEST(Bitmap, AddContainsRemove) {
+  Bitmap b;
+  b.Add(5);
+  b.Add(100000);
+  b.Add(5);  // duplicate
+  EXPECT_EQ(b.Cardinality(), 2u);
+  EXPECT_TRUE(b.Contains(5));
+  EXPECT_TRUE(b.Contains(100000));
+  EXPECT_FALSE(b.Contains(6));
+  b.Remove(5);
+  EXPECT_FALSE(b.Contains(5));
+  EXPECT_EQ(b.Cardinality(), 1u);
+  b.Remove(5);  // removing absent value is a no-op
+  EXPECT_EQ(b.Cardinality(), 1u);
+}
+
+TEST(Bitmap, InitializerListAndFirst) {
+  Bitmap b = {42, 7, 99};
+  EXPECT_EQ(b.Cardinality(), 3u);
+  EXPECT_EQ(b.First(), 7u);
+}
+
+TEST(Bitmap, FromSortedMatchesAdds) {
+  std::vector<uint32_t> values = {1, 2, 70000, 70001, 1u << 20};
+  Bitmap a = Bitmap::FromSorted(values);
+  Bitmap b;
+  for (uint32_t v : values) b.Add(v);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitmap, FromUnsortedDeduplicates) {
+  std::vector<uint32_t> values = {5, 3, 5, 1, 3};
+  Bitmap b = Bitmap::FromUnsorted(values);
+  EXPECT_EQ(b.ToVector(), (std::vector<uint32_t>{1, 3, 5}));
+}
+
+TEST(Bitmap, FromRange) {
+  Bitmap b = Bitmap::FromRange(70000);  // spans two containers
+  EXPECT_EQ(b.Cardinality(), 70000u);
+  EXPECT_TRUE(b.Contains(0));
+  EXPECT_TRUE(b.Contains(69999));
+  EXPECT_FALSE(b.Contains(70000));
+  EXPECT_EQ(b.ContainerCount(), 2u);
+}
+
+TEST(Bitmap, ArrayPromotesToBitsetAndBack) {
+  Bitmap b;
+  for (uint32_t i = 0; i < Bitmap::kArrayCapacity + 10; ++i) b.Add(i * 2);
+  EXPECT_EQ(b.Cardinality(), Bitmap::kArrayCapacity + 10);
+  for (uint32_t i = 0; i < Bitmap::kArrayCapacity + 10; ++i) {
+    EXPECT_TRUE(b.Contains(i * 2));
+    EXPECT_FALSE(b.Contains(i * 2 + 1));
+  }
+  // Shrink back below the threshold; values must survive the conversion.
+  for (uint32_t i = 20; i < Bitmap::kArrayCapacity + 10; ++i) b.Remove(i * 2);
+  EXPECT_EQ(b.Cardinality(), 20u);
+  for (uint32_t i = 0; i < 20; ++i) EXPECT_TRUE(b.Contains(i * 2));
+}
+
+TEST(Bitmap, AndOrAndNotBasic) {
+  Bitmap a = {1, 2, 3, 100000};
+  Bitmap b = {2, 3, 4, 200000};
+  EXPECT_EQ(Bitmap::And(a, b).ToVector(), (std::vector<uint32_t>{2, 3}));
+  EXPECT_EQ(Bitmap::Or(a, b).ToVector(),
+            (std::vector<uint32_t>{1, 2, 3, 4, 100000, 200000}));
+  EXPECT_EQ(Bitmap::AndNot(a, b).ToVector(),
+            (std::vector<uint32_t>{1, 100000}));
+}
+
+TEST(Bitmap, IntersectsEarlyExit) {
+  Bitmap a = {1, 500000};
+  Bitmap b = {500000};
+  Bitmap c = {2, 600000};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(Bitmap().Intersects(a));
+}
+
+TEST(Bitmap, SubsetChecks) {
+  Bitmap small = {3, 70000};
+  Bitmap big = {1, 3, 70000, 70001};
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(Bitmap().IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+}
+
+TEST(Bitmap, AndManyPicksSmallestFirst) {
+  Bitmap a = Bitmap::FromRange(1000);
+  Bitmap b = {5, 10, 999, 2000};
+  Bitmap c = {10, 999};
+  std::vector<const Bitmap*> inputs = {&a, &b, &c};
+  EXPECT_EQ(Bitmap::AndMany(inputs).ToVector(),
+            (std::vector<uint32_t>{10, 999}));
+  EXPECT_TRUE(Bitmap::AndMany({}).Empty());
+}
+
+TEST(Bitmap, OrManyBalancedReduction) {
+  Bitmap a = {1};
+  Bitmap b = {2};
+  Bitmap c = {3};
+  Bitmap d = {70000};
+  Bitmap e = {5};
+  std::vector<const Bitmap*> inputs = {&a, &b, &c, &d, &e};
+  EXPECT_EQ(Bitmap::OrMany(inputs).ToVector(),
+            (std::vector<uint32_t>{1, 2, 3, 5, 70000}));
+}
+
+TEST(Bitmap, ForEachVisitsInOrder) {
+  Bitmap b = {9, 1, 70001, 70000};
+  std::vector<uint32_t> seen;
+  b.ForEach([&seen](uint32_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{1, 9, 70000, 70001}));
+}
+
+TEST(Bitmap, EqualityAcrossRepresentations) {
+  // Same contents, one built dense-then-shrunk (bitset path), one sparse.
+  Bitmap a;
+  for (uint32_t i = 0; i < 5000; ++i) a.Add(i);
+  for (uint32_t i = 10; i < 5000; ++i) a.Remove(i);
+  Bitmap b;
+  for (uint32_t i = 0; i < 10; ++i) b.Add(i);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitmap, MemoryBytesGrowsWithContent) {
+  Bitmap empty;
+  Bitmap loaded = Bitmap::FromRange(100000);
+  EXPECT_GT(loaded.MemoryBytes(), empty.MemoryBytes());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: every operation must agree with a std::set reference model
+// across sparse, dense, and clustered value distributions.
+// ---------------------------------------------------------------------------
+
+struct RandomParams {
+  uint32_t universe;
+  uint32_t inserts;
+  const char* label;
+};
+
+class BitmapPropertyTest : public ::testing::TestWithParam<RandomParams> {};
+
+TEST_P(BitmapPropertyTest, MatchesReferenceSet) {
+  const RandomParams p = GetParam();
+  std::mt19937_64 rng(p.universe * 31 + p.inserts);
+  std::uniform_int_distribution<uint32_t> dist(0, p.universe - 1);
+
+  Bitmap a_bm, b_bm;
+  std::set<uint32_t> a_ref, b_ref;
+  for (uint32_t i = 0; i < p.inserts; ++i) {
+    uint32_t va = dist(rng), vb = dist(rng);
+    a_bm.Add(va);
+    a_ref.insert(va);
+    b_bm.Add(vb);
+    b_ref.insert(vb);
+  }
+  // Random deletions on a.
+  for (uint32_t i = 0; i < p.inserts / 4; ++i) {
+    uint32_t v = dist(rng);
+    a_bm.Remove(v);
+    a_ref.erase(v);
+  }
+
+  EXPECT_EQ(a_bm.Cardinality(), a_ref.size());
+  EXPECT_EQ(a_bm.ToVector(),
+            std::vector<uint32_t>(a_ref.begin(), a_ref.end()));
+
+  auto check = [](const Bitmap& got, const std::set<uint32_t>& want) {
+    EXPECT_EQ(got.ToVector(), std::vector<uint32_t>(want.begin(), want.end()));
+  };
+  std::set<uint32_t> and_ref, or_ref, andnot_ref;
+  std::set_intersection(a_ref.begin(), a_ref.end(), b_ref.begin(), b_ref.end(),
+                        std::inserter(and_ref, and_ref.begin()));
+  std::set_union(a_ref.begin(), a_ref.end(), b_ref.begin(), b_ref.end(),
+                 std::inserter(or_ref, or_ref.begin()));
+  std::set_difference(a_ref.begin(), a_ref.end(), b_ref.begin(), b_ref.end(),
+                      std::inserter(andnot_ref, andnot_ref.begin()));
+  check(Bitmap::And(a_bm, b_bm), and_ref);
+  check(Bitmap::Or(a_bm, b_bm), or_ref);
+  check(Bitmap::AndNot(a_bm, b_bm), andnot_ref);
+  EXPECT_EQ(a_bm.Intersects(b_bm), !and_ref.empty());
+  EXPECT_EQ(Bitmap::And(a_bm, b_bm) == a_bm, a_bm.IsSubsetOf(b_bm));
+
+  // In-place ops agree with the static ones.
+  Bitmap c = a_bm;
+  c.AndWith(b_bm);
+  check(c, and_ref);
+  c = a_bm;
+  c.OrWith(b_bm);
+  check(c, or_ref);
+  c = a_bm;
+  c.AndNotWith(b_bm);
+  check(c, andnot_ref);
+
+  // Membership spot checks.
+  for (uint32_t i = 0; i < 100; ++i) {
+    uint32_t v = dist(rng);
+    EXPECT_EQ(a_bm.Contains(v), a_ref.count(v) > 0) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, BitmapPropertyTest,
+    ::testing::Values(RandomParams{1u << 8, 200, "tiny_dense"},
+                      RandomParams{1u << 16, 1000, "one_container_sparse"},
+                      RandomParams{1u << 16, 30000, "one_container_dense"},
+                      RandomParams{1u << 22, 5000, "many_containers_sparse"},
+                      RandomParams{1u << 18, 120000, "mixed_kinds"}),
+    [](const ::testing::TestParamInfo<RandomParams>& info) {
+      return info.param.label;
+    });
+
+TEST(BitmapProperty, MultiwayAgreesWithFolds) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<uint32_t> dist(0, 1u << 18);
+  std::vector<Bitmap> bitmaps(6);
+  for (auto& b : bitmaps) {
+    for (int i = 0; i < 3000; ++i) b.Add(dist(rng));
+    b.Add(12345);  // common element so AndMany is non-empty
+  }
+  std::vector<const Bitmap*> ptrs;
+  for (auto& b : bitmaps) ptrs.push_back(&b);
+
+  Bitmap and_fold = bitmaps[0];
+  Bitmap or_fold = bitmaps[0];
+  for (size_t i = 1; i < bitmaps.size(); ++i) {
+    and_fold.AndWith(bitmaps[i]);
+    or_fold.OrWith(bitmaps[i]);
+  }
+  EXPECT_EQ(Bitmap::AndMany(ptrs), and_fold);
+  EXPECT_EQ(Bitmap::OrMany(ptrs), or_fold);
+  EXPECT_TRUE(and_fold.Contains(12345));
+}
+
+}  // namespace
+}  // namespace rigpm

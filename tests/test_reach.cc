@@ -1,0 +1,152 @@
+#include "reach/reachability.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "reach/bfl_index.h"
+#include "reach/transitive_closure.h"
+#include "test_util.h"
+
+namespace rigpm {
+namespace {
+
+using ::rigpm::testing::SlowReaches;
+
+TEST(Reachability, KindNames) {
+  EXPECT_STREQ(ReachKindName(ReachKind::kBfs), "BFS");
+  EXPECT_STREQ(ReachKindName(ReachKind::kTransitiveClosure), "TC");
+  EXPECT_STREQ(ReachKindName(ReachKind::kBfl), "BFL");
+}
+
+TEST(Reachability, PathSemantics) {
+  // 0 -> 1 -> 2; reachability requires >= 1 edge, so 0 does not reach 0.
+  Graph g = Graph::FromEdges({0, 0, 0}, {{0, 1}, {1, 2}});
+  for (ReachKind kind :
+       {ReachKind::kBfs, ReachKind::kTransitiveClosure, ReachKind::kBfl}) {
+    auto idx = BuildReachabilityIndex(g, kind);
+    EXPECT_TRUE(idx->Reaches(0, 1)) << idx->Name();
+    EXPECT_TRUE(idx->Reaches(0, 2)) << idx->Name();
+    EXPECT_TRUE(idx->Reaches(1, 2)) << idx->Name();
+    EXPECT_FALSE(idx->Reaches(2, 0)) << idx->Name();
+    EXPECT_FALSE(idx->Reaches(0, 0)) << idx->Name();
+  }
+}
+
+TEST(Reachability, CycleMakesSelfReachable) {
+  Graph g = Graph::FromEdges({0, 0, 0}, {{0, 1}, {1, 0}, {1, 2}});
+  for (ReachKind kind :
+       {ReachKind::kBfs, ReachKind::kTransitiveClosure, ReachKind::kBfl}) {
+    auto idx = BuildReachabilityIndex(g, kind);
+    EXPECT_TRUE(idx->Reaches(0, 0)) << idx->Name();
+    EXPECT_TRUE(idx->Reaches(1, 1)) << idx->Name();
+    EXPECT_FALSE(idx->Reaches(2, 2)) << idx->Name();
+    EXPECT_TRUE(idx->Reaches(0, 2)) << idx->Name();
+  }
+}
+
+TEST(Reachability, SelfLoop) {
+  Graph g = Graph::FromEdges({0, 0}, {{0, 0}, {0, 1}});
+  for (ReachKind kind :
+       {ReachKind::kBfs, ReachKind::kTransitiveClosure, ReachKind::kBfl}) {
+    auto idx = BuildReachabilityIndex(g, kind);
+    EXPECT_TRUE(idx->Reaches(0, 0)) << idx->Name();
+    EXPECT_FALSE(idx->Reaches(1, 1)) << idx->Name();
+  }
+}
+
+struct ReachCase {
+  const char* label;
+  bool dag;
+  uint32_t nodes;
+  uint64_t edges;
+  uint64_t seed;
+};
+
+class ReachPropertyTest : public ::testing::TestWithParam<ReachCase> {};
+
+// Differential property: all three index kinds must agree with plain DFS on
+// every node pair.
+TEST_P(ReachPropertyTest, AllIndexesAgreeWithDfs) {
+  const ReachCase& p = GetParam();
+  GeneratorOptions opts{.num_nodes = p.nodes, .num_edges = p.edges,
+                        .num_labels = 3, .seed = p.seed};
+  Graph g = p.dag ? GenerateRandomDag(opts) : GeneratePowerLaw(opts);
+
+  auto bfs = BuildReachabilityIndex(g, ReachKind::kBfs);
+  auto tc = BuildReachabilityIndex(g, ReachKind::kTransitiveClosure);
+  auto bfl = BuildReachabilityIndex(g, ReachKind::kBfl);
+
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      bool expected = SlowReaches(g, u, v);
+      ASSERT_EQ(bfs->Reaches(u, v), expected) << "BFS " << u << "->" << v;
+      ASSERT_EQ(tc->Reaches(u, v), expected) << "TC " << u << "->" << v;
+      ASSERT_EQ(bfl->Reaches(u, v), expected) << "BFL " << u << "->" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ReachPropertyTest,
+    ::testing::Values(ReachCase{"dag_sparse", true, 60, 100, 1},
+                      ReachCase{"dag_dense", true, 50, 400, 2},
+                      ReachCase{"cyclic_sparse", false, 60, 120, 3},
+                      ReachCase{"cyclic_dense", false, 50, 500, 4},
+                      ReachCase{"deep_chain", true, 80, 90, 5}),
+    [](const ::testing::TestParamInfo<ReachCase>& info) {
+      return info.param.label;
+    });
+
+TEST(BflIndex, CutsDecideMostPairsOnDags) {
+  Graph g = GenerateRandomDag({.num_nodes = 300, .num_edges = 900,
+                               .num_labels = 3, .seed = 11});
+  BflIndex bfl(g);
+  uint64_t decided = 0, total = 0;
+  for (NodeId u = 0; u < g.NumNodes(); u += 3) {
+    for (NodeId v = 0; v < g.NumNodes(); v += 3) {
+      bool unused = false;
+      ++total;
+      if (bfl.DecidedByCuts(u, v, &unused)) ++decided;
+    }
+  }
+  // The labels should answer the vast majority of random pairs without DFS.
+  EXPECT_GT(decided * 10, total * 9);
+}
+
+TEST(BflIndex, SmallBloomWidthStillExact) {
+  // Narrow Bloom labels cause more collisions but never wrong answers.
+  Graph g = GeneratePowerLaw({.num_nodes = 120, .num_edges = 500,
+                              .num_labels = 3, .seed = 13});
+  BflIndex narrow(g, /*bits=*/16);
+  for (NodeId u = 0; u < g.NumNodes(); u += 2) {
+    for (NodeId v = 0; v < g.NumNodes(); v += 2) {
+      EXPECT_EQ(narrow.Reaches(u, v), SlowReaches(g, u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(TransitiveClosure, ReachableNodeSetMatchesDfs) {
+  Graph g = GeneratePowerLaw({.num_nodes = 70, .num_edges = 250,
+                              .num_labels = 3, .seed = 23});
+  TransitiveClosure tc(g);
+  for (NodeId u = 0; u < g.NumNodes(); u += 5) {
+    Bitmap set = tc.ReachableNodeSet(u, g);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(set.Contains(v), SlowReaches(g, u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(Reachability, MemoryReporting) {
+  Graph g = GenerateErdosRenyi({.num_nodes = 200, .num_edges = 600,
+                                .num_labels = 3, .seed = 3});
+  for (ReachKind kind :
+       {ReachKind::kBfs, ReachKind::kTransitiveClosure, ReachKind::kBfl}) {
+    auto idx = BuildReachabilityIndex(g, kind);
+    EXPECT_GT(idx->MemoryBytes(), 0u) << idx->Name();
+  }
+}
+
+}  // namespace
+}  // namespace rigpm

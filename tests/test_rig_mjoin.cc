@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "enumerate/mjoin.h"
+#include "graph/generators.h"
+#include "order/search_order.h"
+#include "query/query_generator.h"
+#include "rig/rig_builder.h"
+#include "test_util.h"
+
+namespace rigpm {
+namespace {
+
+using ::rigpm::testing::BruteForceAnswer;
+using ::rigpm::testing::PaperExample;
+
+class RigFixture : public ::testing::Test {
+ protected:
+  RigFixture()
+      : graph_(PaperExample::MakeGraph()),
+        query_(PaperExample::MakeQuery()),
+        reach_(BuildReachabilityIndex(graph_, ReachKind::kBfl)),
+        ctx_(graph_, *reach_),
+        cond_(graph_),
+        intervals_(graph_, cond_) {}
+
+  Graph graph_;
+  PatternQuery query_;
+  std::unique_ptr<ReachabilityIndex> reach_;
+  MatchContext ctx_;
+  Condensation cond_;
+  IntervalLabels intervals_;
+};
+
+// The refined RIG of Fig. 2(e): node sets equal FB, and the (B,C) edge set
+// contains the redundant pair (b2, c1) that only MJoin filters out.
+TEST_F(RigFixture, PaperExampleRefinedRig) {
+  Rig rig = BuildRigFromMatchSets(ctx_, query_, RigBuildOptions{}, &intervals_);
+  EXPECT_EQ(rig.Cos(0).ToVector(),
+            (std::vector<NodeId>{PaperExample::a1, PaperExample::a2}));
+  EXPECT_EQ(rig.Cos(1).ToVector(),
+            (std::vector<NodeId>{PaperExample::b0, PaperExample::b2}));
+  EXPECT_EQ(rig.Cos(2).ToVector(),
+            (std::vector<NodeId>{PaperExample::c0, PaperExample::c1,
+                                 PaperExample::c2}));
+
+  // Edge (A,B): exactly the occurrence pairs.
+  EXPECT_EQ(rig.Forward(0, PaperExample::a1).ToVector(),
+            (std::vector<NodeId>{PaperExample::b0}));
+  EXPECT_EQ(rig.Forward(0, PaperExample::a2).ToVector(),
+            (std::vector<NodeId>{PaperExample::b2}));
+  // Edge (B,C): b2's adjacency includes the redundant c1.
+  EXPECT_EQ(rig.Forward(2, PaperExample::b2).ToVector(),
+            (std::vector<NodeId>{PaperExample::c0, PaperExample::c1,
+                                 PaperExample::c2}));
+  EXPECT_EQ(rig.EdgeCount(0), 2u);
+  EXPECT_EQ(rig.EdgeCount(2), 5u);  // (b0,c0),(b0,c1),(b2,c0),(b2,c1),(b2,c2)
+  EXPECT_EQ(rig.TotalNodes(), 7u);
+  EXPECT_GT(rig.MemoryBytes(), 0u);
+  EXPECT_FALSE(rig.AnyEmpty());
+}
+
+// Proposition 4.1 (losslessness): every homomorphism edge image is a RIG
+// edge, in both the refined and the match RIG.
+TEST_F(RigFixture, Proposition41Losslessness) {
+  RigBuildOptions match_only;
+  match_only.skip_simulation = true;  // match RIG G^m_Q
+  Rig match_rig = BuildRigFromMatchSets(ctx_, query_, match_only);
+  Rig refined = BuildRigFromMatchSets(ctx_, query_, RigBuildOptions{});
+
+  auto answer = BruteForceAnswer(graph_, query_);
+  ASSERT_FALSE(answer.empty());
+  for (const auto& h : answer) {
+    for (QueryEdgeId e = 0; e < query_.NumEdges(); ++e) {
+      const QueryEdge& edge = query_.Edge(e);
+      EXPECT_TRUE(match_rig.Forward(e, h[edge.from]).Contains(h[edge.to]));
+      EXPECT_TRUE(refined.Forward(e, h[edge.from]).Contains(h[edge.to]));
+      EXPECT_TRUE(refined.Backward(e, h[edge.to]).Contains(h[edge.from]));
+    }
+  }
+  // The refined RIG is no larger than the match RIG.
+  EXPECT_LE(refined.Size(), match_rig.Size());
+}
+
+TEST_F(RigFixture, MJoinProducesPaperAnswer) {
+  Rig rig = BuildRigFromMatchSets(ctx_, query_, RigBuildOptions{}, &intervals_);
+  std::vector<QueryNodeId> order =
+      ComputeSearchOrder(query_, rig, OrderStrategy::kJO);
+  MJoinStats stats;
+  auto tuples = MJoinCollect(query_, rig, order, MJoinOptions{}, &stats);
+  std::set<std::vector<NodeId>> got(tuples.begin(), tuples.end());
+  EXPECT_EQ(got, PaperExample::ExpectedAnswer());
+  EXPECT_EQ(stats.occurrences, 4u);
+  EXPECT_GT(stats.intersections, 0u);
+}
+
+TEST_F(RigFixture, MJoinAnswerIndependentOfOrderStrategy) {
+  Rig rig = BuildRigFromMatchSets(ctx_, query_, RigBuildOptions{}, &intervals_);
+  std::set<std::vector<NodeId>> expected = PaperExample::ExpectedAnswer();
+  for (OrderStrategy s :
+       {OrderStrategy::kJO, OrderStrategy::kRI, OrderStrategy::kBJ}) {
+    auto order = ComputeSearchOrder(query_, rig, s);
+    auto tuples = MJoinCollect(query_, rig, order);
+    EXPECT_EQ(std::set<std::vector<NodeId>>(tuples.begin(), tuples.end()),
+              expected)
+        << OrderStrategyName(s);
+  }
+}
+
+TEST_F(RigFixture, MJoinLimitStopsEarly) {
+  Rig rig = BuildRigFromMatchSets(ctx_, query_, RigBuildOptions{});
+  std::vector<QueryNodeId> order =
+      ComputeSearchOrder(query_, rig, OrderStrategy::kJO);
+  MJoinOptions opts;
+  opts.limit = 2;
+  EXPECT_EQ(MJoinCount(query_, rig, order, opts), 2u);
+}
+
+TEST_F(RigFixture, MJoinSinkCanAbort) {
+  Rig rig = BuildRigFromMatchSets(ctx_, query_, RigBuildOptions{});
+  std::vector<QueryNodeId> order =
+      ComputeSearchOrder(query_, rig, OrderStrategy::kJO);
+  uint64_t seen = 0;
+  MJoin(query_, rig, order, [&seen](const Occurrence&) {
+    ++seen;
+    return false;  // stop immediately
+  });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST_F(RigFixture, EarlyTerminationMatchesPlainExpansion) {
+  RigBuildOptions with_cutoff;
+  with_cutoff.early_termination = true;
+  RigBuildOptions without;
+  without.early_termination = false;
+  Rig a = BuildRigFromMatchSets(ctx_, query_, with_cutoff, &intervals_);
+  Rig b = BuildRigFromMatchSets(ctx_, query_, without, nullptr);
+  EXPECT_EQ(a.TotalEdges(), b.TotalEdges());
+  for (QueryEdgeId e = 0; e < query_.NumEdges(); ++e) {
+    EXPECT_EQ(a.EdgeCount(e), b.EdgeCount(e)) << e;
+  }
+}
+
+TEST(Rig, EmptyCosShortCircuitsEverything) {
+  // Query label 3 does not exist in the data.
+  Graph g = Graph::FromEdges({0, 1}, {{0, 1}});
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+  PatternQuery q = PatternQuery::FromParts(
+      {0, 3}, {{0, 1, EdgeKind::kChild}});
+  RigBuildStats stats;
+  Rig rig = BuildRigFromMatchSets(ctx, q, RigBuildOptions{}, nullptr, &stats);
+  EXPECT_TRUE(rig.AnyEmpty());
+  EXPECT_EQ(rig.TotalEdges(), 0u);
+  EXPECT_EQ(stats.expand_pair_checks, 0u);  // expansion was skipped
+  std::vector<QueryNodeId> order = {0, 1};
+  EXPECT_EQ(MJoinCount(q, rig, order), 0u);
+}
+
+TEST(Rig, PruneIsolatedRemovesDeadCandidates) {
+  Graph g = PaperExample::MakeGraph();
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+  PatternQuery q = PaperExample::MakeQuery();
+  // Build the *match* RIG (no simulation): it contains candidates like a0
+  // that have no (A,B) edge; prune_isolated must remove them.
+  RigBuildOptions opts;
+  opts.skip_simulation = true;
+  opts.prune_isolated = true;
+  Rig rig = BuildRigFromMatchSets(ctx, q, opts);
+  EXPECT_FALSE(rig.Cos(0).Contains(PaperExample::a0));
+  EXPECT_FALSE(rig.Cos(1).Contains(PaperExample::b1));
+  EXPECT_FALSE(rig.Cos(1).Contains(PaperExample::b3));
+}
+
+// --- Search orders.
+
+TEST_F(RigFixture, OrdersArePermutationsWithConnectedPrefixes) {
+  Rig rig = BuildRigFromMatchSets(ctx_, query_, RigBuildOptions{});
+  for (OrderStrategy s :
+       {OrderStrategy::kJO, OrderStrategy::kRI, OrderStrategy::kBJ}) {
+    auto order = ComputeSearchOrder(query_, rig, s);
+    ASSERT_EQ(order.size(), query_.NumNodes()) << OrderStrategyName(s);
+    std::set<QueryNodeId> seen;
+    for (uint32_t i = 0; i < order.size(); ++i) {
+      EXPECT_TRUE(seen.insert(order[i]).second);
+      if (i > 0) {
+        bool connected = false;
+        for (uint32_t j = 0; j < i && !connected; ++j) {
+          connected = query_.HasEdgeBetween(order[i], order[j]) ||
+                      query_.HasEdgeBetween(order[j], order[i]);
+        }
+        EXPECT_TRUE(connected)
+            << OrderStrategyName(s) << " position " << i;
+      }
+    }
+  }
+}
+
+TEST_F(RigFixture, JoStartsAtSmallestCandidateSet) {
+  Rig rig = BuildRigFromMatchSets(ctx_, query_, RigBuildOptions{});
+  auto order = ComputeSearchOrder(query_, rig, OrderStrategy::kJO);
+  // cos(A) and cos(B) both have 2 nodes; cos(C) has 3. The start node must
+  // be one of the minimum-cardinality ones.
+  EXPECT_LE(rig.Cos(order[0]).Cardinality(), rig.Cos(order[1]).Cardinality());
+  EXPECT_LE(rig.Cos(order[0]).Cardinality(), rig.Cos(order[2]).Cardinality());
+}
+
+TEST_F(RigFixture, BjReportsPlanCount) {
+  Rig rig = BuildRigFromMatchSets(ctx_, query_, RigBuildOptions{});
+  OrderStats stats;
+  ComputeSearchOrder(query_, rig, OrderStrategy::kBJ, &stats);
+  EXPECT_GT(stats.plans_considered, 0u);
+  EXPECT_FALSE(stats.fell_back_to_jo);
+}
+
+TEST(SearchOrder, BjFallsBackOnHugeQueries) {
+  // 24-node path query exceeds the BJ subset-DP bound.
+  std::vector<LabelId> labels(24, 0);
+  std::vector<QueryEdge> edges;
+  for (QueryNodeId i = 0; i + 1 < 24; ++i) {
+    edges.push_back({i, i + 1, EdgeKind::kChild});
+  }
+  PatternQuery q = PatternQuery::FromParts(labels, edges);
+  Graph g = Graph::FromEdges({0, 0}, {{0, 1}});
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+  Rig rig = BuildRigFromMatchSets(ctx, q, RigBuildOptions{});
+  OrderStats stats;
+  auto order = ComputeSearchOrder(q, rig, OrderStrategy::kBJ, &stats);
+  EXPECT_TRUE(stats.fell_back_to_jo);
+  EXPECT_EQ(order.size(), 24u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential property: RIG + MJoin equals brute force on random inputs.
+// ---------------------------------------------------------------------------
+
+struct EndToEndCase {
+  const char* label;
+  uint64_t seed;
+  uint32_t q_nodes;
+  uint32_t q_edges;
+  bool dag_data;
+};
+
+class RigMJoinPropertyTest : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(RigMJoinPropertyTest, MatchesBruteForce) {
+  const EndToEndCase& p = GetParam();
+  GeneratorOptions gopts{.num_nodes = 50, .num_edges = 170, .num_labels = 4,
+                         .seed = p.seed};
+  Graph g = p.dag_data ? GenerateRandomDag(gopts) : GeneratePowerLaw(gopts);
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+  Condensation cond(g);
+  IntervalLabels intervals(g, cond);
+
+  PatternQuery q = GenerateRandomQuery({.num_nodes = p.q_nodes,
+                                        .num_edges = p.q_edges,
+                                        .num_labels = 4,
+                                        .variant = QueryVariant::kHybrid,
+                                        .seed = p.seed * 31 + 5});
+  Rig rig = BuildRigFromMatchSets(ctx, q, RigBuildOptions{}, &intervals);
+  auto order = ComputeSearchOrder(q, rig, OrderStrategy::kJO);
+  auto tuples = MJoinCollect(q, rig, order);
+  std::set<std::vector<NodeId>> got(tuples.begin(), tuples.end());
+  EXPECT_EQ(got.size(), tuples.size()) << "MJoin produced duplicates";
+  EXPECT_EQ(got, BruteForceAnswer(g, q));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RigMJoinPropertyTest,
+    ::testing::Values(EndToEndCase{"tree4", 1, 4, 3, true},
+                      EndToEndCase{"diamond", 2, 4, 4, false},
+                      EndToEndCase{"five_dense", 3, 5, 8, false},
+                      EndToEndCase{"six_sparse", 4, 6, 6, true},
+                      EndToEndCase{"clique4", 5, 4, 6, false},
+                      EndToEndCase{"seven", 6, 7, 9, true},
+                      EndToEndCase{"another", 7, 5, 6, false},
+                      EndToEndCase{"eighth", 8, 6, 9, false}),
+    [](const ::testing::TestParamInfo<EndToEndCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace rigpm

@@ -1,0 +1,250 @@
+#include "sim/fbsim.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "query/query_generator.h"
+#include "sim/fbsim_bas.h"
+#include "sim/fbsim_dag.h"
+#include "sim/prefilter.h"
+#include "test_util.h"
+
+namespace rigpm {
+namespace {
+
+using ::rigpm::testing::BruteForceAnswer;
+using ::rigpm::testing::PaperExample;
+
+std::vector<NodeId> Sorted(const Bitmap& b) { return b.ToVector(); }
+
+class SimFixture : public ::testing::Test {
+ protected:
+  SimFixture()
+      : graph_(PaperExample::MakeGraph()),
+        query_(PaperExample::MakeQuery()),
+        reach_(BuildReachabilityIndex(graph_, ReachKind::kBfl)),
+        ctx_(graph_, *reach_) {}
+
+  Graph graph_;
+  PatternQuery query_;
+  std::unique_ptr<ReachabilityIndex> reach_;
+  MatchContext ctx_;
+};
+
+// Table 1 of the paper: F, B and FB simulations of Q on G.
+TEST_F(SimFixture, Table1ForwardSimulation) {
+  CandidateSets f = ForwardSimulation(ctx_, query_);
+  EXPECT_EQ(Sorted(f[0]), (std::vector<NodeId>{PaperExample::a1,
+                                               PaperExample::a2}));
+  EXPECT_EQ(Sorted(f[1]),
+            (std::vector<NodeId>{PaperExample::b0, PaperExample::b1,
+                                 PaperExample::b2}));
+  EXPECT_EQ(Sorted(f[2]),
+            (std::vector<NodeId>{PaperExample::c0, PaperExample::c1,
+                                 PaperExample::c2}));
+}
+
+TEST_F(SimFixture, Table1BackwardSimulation) {
+  CandidateSets b = BackwardSimulation(ctx_, query_);
+  EXPECT_EQ(Sorted(b[0]),
+            (std::vector<NodeId>{PaperExample::a0, PaperExample::a1,
+                                 PaperExample::a2}));
+  EXPECT_EQ(Sorted(b[1]),
+            (std::vector<NodeId>{PaperExample::b0, PaperExample::b2,
+                                 PaperExample::b3}));
+  EXPECT_EQ(Sorted(b[2]),
+            (std::vector<NodeId>{PaperExample::c0, PaperExample::c1,
+                                 PaperExample::c2}));
+}
+
+TEST_F(SimFixture, Table1DoubleSimulation) {
+  for (SimAlgorithm alg :
+       {SimAlgorithm::kBas, SimAlgorithm::kDag, SimAlgorithm::kDagMap}) {
+    CandidateSets fb = ComputeDoubleSimulation(ctx_, query_, alg);
+    EXPECT_EQ(Sorted(fb[0]), (std::vector<NodeId>{PaperExample::a1,
+                                                  PaperExample::a2}))
+        << SimAlgorithmName(alg);
+    EXPECT_EQ(Sorted(fb[1]), (std::vector<NodeId>{PaperExample::b0,
+                                                  PaperExample::b2}))
+        << SimAlgorithmName(alg);
+    EXPECT_EQ(Sorted(fb[2]),
+              (std::vector<NodeId>{PaperExample::c0, PaperExample::c1,
+                                   PaperExample::c2}))
+        << SimAlgorithmName(alg);
+  }
+}
+
+TEST_F(SimFixture, AllChildCheckModesAgree) {
+  for (ChildCheckMode mode :
+       {ChildCheckMode::kBinSearch, ChildCheckMode::kBitIter,
+        ChildCheckMode::kBitBat}) {
+    SimOptions opts;
+    opts.child_check = mode;
+    opts.batch_reachability = (mode == ChildCheckMode::kBitBat);
+    CandidateSets fb = FBSimBas(ctx_, query_, opts);
+    EXPECT_EQ(Sorted(fb[1]), (std::vector<NodeId>{PaperExample::b0,
+                                                  PaperExample::b2}))
+        << ChildCheckModeName(mode);
+  }
+}
+
+TEST_F(SimFixture, StatsArePopulated) {
+  SimStats stats;
+  FBSimBas(ctx_, query_, SimOptions{}, &stats);
+  EXPECT_GE(stats.passes, 1);
+  EXPECT_GT(stats.pair_checks, 0u);
+  EXPECT_GT(stats.pruned_nodes, 0u);  // a0, b1, b3 are pruned
+}
+
+TEST_F(SimFixture, PassCapIsSoundApproximation) {
+  SimOptions capped;
+  capped.max_passes = 1;
+  CandidateSets approx = FBSimBas(ctx_, query_, capped);
+  CandidateSets exact = FBSimBas(ctx_, query_, SimOptions{});
+  for (QueryNodeId v = 0; v < query_.NumNodes(); ++v) {
+    EXPECT_TRUE(exact[v].IsSubsetOf(approx[v])) << v;
+  }
+}
+
+// Empty-answer early termination (the Fig. 4/5 behaviour): a query whose
+// label exists but whose structure has no match must yield an all-empty FB.
+TEST(Sim, EmptyAnswerDetected) {
+  // Data: a -> b only. Query: a -> b -> c with c's label present but never
+  // below a b.
+  Graph g = Graph::FromEdges({0, 1, 2}, {{0, 1}});
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+  PatternQuery q = PatternQuery::FromParts(
+      {0, 1, 2},
+      {{0, 1, EdgeKind::kChild}, {1, 2, EdgeKind::kDescendant}});
+  CandidateSets fb = FBSim(ctx, q);
+  for (const Bitmap& b : fb) EXPECT_TRUE(b.Empty());
+}
+
+TEST(Sim, PreFilterWeakerThanDoubleSim) {
+  Graph g = PaperExample::MakeGraph();
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+  PatternQuery q = PaperExample::MakeQuery();
+  CandidateSets pre = PreFilter(ctx, q);
+  CandidateSets fb = FBSimBas(ctx, q);
+  for (QueryNodeId v = 0; v < q.NumNodes(); ++v) {
+    EXPECT_TRUE(fb[v].IsSubsetOf(pre[v])) << v;
+  }
+}
+
+TEST(Sim, BatchBfsHelpersMatchDefinition) {
+  Graph g = PaperExample::MakeGraph();
+  Bitmap targets = {PaperExample::c0};
+  Bitmap reaching = NodesReaching(g, targets);
+  // Everything with a path into c0.
+  EXPECT_TRUE(reaching.Contains(PaperExample::b0));
+  EXPECT_TRUE(reaching.Contains(PaperExample::b1));
+  EXPECT_TRUE(reaching.Contains(PaperExample::b2));
+  EXPECT_TRUE(reaching.Contains(PaperExample::a1));
+  EXPECT_FALSE(reaching.Contains(PaperExample::b3));
+  EXPECT_FALSE(reaching.Contains(PaperExample::c0));  // no cycle
+
+  Bitmap sources = {PaperExample::b2};
+  Bitmap reachable = NodesReachableFrom(g, sources);
+  EXPECT_EQ(Sorted(reachable),
+            (std::vector<NodeId>{PaperExample::b0, PaperExample::c0,
+                                 PaperExample::c1, PaperExample::c2}));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests on random graph/query pairs.
+// ---------------------------------------------------------------------------
+
+struct SimCase {
+  const char* label;
+  uint64_t seed;
+  uint32_t q_nodes;
+  uint32_t q_edges;
+  bool dag_data;
+};
+
+class SimPropertyTest : public ::testing::TestWithParam<SimCase> {};
+
+// Invariants (Section 4.2): os(q) ⊆ FB(q) ⊆ ms(q), all algorithms compute
+// the same (unique) double simulation, and the simulation is a fixpoint.
+TEST_P(SimPropertyTest, Invariants) {
+  const SimCase& p = GetParam();
+  GeneratorOptions gopts{.num_nodes = 60, .num_edges = 200, .num_labels = 4,
+                         .seed = p.seed};
+  Graph g = p.dag_data ? GenerateRandomDag(gopts) : GeneratePowerLaw(gopts);
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+
+  PatternQuery q = GenerateRandomQuery({.num_nodes = p.q_nodes,
+                                        .num_edges = p.q_edges,
+                                        .num_labels = 4,
+                                        .variant = QueryVariant::kHybrid,
+                                        .seed = p.seed * 7 + 1});
+
+  CandidateSets bas = FBSimBas(ctx, q);
+  CandidateSets dag = ComputeDoubleSimulation(ctx, q, SimAlgorithm::kDag);
+  CandidateSets tuned = ComputeDoubleSimulation(ctx, q, SimAlgorithm::kDagMap);
+  CandidateSets ms = InitialMatchSets(g, q);
+
+  // Occurrence sets from the brute-force answer.
+  auto answer = BruteForceAnswer(g, q);
+  CandidateSets os(q.NumNodes());
+  for (const auto& tuple : answer) {
+    for (QueryNodeId v = 0; v < q.NumNodes(); ++v) os[v].Add(tuple[v]);
+  }
+
+  for (QueryNodeId v = 0; v < q.NumNodes(); ++v) {
+    EXPECT_EQ(bas[v], dag[v]) << "node " << v;
+    EXPECT_EQ(bas[v], tuned[v]) << "node " << v;
+    EXPECT_TRUE(os[v].IsSubsetOf(bas[v])) << "os ⊄ FB at node " << v;
+    EXPECT_TRUE(bas[v].IsSubsetOf(ms[v])) << "FB ⊄ ms at node " << v;
+  }
+
+  // Fixpoint: re-running any prune pass changes nothing.
+  CandidateSets again = bas;
+  SimOptions opts;
+  bool changed = false;
+  for (const QueryEdge& e : q.Edges()) {
+    changed |= ForwardPruneEdge(ctx, e, &again[e.from], again[e.to], opts,
+                                nullptr);
+    changed |= BackwardPruneEdge(ctx, e, again[e.from], &again[e.to], opts,
+                                 nullptr);
+  }
+  EXPECT_FALSE(changed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SimPropertyTest,
+    ::testing::Values(SimCase{"small_tree_dag", 1, 4, 3, true},
+                      SimCase{"diamond_dag", 2, 4, 4, true},
+                      SimCase{"six_node_cyclic_data", 3, 6, 8, false},
+                      SimCase{"dense_query", 4, 5, 9, false},
+                      SimCase{"larger_query", 5, 8, 12, true},
+                      SimCase{"another_seed", 6, 6, 7, false}),
+    [](const ::testing::TestParamInfo<SimCase>& info) {
+      return info.param.label;
+    });
+
+// Directed-cyclic queries must go through the Dag+Δ path and still agree
+// with the baseline.
+TEST(Sim, CyclicQueryDagDeltaAgreesWithBas) {
+  Graph g = GeneratePowerLaw({.num_nodes = 80, .num_edges = 320,
+                              .num_labels = 3, .seed = 10});
+  auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
+  MatchContext ctx(g, *reach);
+  // Directed 3-cycle query.
+  PatternQuery q = PatternQuery::FromParts(
+      {0, 1, 2},
+      {{0, 1, EdgeKind::kChild},
+       {1, 2, EdgeKind::kDescendant},
+       {2, 0, EdgeKind::kDescendant}});
+  CandidateSets bas = FBSimBas(ctx, q);
+  CandidateSets delta = FBSim(ctx, q);
+  for (QueryNodeId v = 0; v < q.NumNodes(); ++v) {
+    EXPECT_EQ(bas[v], delta[v]) << v;
+  }
+}
+
+}  // namespace
+}  // namespace rigpm
