@@ -1,6 +1,7 @@
 #ifndef RIGPM_BENCH_UTIL_WORKLOADS_H_
 #define RIGPM_BENCH_UTIL_WORKLOADS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,0 +1,64 @@
+#ifndef RIGPM_ENGINE_EVAL_CONTEXT_H_
+#define RIGPM_ENGINE_EVAL_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/pipeline.h"
+#include "graph/interval_labels.h"
+#include "reach/reachability.h"
+#include "sim/match_sets.h"
+
+namespace rigpm {
+
+/// Per-worker evaluation scratch. One EvalContext binds a (graph,
+/// reachability index, interval labels) triple — shared, read-only — to the
+/// mutable state a single thread reuses across queries: the MatchContext,
+/// the owned PipelineState (candidate sets, RIG, result — recycled via
+/// Reset() per query), and per-worker serving statistics.
+///
+/// Threading contract: an EvalContext must only be used by one thread at a
+/// time. The shared inputs it references are immutable, so any number of
+/// contexts over the same engine may run concurrently — this is exactly how
+/// GmEngine::EvaluateBatch serves a batch: one context per worker, many
+/// queries per context.
+class EvalContext {
+ public:
+  EvalContext(const Graph& g, const ReachabilityIndex& reach,
+              const IntervalLabels* intervals)
+      : ctx_(g, reach), intervals_(intervals) {}
+
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+  EvalContext(EvalContext&&) = default;
+
+  const Graph& graph() const { return ctx_.graph(); }
+  const MatchContext& match_context() const { return ctx_; }
+  /// DFS interval labels for expansion early termination; may be null.
+  const IntervalLabels* intervals() const { return intervals_; }
+
+  /// The recycled pipeline state. Callers Reset() it per query.
+  PipelineState& state() { return state_; }
+
+  // --- Per-context serving statistics.
+  uint64_t queries_evaluated() const { return queries_evaluated_; }
+  uint64_t occurrences_emitted() const { return occurrences_emitted_; }
+  void NoteQuery(const GmResult& result);
+
+  /// One-line serving summary ("N queries, M occurrences, X ms matching /
+  /// Y ms enumeration") for logs and worker diagnostics.
+  std::string Summary() const;
+
+ private:
+  MatchContext ctx_;
+  const IntervalLabels* intervals_;
+  PipelineState state_;
+  uint64_t queries_evaluated_ = 0;
+  uint64_t occurrences_emitted_ = 0;
+  double matching_ms_ = 0.0;
+  double enumerate_ms_ = 0.0;
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_ENGINE_EVAL_CONTEXT_H_

@@ -1,9 +1,12 @@
 #include "engine/gm_engine.h"
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
 
-#include "query/transitive_reduction.h"
-#include "sim/prefilter.h"
+#include "util/concurrency.h"
 
 namespace rigpm {
 
@@ -24,90 +27,105 @@ GmEngine::GmEngine(const Graph& g, ReachKind reach) : graph_(g) {
   reach_build_ms_ = MsSince(t0);
   condensation_ = std::make_unique<Condensation>(g);
   intervals_ = std::make_unique<IntervalLabels>(g, *condensation_);
+  pipeline_ = QueryPipeline::StandardChain();
+  matching_pipeline_ = QueryPipeline::MatchingChain();
 }
 
-Rig GmEngine::BuildRigOnly(const PatternQuery& query, const GmOptions& opts,
-                           GmResult* result) const {
-  MatchContext ctx(graph_, *reach_);
-
-  // --- Transitive reduction of the query (Section 3).
-  auto t0 = Clock::now();
-  PatternQuery reduced =
-      opts.use_transitive_reduction ? QueryTransitiveReduction(query) : query;
-  if (result != nullptr) {
-    result->reduction_ms = MsSince(t0);
-    result->reduced_query_edges = reduced.NumEdges();
-  }
-
-  // --- Optional node pre-filtering [11, 63].
-  auto t1 = Clock::now();
-  CandidateSets seed;
-  if (opts.use_prefilter) {
-    seed = PreFilter(ctx, reduced, opts.sim);
-  } else {
-    seed = InitialMatchSets(graph_, reduced);
-  }
-  if (result != nullptr) result->prefilter_ms = MsSince(t1);
-
-  // --- RIG construction (select via double simulation + expand).
-  RigBuildOptions rig_opts;
-  rig_opts.sim_algorithm = opts.sim_algorithm;
-  rig_opts.sim = opts.sim;
-  rig_opts.skip_simulation = !opts.use_double_simulation;
-  rig_opts.early_termination = opts.early_termination;
-  RigBuildStats rig_stats;
-  Rig rig = BuildRig(ctx, reduced, std::move(seed), rig_opts, intervals_.get(),
-                     &rig_stats);
-  if (result != nullptr) {
-    result->rig_select_ms = rig_stats.select_ms;
-    result->rig_expand_ms = rig_stats.expand_ms;
-    result->rig_stats = rig_stats;
-    result->rig_nodes = rig.TotalNodes();
-    result->rig_edges = rig.TotalEdges();
-    result->rig_memory_bytes = rig.MemoryBytes();
-    result->empty_rig_shortcut = rig.AnyEmpty();
-  }
-  return rig;
+GmResult GmEngine::Evaluate(EvalContext& ctx, const PatternQuery& query,
+                            const GmOptions& opts,
+                            const OccurrenceSink& sink) const {
+  PipelineState& state = ctx.state();
+  state.Reset(query, opts, sink);
+  pipeline_.Run(ctx, state);
+  ctx.NoteQuery(state.result);
+  // Moving the result out leaves state.result empty-but-valid; the next
+  // Reset() reinitializes it.
+  return std::move(state.result);
 }
 
 GmResult GmEngine::Evaluate(const PatternQuery& query, const GmOptions& opts,
                             const OccurrenceSink& sink) const {
-  GmResult result;
+  EvalContext ctx = MakeContext();
+  return Evaluate(ctx, query, opts, sink);
+}
 
-  PatternQuery reduced =
-      opts.use_transitive_reduction ? QueryTransitiveReduction(query) : query;
-  Rig rig = BuildRigOnly(query, opts, &result);
+std::vector<GmResult> GmEngine::EvaluateBatch(
+    std::span<const PatternQuery> queries, const GmOptions& opts,
+    const BatchOccurrenceSink& sink) const {
+  std::vector<GmResult> results(queries.size());
+  if (queries.empty()) return results;
 
-  if (rig.AnyEmpty()) {
-    // Empty RIG: the answer is provably empty; skip ordering + enumeration.
-    return result;
+  // Inside a batch the parallelism is across queries; each query enumerates
+  // sequentially in its worker so per-query results match the sequential
+  // engine exactly (including limit clamping).
+  GmOptions per_query = opts;
+  per_query.num_threads = 1;
+
+  const uint32_t workers = ResolveWorkerCount(opts.num_threads, queries.size());
+  auto run_range = [&](EvalContext& ctx, std::atomic<size_t>& next) {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < queries.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      OccurrenceSink query_sink;
+      if (sink) {
+        query_sink = [&sink, i](const Occurrence& occ) {
+          return sink(i, occ);
+        };
+      }
+      results[i] = Evaluate(ctx, queries[i], per_query, query_sink);
+    }
+  };
+
+  std::atomic<size_t> next{0};
+  if (workers <= 1) {
+    EvalContext ctx = MakeContext();
+    run_range(ctx, next);
+    return results;
   }
 
-  auto t0 = Clock::now();
-  result.order_used =
-      ComputeSearchOrder(reduced, rig, opts.order, &result.order_stats);
-  result.order_ms = MsSince(t0);
-
-  auto t1 = Clock::now();
-  MJoinOptions mopts;
-  mopts.limit = opts.limit;
-  result.num_occurrences =
-      MJoin(reduced, rig, result.order_used, sink, mopts, &result.mjoin_stats);
-  result.enumerate_ms = MsSince(t1);
-  result.hit_limit = result.num_occurrences >= opts.limit;
-  return result;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (uint32_t t = 0; t < workers; ++t) {
+    threads.emplace_back([&] {
+      EvalContext ctx = MakeContext();
+      run_range(ctx, next);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return results;
 }
 
 std::vector<Occurrence> GmEngine::EvaluateCollect(const PatternQuery& query,
                                                   const GmOptions& opts,
                                                   GmResult* result) const {
   std::vector<Occurrence> out;
-  GmResult r = Evaluate(query, opts, [&out](const Occurrence& t) {
-    out.push_back(t);
-    return true;
-  });
+  GmResult r;
+  if (opts.num_threads == 1) {
+    r = Evaluate(query, opts, [&out](const Occurrence& t) {
+      out.push_back(t);
+      return true;
+    });
+  } else {
+    // Parallel enumeration invokes the sink concurrently.
+    std::mutex mu;
+    r = Evaluate(query, opts, [&out, &mu](const Occurrence& t) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.push_back(t);
+      return true;
+    });
+  }
   if (result != nullptr) *result = std::move(r);
   return out;
+}
+
+Rig GmEngine::BuildRigOnly(const PatternQuery& query, const GmOptions& opts,
+                           GmResult* result) const {
+  EvalContext ctx = MakeContext();
+  PipelineState& state = ctx.state();
+  state.Reset(query, opts, nullptr);
+  matching_pipeline_.Run(ctx, state);
+  if (result != nullptr) *result = std::move(state.result);
+  return std::move(*state.rig);
 }
 
 }  // namespace rigpm

@@ -1,9 +1,16 @@
 #ifndef RIGPM_ENGINE_GM_ENGINE_H_
 #define RIGPM_ENGINE_GM_ENGINE_H_
 
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "engine/eval_context.h"
+#include "engine/gm_options.h"
+#include "engine/pipeline.h"
 #include "enumerate/mjoin.h"
 #include "graph/interval_labels.h"
 #include "graph/scc.h"
@@ -14,64 +21,21 @@
 
 namespace rigpm {
 
-/// Configuration of one GM evaluation. The defaults reproduce the paper's
-/// GM; the named ablations of Section 7.4 are specific flag settings:
-///   GM    — defaults (pre-filter + double simulation + reduction),
-///   GM-S  — use_prefilter = false,
-///   GM-F  — use_double_simulation = false (pre-filter only),
-///   GM-NR — use_transitive_reduction = false.
-struct GmOptions {
-  bool use_transitive_reduction = true;
-  bool use_prefilter = true;
-  bool use_double_simulation = true;
+/// Receives occurrences from EvaluateBatch, tagged with the index of the
+/// query (into the batch span) that produced them. Invoked concurrently from
+/// worker threads; must be thread-safe. Returning false stops the
+/// enumeration of THAT query only — other queries in the batch continue.
+using BatchOccurrenceSink =
+    std::function<bool(size_t query_index, const Occurrence& occurrence)>;
 
-  SimAlgorithm sim_algorithm = SimAlgorithm::kDagMap;
-  /// Simulation tuning; the paper stops after 3 passes.
-  SimOptions sim = {.max_passes = 3};
-
-  OrderStrategy order = OrderStrategy::kJO;
-  bool early_termination = true;
-
-  /// Enumeration cap (the experiments stop at 1e7 matches).
-  uint64_t limit = std::numeric_limits<uint64_t>::max();
-};
-
-/// Everything one evaluation produces besides the occurrences themselves.
-struct GmResult {
-  uint64_t num_occurrences = 0;
-  bool hit_limit = false;
-
-  // Phase timings (milliseconds). "matching" = reduction + filtering + RIG +
-  // ordering; "enumeration" = the MJoin run — the two components the paper's
-  // Metrics section reports.
-  double reduction_ms = 0.0;
-  double prefilter_ms = 0.0;
-  double rig_select_ms = 0.0;
-  double rig_expand_ms = 0.0;
-  double order_ms = 0.0;
-  double enumerate_ms = 0.0;
-  double MatchingMs() const {
-    return reduction_ms + prefilter_ms + rig_select_ms + rig_expand_ms +
-           order_ms;
-  }
-  double TotalMs() const { return MatchingMs() + enumerate_ms; }
-
-  uint64_t rig_nodes = 0;
-  uint64_t rig_edges = 0;
-  size_t rig_memory_bytes = 0;
-  bool empty_rig_shortcut = false;  // answer proven empty before enumeration
-
-  std::vector<QueryNodeId> order_used;
-  RigBuildStats rig_stats;
-  OrderStats order_stats;
-  MJoinStats mjoin_stats;
-  uint32_t reduced_query_edges = 0;  // edge count after transitive reduction
-};
-
-/// The end-to-end GM graph pattern matching engine (Sections 3-6):
-/// transitive reduction -> (pre-filter) -> double simulation -> RIG ->
-/// search order -> MJoin. One engine instance amortizes the reachability
-/// index and interval labels across many queries on the same data graph.
+/// The end-to-end GM graph pattern matching engine (Sections 3-6), built as
+/// a staged query pipeline: transitive reduction -> (pre-filter) -> double
+/// simulation -> RIG -> search order -> MJoin, with each stage an explicit
+/// Phase object (engine/pipeline.h). One engine instance amortizes the
+/// reachability index and interval labels across many queries on the same
+/// data graph; per-thread mutable state lives in EvalContexts, so a single
+/// engine serves concurrent queries (Evaluate from several threads, or
+/// EvaluateBatch) without locking.
 class GmEngine {
  public:
   /// Builds the reachability index (`reach`, default BFL as in the paper)
@@ -87,17 +51,48 @@ class GmEngine {
   const IntervalLabels& intervals() const { return *intervals_; }
   double reach_build_ms() const { return reach_build_ms_; }
 
+  /// The shared phase chain queries run through (read-only introspection).
+  const QueryPipeline& pipeline() const { return pipeline_; }
+
+  /// Creates a worker context over this engine's shared read-only inputs.
+  /// Make one per thread; reuse it across queries.
+  EvalContext MakeContext() const {
+    return EvalContext(graph_, *reach_, intervals_.get());
+  }
+
   /// Evaluates `query`, streaming every occurrence into `sink` (may be
-  /// null to just count). Returns statistics; see GmResult.
+  /// null to just count). Returns statistics; see GmResult. With
+  /// opts.num_threads != 1 the enumeration phase runs the parallel MJoin
+  /// and `sink` is invoked concurrently (it must then be thread-safe).
   GmResult Evaluate(const PatternQuery& query, const GmOptions& opts = {},
                     const OccurrenceSink& sink = nullptr) const;
 
-  /// Convenience: materializes (up to opts.limit) occurrences.
+  /// Same, but reusing the caller's per-thread context (its pipeline state
+  /// and serving stats). This is the hot-path entry point for serving.
+  GmResult Evaluate(EvalContext& ctx, const PatternQuery& query,
+                    const GmOptions& opts = {},
+                    const OccurrenceSink& sink = nullptr) const;
+
+  /// Evaluates a batch of independent queries concurrently over the shared
+  /// reachability index: opts.num_threads workers (0 = hardware, 1 =
+  /// sequential), one reusable EvalContext each, pulling queries from the
+  /// batch work-queue. Each query's enumeration is sequential inside its
+  /// worker, so per-query results are bit-identical to Evaluate() with
+  /// num_threads = 1; only the cross-query schedule is concurrent. Returns
+  /// one GmResult per query, in input order.
+  std::vector<GmResult> EvaluateBatch(
+      std::span<const PatternQuery> queries, const GmOptions& opts = {},
+      const BatchOccurrenceSink& sink = nullptr) const;
+
+  /// Convenience: materializes (up to opts.limit) occurrences. Safe with
+  /// opts.num_threads != 1 (collection is internally synchronized; tuple
+  /// order is then unspecified).
   std::vector<Occurrence> EvaluateCollect(const PatternQuery& query,
                                           const GmOptions& opts = {},
                                           GmResult* result = nullptr) const;
 
-  /// Builds the RIG for a query without enumerating (Fig. 13 measurements).
+  /// Builds the RIG for a query without enumerating (Fig. 13 measurements):
+  /// runs the matching chain only.
   Rig BuildRigOnly(const PatternQuery& query, const GmOptions& opts,
                    GmResult* result) const;
 
@@ -107,6 +102,8 @@ class GmEngine {
   std::unique_ptr<Condensation> condensation_;
   std::unique_ptr<IntervalLabels> intervals_;
   double reach_build_ms_ = 0.0;
+  QueryPipeline pipeline_;           // full chain, shared by all workers
+  QueryPipeline matching_pipeline_;  // Reduce..BuildRig, for BuildRigOnly
 };
 
 }  // namespace rigpm

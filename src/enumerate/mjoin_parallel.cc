@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/concurrency.h"
+
 namespace rigpm {
 
 namespace {
@@ -21,12 +23,6 @@ std::vector<Bitmap> SplitRoundRobin(const Bitmap& input, uint32_t parts) {
   return out;
 }
 
-uint32_t ResolveThreads(uint32_t requested) {
-  if (requested > 0) return requested;
-  uint32_t hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 2;
-}
-
 }  // namespace
 
 uint64_t MJoinParallel(const PatternQuery& q, const Rig& rig,
@@ -35,8 +31,7 @@ uint64_t MJoinParallel(const PatternQuery& q, const Rig& rig,
                        const ParallelMJoinOptions& opts, MJoinStats* stats) {
   if (rig.AnyEmpty() || q.NumNodes() == 0) return 0;
   const uint32_t threads =
-      std::min<uint32_t>(ResolveThreads(opts.num_threads),
-                         std::max<uint64_t>(1, rig.Cos(order[0]).Cardinality()));
+      ResolveWorkerCount(opts.num_threads, rig.Cos(order[0]).Cardinality());
   if (threads <= 1) {
     MJoinOptions seq;
     seq.limit = opts.limit;

@@ -1,6 +1,7 @@
 #ifndef RIGPM_GRAPH_GRAPH_BUILDER_H_
 #define RIGPM_GRAPH_GRAPH_BUILDER_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 

@@ -1,9 +1,12 @@
 #include "graphdb/graph_database.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "baseline/iso_engine.h"
 #include "engine/gm_engine.h"
+#include "util/concurrency.h"
 
 namespace rigpm {
 
@@ -54,32 +57,68 @@ bool GraphDatabase::PassesFilter(size_t id, const PatternQuery& q) const {
   return true;
 }
 
+namespace {
+
+bool VerifyMember(const Graph& g, const PatternQuery& q, bool isomorphic) {
+  if (isomorphic) {
+    IsoOptions iopts;
+    iopts.limit = 1;  // existence is enough
+    IsoResult r = IsoEvaluate(g, q, iopts);
+    return r.status == EvalStatus::kOk && r.num_embeddings > 0;
+  }
+  GmEngine engine(g);
+  GmOptions gopts;
+  gopts.limit = 1;
+  return engine.Evaluate(q, gopts).num_occurrences > 0;
+}
+
+}  // namespace
+
 std::vector<size_t> GraphDatabase::Search(const PatternQuery& q,
                                           const SearchOptions& opts,
                                           SearchStats* stats) const {
-  std::vector<size_t> hits;
-  size_t candidates = 0, verified = 0;
+  // --- Filter stage: cheap feature checks, always sequential.
+  std::vector<size_t> candidates;
   for (size_t id = 0; id < members_.size(); ++id) {
-    if (!PassesFilter(id, q)) continue;
-    ++candidates;
-    ++verified;
-    bool contains = false;
-    if (opts.isomorphic) {
-      IsoOptions iopts;
-      iopts.limit = 1;  // existence is enough
-      IsoResult r = IsoEvaluate(members_[id].graph, q, iopts);
-      contains = (r.status == EvalStatus::kOk && r.num_embeddings > 0);
-    } else {
-      GmEngine engine(members_[id].graph);
-      GmOptions gopts;
-      gopts.limit = 1;
-      contains = engine.Evaluate(q, gopts).num_occurrences > 0;
-    }
-    if (contains) hits.push_back(id);
+    if (PassesFilter(id, q)) candidates.push_back(id);
   }
   if (stats != nullptr) {
-    stats->candidates_after_filter = candidates;
-    stats->verified = verified;
+    stats->candidates_after_filter = candidates.size();
+    stats->verified = candidates.size();
+  }
+
+  // --- Verify stage: each surviving member is an independent evaluation, so
+  // workers just pull candidate indices from a shared atomic counter.
+  uint32_t workers = ResolveWorkerCount(opts.num_threads, candidates.size());
+
+  std::vector<size_t> hits;
+  if (workers <= 1) {
+    for (size_t id : candidates) {
+      if (VerifyMember(members_[id].graph, q, opts.isomorphic)) {
+        hits.push_back(id);
+      }
+    }
+    return hits;
+  }
+
+  std::vector<uint8_t> contains(candidates.size(), 0);
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (uint32_t t = 0; t < workers; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < candidates.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        contains[i] =
+            VerifyMember(members_[candidates[i]].graph, q, opts.isomorphic);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (contains[i]) hits.push_back(candidates[i]);
   }
   return hits;
 }

@@ -29,6 +29,13 @@ class GraphDatabase {
     /// Verify with subgraph isomorphism instead of homomorphism. Requires a
     /// child-edge-only query.
     bool isomorphic = false;
+
+    /// Worker threads for the verification stage: the members surviving the
+    /// feature filter are checked concurrently (each worker owns its
+    /// engines, so no locks are taken). 1 = sequential (default), 0 =
+    /// std::thread::hardware_concurrency(). The result is identical to the
+    /// sequential search — hit ids are always returned in ascending order.
+    uint32_t num_threads = 1;
   };
 
   struct SearchStats {

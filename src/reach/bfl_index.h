@@ -1,6 +1,8 @@
 #ifndef RIGPM_REACH_BFL_INDEX_H_
 #define RIGPM_REACH_BFL_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/interval_labels.h"

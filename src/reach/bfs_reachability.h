@@ -1,6 +1,8 @@
 #ifndef RIGPM_REACH_BFS_REACHABILITY_H_
 #define RIGPM_REACH_BFS_REACHABILITY_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/scc.h"

@@ -1,6 +1,7 @@
 #ifndef RIGPM_REACH_REACHABILITY_H_
 #define RIGPM_REACH_REACHABILITY_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 

@@ -1,6 +1,7 @@
 #ifndef RIGPM_REACH_TRANSITIVE_CLOSURE_H_
 #define RIGPM_REACH_TRANSITIVE_CLOSURE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "bitmap/bitmap.h"

@@ -62,10 +62,10 @@ void ExpandEdge(const MatchContext& ctx, const PatternQuery& q, QueryEdgeId e,
 
 }  // namespace
 
-Rig BuildRig(const MatchContext& ctx, const PatternQuery& q,
-             CandidateSets initial, const RigBuildOptions& opts,
-             const IntervalLabels* intervals, RigBuildStats* stats) {
-  // --- Node selection phase (Procedure select).
+CandidateSets SelectRigNodes(const MatchContext& ctx, const PatternQuery& q,
+                             CandidateSets initial,
+                             const RigBuildOptions& opts,
+                             RigBuildStats* stats) {
   auto t0 = std::chrono::steady_clock::now();
   CandidateSets cos;
   if (opts.skip_simulation) {
@@ -89,11 +89,16 @@ Rig BuildRig(const MatchContext& ctx, const PatternQuery& q,
     }
   }
   if (stats != nullptr) stats->select_ms = MsSince(t0);
+  return cos;
+}
 
+Rig ExpandRig(const MatchContext& ctx, const PatternQuery& q,
+              CandidateSets cos, const RigBuildOptions& opts,
+              const IntervalLabels* intervals, RigBuildStats* stats) {
   Rig rig(q, std::move(cos));
 
-  // --- Node expansion phase. Skipped entirely when some cos(q) is empty:
-  // the answer is empty (early termination, Section 4.3).
+  // Expansion is skipped entirely when some cos(q) is empty: the answer is
+  // empty (early termination, Section 4.3).
   auto t1 = std::chrono::steady_clock::now();
   if (!rig.AnyEmpty()) {
     for (QueryEdgeId e = 0; e < q.NumEdges(); ++e) {
@@ -103,6 +108,14 @@ Rig BuildRig(const MatchContext& ctx, const PatternQuery& q,
   }
   if (stats != nullptr) stats->expand_ms = MsSince(t1);
   return rig;
+}
+
+Rig BuildRig(const MatchContext& ctx, const PatternQuery& q,
+             CandidateSets initial, const RigBuildOptions& opts,
+             const IntervalLabels* intervals, RigBuildStats* stats) {
+  return ExpandRig(ctx, q,
+                   SelectRigNodes(ctx, q, std::move(initial), opts, stats),
+                   opts, intervals, stats);
 }
 
 Rig BuildRigFromMatchSets(const MatchContext& ctx, const PatternQuery& q,

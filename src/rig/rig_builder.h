@@ -1,6 +1,8 @@
 #ifndef RIGPM_RIG_RIG_BUILDER_H_
 #define RIGPM_RIG_RIG_BUILDER_H_
 
+#include <cstdint>
+
 #include "graph/interval_labels.h"
 #include "rig/rig.h"
 #include "sim/fbsim.h"
@@ -40,10 +42,30 @@ struct RigBuildStats {
   double expand_ms = 0.0;
 };
 
+/// Procedure select of Algorithm 4 as a standalone stage: refines `initial`
+/// into the RIG node sets cos(q) by running double simulation and
+/// intersecting with the seeds (a no-op pass-through when
+/// opts.skip_simulation). Fills stats->sim and stats->select_ms. The staged
+/// query pipeline (engine/pipeline.h) runs this as its Simulate phase.
+CandidateSets SelectRigNodes(const MatchContext& ctx, const PatternQuery& q,
+                             CandidateSets initial,
+                             const RigBuildOptions& opts = {},
+                             RigBuildStats* stats = nullptr);
+
+/// Procedure expand of Algorithm 4 as a standalone stage: wraps the selected
+/// node sets into a Rig and materializes the RIG edges per query edge.
+/// Expansion is skipped when some cos(q) is empty (the answer is then
+/// provably empty). Fills stats->expand_* and stats->expand_ms.
+Rig ExpandRig(const MatchContext& ctx, const PatternQuery& q,
+              CandidateSets cos, const RigBuildOptions& opts = {},
+              const IntervalLabels* intervals = nullptr,
+              RigBuildStats* stats = nullptr);
+
 /// Algorithm 4: node selection (double simulation over `ctx`) followed by
-/// node expansion into RIG edges. `intervals` enables the early-termination
-/// optimization and may be null. `initial` is the candidate sets to start
-/// from (typically ms(q); a pre-filtered subset for the GM variants).
+/// node expansion into RIG edges — SelectRigNodes + ExpandRig in one call.
+/// `intervals` enables the early-termination optimization and may be null.
+/// `initial` is the candidate sets to start from (typically ms(q); a
+/// pre-filtered subset for the GM variants).
 Rig BuildRig(const MatchContext& ctx, const PatternQuery& q,
              CandidateSets initial, const RigBuildOptions& opts = {},
              const IntervalLabels* intervals = nullptr,

@@ -1,6 +1,8 @@
 #ifndef RIGPM_SIM_FBSIM_H_
 #define RIGPM_SIM_FBSIM_H_
 
+#include <cstdint>
+
 #include "sim/match_sets.h"
 
 namespace rigpm {

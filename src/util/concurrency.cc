@@ -1,0 +1,17 @@
+#include "util/concurrency.h"
+
+#include <thread>
+
+namespace rigpm {
+
+uint32_t ResolveWorkerCount(uint32_t requested, size_t work_items) {
+  uint32_t workers = requested;
+  if (workers == 0) {
+    uint32_t hw = std::thread::hardware_concurrency();
+    workers = hw > 0 ? hw : 2;
+  }
+  if (work_items < workers) workers = static_cast<uint32_t>(work_items);
+  return workers > 0 ? workers : 1;
+}
+
+}  // namespace rigpm

@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 
 #include "engine/gm_engine.h"
+#include "enumerate/mjoin_parallel.h"
 #include "graph/generators.h"
 #include "query/query_generator.h"
+#include "query/transitive_reduction.h"
 #include "test_util.h"
 
 namespace rigpm {
@@ -115,6 +118,144 @@ TEST(RandomSweep, AllKnobCombinationsAgree) {
     }
   }
   EXPECT_EQ(reference, BruteForceAnswer(g, q));
+}
+
+// --- Parallel/sequential equivalence sweeps. The partitioned parallel
+// MJoin and the batch API must produce exactly the sequential answer for
+// every graph shape, query variant, order strategy, and worker count.
+
+std::vector<std::pair<Graph, PatternQuery>> SweepInstances() {
+  std::vector<std::pair<Graph, PatternQuery>> instances;
+  for (uint64_t seed : {41u, 42u, 43u, 44u}) {
+    GeneratorOptions gopts{.num_nodes = 70, .num_edges = 240, .num_labels = 4,
+                           .seed = seed};
+    Graph g = (seed % 2 == 0) ? GenerateRandomDag(gopts)
+                              : GeneratePowerLaw(gopts);
+    RandomQueryOptions qopts;
+    qopts.num_nodes = 5;
+    qopts.num_edges = 7;
+    qopts.num_labels = 4;
+    qopts.variant = (seed % 3 == 0)   ? QueryVariant::kChildOnly
+                    : (seed % 3 == 1) ? QueryVariant::kDescendantOnly
+                                      : QueryVariant::kHybrid;
+    qopts.seed = seed * 101 + 3;
+    PatternQuery q = GenerateRandomQuery(qopts);
+    instances.emplace_back(std::move(g), std::move(q));
+  }
+  return instances;
+}
+
+TEST(RandomSweep, ParallelEnumerationMatchesSequential) {
+  for (auto& [g, q] : SweepInstances()) {
+    GmEngine engine(g);
+    auto sequential = engine.EvaluateCollect(q);
+    std::set<Occurrence> expected(sequential.begin(), sequential.end());
+    for (uint32_t threads : {0u, 2u, 3u, 8u}) {
+      GmOptions opts;
+      opts.num_threads = threads;
+      GmResult result;
+      auto tuples = engine.EvaluateCollect(q, opts, &result);
+      std::set<Occurrence> got(tuples.begin(), tuples.end());
+      ASSERT_EQ(got.size(), tuples.size())
+          << "duplicates at threads=" << threads;
+      ASSERT_EQ(got, expected) << "threads=" << threads;
+      ASSERT_EQ(result.num_occurrences, expected.size())
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(RandomSweep, MJoinParallelMatchesSequentialAcrossOrders) {
+  for (auto& [g, q] : SweepInstances()) {
+    GmEngine engine(g);
+    PatternQuery reduced = QueryTransitiveReduction(q);
+    GmResult rig_result;
+    Rig rig = engine.BuildRigOnly(q, GmOptions{}, &rig_result);
+    if (rig.AnyEmpty()) continue;
+    for (OrderStrategy strategy :
+         {OrderStrategy::kJO, OrderStrategy::kRI, OrderStrategy::kBJ}) {
+      auto order = ComputeSearchOrder(reduced, rig, strategy);
+      uint64_t sequential = MJoinCount(reduced, rig, order);
+      for (uint32_t threads : {2u, 5u}) {
+        ParallelMJoinOptions popts;
+        popts.num_threads = threads;
+        EXPECT_EQ(MJoinParallelCount(reduced, rig, order, popts), sequential)
+            << OrderStrategyName(strategy) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(RandomSweep, EvaluateBatchMatchesSequential) {
+  auto instances = SweepInstances();
+  // All queries of the sweep against one shared engine (first graph).
+  const Graph& g = instances.front().first;
+  GmEngine engine(g);
+  std::vector<PatternQuery> batch;
+  for (auto& [unused_g, q] : instances) batch.push_back(q);
+  for (auto& [unused_g, q] : instances) batch.push_back(q);  // duplicates ok
+
+  std::vector<uint64_t> expected;
+  for (const PatternQuery& q : batch) {
+    expected.push_back(engine.Evaluate(q).num_occurrences);
+  }
+
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    GmOptions opts;
+    opts.num_threads = threads;
+    std::atomic<uint64_t> sunk{0};
+    auto results = engine.EvaluateBatch(
+        batch, opts, [&sunk](size_t, const Occurrence&) {
+          sunk.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        });
+    ASSERT_EQ(results.size(), batch.size());
+    uint64_t total = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].num_occurrences, expected[i])
+          << "query " << i << " threads=" << threads;
+      total += results[i].num_occurrences;
+    }
+    EXPECT_EQ(sunk.load(), total) << "threads=" << threads;
+  }
+}
+
+TEST(RandomSweep, LimitClampedUnderConcurrency) {
+  // A permissive query with a large answer so every worker has work.
+  Graph g = GeneratePowerLaw({.num_nodes = 80, .num_edges = 400,
+                              .num_labels = 2, .seed = 51});
+  GmEngine engine(g);
+  PatternQuery q = GenerateRandomQuery({.num_nodes = 4, .num_edges = 4,
+                                        .num_labels = 2,
+                                        .variant = QueryVariant::kHybrid,
+                                        .seed = 52});
+  uint64_t full = engine.Evaluate(q).num_occurrences;
+  ASSERT_GT(full, 50u) << "workload too selective for a limit test";
+
+  const uint64_t limit = full / 2;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    GmOptions opts;
+    opts.limit = limit;
+    opts.num_threads = threads;
+    std::atomic<uint64_t> sunk{0};
+    GmResult r = engine.Evaluate(q, opts, [&sunk](const Occurrence&) {
+      sunk.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    });
+    EXPECT_EQ(r.num_occurrences, limit) << "threads=" << threads;
+    EXPECT_TRUE(r.hit_limit) << "threads=" << threads;
+    EXPECT_LE(sunk.load(), limit) << "threads=" << threads;
+  }
+
+  // The same clamp must hold for every query of a concurrent batch.
+  std::vector<PatternQuery> batch(6, q);
+  GmOptions opts;
+  opts.limit = limit;
+  opts.num_threads = 4;
+  for (const GmResult& r : engine.EvaluateBatch(batch, opts)) {
+    EXPECT_EQ(r.num_occurrences, limit);
+    EXPECT_TRUE(r.hit_limit);
+  }
 }
 
 }  // namespace

@@ -2,23 +2,32 @@
 //
 //   rigpm_cli --graph G.txt --pattern "(a:0)->(b:1), (b)=>(c:2)" [flags]
 //   rigpm_cli --graph G.txt --query Q.txt --engine jm --limit 100
+//   rigpm_cli --graph G.txt --batch QUERIES.txt --threads 8
 //
 // Flags:
 //   --graph FILE      data graph in the text format of graph_io.h (required)
 //   --query FILE      query in the text format of query_io.h
 //   --pattern STR     query in the inline syntax of pattern_parser.h
+//   --batch FILE      batch mode: one inline pattern per line ('#' comments
+//                     and blank lines skipped), served with EvaluateBatch
 //   --engine NAME     gm (default) | gm-par | jm | tm
 //   --order NAME      jo (default) | ri | bj           (gm engines)
-//   --threads N       worker count for gm-par (0 = hardware)
+//   --threads N       worker count: enumeration workers for gm/gm-par,
+//                     batch workers for --batch (1 = sequential, 0 =
+//                     hardware concurrency; default 1, except gm-par
+//                     which keeps its historical default of 0)
 //   --limit N         stop after N occurrences (default: all)
 //   --print N         print the first N occurrences (default 10)
 //   --stats           print per-phase statistics
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "baseline/jm_engine.h"
 #include "baseline/tm_engine.h"
@@ -37,9 +46,11 @@ struct CliArgs {
   std::string graph_path;
   std::string query_path;
   std::string pattern;
+  std::string batch_path;
   std::string engine = "gm";
   std::string order = "jo";
-  uint32_t threads = 0;
+  uint32_t threads = 1;
+  bool threads_set = false;  // gm-par defaults to hardware when unset
   uint64_t limit = std::numeric_limits<uint64_t>::max();
   uint64_t print = 10;
   bool stats = false;
@@ -47,7 +58,8 @@ struct CliArgs {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --graph FILE (--query FILE | --pattern STR)\n"
+               "usage: %s --graph FILE (--query FILE | --pattern STR |\n"
+               "          --batch FILE)\n"
                "          [--engine gm|gm-par|jm|tm] [--order jo|ri|bj]\n"
                "          [--threads N] [--limit N] [--print N] [--stats]\n",
                argv0);
@@ -75,6 +87,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* out) {
       const char* v = need_value("--pattern");
       if (v == nullptr) return false;
       out->pattern = v;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      const char* v = need_value("--batch");
+      if (v == nullptr) return false;
+      out->batch_path = v;
     } else if (std::strcmp(argv[i], "--engine") == 0) {
       const char* v = need_value("--engine");
       if (v == nullptr) return false;
@@ -87,6 +103,7 @@ bool ParseArgs(int argc, char** argv, CliArgs* out) {
       const char* v = need_value("--threads");
       if (v == nullptr) return false;
       out->threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      out->threads_set = true;
     } else if (std::strcmp(argv[i], "--limit") == 0) {
       const char* v = need_value("--limit");
       if (v == nullptr) return false;
@@ -103,7 +120,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* out) {
     }
   }
   return !out->graph_path.empty() &&
-         (!out->query_path.empty() || !out->pattern.empty());
+         (!out->query_path.empty() || !out->pattern.empty() ||
+          !out->batch_path.empty());
 }
 
 void PrintOccurrence(const Occurrence& t) {
@@ -112,6 +130,79 @@ void PrintOccurrence(const Occurrence& t) {
     std::printf(i ? " %u" : "%u", t[i]);
   }
   std::printf(")\n");
+}
+
+// Batch mode: every line of the file is an inline pattern; the whole batch
+// is served through GmEngine::EvaluateBatch with --threads workers.
+int RunBatch(const Graph& graph, const CliArgs& args) {
+  if (args.engine != "gm") {
+    std::fprintf(stderr, "--batch only supports --engine gm (got %s)\n",
+                 args.engine.c_str());
+    return 2;
+  }
+  std::ifstream in(args.batch_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open batch file %s\n",
+                 args.batch_path.c_str());
+    return 1;
+  }
+  std::vector<PatternQuery> queries;
+  std::string line, error;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    auto q = ParsePattern(line, &error);
+    if (!q.has_value()) {
+      std::fprintf(stderr, "batch line %zu: cannot parse pattern: %s\n",
+                   line_no, error.c_str());
+      return 1;
+    }
+    if (!q->IsConnected()) {
+      std::fprintf(stderr, "batch line %zu: query must be connected\n",
+                   line_no);
+      return 1;
+    }
+    queries.push_back(std::move(*q));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "batch file has no queries\n");
+    return 1;
+  }
+
+  GmEngine engine(graph);
+  GmOptions opts;
+  opts.limit = args.limit;
+  if (args.order == "ri") opts.order = OrderStrategy::kRI;
+  if (args.order == "bj") opts.order = OrderStrategy::kBJ;
+  opts.num_threads = args.threads;
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<GmResult> results = engine.EvaluateBatch(queries, opts);
+  double batch_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  uint64_t total = 0;
+  double serial_ms = 0.0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    total += results[i].num_occurrences;
+    serial_ms += results[i].TotalMs();
+    std::printf("query %zu: %llu occurrence(s)%s", i,
+                static_cast<unsigned long long>(results[i].num_occurrences),
+                results[i].hit_limit ? " (limit reached)" : "");
+    if (args.stats) {
+      std::printf("  [matching %.2f ms, enumerate %.2f ms]",
+                  results[i].MatchingMs(), results[i].enumerate_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("batch: %zu query(ies), %llu occurrence(s) in %.2f ms wall "
+              "(%.2f ms summed per-query work)\n",
+              queries.size(), static_cast<unsigned long long>(total),
+              batch_ms, serial_ms);
+  return 0;
 }
 
 }  // namespace
@@ -127,6 +218,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("graph: %s\n", graph->Summary().c_str());
+
+  if (!args.batch_path.empty()) return RunBatch(*graph, args);
 
   std::optional<PatternQuery> query;
   if (!args.pattern.empty()) {
@@ -166,17 +259,28 @@ int main(int argc, char** argv) {
     if (args.order == "ri") opts.order = OrderStrategy::kRI;
     if (args.order == "bj") opts.order = OrderStrategy::kBJ;
     if (args.engine == "gm") {
-      GmResult r = engine.Evaluate(*query, opts, sink);
+      opts.num_threads = args.threads;
+      OccurrenceSink gm_sink = sink;
+      std::mutex sink_mu;
+      if (opts.num_threads != 1) {
+        // Parallel enumeration calls the sink concurrently; serialize the
+        // printing.
+        gm_sink = [&](const Occurrence& t) {
+          std::lock_guard<std::mutex> lock(sink_mu);
+          return sink(t);
+        };
+      }
+      GmResult r = engine.Evaluate(*query, opts, gm_sink);
       std::printf("%llu occurrence(s)%s\n",
                   static_cast<unsigned long long>(r.num_occurrences),
                   r.hit_limit ? " (limit reached)" : "");
       if (args.stats) {
         std::printf("reach index build: %.2f ms\n", engine.reach_build_ms());
-        std::printf("reduction %.2f ms | prefilter %.2f ms | RIG select %.2f "
-                    "ms | RIG expand %.2f ms | order %.2f ms | enumerate "
-                    "%.2f ms\n",
-                    r.reduction_ms, r.prefilter_ms, r.rig_select_ms,
-                    r.rig_expand_ms, r.order_ms, r.enumerate_ms);
+        std::printf("pipeline:");
+        for (const PhaseTiming& pt : r.phase_timings) {
+          std::printf(" %s %.2f ms |", pt.name, pt.ms);
+        }
+        std::printf(" total %.2f ms\n", r.TotalMs());
         std::printf("RIG: %llu nodes, %llu edges (%zu bytes)\n",
                     static_cast<unsigned long long>(r.rig_nodes),
                     static_cast<unsigned long long>(r.rig_edges),
@@ -189,7 +293,7 @@ int main(int argc, char** argv) {
       Rig rig = engine.BuildRigOnly(*query, opts, &rig_result);
       auto order = ComputeSearchOrder(reduced, rig, opts.order);
       ParallelMJoinOptions popts;
-      popts.num_threads = args.threads;
+      popts.num_threads = args.threads_set ? args.threads : 0;
       popts.limit = args.limit;
       // The printing sink is not thread-safe; count only and reprint a few
       // sequentially if requested.
