@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench_* binary in its quick configuration and writes a
+# BENCH_ci.json summary (one record per bench: status, exit code, wall
+# seconds) so CI can track the perf trajectory per-PR.
+#
+# usage: scripts/bench_smoke.sh BUILD_DIR [OUT_JSON]
+#
+# Quick configuration:
+#  * RIGPM_SCALE=0.02      -- tiny generated datasets (seconds, not minutes)
+#  * RIGPM_LIMIT=20000     -- low per-query match cap
+#  * RIGPM_TIMEOUT_MS=2000 -- short per-query budget for the baselines
+#  * per-binary wall-clock timeout (TIMEOUT_SECS, default 300)
+#  * Google-Benchmark binaries (bench_micro_*) run with a minimal min_time
+set -u
+
+BUILD_DIR=${1:?usage: bench_smoke.sh BUILD_DIR [OUT_JSON]}
+OUT_JSON=${2:-${BUILD_DIR}/BENCH_ci.json}
+TIMEOUT_SECS=${TIMEOUT_SECS:-300}
+LOG_DIR=${BUILD_DIR}/bench_logs
+
+export RIGPM_SCALE=${RIGPM_SCALE:-0.02}
+export RIGPM_LIMIT=${RIGPM_LIMIT:-20000}
+export RIGPM_TIMEOUT_MS=${RIGPM_TIMEOUT_MS:-2000}
+
+mkdir -p "${LOG_DIR}"
+
+benches=()
+for bin in "${BUILD_DIR}"/bench_*; do
+  [ -x "${bin}" ] && [ -f "${bin}" ] && benches+=("${bin}")
+done
+if [ ${#benches[@]} -eq 0 ]; then
+  echo "no bench binaries found in ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+overall=0
+{
+  printf '{\n'
+  printf '  "scale": %s,\n' "${RIGPM_SCALE}"
+  printf '  "limit": %s,\n' "${RIGPM_LIMIT}"
+  printf '  "benches": [\n'
+  first=1
+  for bin in "${benches[@]}"; do
+    name=$(basename "${bin}")
+    args=()
+    case "${name}" in
+      bench_micro_*) args=(--benchmark_min_time=0.01s) ;;
+    esac
+    start=$(date +%s.%N)
+    timeout "${TIMEOUT_SECS}" "${bin}" "${args[@]+"${args[@]}"}" \
+      >"${LOG_DIR}/${name}.log" 2>&1
+    code=$?
+    # Older Google Benchmark rejects the suffixed min_time; retry bare.
+    if [ ${code} -ne 0 ] && [ "${#args[@]}" -gt 0 ]; then
+      start=$(date +%s.%N)
+      timeout "${TIMEOUT_SECS}" "${bin}" \
+        >"${LOG_DIR}/${name}.log" 2>&1
+      code=$?
+    fi
+    end=$(date +%s.%N)
+    secs=$(awk -v a="${start}" -v b="${end}" 'BEGIN { printf "%.2f", b - a }')
+    if [ ${code} -eq 124 ]; then
+      status=timeout
+    elif [ ${code} -eq 0 ]; then
+      status=ok
+    else
+      status=fail
+    fi
+    [ ${code} -eq 0 ] || overall=1
+    echo "${name}: ${status} (${secs}s)" >&2
+    [ ${first} -eq 0 ] && printf ',\n'
+    first=0
+    printf '    {"name": "%s", "status": "%s", "exit_code": %d, "seconds": %s}' \
+      "${name}" "${status}" "${code}" "${secs}"
+  done
+  printf '\n  ]\n}\n'
+} >"${OUT_JSON}"
+
+echo "wrote ${OUT_JSON}" >&2
+exit ${overall}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstring>
 
 namespace rigpm {
 
@@ -533,6 +534,86 @@ Bitmap Bitmap::OrMany(std::span<const Bitmap* const> inputs) {
     level = std::move(next);
   }
   return std::move(level.front());
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+void Bitmap::Serialize(ByteSink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(containers_.size()));
+  sink.WriteU64(cardinality_);
+  for (const Container& c : containers_) {
+    sink.WriteU16(c.key);
+    sink.WriteU8(static_cast<uint8_t>(c.kind));
+    sink.WriteU32(c.cardinality);
+    if (c.kind == Container::Kind::kArray) {
+      sink.WriteRaw(c.array.data(), c.array.size() * sizeof(uint16_t));
+    } else {
+      sink.WriteRaw(c.words.data(), c.words.size() * sizeof(uint64_t));
+    }
+  }
+}
+
+Bitmap Bitmap::Deserialize(ByteSource& src) {
+  Bitmap out;
+  uint32_t num_containers = src.ReadU32();
+  uint64_t total = src.ReadU64();
+  if (!src.ok()) return Bitmap();
+  out.containers_.reserve(num_containers);
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < num_containers; ++i) {
+    // One fused read of the 7-byte container header (u16 key, u8 kind,
+    // u32 cardinality) — this loop runs once per container across millions
+    // of bitmaps on a big graph load.
+    uint8_t hdr[7];
+    if (!src.ReadRaw(hdr, sizeof(hdr))) return Bitmap();
+    Container c;
+    c.key = static_cast<uint16_t>(hdr[0] | (hdr[1] << 8));
+    uint8_t kind = hdr[2];
+    std::memcpy(&c.cardinality, hdr + 3, sizeof(uint32_t));
+    if (!out.containers_.empty() && c.key <= out.containers_.back().key) {
+      src.Fail("bitmap containers out of order");
+      return Bitmap();
+    }
+    if (c.cardinality == 0 || c.cardinality > 65536) {
+      src.Fail("bitmap container cardinality out of range");
+      return Bitmap();
+    }
+    if (kind == static_cast<uint8_t>(Container::Kind::kArray)) {
+      if (c.cardinality > kArrayCapacity) {
+        src.Fail("bitmap array container too large");
+        return Bitmap();
+      }
+      c.kind = Container::Kind::kArray;
+      c.array.resize(c.cardinality);
+      src.ReadRaw(c.array.data(), c.array.size() * sizeof(uint16_t));
+    } else if (kind == static_cast<uint8_t>(Container::Kind::kBitset)) {
+      c.kind = Container::Kind::kBitset;
+      c.words.resize(kWordsPerBitset);
+      src.ReadRaw(c.words.data(), c.words.size() * sizeof(uint64_t));
+      uint32_t card = 0;
+      for (uint64_t w : c.words) {
+        card += static_cast<uint32_t>(std::popcount(w));
+      }
+      if (card != c.cardinality) {
+        src.Fail("bitmap bitset cardinality mismatch");
+        return Bitmap();
+      }
+    } else {
+      src.Fail("unknown bitmap container kind");
+      return Bitmap();
+    }
+    if (!src.ok()) return Bitmap();
+    seen += c.cardinality;
+    out.containers_.push_back(std::move(c));
+  }
+  if (seen != total) {
+    src.Fail("bitmap cardinality mismatch");
+    return Bitmap();
+  }
+  out.cardinality_ = total;
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "util/serde.h"
+
 namespace rigpm {
 
 /// A roaring-style compressed bitmap over 32-bit unsigned integers.
@@ -92,6 +94,17 @@ class Bitmap {
 
   bool operator==(const Bitmap& other) const;
   bool operator!=(const Bitmap& other) const { return !(*this == other); }
+
+  /// Appends a binary image to `sink`, container-at-a-time: each array or
+  /// bitset container is dumped as a single raw block, so (de)serialization
+  /// is memcpy-bound rather than element-at-a-time (the property the
+  /// RoaringBitmap design is built for). Read back with Deserialize.
+  void Serialize(ByteSink& sink) const;
+
+  /// Decodes an image written by Serialize. On malformed input `src.ok()`
+  /// turns false (with a description in `src.error()`) and the returned
+  /// bitmap is empty.
+  static Bitmap Deserialize(ByteSource& src);
 
   /// Approximate heap footprint in bytes (used by RIG size accounting).
   size_t MemoryBytes() const;

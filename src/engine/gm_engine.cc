@@ -31,6 +31,17 @@ GmEngine::GmEngine(const Graph& g, ReachKind reach) : graph_(g) {
   matching_pipeline_ = QueryPipeline::MatchingChain();
 }
 
+GmEngine::GmEngine(const Graph& g, std::unique_ptr<ReachabilityIndex> reach,
+                   std::unique_ptr<Condensation> condensation,
+                   std::unique_ptr<IntervalLabels> intervals)
+    : graph_(g),
+      reach_(std::move(reach)),
+      condensation_(std::move(condensation)),
+      intervals_(std::move(intervals)) {
+  pipeline_ = QueryPipeline::StandardChain();
+  matching_pipeline_ = QueryPipeline::MatchingChain();
+}
+
 GmResult GmEngine::Evaluate(EvalContext& ctx, const PatternQuery& query,
                             const GmOptions& opts,
                             const OccurrenceSink& sink) const {

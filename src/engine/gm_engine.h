@@ -43,6 +43,14 @@ class GmEngine {
   /// engine.
   explicit GmEngine(const Graph& g, ReachKind reach = ReachKind::kBfl);
 
+  /// Warm start: adopts a pre-built reachability index and derived
+  /// structures (typically deserialized from a snapshot,
+  /// storage/snapshot.h) instead of rebuilding them from `g`. Index
+  /// construction cost drops to zero; reach_build_ms() reports 0.
+  GmEngine(const Graph& g, std::unique_ptr<ReachabilityIndex> reach,
+           std::unique_ptr<Condensation> condensation,
+           std::unique_ptr<IntervalLabels> intervals);
+
   GmEngine(const GmEngine&) = delete;
   GmEngine& operator=(const GmEngine&) = delete;
 

@@ -84,6 +84,90 @@ uint32_t Graph::MaxLabelListSize() const {
   return best;
 }
 
+void Graph::Serialize(ByteSink& sink) const {
+  sink.WriteU32(num_labels_);
+  sink.WriteVec(labels_);
+  sink.WriteVec(fwd_offsets_);
+  sink.WriteVec(fwd_targets_);
+  sink.WriteVec(bwd_offsets_);
+  sink.WriteVec(bwd_targets_);
+  sink.WriteVec(label_offsets_);
+  sink.WriteVec(label_nodes_);
+  for (const Bitmap& b : fwd_bitmaps_) b.Serialize(sink);
+  for (const Bitmap& b : bwd_bitmaps_) b.Serialize(sink);
+  for (const Bitmap& b : label_bitmaps_) b.Serialize(sink);
+}
+
+Graph Graph::Deserialize(ByteSource& src) {
+  Graph g;
+  g.num_labels_ = src.ReadU32();
+  src.ReadVec(&g.labels_);
+  src.ReadVec(&g.fwd_offsets_);
+  src.ReadVec(&g.fwd_targets_);
+  src.ReadVec(&g.bwd_offsets_);
+  src.ReadVec(&g.bwd_targets_);
+  src.ReadVec(&g.label_offsets_);
+  src.ReadVec(&g.label_nodes_);
+  if (!src.ok()) return Graph();
+  const size_t n = g.labels_.size();
+  // Structural invariants: offset arrays bracket their target arrays and
+  // every projection array has one entry per node. Anything else would make
+  // the accessors read out of bounds.
+  if (g.fwd_offsets_.size() != n + 1 || g.bwd_offsets_.size() != n + 1 ||
+      g.label_offsets_.size() != g.num_labels_ + 1 ||
+      g.fwd_offsets_.front() != 0 || g.bwd_offsets_.front() != 0 ||
+      g.label_offsets_.front() != 0 ||
+      g.fwd_offsets_.back() != g.fwd_targets_.size() ||
+      g.bwd_offsets_.back() != g.bwd_targets_.size() ||
+      g.label_offsets_.back() != g.label_nodes_.size() ||
+      g.label_nodes_.size() != n) {
+    src.Fail("graph snapshot structure is inconsistent");
+    return Graph();
+  }
+  for (size_t i = 0; i + 1 < g.fwd_offsets_.size(); ++i) {
+    if (g.fwd_offsets_[i] > g.fwd_offsets_[i + 1] ||
+        g.bwd_offsets_[i] > g.bwd_offsets_[i + 1]) {
+      src.Fail("graph snapshot offsets are not monotone");
+      return Graph();
+    }
+  }
+  for (LabelId l : g.labels_) {
+    if (l >= g.num_labels_) {
+      src.Fail("graph snapshot label out of range");
+      return Graph();
+    }
+  }
+  for (NodeId v : g.fwd_targets_) {
+    if (v >= n) {
+      src.Fail("graph snapshot edge target out of range");
+      return Graph();
+    }
+  }
+  for (NodeId v : g.bwd_targets_) {
+    if (v >= n) {
+      src.Fail("graph snapshot edge source out of range");
+      return Graph();
+    }
+  }
+  for (NodeId v : g.label_nodes_) {
+    if (v >= n) {
+      src.Fail("graph snapshot label list entry out of range");
+      return Graph();
+    }
+  }
+  auto read_bitmaps = [&src](size_t count, std::vector<Bitmap>* out) {
+    out->resize(count);
+    for (size_t i = 0; i < count && src.ok(); ++i) {
+      (*out)[i] = Bitmap::Deserialize(src);
+    }
+  };
+  read_bitmaps(n, &g.fwd_bitmaps_);
+  read_bitmaps(n, &g.bwd_bitmaps_);
+  read_bitmaps(g.num_labels_, &g.label_bitmaps_);
+  if (!src.ok()) return Graph();
+  return g;
+}
+
 Graph Graph::MakeBidirected(const Graph& g) {
   std::vector<LabelId> labels(g.labels_);
   std::vector<std::pair<NodeId, NodeId>> edges;

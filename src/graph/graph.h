@@ -91,6 +91,15 @@ class Graph {
   /// Human-readable one-line summary (|V|, |E|, |L|, d_avg).
   std::string Summary() const;
 
+  /// Appends a binary image of the whole graph — CSR arrays, label inverted
+  /// lists, and the derived bitmaps — to `sink` (storage/snapshot.h frames
+  /// it into a snapshot file). Loading is pure I/O: nothing is recomputed.
+  void Serialize(ByteSink& sink) const;
+
+  /// Decodes an image written by Serialize. On malformed input `src.ok()`
+  /// turns false and an empty graph is returned.
+  static Graph Deserialize(ByteSource& src);
+
   /// Returns a copy with every edge also present in the reverse direction —
   /// the "store each edge in both directions" transformation the paper uses
   /// to compare against engines that treat data graphs as undirected

@@ -28,6 +28,8 @@ std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
   std::vector<std::pair<NodeId, NodeId>> edges;
   std::string line;
   size_t line_no = 0;
+  bool have_header = false;
+  uint64_t declared_nodes = 0, declared_edges = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
@@ -35,10 +37,15 @@ std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
     char tag = 0;
     ls >> tag;
     if (tag == 't') {
-      uint64_t n = 0, m = 0;
-      ls >> n >> m;
-      labels.reserve(n);
-      edges.reserve(m);
+      if (have_header) {
+        return fail("duplicate header at line " + std::to_string(line_no));
+      }
+      if (!(ls >> declared_nodes >> declared_edges)) {
+        return fail("malformed header at line " + std::to_string(line_no));
+      }
+      have_header = true;
+      labels.reserve(declared_nodes);
+      edges.reserve(declared_edges);
     } else if (tag == 'v') {
       uint64_t id = 0, label = 0;
       if (!(ls >> id >> label)) {
@@ -53,14 +60,27 @@ std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
       if (!(ls >> u >> v)) {
         return fail("malformed edge at line " + std::to_string(line_no));
       }
+      // Endpoints must name already-declared nodes, with or without a
+      // header: the header only pre-sizes, it declares nothing.
       if (u >= labels.size() || v >= labels.size()) {
-        return fail("edge endpoint out of range at line " +
+        return fail("edge (" + std::to_string(u) + ", " + std::to_string(v) +
+                    ") references an undeclared node at line " +
                     std::to_string(line_no));
       }
       edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
     } else {
       return fail("unknown record tag at line " + std::to_string(line_no));
     }
+  }
+  if (have_header && labels.size() != declared_nodes) {
+    return fail("header declares " + std::to_string(declared_nodes) +
+                " node(s) but " + std::to_string(labels.size()) +
+                " were defined");
+  }
+  if (have_header && edges.size() != declared_edges) {
+    return fail("header declares " + std::to_string(declared_edges) +
+                " edge(s) but " + std::to_string(edges.size()) +
+                " were defined");
   }
   return Graph::FromEdges(std::move(labels), std::move(edges));
 }

@@ -18,6 +18,14 @@ namespace rigpm {
 ///
 /// This is the same shape as the SNAP-derived files used by subgraph-matching
 /// papers, so real datasets can be dropped in when available.
+///
+/// The reader validates its input: node ids must be dense and declared
+/// before any edge references them (with or without a `t` header), and a
+/// header's node/edge counts must match the number of `v`/`e` records.
+/// Violations are reported through the `error` out-parameter.
+///
+/// For restart-speed-critical paths prefer the binary snapshot format
+/// (storage/snapshot.h), which skips parsing entirely.
 
 /// Writes `g` to `out` in the text format above.
 void WriteGraph(const Graph& g, std::ostream& out);

@@ -48,4 +48,26 @@ IntervalLabels::IntervalLabels(const Graph& g, const Condensation& cond) {
   }
 }
 
+void IntervalLabels::Serialize(ByteSink& sink) const {
+  sink.WriteVec(begin_);
+  sink.WriteVec(end_);
+  sink.WriteVec(begin_node_);
+  sink.WriteVec(end_node_);
+}
+
+IntervalLabels IntervalLabels::Deserialize(ByteSource& src) {
+  IntervalLabels labels;
+  src.ReadVec(&labels.begin_);
+  src.ReadVec(&labels.end_);
+  src.ReadVec(&labels.begin_node_);
+  src.ReadVec(&labels.end_node_);
+  if (!src.ok()) return IntervalLabels();
+  if (labels.end_.size() != labels.begin_.size() ||
+      labels.end_node_.size() != labels.begin_node_.size()) {
+    src.Fail("interval label snapshot structure is inconsistent");
+    return IntervalLabels();
+  }
+  return labels;
+}
+
 }  // namespace rigpm

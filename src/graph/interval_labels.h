@@ -44,7 +44,16 @@ class IntervalLabels {
     return begin_node_[u] < begin_node_[v] && end_node_[v] <= end_node_[u];
   }
 
+  /// Appends a binary image to `sink` (see storage/snapshot.h).
+  void Serialize(ByteSink& sink) const;
+
+  /// Decodes an image written by Serialize. On malformed input `src.ok()`
+  /// turns false and empty labels are returned.
+  static IntervalLabels Deserialize(ByteSource& src);
+
  private:
+  IntervalLabels() = default;  // only Deserialize builds without a graph
+
   std::vector<uint32_t> begin_;       // per component
   std::vector<uint32_t> end_;         // per component
   std::vector<uint32_t> begin_node_;  // per data node

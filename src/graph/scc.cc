@@ -109,4 +109,53 @@ Condensation::Condensation(const Graph& g) {
   for (uint32_t c = 0; c < num_components_; ++c) topo_order_[c] = c;
 }
 
+void Condensation::Serialize(ByteSink& sink) const {
+  sink.WriteU32(num_components_);
+  sink.WriteVec(component_);
+  sink.WriteVec(cyclic_);
+  sink.WriteVec(comp_size_);
+  sink.WriteVec(dag_offsets_);
+  sink.WriteVec(dag_targets_);
+  sink.WriteVec(topo_order_);
+}
+
+Condensation Condensation::Deserialize(ByteSource& src) {
+  Condensation c;
+  c.num_components_ = src.ReadU32();
+  src.ReadVec(&c.component_);
+  src.ReadVec(&c.cyclic_);
+  src.ReadVec(&c.comp_size_);
+  src.ReadVec(&c.dag_offsets_);
+  src.ReadVec(&c.dag_targets_);
+  src.ReadVec(&c.topo_order_);
+  if (!src.ok()) return Condensation();
+  const uint32_t nc = c.num_components_;
+  if (c.cyclic_.size() != nc || c.comp_size_.size() != nc ||
+      c.topo_order_.size() != nc || c.dag_offsets_.size() != nc + 1 ||
+      (nc > 0 && (c.dag_offsets_.front() != 0 ||
+                  c.dag_offsets_.back() != c.dag_targets_.size()))) {
+    src.Fail("condensation snapshot structure is inconsistent");
+    return Condensation();
+  }
+  for (uint32_t comp : c.component_) {
+    if (comp >= nc) {
+      src.Fail("condensation snapshot component id out of range");
+      return Condensation();
+    }
+  }
+  for (uint32_t i = 0; i + 1 < c.dag_offsets_.size(); ++i) {
+    if (c.dag_offsets_[i] > c.dag_offsets_[i + 1]) {
+      src.Fail("condensation snapshot offsets are not monotone");
+      return Condensation();
+    }
+  }
+  for (uint32_t d : c.dag_targets_) {
+    if (d >= nc) {
+      src.Fail("condensation snapshot DAG target out of range");
+      return Condensation();
+    }
+  }
+  return c;
+}
+
 }  // namespace rigpm

@@ -23,6 +23,9 @@ class Condensation {
 
   uint32_t NumComponents() const { return num_components_; }
 
+  /// Number of data nodes the condensation was computed over.
+  uint32_t NumNodes() const { return static_cast<uint32_t>(component_.size()); }
+
   /// Component of a data node.
   uint32_t Component(NodeId v) const { return component_[v]; }
 
@@ -42,7 +45,17 @@ class Condensation {
 
   uint64_t NumDagEdges() const { return dag_targets_.size(); }
 
+  /// Appends a binary image to `sink` (see storage/snapshot.h); restored by
+  /// Deserialize without re-running Tarjan.
+  void Serialize(ByteSink& sink) const;
+
+  /// Decodes an image written by Serialize. On malformed input `src.ok()`
+  /// turns false and an empty condensation is returned.
+  static Condensation Deserialize(ByteSource& src);
+
  private:
+  Condensation() = default;  // only Deserialize builds without a graph
+
   uint32_t num_components_ = 0;
   std::vector<uint32_t> component_;
   std::vector<uint8_t> cyclic_;

@@ -6,7 +6,9 @@
 
 #include "baseline/iso_engine.h"
 #include "engine/gm_engine.h"
+#include "storage/snapshot.h"
 #include "util/concurrency.h"
+#include "util/serde.h"
 
 namespace rigpm {
 
@@ -55,6 +57,46 @@ bool GraphDatabase::PassesFilter(size_t id, const PatternQuery& q) const {
     }
   }
   return true;
+}
+
+bool GraphDatabase::Save(const std::string& path, std::string* error) const {
+  ByteSink sink;
+  sink.WriteU64(members_.size());
+  for (const Member& m : members_) {
+    m.graph.Serialize(sink);
+    sink.WriteString(m.name);
+    sink.WriteVec(m.label_counts);
+    sink.WriteVec(m.edge_labels);
+  }
+  return WriteSnapshotFile(path, SnapshotKind::kGraphDatabase, sink, error);
+}
+
+std::optional<GraphDatabase> GraphDatabase::Load(const std::string& path,
+                                                 std::string* error) {
+  SnapshotReader reader(path, SnapshotKind::kGraphDatabase);
+  if (!reader.ok()) {
+    if (error != nullptr) *error = reader.error();
+    return std::nullopt;
+  }
+  ByteSource& src = reader.source();
+  GraphDatabase db;
+  uint64_t count = src.ReadU64();
+  for (uint64_t i = 0; i < count && src.ok(); ++i) {
+    Member m;
+    m.graph = Graph::Deserialize(src);
+    m.name = src.ReadString();
+    src.ReadVec(&m.label_counts);
+    src.ReadVec(&m.edge_labels);
+    if (src.ok() && m.label_counts.size() != m.graph.NumLabels()) {
+      src.Fail("member feature vector does not match its graph");
+    }
+    db.members_.push_back(std::move(m));
+  }
+  if (!reader.Finish()) {
+    if (error != nullptr) *error = reader.error();
+    return std::nullopt;
+  }
+  return db;
 }
 
 namespace {

@@ -2,6 +2,7 @@
 #define RIGPM_GRAPHDB_GRAPH_DATABASE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,16 @@ class GraphDatabase {
   /// True iff the feature filter alone rules the member out (exposed for
   /// tests; a `false` return does not guarantee a match).
   bool PassesFilter(size_t id, const PatternQuery& q) const;
+
+  /// Persists every member — graph, name, and the pre-built feature vectors
+  /// — to a binary snapshot (storage/snapshot.h), so a restart skips both
+  /// text parsing and feature extraction.
+  bool Save(const std::string& path, std::string* error = nullptr) const;
+
+  /// Restores a database written by Save. Returns std::nullopt (and fills
+  /// *error) on any malformed input.
+  static std::optional<GraphDatabase> Load(const std::string& path,
+                                           std::string* error = nullptr);
 
  private:
   struct Member {

@@ -124,6 +124,7 @@ bool BflIndex::CompReaches(uint32_t cu, uint32_t cv) const {
   // Guided DFS with label pruning. Exactness: the pruning conditions are all
   // necessary for reaching cv, so skipping a pruned branch never loses a
   // true path.
+  std::lock_guard<std::mutex> lock(scratch_mu_);
   ++epoch_;
   stack_.clear();
   stack_.push_back(cu);
@@ -148,6 +149,43 @@ bool BflIndex::CompReaches(uint32_t cu, uint32_t cv) const {
     }
   }
   return false;
+}
+
+void BflIndex::Serialize(ByteSink& sink) const {
+  cond_.Serialize(sink);
+  intervals_.Serialize(sink);
+  sink.WriteU32(words_);
+  sink.WriteVec(l_out_);
+  sink.WriteVec(l_in_);
+  sink.WriteVec(hash_);
+  sink.WriteVec(pred_offsets_);
+  sink.WriteVec(pred_targets_);
+}
+
+std::unique_ptr<BflIndex> BflIndex::Deserialize(ByteSource& src) {
+  Condensation cond = Condensation::Deserialize(src);
+  IntervalLabels intervals = IntervalLabels::Deserialize(src);
+  if (!src.ok()) return nullptr;
+  std::unique_ptr<BflIndex> index(
+      new BflIndex(std::move(cond), std::move(intervals)));
+  index->words_ = src.ReadU32();
+  src.ReadVec(&index->l_out_);
+  src.ReadVec(&index->l_in_);
+  src.ReadVec(&index->hash_);
+  src.ReadVec(&index->pred_offsets_);
+  src.ReadVec(&index->pred_targets_);
+  if (!src.ok()) return nullptr;
+  const uint32_t nc = index->cond_.NumComponents();
+  const size_t label_words = static_cast<size_t>(nc) * index->words_;
+  if (index->words_ == 0 || index->l_out_.size() != label_words ||
+      index->l_in_.size() != label_words || index->hash_.size() != nc ||
+      index->pred_offsets_.size() != nc + 1 ||
+      (nc > 0 && index->pred_offsets_.back() != index->pred_targets_.size())) {
+    src.Fail("BFL snapshot structure is inconsistent");
+    return nullptr;
+  }
+  index->visited_epoch_.assign(nc, 0);
+  return index;
 }
 
 size_t BflIndex::MemoryBytes() const {

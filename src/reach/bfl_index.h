@@ -3,11 +3,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "graph/interval_labels.h"
 #include "graph/scc.h"
 #include "reach/reachability.h"
+#include "util/serde.h"
 
 namespace rigpm {
 
@@ -40,7 +44,23 @@ class BflIndex : public ReachabilityIndex {
   /// decide the query (no DFS needed).
   bool DecidedByCuts(NodeId u, NodeId v, bool* result) const;
 
+  /// The condensation / interval labels the index was built over. A warm
+  /// GmEngine reuses these instead of recomputing them from the graph.
+  const Condensation& condensation() const { return cond_; }
+  const IntervalLabels& intervals() const { return intervals_; }
+
+  /// Appends a binary image (condensation, interval labels, and the packed
+  /// Bloom label arrays) to `sink`; see storage/snapshot.h.
+  void Serialize(ByteSink& sink) const;
+
+  /// Decodes an image written by Serialize. Returns nullptr on malformed
+  /// input (with `src.ok()` false).
+  static std::unique_ptr<BflIndex> Deserialize(ByteSource& src);
+
  private:
+  BflIndex(Condensation cond, IntervalLabels intervals)
+      : cond_(std::move(cond)), intervals_(std::move(intervals)) {}
+
   bool CompReaches(uint32_t cu, uint32_t cv) const;
 
   // L_out(sub) subset-of L_out(super) over the packed label words.
@@ -58,6 +78,11 @@ class BflIndex : public ReachabilityIndex {
   std::vector<uint64_t> pred_offsets_;
   std::vector<uint32_t> pred_targets_;
 
+  // Scratch for the guided-DFS fallback. One engine's index is shared by
+  // every worker (EvaluateBatch, parallel GraphDatabase verify), so the
+  // rare queries the O(1) cuts cannot decide serialize on this mutex; the
+  // cut paths above stay lock-free.
+  mutable std::mutex scratch_mu_;
   mutable std::vector<uint32_t> visited_epoch_;
   mutable uint32_t epoch_ = 0;
   mutable std::vector<uint32_t> stack_;

@@ -12,6 +12,7 @@ bool BfsReachability::Reaches(NodeId u, NodeId v) const {
   if (cu == cv) return cond_.IsCyclic(cu);
   if (cu > cv) return false;  // topological numbering
 
+  std::lock_guard<std::mutex> lock(scratch_mu_);
   ++epoch_;
   frontier_.clear();
   frontier_.push_back(cu);

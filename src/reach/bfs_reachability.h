@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "graph/scc.h"
@@ -26,7 +27,11 @@ class BfsReachability : public ReachabilityIndex {
 
  private:
   Condensation cond_;
-  // Epoch-stamped visited marks avoid clearing between queries.
+  // Epoch-stamped visited marks avoid clearing between queries. The scratch
+  // is shared by every worker holding the index, so queries that reach the
+  // BFS serialize on the mutex (this engine is the no-index baseline; the
+  // lock cost is noise next to the per-query BFS).
+  mutable std::mutex scratch_mu_;
   mutable std::vector<uint32_t> visited_epoch_;
   mutable uint32_t epoch_ = 0;
   mutable std::vector<uint32_t> frontier_;

@@ -22,8 +22,10 @@ enum class ReachKind {
 const char* ReachKindName(ReachKind kind);
 
 /// Answers node-reachability queries u ≺ v: "is there a path of one or more
-/// edges from u to v?" (Definition 2.2). Implementations are exact; they are
-/// not thread-safe (query-time scratch is reused between calls).
+/// edges from u to v?" (Definition 2.2). Implementations are exact and safe
+/// to query from concurrent workers: the fast paths are read-only, and the
+/// implementations that fall back to a search serialize their reusable
+/// scratch on an internal mutex.
 class ReachabilityIndex {
  public:
   virtual ~ReachabilityIndex() = default;

@@ -1,0 +1,200 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+#include <utility>
+
+#include "reach/bfl_index.h"
+
+namespace rigpm {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'I', 'G', 'P', 'M', 'S', 'N', 'P'};
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint32_t) +
+                                sizeof(uint64_t);
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+bool WriteSnapshotFile(const std::string& path, SnapshotKind kind,
+                       const ByteSink& payload, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    SetError(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  uint32_t version = kSnapshotVersion;
+  uint32_t kind_value = static_cast<uint32_t>(kind);
+  uint64_t payload_size = payload.size();
+  uint64_t checksum = Checksum64(payload.data().data(), payload.size());
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&kind_value), sizeof(kind_value));
+  out.write(reinterpret_cast<const char*>(&payload_size),
+            sizeof(payload_size));
+  out.write(reinterpret_cast<const char*>(payload.data().data()),
+            static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) {
+    SetError(error, "short write to " + path);
+    return false;
+  }
+  return true;
+}
+
+SnapshotReader::SnapshotReader(const std::string& path,
+                               SnapshotKind expected_kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error_ = "cannot open " + path;
+    return;
+  }
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  if (file_size < kHeaderBytes + sizeof(uint64_t)) {
+    error_ = "truncated snapshot (smaller than header)";
+    return;
+  }
+
+  char magic[sizeof(kMagic)];
+  uint32_t version = 0;
+  uint32_t kind_value = 0;
+  uint64_t payload_size = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&kind_value), sizeof(kind_value));
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  if (!in) {
+    error_ = "truncated snapshot header";
+    return;
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    error_ = "bad snapshot magic (not a rigpm snapshot)";
+    return;
+  }
+  if (version != kSnapshotVersion) {
+    error_ = "unsupported snapshot version " + std::to_string(version) +
+             " (this build reads version " +
+             std::to_string(kSnapshotVersion) + ")";
+    return;
+  }
+  if (kind_value != static_cast<uint32_t>(expected_kind)) {
+    error_ = "snapshot kind mismatch (file has kind " +
+             std::to_string(kind_value) + ", expected " +
+             std::to_string(static_cast<uint32_t>(expected_kind)) + ")";
+    return;
+  }
+  // The declared payload must fit between the header and the trailing
+  // checksum; this bounds the slurp allocation (and every ReadVec inside
+  // it) before any bytes are decoded.
+  if (payload_size != file_size - kHeaderBytes - sizeof(uint64_t)) {
+    error_ = "snapshot payload size does not match the file size";
+    return;
+  }
+  // make_unique_for_overwrite: the buffer is about to be filled by the
+  // read; zero-initializing hundreds of MB first is measurable.
+  payload_size_ = payload_size;
+  payload_ = std::make_unique_for_overwrite<uint8_t[]>(payload_size);
+  in.read(reinterpret_cast<char*>(payload_.get()),
+          static_cast<std::streamsize>(payload_size));
+  uint64_t stored_checksum = 0;
+  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
+  if (!in) {
+    error_ = "truncated snapshot payload";
+    return;
+  }
+  if (stored_checksum != Checksum64(payload_.get(), payload_size_)) {
+    error_ = "snapshot checksum mismatch (file is corrupt)";
+    return;
+  }
+  source_.emplace(payload_.get(), payload_size_);
+}
+
+bool SnapshotReader::Finish() {
+  if (!ok()) return false;
+  if (!source_->ok()) {
+    error_ = source_->error();
+    return false;
+  }
+  if (source_->remaining() != 0) {
+    error_ = "snapshot payload has trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ graphs
+
+bool SaveGraphSnapshot(const Graph& g, const std::string& path,
+                       std::string* error) {
+  ByteSink sink;
+  g.Serialize(sink);
+  return WriteSnapshotFile(path, SnapshotKind::kGraph, sink, error);
+}
+
+std::optional<Graph> LoadGraphSnapshot(const std::string& path,
+                                       std::string* error) {
+  SnapshotReader reader(path, SnapshotKind::kGraph);
+  if (!reader.ok()) {
+    SetError(error, reader.error());
+    return std::nullopt;
+  }
+  Graph g = Graph::Deserialize(reader.source());
+  if (!reader.Finish()) {
+    SetError(error, reader.error());
+    return std::nullopt;
+  }
+  return g;
+}
+
+// ----------------------------------------------------------------- engines
+
+bool SaveEngineSnapshot(const GmEngine& engine, const std::string& path,
+                        std::string* error) {
+  const auto* bfl = dynamic_cast<const BflIndex*>(&engine.reach());
+  if (bfl == nullptr) {
+    SetError(error, "only BFL-backed engines can be snapshotted (engine uses " +
+                        engine.reach().Name() + ")");
+    return false;
+  }
+  ByteSink sink;
+  engine.graph().Serialize(sink);
+  bfl->Serialize(sink);
+  return WriteSnapshotFile(path, SnapshotKind::kEngine, sink, error);
+}
+
+std::optional<WarmEngine> LoadEngineSnapshot(const std::string& path,
+                                             std::string* error) {
+  SnapshotReader reader(path, SnapshotKind::kEngine);
+  if (!reader.ok()) {
+    SetError(error, reader.error());
+    return std::nullopt;
+  }
+  auto graph = std::make_unique<Graph>(Graph::Deserialize(reader.source()));
+  std::unique_ptr<BflIndex> bfl = BflIndex::Deserialize(reader.source());
+  if (!reader.Finish() || bfl == nullptr) {
+    SetError(error, reader.error());
+    return std::nullopt;
+  }
+  if (bfl->condensation().NumNodes() != graph->NumNodes()) {
+    SetError(error, "engine snapshot index does not match its graph");
+    return std::nullopt;
+  }
+  // The engine keeps its own copies of the condensation and interval labels
+  // (identical to the index's, both being deterministic functions of the
+  // graph); copying vectors is memcpy-cheap next to rebuilding them.
+  auto condensation = std::make_unique<Condensation>(bfl->condensation());
+  auto intervals = std::make_unique<IntervalLabels>(bfl->intervals());
+  WarmEngine warm;
+  warm.graph = std::move(graph);
+  warm.engine = std::make_unique<GmEngine>(*warm.graph, std::move(bfl),
+                                           std::move(condensation),
+                                           std::move(intervals));
+  return warm;
+}
+
+}  // namespace rigpm

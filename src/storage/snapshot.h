@@ -1,0 +1,106 @@
+#ifndef RIGPM_STORAGE_SNAPSHOT_H_
+#define RIGPM_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engine/gm_engine.h"
+#include "graph/graph.h"
+#include "util/serde.h"
+
+namespace rigpm {
+
+/// Versioned binary snapshot files — the persistence layer that turns
+/// process restarts from recompute-bound into I/O-bound (cold start parses
+/// text and rebuilds the BFL index; warm start streams pre-built structures
+/// back in).
+///
+/// Container layout (all integers host-endian, see util/serde.h):
+///   8 bytes  magic "RIGPMSNP"
+///   u32      format version (kSnapshotVersion)
+///   u32      payload kind (SnapshotKind)
+///   u64      payload size in bytes
+///   payload  kind-specific body written via ByteSink
+///   u64      Checksum64 of the payload
+///
+/// Readers reject bad magic, unknown versions, kind mismatches, payload
+/// sizes inconsistent with the file, truncation, and checksum mismatches —
+/// each with a descriptive error, never by crashing or silently returning a
+/// partial structure.
+
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+enum class SnapshotKind : uint32_t {
+  kGraph = 1,          // Graph only
+  kEngine = 2,         // Graph + BFL index (+ condensation/intervals)
+  kGraphDatabase = 3,  // member graphs + names + feature vectors
+};
+
+/// Frames `payload` with the header and CRC and writes it to `path`.
+bool WriteSnapshotFile(const std::string& path, SnapshotKind kind,
+                       const ByteSink& payload, std::string* error = nullptr);
+
+/// Opens a snapshot file, validates the container header, slurps the
+/// payload with a single read, and verifies the checksum *before* any
+/// decoding (so deserializers never see corrupt bytes). Usage:
+///   SnapshotReader reader(path, SnapshotKind::kGraph);
+///   if (!reader.ok()) ...;
+///   Graph g = Graph::Deserialize(reader.source());
+///   if (!reader.Finish()) ...;   // decode succeeded + payload consumed
+class SnapshotReader {
+ public:
+  SnapshotReader(const std::string& path, SnapshotKind expected_kind);
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Valid only while ok().
+  ByteSource& source() { return *source_; }
+
+  /// Checks that decoding succeeded and consumed the whole payload.
+  /// Returns false (with error()) otherwise.
+  bool Finish();
+
+ private:
+  std::unique_ptr<uint8_t[]> payload_;
+  uint64_t payload_size_ = 0;
+  std::optional<ByteSource> source_;
+  std::string error_;
+};
+
+// ------------------------------------------------------------------ graphs
+
+bool SaveGraphSnapshot(const Graph& g, const std::string& path,
+                       std::string* error = nullptr);
+std::optional<Graph> LoadGraphSnapshot(const std::string& path,
+                                       std::string* error = nullptr);
+
+// ----------------------------------------------------------------- engines
+
+/// A graph plus a GmEngine serving it, loaded as one unit from an engine
+/// snapshot. The engine references the graph, so both live here together.
+struct WarmEngine {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<GmEngine> engine;
+};
+
+/// Persists `engine`'s graph and its pre-built BFL reachability index.
+/// Only BFL-backed engines can be snapshotted (the paper's default); other
+/// reach kinds report an error.
+bool SaveEngineSnapshot(const GmEngine& engine, const std::string& path,
+                        std::string* error = nullptr);
+
+/// Restores a graph + engine pair without re-parsing text or rebuilding the
+/// index: the whole load is deserialization.
+std::optional<WarmEngine> LoadEngineSnapshot(const std::string& path,
+                                             std::string* error = nullptr);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_STORAGE_SNAPSHOT_H_

@@ -112,7 +112,7 @@ TEST(GraphIo, RejectsMalformedInput) {
   {
     std::istringstream in("v 0 0\ne 0 5\n");
     EXPECT_FALSE(ReadGraph(in, &error).has_value());
-    EXPECT_NE(error.find("out of range"), std::string::npos);
+    EXPECT_NE(error.find("undeclared node"), std::string::npos);
   }
   {
     std::istringstream in("v 1 0\n");  // non-dense id

@@ -1,0 +1,454 @@
+// Persistence subsystem tests (storage/snapshot.h, util/serde.h): bitmap
+// and graph round trips, warm-start engine equivalence at several thread
+// counts, database round trips, and rejection of malformed input for both
+// the binary snapshot reader and the text graph reader.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/workloads.h"
+#include "bitmap/bitmap.h"
+#include "engine/gm_engine.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graphdb/graph_database.h"
+#include "query/query_generator.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+#include "util/serde.h"
+
+namespace rigpm {
+namespace {
+
+using rigpm::testing::PaperExample;
+
+// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) {
+    static int counter = 0;
+    path_ = (std::filesystem::temp_directory_path() /
+             (stem + "." + std::to_string(::getpid()) + "." +
+              std::to_string(counter++) + ".snap"))
+                .string();
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Bitmap RoundTrip(const Bitmap& b) {
+  ByteSink sink;
+  b.Serialize(sink);
+  ByteSource src(sink.data().data(), sink.size());
+  Bitmap out = Bitmap::Deserialize(src);
+  EXPECT_TRUE(src.ok()) << src.error();
+  EXPECT_EQ(src.remaining(), 0u);
+  return out;
+}
+
+TEST(BitmapSerde, EmptyRoundTrips) {
+  Bitmap empty;
+  EXPECT_EQ(RoundTrip(empty), empty);
+}
+
+TEST(BitmapSerde, SparseDenseAndMultiContainerRoundTrip) {
+  // Sparse array container.
+  Bitmap sparse{1, 5, 100, 65535};
+  EXPECT_EQ(RoundTrip(sparse), sparse);
+
+  // Dense bitset container (cardinality > kArrayCapacity).
+  Bitmap dense;
+  for (uint32_t i = 0; i < 3 * Bitmap::kArrayCapacity; ++i) dense.Add(2 * i);
+  ASSERT_GT(dense.ContainerCount(), 0u);
+  EXPECT_EQ(RoundTrip(dense), dense);
+
+  // Mixed: array and bitset containers across several chunks.
+  Bitmap mixed = dense;
+  mixed.Add(10'000'000);
+  mixed.Add(4'000'000'000u);
+  EXPECT_EQ(RoundTrip(mixed), mixed);
+}
+
+TEST(BitmapSerde, RandomRoundTrips) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 10; ++round) {
+    Bitmap b;
+    std::uniform_int_distribution<uint32_t> dist(0, 1u << 20);
+    int n = 1 + static_cast<int>(rng() % 20000);
+    for (int i = 0; i < n; ++i) b.Add(dist(rng));
+    EXPECT_EQ(RoundTrip(b), b);
+  }
+}
+
+TEST(BitmapSerde, TruncatedPayloadFailsSoftly) {
+  Bitmap b{1, 2, 3, 70000};
+  ByteSink sink;
+  b.Serialize(sink);
+  for (size_t cut : {size_t{0}, size_t{3}, sink.size() / 2, sink.size() - 1}) {
+    ByteSource src(sink.data().data(), cut);
+    Bitmap out = Bitmap::Deserialize(src);
+    EXPECT_FALSE(src.ok());
+    EXPECT_TRUE(out.Empty());
+  }
+}
+
+// --------------------------------------------------------------- graphs
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  ASSERT_EQ(a.NumLabels(), b.NumLabels());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.Label(v), b.Label(v));
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v));
+    ASSERT_EQ(a.InDegree(v), b.InDegree(v));
+    for (uint32_t i = 0; i < a.OutDegree(v); ++i) {
+      EXPECT_EQ(a.OutNeighbors(v)[i], b.OutNeighbors(v)[i]);
+    }
+    // Bitmap contents must be byte-identical, not just equivalent.
+    EXPECT_EQ(a.OutBitmap(v), b.OutBitmap(v));
+    EXPECT_EQ(a.InBitmap(v), b.InBitmap(v));
+  }
+  for (LabelId l = 0; l < a.NumLabels(); ++l) {
+    EXPECT_EQ(a.LabelBitmap(l), b.LabelBitmap(l));
+  }
+}
+
+TEST(GraphSnapshot, PaperExampleRoundTrips) {
+  Graph g = PaperExample::MakeGraph();
+  TempFile file("graph_paper");
+  std::string error;
+  ASSERT_TRUE(SaveGraphSnapshot(g, file.path(), &error)) << error;
+  auto loaded = LoadGraphSnapshot(file.path(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ExpectSameGraph(g, *loaded);
+}
+
+TEST(GraphSnapshot, GeneratedGraphsRoundTrip) {
+  GeneratorOptions opts;
+  opts.num_nodes = 500;
+  opts.num_edges = 2500;
+  opts.num_labels = 6;
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    opts.seed = seed;
+    for (const Graph& g : {GenerateErdosRenyi(opts), GeneratePowerLaw(opts),
+                           GenerateRandomDag(opts)}) {
+      TempFile file("graph_gen");
+      std::string error;
+      ASSERT_TRUE(SaveGraphSnapshot(g, file.path(), &error)) << error;
+      auto loaded = LoadGraphSnapshot(file.path(), &error);
+      ASSERT_TRUE(loaded.has_value()) << error;
+      ExpectSameGraph(g, *loaded);
+    }
+  }
+}
+
+TEST(GraphSnapshot, TextWriteOfLoadedGraphIsIdentical) {
+  Graph g = PaperExample::MakeGraph();
+  TempFile file("graph_text");
+  ASSERT_TRUE(SaveGraphSnapshot(g, file.path()));
+  auto loaded = LoadGraphSnapshot(file.path());
+  ASSERT_TRUE(loaded.has_value());
+  std::ostringstream a, b;
+  WriteGraph(g, a);
+  WriteGraph(*loaded, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+// --------------------------------------------------------------- engines
+
+std::set<std::vector<NodeId>> CollectSet(const GmEngine& engine,
+                                         const PatternQuery& q,
+                                         uint32_t threads) {
+  GmOptions opts;
+  opts.num_threads = threads;
+  auto tuples = engine.EvaluateCollect(q, opts);
+  return {tuples.begin(), tuples.end()};
+}
+
+TEST(EngineSnapshot, WarmStartMatchesColdStartOnPaperExample) {
+  Graph g = PaperExample::MakeGraph();
+  GmEngine cold(g);
+  TempFile file("engine_paper");
+  std::string error;
+  ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
+  auto warm = LoadEngineSnapshot(file.path(), &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  ExpectSameGraph(g, *warm->graph);
+
+  PatternQuery q = PaperExample::MakeQuery();
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    EXPECT_EQ(CollectSet(cold, q, threads), PaperExample::ExpectedAnswer());
+    EXPECT_EQ(CollectSet(*warm->engine, q, threads),
+              PaperExample::ExpectedAnswer());
+  }
+}
+
+TEST(EngineSnapshot, WarmStartMatchesColdStartOnRandomGraphs) {
+  GeneratorOptions gopts;
+  gopts.num_nodes = 400;
+  gopts.num_edges = 2000;
+  gopts.num_labels = 5;
+  RandomQueryOptions qopts;
+  qopts.num_nodes = 4;
+  qopts.num_edges = 5;
+  qopts.num_labels = gopts.num_labels;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    gopts.seed = seed;
+    Graph g = seed % 2 == 0 ? GeneratePowerLaw(gopts)
+                            : GenerateErdosRenyi(gopts);
+    GmEngine cold(g);
+    TempFile file("engine_rand");
+    std::string error;
+    ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
+    auto warm = LoadEngineSnapshot(file.path(), &error);
+    ASSERT_TRUE(warm.has_value()) << error;
+
+    for (uint64_t qseed = 1; qseed <= 5; ++qseed) {
+      qopts.seed = qseed;
+      PatternQuery q = GenerateRandomQuery(qopts);
+      if (!q.IsConnected()) continue;
+      for (uint32_t threads : {1u, 2u, 4u}) {
+        EXPECT_EQ(CollectSet(cold, q, threads),
+                  CollectSet(*warm->engine, q, threads))
+            << "graph seed " << seed << " query seed " << qseed << " threads "
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(EngineSnapshot, WarmStartMatchesColdStartOnTemplateWorkload) {
+  GeneratorOptions gopts;
+  gopts.num_nodes = 1000;
+  gopts.num_edges = 5000;
+  gopts.num_labels = 8;
+  gopts.seed = 11;
+  Graph g = GeneratePowerLaw(gopts);
+  GmEngine cold(g);
+  TempFile file("engine_tmpl");
+  std::string error;
+  ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
+  auto warm = LoadEngineSnapshot(file.path(), &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+
+  auto workload = TemplateWorkload(g, RepresentativeTemplateNames(),
+                                   QueryVariant::kHybrid, /*seed=*/17);
+  for (const NamedQuery& nq : workload) {
+    GmOptions opts;
+    opts.limit = 20000;
+    GmResult a = cold.Evaluate(nq.query, opts);
+    GmResult b = warm->engine->Evaluate(nq.query, opts);
+    EXPECT_EQ(a.num_occurrences, b.num_occurrences) << nq.name;
+  }
+}
+
+TEST(EngineSnapshot, BatchServingMatchesAcrossThreadCounts) {
+  Graph g = PaperExample::MakeGraph();
+  GmEngine cold(g);
+  TempFile file("engine_batch");
+  ASSERT_TRUE(SaveEngineSnapshot(cold, file.path()));
+  auto warm = LoadEngineSnapshot(file.path());
+  ASSERT_TRUE(warm.has_value());
+
+  std::vector<PatternQuery> batch(6, PaperExample::MakeQuery());
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    GmOptions opts;
+    opts.num_threads = threads;
+    auto cold_results = cold.EvaluateBatch(batch, opts);
+    auto warm_results = warm->engine->EvaluateBatch(batch, opts);
+    ASSERT_EQ(cold_results.size(), warm_results.size());
+    for (size_t i = 0; i < cold_results.size(); ++i) {
+      EXPECT_EQ(cold_results[i].num_occurrences,
+                warm_results[i].num_occurrences);
+    }
+  }
+}
+
+// -------------------------------------------------------------- database
+
+TEST(GraphDatabaseSnapshot, SearchResultsSurviveRoundTrip) {
+  GraphDatabase db;
+  GeneratorOptions gopts;
+  gopts.num_nodes = 60;
+  gopts.num_edges = 200;
+  gopts.num_labels = 4;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    gopts.seed = seed;
+    db.Add(GenerateErdosRenyi(gopts), "member-" + std::to_string(seed));
+  }
+  db.Add(PaperExample::MakeGraph(), "paper");
+
+  TempFile file("graphdb");
+  std::string error;
+  ASSERT_TRUE(db.Save(file.path(), &error)) << error;
+  auto loaded = GraphDatabase::Load(file.path(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->Size(), db.Size());
+  for (size_t id = 0; id < db.Size(); ++id) {
+    EXPECT_EQ(loaded->Name(id), db.Name(id));
+    ExpectSameGraph(db.MemberGraph(id), loaded->MemberGraph(id));
+  }
+
+  PatternQuery q = PaperExample::MakeQuery();
+  for (uint32_t threads : {1u, 2u}) {
+    GraphDatabase::SearchOptions sopts;
+    sopts.num_threads = threads;
+    GraphDatabase::SearchStats stats_a, stats_b;
+    EXPECT_EQ(db.Search(q, sopts, &stats_a),
+              loaded->Search(q, sopts, &stats_b));
+    EXPECT_EQ(stats_a.candidates_after_filter, stats_b.candidates_after_filter);
+  }
+  for (size_t id = 0; id < db.Size(); ++id) {
+    EXPECT_EQ(db.PassesFilter(id, q), loaded->PassesFilter(id, q));
+  }
+}
+
+// ------------------------------------------------------- malformed binary
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void DumpFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class MalformedSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Graph g = PaperExample::MakeGraph();
+    ASSERT_TRUE(SaveGraphSnapshot(g, file_.path()));
+    bytes_ = SlurpFile(file_.path());
+    ASSERT_GT(bytes_.size(), 24u);
+  }
+
+  TempFile file_{"malformed"};
+  std::string bytes_;
+};
+
+TEST_F(MalformedSnapshotTest, TruncatedFileIsRejected) {
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{20}, bytes_.size() / 2,
+                      bytes_.size() - 1}) {
+    DumpFile(file_.path(), bytes_.substr(0, keep));
+    std::string error;
+    EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST_F(MalformedSnapshotTest, BadMagicIsRejected) {
+  std::string corrupt = bytes_;
+  corrupt[0] = 'X';
+  DumpFile(file_.path(), corrupt);
+  std::string error;
+  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST_F(MalformedSnapshotTest, WrongVersionIsRejected) {
+  std::string corrupt = bytes_;
+  corrupt[8] = static_cast<char>(kSnapshotVersion + 7);
+  DumpFile(file_.path(), corrupt);
+  std::string error;
+  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST_F(MalformedSnapshotTest, KindMismatchIsRejected) {
+  std::string error;
+  // A graph snapshot is not an engine snapshot.
+  EXPECT_FALSE(LoadEngineSnapshot(file_.path(), &error).has_value());
+  EXPECT_NE(error.find("kind"), std::string::npos) << error;
+}
+
+TEST_F(MalformedSnapshotTest, CorruptPayloadFailsChecksum) {
+  // Flip one bit in the middle of the payload; the CRC footer must catch it
+  // even when the payload still decodes structurally.
+  std::string corrupt = bytes_;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  DumpFile(file_.path(), corrupt);
+  std::string error;
+  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(MalformedSnapshotTest, CorruptChecksumFooterIsRejected) {
+  std::string corrupt = bytes_;
+  corrupt[corrupt.size() - 1] ^= 0xFF;
+  DumpFile(file_.path(), corrupt);
+  std::string error;
+  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+// --------------------------------------------------------- malformed text
+
+std::optional<Graph> ParseText(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  return ReadGraph(in, error);
+}
+
+TEST(ReadGraphValidation, EdgeToUndeclaredNodeFailsWithoutHeader) {
+  std::string error;
+  EXPECT_FALSE(ParseText("v 0 0\nv 1 1\ne 0 5\n", &error).has_value());
+  EXPECT_NE(error.find("undeclared"), std::string::npos) << error;
+}
+
+TEST(ReadGraphValidation, EdgeToUndeclaredNodeFailsWithHeader) {
+  std::string error;
+  EXPECT_FALSE(
+      ParseText("t 9 1\nv 0 0\nv 1 1\ne 0 5\n", &error).has_value());
+  EXPECT_NE(error.find("undeclared"), std::string::npos) << error;
+}
+
+TEST(ReadGraphValidation, HeaderCountMismatchFails) {
+  std::string error;
+  EXPECT_FALSE(ParseText("t 3 1\nv 0 0\nv 1 1\ne 0 1\n", &error).has_value());
+  EXPECT_NE(error.find("node"), std::string::npos) << error;
+  EXPECT_FALSE(ParseText("t 2 2\nv 0 0\nv 1 1\ne 0 1\n", &error).has_value());
+  EXPECT_NE(error.find("edge"), std::string::npos) << error;
+}
+
+TEST(ReadGraphValidation, DuplicateOrMalformedHeaderFails) {
+  std::string error;
+  EXPECT_FALSE(ParseText("t 1 0\nt 1 0\nv 0 0\n", &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_FALSE(ParseText("t one two\nv 0 0\n", &error).has_value());
+}
+
+TEST(ReadGraphValidation, NonDenseAndUnknownTagsStillFail) {
+  std::string error;
+  EXPECT_FALSE(ParseText("v 1 0\n", &error).has_value());
+  EXPECT_FALSE(ParseText("v 0 0\nx 1 2\n", &error).has_value());
+  EXPECT_FALSE(ParseText("v 0 zero\n", &error).has_value());
+}
+
+TEST(ReadGraphValidation, ValidInputStillParses) {
+  std::string error;
+  auto g = ParseText("t 2 1\nv 0 0\nv 1 1\ne 0 1\n# comment\n", &error);
+  ASSERT_TRUE(g.has_value()) << error;
+  EXPECT_EQ(g->NumNodes(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+}  // namespace
+}  // namespace rigpm

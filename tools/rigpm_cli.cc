@@ -3,9 +3,19 @@
 //   rigpm_cli --graph G.txt --pattern "(a:0)->(b:1), (b)=>(c:2)" [flags]
 //   rigpm_cli --graph G.txt --query Q.txt --engine jm --limit 100
 //   rigpm_cli --graph G.txt --batch QUERIES.txt --threads 8
+//   rigpm_cli snapshot --graph G.txt --out G.snap
+//   rigpm_cli --load-snapshot G.snap --pattern "(a:0)->(b:1)"
+//
+// Subcommands:
+//   snapshot          parse --graph, build the BFL engine, and persist both
+//                     to --out as a binary snapshot (storage/snapshot.h);
+//                     later runs warm-start from it via --load-snapshot
 //
 // Flags:
-//   --graph FILE      data graph in the text format of graph_io.h (required)
+//   --graph FILE      data graph in the text format of graph_io.h
+//   --load-snapshot F warm start: load graph + pre-built reachability index
+//                     from a binary engine snapshot instead of --graph
+//   --out FILE        snapshot output path (snapshot subcommand)
 //   --query FILE      query in the text format of query_io.h
 //   --pattern STR     query in the inline syntax of pattern_parser.h
 //   --batch FILE      batch mode: one inline pattern per line ('#' comments
@@ -26,7 +36,9 @@
 #include <cstring>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/jm_engine.h"
@@ -37,6 +49,7 @@
 #include "query/pattern_parser.h"
 #include "query/query_io.h"
 #include "query/transitive_reduction.h"
+#include "storage/snapshot.h"
 
 namespace {
 
@@ -44,6 +57,8 @@ using namespace rigpm;
 
 struct CliArgs {
   std::string graph_path;
+  std::string snapshot_path;  // --load-snapshot
+  std::string out_path;       // snapshot subcommand --out
   std::string query_path;
   std::string pattern;
   std::string batch_path;
@@ -58,16 +73,17 @@ struct CliArgs {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --graph FILE (--query FILE | --pattern STR |\n"
-               "          --batch FILE)\n"
+               "usage: %s (--graph FILE | --load-snapshot FILE)\n"
+               "          (--query FILE | --pattern STR | --batch FILE)\n"
                "          [--engine gm|gm-par|jm|tm] [--order jo|ri|bj]\n"
-               "          [--threads N] [--limit N] [--print N] [--stats]\n",
-               argv0);
+               "          [--threads N] [--limit N] [--print N] [--stats]\n"
+               "       %s snapshot --graph FILE --out FILE\n",
+               argv0, argv0);
   return 2;
 }
 
-bool ParseArgs(int argc, char** argv, CliArgs* out) {
-  for (int i = 1; i < argc; ++i) {
+bool ParseArgs(int argc, char** argv, int first, CliArgs* out) {
+  for (int i = first; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", flag);
@@ -79,6 +95,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* out) {
       const char* v = need_value("--graph");
       if (v == nullptr) return false;
       out->graph_path = v;
+    } else if (std::strcmp(argv[i], "--load-snapshot") == 0) {
+      const char* v = need_value("--load-snapshot");
+      if (v == nullptr) return false;
+      out->snapshot_path = v;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = need_value("--out");
+      if (v == nullptr) return false;
+      out->out_path = v;
     } else if (std::strcmp(argv[i], "--query") == 0) {
       const char* v = need_value("--query");
       if (v == nullptr) return false;
@@ -119,9 +143,20 @@ bool ParseArgs(int argc, char** argv, CliArgs* out) {
       return false;
     }
   }
-  return !out->graph_path.empty() &&
-         (!out->query_path.empty() || !out->pattern.empty() ||
-          !out->batch_path.empty());
+  return true;
+}
+
+// Required flags for the default (evaluate) mode; the snapshot subcommand
+// checks its own.
+bool HasEvalInputs(const CliArgs& args) {
+  if (!args.graph_path.empty() && !args.snapshot_path.empty()) {
+    std::fprintf(stderr,
+                 "--graph and --load-snapshot are mutually exclusive\n");
+    return false;
+  }
+  return (!args.graph_path.empty() || !args.snapshot_path.empty()) &&
+         (!args.query_path.empty() || !args.pattern.empty() ||
+          !args.batch_path.empty());
 }
 
 void PrintOccurrence(const Occurrence& t) {
@@ -132,9 +167,38 @@ void PrintOccurrence(const Occurrence& t) {
   std::printf(")\n");
 }
 
+// snapshot subcommand: parse the text graph, build the BFL engine once, and
+// persist both so later runs skip the parse and the index build entirely.
+int RunSnapshot(const CliArgs& args) {
+  if (args.graph_path.empty() || args.out_path.empty()) {
+    std::fprintf(stderr, "snapshot needs --graph FILE and --out FILE\n");
+    return 2;
+  }
+  std::string error;
+  auto t0 = std::chrono::steady_clock::now();
+  auto graph = ReadGraphFile(args.graph_path, &error);
+  if (!graph.has_value()) {
+    std::fprintf(stderr, "cannot read graph: %s\n", error.c_str());
+    return 1;
+  }
+  double parse_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  GmEngine engine(*graph);
+  if (!SaveEngineSnapshot(engine, args.out_path, &error)) {
+    std::fprintf(stderr, "cannot write snapshot: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("graph: %s\n", graph->Summary().c_str());
+  std::printf("snapshot written to %s (parse %.2f ms, index build %.2f ms "
+              "— both skipped on --load-snapshot)\n",
+              args.out_path.c_str(), parse_ms, engine.reach_build_ms());
+  return 0;
+}
+
 // Batch mode: every line of the file is an inline pattern; the whole batch
 // is served through GmEngine::EvaluateBatch with --threads workers.
-int RunBatch(const Graph& graph, const CliArgs& args) {
+int RunBatch(const Graph& graph, GmEngine* warm_engine, const CliArgs& args) {
   if (args.engine != "gm") {
     std::fprintf(stderr, "--batch only supports --engine gm (got %s)\n",
                  args.engine.c_str());
@@ -171,7 +235,9 @@ int RunBatch(const Graph& graph, const CliArgs& args) {
     return 1;
   }
 
-  GmEngine engine(graph);
+  std::optional<GmEngine> cold_engine;
+  if (warm_engine == nullptr) cold_engine.emplace(graph);
+  GmEngine& engine = warm_engine != nullptr ? *warm_engine : *cold_engine;
   GmOptions opts;
   opts.limit = args.limit;
   if (args.order == "ri") opts.order = OrderStrategy::kRI;
@@ -209,17 +275,41 @@ int RunBatch(const Graph& graph, const CliArgs& args) {
 
 int main(int argc, char** argv) {
   CliArgs args;
-  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  if (argc > 1 && std::strcmp(argv[1], "snapshot") == 0) {
+    if (!ParseArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+    return RunSnapshot(args);
+  }
+  if (!ParseArgs(argc, argv, 1, &args) || !HasEvalInputs(args)) {
+    return Usage(argv[0]);
+  }
 
   std::string error;
-  auto graph = ReadGraphFile(args.graph_path, &error);
-  if (!graph.has_value()) {
-    std::fprintf(stderr, "cannot read graph: %s\n", error.c_str());
-    return 1;
+  std::optional<Graph> parsed_graph;
+  WarmEngine warm;
+  const Graph* graph = nullptr;
+  if (!args.snapshot_path.empty()) {
+    auto loaded = LoadEngineSnapshot(args.snapshot_path, &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "cannot load snapshot: %s\n", error.c_str());
+      return 1;
+    }
+    warm = std::move(*loaded);
+    graph = warm.graph.get();
+    std::printf("snapshot: %s (warm start, index build skipped)\n",
+                args.snapshot_path.c_str());
+  } else {
+    parsed_graph = ReadGraphFile(args.graph_path, &error);
+    if (!parsed_graph.has_value()) {
+      std::fprintf(stderr, "cannot read graph: %s\n", error.c_str());
+      return 1;
+    }
+    graph = &*parsed_graph;
   }
   std::printf("graph: %s\n", graph->Summary().c_str());
 
-  if (!args.batch_path.empty()) return RunBatch(*graph, args);
+  if (!args.batch_path.empty()) {
+    return RunBatch(*graph, warm.engine.get(), args);
+  }
 
   std::optional<PatternQuery> query;
   if (!args.pattern.empty()) {
@@ -253,7 +343,9 @@ int main(int argc, char** argv) {
   };
 
   if (args.engine == "gm" || args.engine == "gm-par") {
-    GmEngine engine(*graph);
+    std::optional<GmEngine> cold_engine;
+    if (warm.engine == nullptr) cold_engine.emplace(*graph);
+    GmEngine& engine = warm.engine != nullptr ? *warm.engine : *cold_engine;
     GmOptions opts;
     opts.limit = args.limit;
     if (args.order == "ri") opts.order = OrderStrategy::kRI;
