@@ -1,0 +1,164 @@
+// Protocol overhead of the query daemon (server/server.h): end-to-end RPS
+// through the Unix-socket frame protocol vs the same workload evaluated
+// in-process.
+//
+// Setup: one engine over a generated bench graph serves (a) directly via
+// EvaluateBatch and per-worker contexts — the in-process ceiling — and
+// (b) through a QueryServer on a Unix-domain socket with K concurrent
+// clients issuing one query per request. Both run the identical query list,
+// and the bench cross-checks that every served count equals the in-process
+// count (a daemon that is fast but wrong would be worthless).
+//
+// The gap between (a) and (b) is pure serving overhead: framing, syscalls,
+// scheduling — the price of the RDBMS-style "load once, serve repeatedly"
+// deployment the snapshot subsystem enables.
+//
+// Knobs: RIGPM_SCALE scales the graph; RIGPM_SERVER_CLIENTS (default 4)
+// sets the concurrent client count.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "query/pattern_parser.h"
+#include "server/client.h"
+#include "server/server.h"
+
+using namespace rigpm;
+using namespace rigpm::bench;
+
+namespace {
+
+uint32_t ClientsFromEnv() {
+  const char* raw = std::getenv("RIGPM_SERVER_CLIENTS");
+  if (raw == nullptr) return 4;
+  long v = std::strtol(raw, nullptr, 10);
+  return v > 0 ? static_cast<uint32_t>(v) : 4;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = DatasetScaleFromEnv();
+  const uint32_t num_clients = ClientsFromEnv();
+  PrintBenchHeader("Server — socket serving vs in-process evaluation",
+                   "scale=" + std::to_string(scale) +
+                       " clients=" + std::to_string(num_clients));
+
+  const DatasetSpec& spec = DatasetByName("yt");
+  Graph g = MakeDataset(spec, scale);
+  std::printf("graph: %s\n\n", g.Summary().c_str());
+  GmEngine engine(g);
+
+  // Workload: the template queries the paper serves, repeated so each
+  // client has a few dozen requests — enough round trips for the protocol
+  // cost to dominate noise.
+  auto workload = TemplateWorkload(g, RepresentativeTemplateNames(),
+                                   QueryVariant::kHybrid, /*seed=*/17);
+  std::vector<PatternQuery> queries;
+  std::vector<std::string> query_texts;
+  constexpr int kRepeats = 8;
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const NamedQuery& nq : workload) {
+      queries.push_back(nq.query);
+      query_texts.push_back(PatternToString(nq.query));
+    }
+  }
+  GmOptions opts;
+  opts.limit = MatchLimitFromEnv();
+
+  // --- (a) In-process ceiling: EvaluateBatch with as many workers as the
+  // server will have clients.
+  GmOptions batch_opts = opts;
+  batch_opts.num_threads = num_clients;
+  std::vector<GmResult> direct;
+  double direct_ms = TimeMs([&] {
+    direct = engine.EvaluateBatch(
+        std::span<const PatternQuery>(queries), batch_opts);
+  });
+
+  // --- (b) Through the daemon: K clients, one connection each, splitting
+  // the same query list round-robin.
+  server::ServerConfig config;
+  config.unix_path = (std::filesystem::temp_directory_path() /
+                      ("rigpm_bench_server_" + std::to_string(::getpid()) +
+                       ".sock"))
+                         .string();
+  config.num_workers = num_clients;
+  server::QueryServer server(engine, config);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> transport_failures{0};
+  double served_ms = TimeMs([&] {
+    std::vector<std::thread> clients;
+    clients.reserve(num_clients);
+    for (uint32_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        server::QueryClient client;
+        std::string cerr;
+        if (!client.ConnectUnix(config.unix_path, &cerr)) {
+          ++transport_failures;
+          return;
+        }
+        for (size_t i = c; i < query_texts.size(); i += num_clients) {
+          server::QueryRequest req;
+          req.patterns = {query_texts[i]};
+          req.limit = opts.limit;
+          auto resp = client.Query(req, &cerr);
+          if (!resp.has_value() ||
+              resp->status != server::StatusCode::kOk ||
+              resp->results.size() != 1) {
+            ++transport_failures;
+            continue;
+          }
+          if (resp->results[0].num_occurrences !=
+              direct[i].num_occurrences) {
+            ++mismatches;
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  });
+  server.Stop();
+
+  const double n = static_cast<double>(queries.size());
+  const double direct_rps = n / (direct_ms / 1000.0);
+  const double served_rps = n / (served_ms / 1000.0);
+  TablePrinter table({"path", "queries", "time(s)", "RPS"});
+  char buf[3][32];
+  std::snprintf(buf[0], sizeof(buf[0]), "%zu", queries.size());
+  std::snprintf(buf[1], sizeof(buf[1]), "%.0f", direct_rps);
+  table.AddRow({"in-process EvaluateBatch", buf[0], FormatSeconds(direct_ms),
+                buf[1]});
+  std::snprintf(buf[2], sizeof(buf[2]), "%.0f", served_rps);
+  table.AddRow({"daemon (unix socket)", buf[0], FormatSeconds(served_ms),
+                buf[2]});
+  table.Print();
+  std::printf("\nprotocol overhead: %.1f%% RPS (%.3f ms per request)\n",
+              direct_rps > 0 ? 100.0 * (1.0 - served_rps / direct_rps) : 0.0,
+              (served_ms - direct_ms) / n);
+
+  if (transport_failures.load() != 0 || mismatches.load() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu transport failure(s), %llu count mismatch(es)\n",
+                 static_cast<unsigned long long>(transport_failures.load()),
+                 static_cast<unsigned long long>(mismatches.load()));
+    return 1;
+  }
+  std::printf("served counts identical to in-process evaluation "
+              "(%zu queries)\n", queries.size());
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "engine/incremental.h"
 
+#include <algorithm>
+
 namespace rigpm {
 
 IncrementalMatcher::IncrementalMatcher(Graph initial, PatternQuery query,
@@ -25,12 +27,22 @@ std::vector<Occurrence> IncrementalMatcher::ApplyAndDiff(
   for (NodeId v = 0; v < old_graph->NumNodes(); ++v) {
     labels[v] = old_graph->Label(v);
   }
+  // Dedupe the batch against itself and against edges already present, so
+  // repeated/overlapping batches cannot grow the rebuild input: the graph
+  // must not depend on Graph::FromEdges quietly dropping duplicates, and
+  // every duplicate fed through would be re-sorted on each batch.
+  std::vector<std::pair<NodeId, NodeId>> fresh = new_edges;
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  std::erase_if(fresh, [&](const std::pair<NodeId, NodeId>& e) {
+    return old_graph->HasEdge(e.first, e.second);
+  });
   std::vector<std::pair<NodeId, NodeId>> edges;
-  edges.reserve(old_graph->NumEdges() + new_edges.size());
+  edges.reserve(old_graph->NumEdges() + fresh.size());
   for (NodeId v = 0; v < old_graph->NumNodes(); ++v) {
     for (NodeId w : old_graph->OutNeighbors(v)) edges.emplace_back(v, w);
   }
-  for (const auto& e : new_edges) edges.push_back(e);
+  edges.insert(edges.end(), fresh.begin(), fresh.end());
   current_ = std::make_unique<Graph>(
       Graph::FromEdges(std::move(labels), std::move(edges)));
   engine_ = std::make_unique<GmEngine>(*current_);

@@ -1,0 +1,185 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace rigpm::server {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+/// Decodes an error-response payload into `status` + `message`. Returns
+/// false if the payload is not an error response.
+bool DecodeErrorResponse(ByteSource& src, StatusCode* status,
+                         std::string* message) {
+  *status = static_cast<StatusCode>(src.ReadU32());
+  *message = src.ReadString();
+  return src.ok();
+}
+
+}  // namespace
+
+QueryClient::~QueryClient() { Close(); }
+
+void QueryClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool QueryClient::ConnectUnix(const std::string& path, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    SetError(error, std::strerror(errno));
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    SetError(error, "unix socket path too long: " + path);
+    Close();
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    SetError(error, "connect " + path + ": " + std::strerror(errno));
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool QueryClient::ConnectTcp(const std::string& host, uint16_t port,
+                             std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    SetError(error, std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    SetError(error, "cannot parse host address " + host);
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    SetError(error,
+             "connect " + host + ":" + std::to_string(port) + ": " +
+                 std::strerror(errno));
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool QueryClient::RoundTrip(const ByteSink& request,
+                            std::vector<uint8_t>* payload,
+                            std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return false;
+  }
+  if (!WriteFrame(fd_, request, error)) return false;
+  FrameReadStatus st = ReadFrame(fd_, max_frame_bytes, payload, error);
+  if (st == FrameReadStatus::kEof) {
+    SetError(error, "server closed the connection");
+    return false;
+  }
+  return st == FrameReadStatus::kOk;
+}
+
+std::optional<QueryResponse> QueryClient::Query(const QueryRequest& request,
+                                                std::string* error) {
+  ByteSink sink;
+  request.Serialize(sink);
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(sink, &payload, error)) return std::nullopt;
+
+  ByteSource src(payload.data(), payload.size());
+  MessageType type = ReadMessageType(src);
+  if (type == MessageType::kErrorResponse) {
+    QueryResponse resp;
+    if (!DecodeErrorResponse(src, &resp.status, &resp.error)) {
+      SetError(error, "malformed error response");
+      return std::nullopt;
+    }
+    return resp;
+  }
+  if (type != MessageType::kQueryResponse) {
+    SetError(error, "unexpected response type");
+    return std::nullopt;
+  }
+  QueryResponse resp = QueryResponse::Deserialize(src);
+  if (!src.ok()) {
+    SetError(error, "malformed query response: " + src.error());
+    return std::nullopt;
+  }
+  return resp;
+}
+
+std::optional<StatsResponse> QueryClient::Stats(std::string* error) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kStatsRequest));
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(sink, &payload, error)) return std::nullopt;
+
+  ByteSource src(payload.data(), payload.size());
+  if (ReadMessageType(src) != MessageType::kStatsResponse) {
+    SetError(error, "unexpected response type");
+    return std::nullopt;
+  }
+  StatsResponse resp = StatsResponse::Deserialize(src);
+  if (!src.ok()) {
+    SetError(error, "malformed stats response: " + src.error());
+    return std::nullopt;
+  }
+  return resp;
+}
+
+bool QueryClient::Ping(std::string* error) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kPingRequest));
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(sink, &payload, error)) return false;
+  ByteSource src(payload.data(), payload.size());
+  if (ReadMessageType(src) != MessageType::kPingResponse) {
+    SetError(error, "unexpected response type");
+    return false;
+  }
+  return true;
+}
+
+bool QueryClient::Shutdown(std::string* error) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kShutdownRequest));
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(sink, &payload, error)) return false;
+  ByteSource src(payload.data(), payload.size());
+  MessageType type = ReadMessageType(src);
+  if (type == MessageType::kErrorResponse) {
+    StatusCode status;
+    std::string message;
+    if (DecodeErrorResponse(src, &status, &message)) {
+      SetError(error, message);
+    }
+    return false;
+  }
+  return type == MessageType::kShutdownResponse;
+}
+
+}  // namespace rigpm::server

@@ -1,0 +1,64 @@
+#ifndef RIGPM_SERVER_CLIENT_H_
+#define RIGPM_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace rigpm::server {
+
+/// Blocking client for the rigpm query daemon: one connection, any number of
+/// request/response round trips. Thread contract: one thread per client
+/// (open several clients for concurrency — the server handles each on its
+/// own worker).
+class QueryClient {
+ public:
+  QueryClient() = default;
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+  QueryClient(QueryClient&& other) noexcept
+      : max_frame_bytes(other.max_frame_bytes), fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+
+  bool ConnectUnix(const std::string& path, std::string* error = nullptr);
+  bool ConnectTcp(const std::string& host, uint16_t port,
+                  std::string* error = nullptr);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One query round trip. Returns nullopt only on transport failure;
+  /// server-side rejections come back as a response with status != kOk.
+  std::optional<QueryResponse> Query(const QueryRequest& request,
+                                     std::string* error = nullptr);
+
+  std::optional<StatsResponse> Stats(std::string* error = nullptr);
+
+  /// Liveness probe (also what scripts poll while the daemon starts up).
+  bool Ping(std::string* error = nullptr);
+
+  /// Asks the server to shut down gracefully (needs the server's
+  /// allow_remote_shutdown). Returns true once the server acknowledges.
+  bool Shutdown(std::string* error = nullptr);
+
+  /// Raw connection handle, for tests that need to speak malformed bytes.
+  int fd() const { return fd_; }
+
+  /// Per-connection cap for response frames (mirrors the server default).
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+ private:
+  /// Sends `request` and reads one response frame into *payload.
+  bool RoundTrip(const ByteSink& request, std::vector<uint8_t>* payload,
+                 std::string* error);
+
+  int fd_ = -1;
+};
+
+}  // namespace rigpm::server
+
+#endif  // RIGPM_SERVER_CLIENT_H_

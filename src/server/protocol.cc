@@ -1,0 +1,282 @@
+#include "server/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+namespace rigpm::server {
+
+namespace {
+
+constexpr int kPollSliceMs = 100;
+
+void WriteF64(ByteSink& sink, double v) {
+  sink.WriteU64(std::bit_cast<uint64_t>(v));
+}
+
+double ReadF64(ByteSource& src) {
+  return std::bit_cast<double>(src.ReadU64());
+}
+
+void WriteBool(ByteSink& sink, bool v) { sink.WriteU8(v ? 1 : 0); }
+
+bool ReadBool(ByteSource& src) { return src.ReadU8() != 0; }
+
+/// Reads exactly n bytes; distinguishes a clean EOF before the first byte
+/// (frame boundary) from a mid-buffer disconnect.
+FrameReadStatus ReadExact(int fd, uint8_t* buf, size_t n, std::string* error,
+                          const std::atomic<bool>* stop) {
+  size_t got = 0;
+  while (got < n) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return FrameReadStatus::kStopped;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = std::strerror(errno);
+      return FrameReadStatus::kError;
+    }
+    if (ready == 0) continue;  // timeout slice; re-check the stop flag
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (error != nullptr) *error = std::strerror(errno);
+      return FrameReadStatus::kError;
+    }
+    if (r == 0) {
+      if (got == 0) return FrameReadStatus::kEof;
+      if (error != nullptr) *error = "peer disconnected mid-frame";
+      return FrameReadStatus::kError;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return FrameReadStatus::kOk;
+}
+
+}  // namespace
+
+const char* StatusCodeName(StatusCode s) {
+  switch (s) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kParseError: return "parse error";
+    case StatusCode::kBadRequest: return "bad request";
+    case StatusCode::kShuttingDown: return "shutting down";
+    case StatusCode::kInternalError: return "internal error";
+  }
+  return "unknown";
+}
+
+// ----------------------------------------------------------- QueryRequest
+
+void QueryRequest::Serialize(ByteSink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kQueryRequest));
+  sink.WriteU32(static_cast<uint32_t>(patterns.size()));
+  for (const std::string& p : patterns) sink.WriteString(p);
+  sink.WriteString(template_name);
+  sink.WriteU64(template_seed);
+  sink.WriteU64(limit);
+  sink.WriteU32(num_threads);
+  WriteBool(sink, use_transitive_reduction);
+  WriteBool(sink, use_prefilter);
+  WriteBool(sink, use_double_simulation);
+  sink.WriteU32(max_return_tuples);
+}
+
+QueryRequest QueryRequest::Deserialize(ByteSource& src) {
+  QueryRequest req;
+  uint32_t num_patterns = src.ReadU32();
+  // Each pattern costs at least a u64 length on the wire, so a sane count
+  // is bounded by the remaining bytes; reject before reserving anything.
+  if (num_patterns > src.remaining() / sizeof(uint64_t)) {
+    src.Fail("pattern count exceeds request size");
+    return req;
+  }
+  req.patterns.reserve(num_patterns);
+  for (uint32_t i = 0; i < num_patterns && src.ok(); ++i) {
+    req.patterns.push_back(src.ReadString());
+  }
+  req.template_name = src.ReadString();
+  req.template_seed = src.ReadU64();
+  req.limit = src.ReadU64();
+  req.num_threads = src.ReadU32();
+  req.use_transitive_reduction = ReadBool(src);
+  req.use_prefilter = ReadBool(src);
+  req.use_double_simulation = ReadBool(src);
+  req.max_return_tuples = src.ReadU32();
+  return req;
+}
+
+// ---------------------------------------------------------- QueryResponse
+
+uint64_t QueryResponse::TotalOccurrences() const {
+  uint64_t total = 0;
+  for (const QueryResultWire& r : results) total += r.num_occurrences;
+  return total;
+}
+
+void QueryResponse::Serialize(ByteSink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kQueryResponse));
+  sink.WriteU32(static_cast<uint32_t>(status));
+  sink.WriteString(error);
+  sink.WriteU32(static_cast<uint32_t>(results.size()));
+  for (const QueryResultWire& r : results) {
+    sink.WriteU64(r.num_occurrences);
+    WriteBool(sink, r.hit_limit);
+    WriteF64(sink, r.matching_ms);
+    WriteF64(sink, r.enumerate_ms);
+    sink.WriteU32(static_cast<uint32_t>(r.phase_timings.size()));
+    for (const PhaseTimingWire& pt : r.phase_timings) {
+      sink.WriteString(pt.name);
+      WriteF64(sink, pt.ms);
+    }
+  }
+  sink.WriteU32(tuple_arity);
+  sink.WriteVec(tuples);
+}
+
+QueryResponse QueryResponse::Deserialize(ByteSource& src) {
+  QueryResponse resp;
+  resp.status = static_cast<StatusCode>(src.ReadU32());
+  resp.error = src.ReadString();
+  uint32_t num_results = src.ReadU32();
+  if (num_results > src.remaining() / sizeof(uint64_t)) {
+    src.Fail("result count exceeds response size");
+    return resp;
+  }
+  resp.results.resize(num_results);
+  for (QueryResultWire& r : resp.results) {
+    if (!src.ok()) break;
+    r.num_occurrences = src.ReadU64();
+    r.hit_limit = ReadBool(src);
+    r.matching_ms = ReadF64(src);
+    r.enumerate_ms = ReadF64(src);
+    uint32_t num_phases = src.ReadU32();
+    if (num_phases > src.remaining() / sizeof(uint64_t)) {
+      src.Fail("phase count exceeds response size");
+      return resp;
+    }
+    r.phase_timings.resize(num_phases);
+    for (PhaseTimingWire& pt : r.phase_timings) {
+      pt.name = src.ReadString();
+      pt.ms = ReadF64(src);
+    }
+  }
+  resp.tuple_arity = src.ReadU32();
+  src.ReadVec(&resp.tuples);
+  if (resp.tuple_arity != 0 &&
+      resp.tuples.size() % resp.tuple_arity != 0) {
+    src.Fail("tuple payload is not a multiple of the arity");
+  }
+  return resp;
+}
+
+// ---------------------------------------------------------- StatsResponse
+
+void StatsResponse::Serialize(ByteSink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kStatsResponse));
+  sink.WriteU64(uptime_ms);
+  sink.WriteU64(connections_accepted);
+  sink.WriteU64(active_connections);
+  sink.WriteU64(requests_served);
+  sink.WriteU64(queries_served);
+  sink.WriteU64(errors);
+  sink.WriteU64(occurrences_emitted);
+  WriteF64(sink, latency_p50_ms);
+  WriteF64(sink, latency_p99_ms);
+}
+
+StatsResponse StatsResponse::Deserialize(ByteSource& src) {
+  StatsResponse s;
+  s.uptime_ms = src.ReadU64();
+  s.connections_accepted = src.ReadU64();
+  s.active_connections = src.ReadU64();
+  s.requests_served = src.ReadU64();
+  s.queries_served = src.ReadU64();
+  s.errors = src.ReadU64();
+  s.occurrences_emitted = src.ReadU64();
+  s.latency_p50_ms = ReadF64(src);
+  s.latency_p99_ms = ReadF64(src);
+  return s;
+}
+
+// ------------------------------------------------------------- frame I/O
+
+FrameReadStatus ReadFrame(int fd, uint32_t max_bytes,
+                          std::vector<uint8_t>* out, std::string* error,
+                          const std::atomic<bool>* stop) {
+  uint8_t len_bytes[sizeof(uint32_t)];
+  FrameReadStatus st =
+      ReadExact(fd, len_bytes, sizeof(len_bytes), error, stop);
+  if (st != FrameReadStatus::kOk) return st;
+  uint32_t len = 0;
+  std::memcpy(&len, len_bytes, sizeof(len));
+  if (len > max_bytes) {
+    if (error != nullptr) {
+      *error = "frame of " + std::to_string(len) +
+               " bytes exceeds the limit of " + std::to_string(max_bytes);
+    }
+    return FrameReadStatus::kOversize;
+  }
+  out->resize(len);
+  return ReadExact(fd, out->data(), len, error, stop);
+}
+
+bool WriteFrame(int fd, const ByteSink& payload, std::string* error) {
+  // Gather the 4-byte prefix and the payload into one sendmsg: no copy of
+  // a possibly-multi-MB payload, and one packet instead of a write-write
+  // sequence (which Nagle + delayed ACK would penalize on TCP).
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  iovec iov[2];
+  iov[0].iov_base = &len;
+  iov[0].iov_len = sizeof(len);
+  iov[1].iov_base =
+      const_cast<uint8_t*>(payload.data().data());  // sendmsg won't write
+  iov[1].iov_len = payload.size();
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+  while (msg.msg_iovlen > 0) {
+    ssize_t r = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    // Drop fully-sent iovec entries, advance into a partially-sent one.
+    auto done = static_cast<size_t>(r);
+    while (msg.msg_iovlen > 0 && done >= msg.msg_iov[0].iov_len) {
+      done -= msg.msg_iov[0].iov_len;
+      ++msg.msg_iov;
+      --msg.msg_iovlen;
+    }
+    if (msg.msg_iovlen > 0 && done > 0) {
+      msg.msg_iov[0].iov_base =
+          static_cast<uint8_t*>(msg.msg_iov[0].iov_base) + done;
+      msg.msg_iov[0].iov_len -= done;
+    }
+  }
+  return true;
+}
+
+MessageType ReadMessageType(ByteSource& src) {
+  uint32_t raw = src.ReadU32();
+  if (!src.ok()) return static_cast<MessageType>(0);
+  return static_cast<MessageType>(raw);
+}
+
+ByteSink MakeErrorResponse(StatusCode status, const std::string& message) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kErrorResponse));
+  sink.WriteU32(static_cast<uint32_t>(status));
+  sink.WriteString(message);
+  return sink;
+}
+
+}  // namespace rigpm::server

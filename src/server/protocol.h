@@ -1,0 +1,157 @@
+#ifndef RIGPM_SERVER_PROTOCOL_H_
+#define RIGPM_SERVER_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/serde.h"
+
+namespace rigpm::server {
+
+/// Wire protocol of the rigpm query daemon (server/server.h): length-prefixed
+/// binary frames whose payloads are encoded with the same ByteSink/ByteSource
+/// primitives the snapshot subsystem uses (util/serde.h). Like snapshots,
+/// frames are host-endian and same-machine/same-build only — this is a
+/// serving IPC protocol, not an interchange format.
+///
+/// Framing (both directions):
+///   u32      payload length in bytes (must be >= 4 and <= the frame cap)
+///   payload  u32 message type, then the type-specific body
+///
+/// A connection carries any number of request/response pairs; the server
+/// answers every well-formed frame with exactly one response frame and
+/// answers malformed-but-framed requests with an error response. Only an
+/// oversized length prefix (which poisons the stream position) closes the
+/// connection.
+
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class MessageType : uint32_t {
+  kQueryRequest = 1,
+  kStatsRequest = 2,
+  kPingRequest = 3,
+  kShutdownRequest = 4,
+
+  kQueryResponse = 101,
+  kStatsResponse = 102,
+  kPingResponse = 103,
+  kShutdownResponse = 104,
+  kErrorResponse = 199,
+};
+
+enum class StatusCode : uint32_t {
+  kOk = 0,
+  kParseError = 1,     // pattern text / unknown template
+  kBadRequest = 2,     // malformed body, unknown type, oversize
+  kShuttingDown = 3,   // server is draining
+  kInternalError = 4,  // evaluation failed unexpectedly
+};
+
+const char* StatusCodeName(StatusCode s);
+
+/// One pattern-matching request. Either `patterns` (inline syntax of
+/// query_parser.h; >1 entries are served as one EvaluateBatch call) or
+/// `template_name` (one of the paper's HQ0..HQ19, instantiated against the
+/// served graph's label alphabet with `template_seed`) must be set.
+struct QueryRequest {
+  std::vector<std::string> patterns;
+  std::string template_name;
+  uint64_t template_seed = 17;
+
+  // GmOptions subset (the serving-relevant knobs).
+  uint64_t limit = std::numeric_limits<uint64_t>::max();
+  uint32_t num_threads = 1;
+  bool use_transitive_reduction = true;
+  bool use_prefilter = true;
+  bool use_double_simulation = true;
+
+  /// Echo up to this many occurrence tuples back (single-query requests
+  /// only); the server additionally enforces its own cap.
+  uint32_t max_return_tuples = 0;
+
+  void Serialize(ByteSink& sink) const;
+  static QueryRequest Deserialize(ByteSource& src);
+};
+
+struct PhaseTimingWire {
+  std::string name;
+  double ms = 0.0;
+};
+
+/// Per-query slice of a response (mirrors the GmResult fields a client can
+/// act on).
+struct QueryResultWire {
+  uint64_t num_occurrences = 0;
+  bool hit_limit = false;
+  double matching_ms = 0.0;
+  double enumerate_ms = 0.0;
+  std::vector<PhaseTimingWire> phase_timings;
+};
+
+struct QueryResponse {
+  StatusCode status = StatusCode::kOk;
+  std::string error;
+  std::vector<QueryResultWire> results;  // one per request pattern
+
+  /// Flattened occurrence tuples of the first query, `tuple_arity` node ids
+  /// each, capped by the request and the server.
+  uint32_t tuple_arity = 0;
+  std::vector<NodeId> tuples;
+
+  uint64_t TotalOccurrences() const;
+
+  void Serialize(ByteSink& sink) const;
+  static QueryResponse Deserialize(ByteSource& src);
+};
+
+struct StatsResponse {
+  uint64_t uptime_ms = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t active_connections = 0;
+  uint64_t requests_served = 0;
+  uint64_t queries_served = 0;  // patterns evaluated (a batch counts each)
+  uint64_t errors = 0;
+  uint64_t occurrences_emitted = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+
+  void Serialize(ByteSink& sink) const;
+  static StatsResponse Deserialize(ByteSource& src);
+};
+
+// ------------------------------------------------------------ frame I/O
+
+enum class FrameReadStatus : uint8_t {
+  kOk,        // one whole frame in *out
+  kEof,       // peer closed cleanly at a frame boundary
+  kStopped,   // *stop turned true while waiting
+  kOversize,  // declared length exceeds max_bytes (stream is poisoned)
+  kError,     // socket error or mid-frame disconnect
+};
+
+/// Reads one length-prefixed frame from `fd` into *out. Blocks, but polls in
+/// short slices so a stop flag (the server's shutdown signal) interrupts the
+/// wait between frames. Never allocates more than `max_bytes`.
+FrameReadStatus ReadFrame(int fd, uint32_t max_bytes,
+                          std::vector<uint8_t>* out, std::string* error,
+                          const std::atomic<bool>* stop = nullptr);
+
+/// Writes the length prefix and `payload` to `fd` (handles partial writes;
+/// suppresses SIGPIPE so a vanished peer is an error return, not a signal).
+bool WriteFrame(int fd, const ByteSink& payload, std::string* error);
+
+// -------------------------------------------------- payload conveniences
+
+/// Reads the leading u32 message type; on a short payload fails `src`.
+MessageType ReadMessageType(ByteSource& src);
+
+/// Builds an error-response payload (type + status + message).
+ByteSink MakeErrorResponse(StatusCode status, const std::string& message);
+
+}  // namespace rigpm::server
+
+#endif  // RIGPM_SERVER_PROTOCOL_H_

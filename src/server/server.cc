@@ -1,0 +1,465 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <span>
+
+#include "query/pattern_parser.h"
+#include "query/query_templates.h"
+#include "util/concurrency.h"
+
+namespace rigpm::server {
+
+namespace {
+
+constexpr int kAcceptPollMs = 100;
+constexpr size_t kLatencyRingCapacity = 4096;
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool KnownTemplateName(const std::string& name) {
+  for (const QueryTemplate& tpl : HQueryTemplates()) {
+    if (tpl.name == name) return true;
+  }
+  return false;
+}
+
+/// Percentile over an unsorted sample copy (nearest-rank).
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(p * static_cast<double>(samples.size()));
+  rank = std::min(rank, samples.size() - 1);
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const GmEngine& engine, ServerConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  latency_ring_.resize(kLatencyRingCapacity, 0.0);
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+std::string QueryServer::endpoint() const {
+  if (!config_.unix_path.empty()) return "unix:" + config_.unix_path;
+  return config_.host + ":" + std::to_string(bound_port_);
+}
+
+bool QueryServer::Start(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  if (!config_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail(std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return fail("unix socket path too long: " + config_.unix_path);
+    }
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // Only remove a STALE socket (left by a dead server). If a live daemon
+    // still answers on the path, fail loudly instead of silently unlinking
+    // its endpoint out from under it.
+    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      bool alive = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) == 0;
+      ::close(probe);
+      if (alive) {
+        return fail(config_.unix_path + " is already being served");
+      }
+    }
+    ::unlink(config_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return fail("bind " + config_.unix_path + ": " + std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail(std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+      return fail("cannot parse host address " + config_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return fail("bind " + config_.host + ":" + std::to_string(config_.port) +
+                  ": " + std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    return fail(std::string("listen: ") + std::strerror(errno));
+  }
+
+  stop_.store(false);
+  running_.store(true);
+  start_time_ = std::chrono::steady_clock::now();
+
+  uint32_t workers = ResolveWorkerCount(config_.num_workers,
+                                        std::numeric_limits<size_t>::max());
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(&QueryServer::WorkerLoop, this, i);
+  }
+  acceptor_ = std::thread(&QueryServer::AcceptLoop, this);
+  return true;
+}
+
+void QueryServer::RequestStop() {
+  stop_.store(true);
+  queue_cv_.notify_all();
+}
+
+void QueryServer::Wait() {
+  while (!stop_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  Stop();
+}
+
+void QueryServer::Stop() {
+  RequestStop();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Connections accepted but never picked up by a worker.
+  for (int fd : pending_fds_) ::close(fd);
+  pending_fds_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+  running_.store(false);
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++connections_accepted_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_fds_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void QueryServer::WorkerLoop(size_t /*worker_index*/) {
+  EvalContext ctx = engine_.MakeContext();
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stop_.load() || !pending_fds_.empty(); });
+      if (stop_.load()) return;  // queued fds are closed by Stop()
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++active_connections_;
+    }
+    ServeConnection(fd, ctx);
+    ::close(fd);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      --active_connections_;
+    }
+  }
+}
+
+void QueryServer::ServeConnection(int fd, EvalContext& ctx) {
+  std::vector<uint8_t> frame;
+  std::string io_error;
+  while (!stop_.load()) {
+    FrameReadStatus st = ReadFrame(fd, config_.max_frame_bytes, &frame,
+                                   &io_error, &stop_);
+    if (st == FrameReadStatus::kEof || st == FrameReadStatus::kStopped) {
+      return;
+    }
+    if (st == FrameReadStatus::kOversize) {
+      // The oversized payload was never read, so the stream cannot be
+      // resynchronized — answer once and drop the connection.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++errors_;
+      }
+      ByteSink err = MakeErrorResponse(StatusCode::kBadRequest, io_error);
+      WriteFrame(fd, err, nullptr);
+      return;
+    }
+    if (st == FrameReadStatus::kError) return;  // disconnect mid-frame
+
+    ByteSource src(frame.data(), frame.size());
+    MessageType type = ReadMessageType(src);
+    ByteSink response;
+    bool close_after = false;
+    if (!src.ok()) {
+      response = MakeErrorResponse(StatusCode::kBadRequest,
+                                   "frame too short for a message type");
+    } else {
+      switch (type) {
+        case MessageType::kQueryRequest: {
+          QueryRequest req = QueryRequest::Deserialize(src);
+          if (!src.ok() || src.remaining() != 0) {
+            response = MakeErrorResponse(
+                StatusCode::kBadRequest,
+                src.ok() ? "trailing bytes in query request" : src.error());
+          } else {
+            auto t0 = std::chrono::steady_clock::now();
+            response = HandleQuery(req, ctx);
+            RecordLatency(MsSince(t0));
+          }
+          break;
+        }
+        case MessageType::kStatsRequest:
+          response = HandleStats();
+          break;
+        case MessageType::kPingRequest:
+          response.WriteU32(
+              static_cast<uint32_t>(MessageType::kPingResponse));
+          break;
+        case MessageType::kShutdownRequest:
+          if (config_.allow_remote_shutdown) {
+            response.WriteU32(
+                static_cast<uint32_t>(MessageType::kShutdownResponse));
+            close_after = true;
+            RequestStop();
+          } else {
+            response = MakeErrorResponse(StatusCode::kBadRequest,
+                                         "remote shutdown is disabled");
+          }
+          break;
+        default:
+          response = MakeErrorResponse(
+              StatusCode::kBadRequest,
+              "unknown request type " +
+                  std::to_string(static_cast<uint32_t>(type)));
+          break;
+      }
+    }
+    {
+      // Count every protocol rejection the same way, whichever branch
+      // built it (query failures are counted inside HandleQuery).
+      uint32_t resp_type = 0;
+      if (response.size() >= sizeof(resp_type)) {
+        std::memcpy(&resp_type, response.data().data(), sizeof(resp_type));
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++requests_served_;
+      if (resp_type == static_cast<uint32_t>(MessageType::kErrorResponse)) {
+        ++errors_;
+      }
+    }
+    if (!WriteFrame(fd, response, nullptr)) return;  // peer vanished
+    if (close_after) return;
+  }
+}
+
+ByteSink QueryServer::HandleQuery(const QueryRequest& req, EvalContext& ctx) {
+  QueryResponse resp;
+  auto respond_error = [&](StatusCode status, const std::string& msg) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++errors_;
+    }
+    resp.status = status;
+    resp.error = msg;
+    resp.results.clear();
+    ByteSink sink;
+    resp.Serialize(sink);
+    return sink;
+  };
+
+  // Resolve the request into concrete queries.
+  std::vector<PatternQuery> queries;
+  if (!req.template_name.empty()) {
+    if (!req.patterns.empty()) {
+      return respond_error(StatusCode::kBadRequest,
+                           "request has both patterns and a template");
+    }
+    if (!KnownTemplateName(req.template_name)) {
+      return respond_error(StatusCode::kParseError,
+                           "unknown query template " + req.template_name);
+    }
+    queries.push_back(InstantiateTemplate(TemplateByName(req.template_name),
+                                          QueryVariant::kHybrid,
+                                          engine_.graph().NumLabels(),
+                                          req.template_seed));
+  } else {
+    if (req.patterns.empty()) {
+      return respond_error(StatusCode::kBadRequest,
+                           "request has neither patterns nor a template");
+    }
+    std::string parse_error;
+    for (const std::string& text : req.patterns) {
+      auto q = ParsePattern(text, &parse_error);
+      if (!q.has_value()) {
+        return respond_error(StatusCode::kParseError,
+                             "cannot parse pattern '" + text +
+                                 "': " + parse_error);
+      }
+      if (!q->IsConnected()) {
+        return respond_error(StatusCode::kParseError,
+                             "pattern '" + text + "' must be connected");
+      }
+      queries.push_back(std::move(*q));
+    }
+  }
+
+  GmOptions opts;
+  opts.limit = req.limit;
+  // The thread count is client-controlled; clamp it to the hardware so a
+  // hostile request cannot make the enumeration spawn an unbounded number
+  // of std::threads (0 keeps its "hardware concurrency" meaning).
+  uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  opts.num_threads = std::min(req.num_threads, hw);
+  opts.use_transitive_reduction = req.use_transitive_reduction;
+  opts.use_prefilter = req.use_prefilter;
+  opts.use_double_simulation = req.use_double_simulation;
+
+  const uint32_t tuple_cap =
+      std::min(req.max_return_tuples, config_.max_return_tuples);
+
+  std::vector<GmResult> results;
+  if (queries.size() == 1) {
+    // The serving hot path: the worker's own reusable context.
+    resp.tuple_arity = queries[0].NumNodes();
+    std::mutex tuples_mu;  // parallel enumeration invokes the sink concurrently
+    OccurrenceSink sink = nullptr;
+    if (tuple_cap > 0) {
+      sink = [&](const Occurrence& t) {
+        std::lock_guard<std::mutex> lock(tuples_mu);
+        if (resp.tuples.size() / resp.tuple_arity <
+            static_cast<size_t>(tuple_cap)) {
+          resp.tuples.insert(resp.tuples.end(), t.begin(), t.end());
+        }
+        return true;
+      };
+    }
+    results.push_back(engine_.Evaluate(ctx, queries[0], opts, sink));
+  } else {
+    // Multi-pattern request: one EvaluateBatch call (its own worker pool
+    // and contexts; per-query results identical to sequential evaluation).
+    results = engine_.EvaluateBatch(std::span<const PatternQuery>(queries),
+                                    opts, nullptr);
+  }
+
+  uint64_t occurrences = 0;
+  for (const GmResult& r : results) {
+    QueryResultWire w;
+    w.num_occurrences = r.num_occurrences;
+    w.hit_limit = r.hit_limit;
+    w.matching_ms = r.MatchingMs();
+    w.enumerate_ms = r.enumerate_ms;
+    w.phase_timings.reserve(r.phase_timings.size());
+    for (const PhaseTiming& pt : r.phase_timings) {
+      w.phase_timings.push_back(PhaseTimingWire{pt.name, pt.ms});
+    }
+    occurrences += r.num_occurrences;
+    resp.results.push_back(std::move(w));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    queries_served_ += queries.size();
+    occurrences_emitted_ += occurrences;
+  }
+
+  ByteSink sink;
+  resp.Serialize(sink);
+  return sink;
+}
+
+ByteSink QueryServer::HandleStats() const {
+  ServerStats stats = Snapshot();
+  StatsResponse resp;
+  resp.uptime_ms = static_cast<uint64_t>(stats.uptime_ms);
+  resp.connections_accepted = stats.connections_accepted;
+  resp.active_connections = stats.active_connections;
+  resp.requests_served = stats.requests_served;
+  resp.queries_served = stats.queries_served;
+  resp.errors = stats.errors;
+  resp.occurrences_emitted = stats.occurrences_emitted;
+  resp.latency_p50_ms = stats.latency_p50_ms;
+  resp.latency_p99_ms = stats.latency_p99_ms;
+  ByteSink sink;
+  resp.Serialize(sink);
+  return sink;
+}
+
+void QueryServer::RecordLatency(double ms) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latency_ring_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  if (latency_next_ == 0) latency_wrapped_ = true;
+}
+
+ServerStats QueryServer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServerStats stats;
+  stats.connections_accepted = connections_accepted_;
+  stats.active_connections = active_connections_;
+  stats.requests_served = requests_served_;
+  stats.queries_served = queries_served_;
+  stats.errors = errors_;
+  stats.occurrences_emitted = occurrences_emitted_;
+  stats.uptime_ms = MsSince(start_time_);
+  std::vector<double> samples(
+      latency_ring_.begin(),
+      latency_ring_.begin() +
+          (latency_wrapped_ ? latency_ring_.size() : latency_next_));
+  stats.latency_p50_ms = Percentile(samples, 0.50);
+  stats.latency_p99_ms = Percentile(samples, 0.99);
+  return stats;
+}
+
+}  // namespace rigpm::server

@@ -1,0 +1,146 @@
+#ifndef RIGPM_SERVER_SERVER_H_
+#define RIGPM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/gm_engine.h"
+#include "server/protocol.h"
+
+namespace rigpm::server {
+
+/// Where and how the daemon listens. Exactly one transport is used: a
+/// Unix-domain socket when `unix_path` is set, else TCP on `host:port`
+/// (port 0 binds an ephemeral port, readable from QueryServer::port()).
+struct ServerConfig {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Worker pool size (0 = hardware concurrency). Each worker owns one
+  /// EvalContext and serves one connection at a time.
+  uint32_t num_workers = 4;
+
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Hard server-side cap on occurrence tuples echoed per response,
+  /// regardless of what the request asks for.
+  uint32_t max_return_tuples = 100000;
+
+  /// Honor kShutdownRequest frames (handy for scripted smoke tests; a
+  /// deployment that only trusts signals can turn it off).
+  bool allow_remote_shutdown = true;
+};
+
+/// Point-in-time serving counters (also what a kStatsRequest returns).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t active_connections = 0;
+  uint64_t requests_served = 0;
+  uint64_t queries_served = 0;
+  uint64_t errors = 0;
+  uint64_t occurrences_emitted = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double uptime_ms = 0.0;
+};
+
+/// The long-lived serving core the ROADMAP's daemon-mode item asks for: one
+/// process loads an engine (typically warm-started from a snapshot,
+/// storage/snapshot.h) and answers pattern queries over the frame protocol
+/// of server/protocol.h.
+///
+/// Threading: one acceptor thread hands accepted sockets to a fixed worker
+/// pool over a queue. Each worker owns a reusable EvalContext (the same
+/// per-worker-scratch design as GmEngine::EvaluateBatch) and serves its
+/// connection request-by-request, so per-query results are identical to
+/// in-process evaluation; multi-pattern requests go through EvaluateBatch.
+///
+/// Shutdown: Stop() (or a kShutdownRequest, or the daemon's SIGINT/SIGTERM
+/// handler calling RequestStop()) stops accepting, lets in-flight requests
+/// finish, closes queued-but-unserved connections, and joins all threads.
+class QueryServer {
+ public:
+  /// The engine (and the graph it references) must outlive the server.
+  QueryServer(const GmEngine& engine, ServerConfig config);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor and worker threads.
+  bool Start(std::string* error);
+
+  /// Bound TCP port (after Start; 0 for Unix-domain servers).
+  uint16_t port() const { return bound_port_; }
+
+  /// Human-readable listening address ("unix:/path" or "host:port").
+  std::string endpoint() const;
+
+  bool running() const { return running_.load(); }
+
+  /// Asynchronous stop signal — safe from any worker or from the daemon's
+  /// signal-watching loop. Wait()/Stop() complete the shutdown.
+  void RequestStop();
+  bool stop_requested() const { return stop_.load(); }
+
+  /// Blocks until a stop is requested, then tears down (idempotent).
+  void Wait();
+
+  /// Synchronous shutdown: RequestStop + drain + join. Idempotent.
+  void Stop();
+
+  ServerStats Snapshot() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop(size_t worker_index);
+  void ServeConnection(int fd, EvalContext& ctx);
+
+  /// Evaluates one query request; returns the response payload.
+  ByteSink HandleQuery(const QueryRequest& req, EvalContext& ctx);
+  ByteSink HandleStats() const;
+
+  void RecordLatency(double ms);
+
+  const GmEngine& engine_;
+  ServerConfig config_;
+
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+
+  std::chrono::steady_clock::time_point start_time_;
+
+  // Serving counters; the latency ring keeps the most recent samples for
+  // the percentile estimates.
+  mutable std::mutex stats_mu_;
+  uint64_t connections_accepted_ = 0;
+  uint64_t active_connections_ = 0;
+  uint64_t requests_served_ = 0;
+  uint64_t queries_served_ = 0;
+  uint64_t errors_ = 0;
+  uint64_t occurrences_emitted_ = 0;
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  bool latency_wrapped_ = false;
+};
+
+}  // namespace rigpm::server
+
+#endif  // RIGPM_SERVER_SERVER_H_

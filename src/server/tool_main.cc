@@ -1,0 +1,359 @@
+#include "server/tool_main.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/snapshot.h"
+
+namespace rigpm::server {
+
+namespace {
+
+// SIGINT/SIGTERM just raise a flag; the serve main loop notices within its
+// sleep slice and drives the graceful QueryServer::Stop() itself (nothing
+// async-signal-unsafe happens in the handler).
+volatile std::sig_atomic_t g_signal_stop = 0;
+
+void OnStopSignal(int /*signum*/) { g_signal_stop = 1; }
+
+const char* NeedValue(int argc, char** argv, int* i, const char* flag) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", flag);
+    return nullptr;
+  }
+  return argv[++(*i)];
+}
+
+int ServeUsage() {
+  std::fprintf(
+      stderr,
+      "usage: serve (--snapshot FILE | --graph FILE)\n"
+      "             (--socket PATH | --port N [--host ADDR])\n"
+      "             [--workers N] [--max-tuples N] [--no-remote-shutdown]\n");
+  return 2;
+}
+
+int ClientUsage() {
+  std::fprintf(
+      stderr,
+      "usage: client (--socket PATH | --host ADDR --port N)\n"
+      "              (--pattern STR | --batch FILE | --template NAME\n"
+      "               | --stats | --ping | --shutdown)\n"
+      "              [--seed N] [--limit N] [--threads N] [--tuples N]\n"
+      "              [--print N]\n");
+  return 2;
+}
+
+void PrintTuples(const QueryResponse& resp, uint64_t max_print) {
+  if (resp.tuple_arity == 0) return;
+  uint64_t count = resp.tuples.size() / resp.tuple_arity;
+  for (uint64_t i = 0; i < count && i < max_print; ++i) {
+    std::printf("(");
+    for (uint32_t j = 0; j < resp.tuple_arity; ++j) {
+      std::printf(j ? " %u" : "%u", resp.tuples[i * resp.tuple_arity + j]);
+    }
+    std::printf(")\n");
+  }
+}
+
+}  // namespace
+
+int ServeToolMain(int argc, char** argv, int first_arg) {
+  std::string snapshot_path, graph_path, socket_path, host = "127.0.0.1";
+  int port = -1;
+  ServerConfig config;
+  for (int i = first_arg; i < argc; ++i) {
+    const char* v;
+    if (std::strcmp(argv[i], "--snapshot") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--snapshot")) == nullptr)
+        return ServeUsage();
+      snapshot_path = v;
+    } else if (std::strcmp(argv[i], "--graph") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--graph")) == nullptr)
+        return ServeUsage();
+      graph_path = v;
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--socket")) == nullptr)
+        return ServeUsage();
+      socket_path = v;
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--host")) == nullptr)
+        return ServeUsage();
+      host = v;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--port")) == nullptr)
+        return ServeUsage();
+      port = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--workers")) == nullptr)
+        return ServeUsage();
+      config.num_workers = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-tuples") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--max-tuples")) == nullptr)
+        return ServeUsage();
+      config.max_return_tuples =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-remote-shutdown") == 0) {
+      config.allow_remote_shutdown = false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return ServeUsage();
+    }
+  }
+  if (snapshot_path.empty() == graph_path.empty()) {
+    std::fprintf(stderr,
+                 "serve needs exactly one of --snapshot or --graph\n");
+    return ServeUsage();
+  }
+  if (socket_path.empty() && port < 0) {
+    std::fprintf(stderr, "serve needs --socket PATH or --port N\n");
+    return ServeUsage();
+  }
+  config.unix_path = socket_path;
+  config.host = host;
+  config.port = static_cast<uint16_t>(port < 0 ? 0 : port);
+
+  // Load once; serve many. The snapshot path is the whole point: restart
+  // cost is one deserialization, not a parse + index rebuild.
+  std::string error;
+  WarmEngine warm;
+  std::optional<Graph> parsed_graph;
+  std::optional<GmEngine> cold_engine;
+  const GmEngine* engine = nullptr;
+  if (!snapshot_path.empty()) {
+    auto loaded = LoadEngineSnapshot(snapshot_path, &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "cannot load snapshot: %s\n", error.c_str());
+      return 1;
+    }
+    warm = std::move(*loaded);
+    engine = warm.engine.get();
+    std::printf("snapshot: %s (warm start)\n", snapshot_path.c_str());
+    std::printf("graph: %s\n", warm.graph->Summary().c_str());
+  } else {
+    parsed_graph = ReadGraphFile(graph_path, &error);
+    if (!parsed_graph.has_value()) {
+      std::fprintf(stderr, "cannot read graph: %s\n", error.c_str());
+      return 1;
+    }
+    cold_engine.emplace(*parsed_graph);
+    engine = &*cold_engine;
+    std::printf("graph: %s (cold start, index built in %.2f ms)\n",
+                parsed_graph->Summary().c_str(), cold_engine->reach_build_ms());
+  }
+
+  QueryServer server(*engine, config);
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serving on %s (workers=%u)\n", server.endpoint().c_str(),
+              config.num_workers);
+  std::fflush(stdout);
+
+  g_signal_stop = 0;
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  while (g_signal_stop == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  ServerStats stats = server.Snapshot();
+  std::printf("shutdown: %llu request(s), %llu query(ies), %llu "
+              "occurrence(s), %llu error(s) over %.1f s "
+              "(p50 %.2f ms, p99 %.2f ms)\n",
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.queries_served),
+              static_cast<unsigned long long>(stats.occurrences_emitted),
+              static_cast<unsigned long long>(stats.errors),
+              stats.uptime_ms / 1000.0, stats.latency_p50_ms,
+              stats.latency_p99_ms);
+  return 0;
+}
+
+int ClientToolMain(int argc, char** argv, int first_arg) {
+  std::string socket_path, host = "127.0.0.1", batch_path;
+  int port = -1;
+  bool want_stats = false, want_ping = false, want_shutdown = false;
+  uint64_t print = 10;
+  QueryRequest req;
+  for (int i = first_arg; i < argc; ++i) {
+    const char* v;
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--socket")) == nullptr)
+        return ClientUsage();
+      socket_path = v;
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--host")) == nullptr)
+        return ClientUsage();
+      host = v;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--port")) == nullptr)
+        return ClientUsage();
+      port = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--pattern") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--pattern")) == nullptr)
+        return ClientUsage();
+      req.patterns.push_back(v);
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--batch")) == nullptr)
+        return ClientUsage();
+      batch_path = v;
+    } else if (std::strcmp(argv[i], "--template") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--template")) == nullptr)
+        return ClientUsage();
+      req.template_name = v;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--seed")) == nullptr)
+        return ClientUsage();
+      req.template_seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--limit") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--limit")) == nullptr)
+        return ClientUsage();
+      req.limit = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--threads")) == nullptr)
+        return ClientUsage();
+      req.num_threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tuples") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--tuples")) == nullptr)
+        return ClientUsage();
+      req.max_return_tuples =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--print") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--print")) == nullptr)
+        return ClientUsage();
+      print = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      want_ping = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      want_shutdown = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return ClientUsage();
+    }
+  }
+  if (socket_path.empty() && port < 0) {
+    std::fprintf(stderr, "client needs --socket PATH or --port N\n");
+    return ClientUsage();
+  }
+  if (!batch_path.empty()) {
+    std::ifstream in(batch_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open batch file %s\n", batch_path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      req.patterns.push_back(line);
+    }
+  }
+  const bool has_query = !req.patterns.empty() || !req.template_name.empty();
+  if (!has_query && !want_stats && !want_ping && !want_shutdown) {
+    std::fprintf(stderr, "client has nothing to do\n");
+    return ClientUsage();
+  }
+  // Printing a tuple requires the server to echo it.
+  if (has_query && req.max_return_tuples == 0 && print > 0) {
+    req.max_return_tuples =
+        static_cast<uint32_t>(std::min<uint64_t>(print, 1u << 20));
+  }
+
+  QueryClient client;
+  std::string error;
+  bool connected = socket_path.empty()
+                       ? client.ConnectTcp(host, static_cast<uint16_t>(port),
+                                           &error)
+                       : client.ConnectUnix(socket_path, &error);
+  if (!connected) {
+    std::fprintf(stderr, "cannot connect: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (want_ping) {
+    if (!client.Ping(&error)) {
+      std::fprintf(stderr, "ping failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+  }
+
+  if (has_query) {
+    auto resp = client.Query(req, &error);
+    if (!resp.has_value()) {
+      std::fprintf(stderr, "query failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (resp->status != StatusCode::kOk) {
+      std::fprintf(stderr, "server rejected query (%s): %s\n",
+                   StatusCodeName(resp->status), resp->error.c_str());
+      return 1;
+    }
+    if (resp->results.size() == 1) {
+      PrintTuples(*resp, print);
+      std::printf("%llu occurrence(s)%s\n",
+                  static_cast<unsigned long long>(
+                      resp->results[0].num_occurrences),
+                  resp->results[0].hit_limit ? " (limit reached)" : "");
+    } else {
+      for (size_t i = 0; i < resp->results.size(); ++i) {
+        std::printf("query %zu: %llu occurrence(s)%s\n", i,
+                    static_cast<unsigned long long>(
+                        resp->results[i].num_occurrences),
+                    resp->results[i].hit_limit ? " (limit reached)" : "");
+      }
+      std::printf("batch: %zu query(ies), %llu occurrence(s)\n",
+                  resp->results.size(),
+                  static_cast<unsigned long long>(resp->TotalOccurrences()));
+    }
+  }
+
+  if (want_stats) {
+    auto stats = client.Stats(&error);
+    if (!stats.has_value()) {
+      std::fprintf(stderr, "stats failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("uptime: %.1f s\n", stats->uptime_ms / 1000.0);
+    std::printf("connections: %llu accepted, %llu active\n",
+                static_cast<unsigned long long>(stats->connections_accepted),
+                static_cast<unsigned long long>(stats->active_connections));
+    std::printf("requests: %llu (%llu query(ies), %llu error(s))\n",
+                static_cast<unsigned long long>(stats->requests_served),
+                static_cast<unsigned long long>(stats->queries_served),
+                static_cast<unsigned long long>(stats->errors));
+    std::printf("occurrences emitted: %llu\n",
+                static_cast<unsigned long long>(stats->occurrences_emitted));
+    std::printf("latency: p50 %.2f ms, p99 %.2f ms\n", stats->latency_p50_ms,
+                stats->latency_p99_ms);
+  }
+
+  if (want_shutdown) {
+    if (!client.Shutdown(&error)) {
+      std::fprintf(stderr, "shutdown failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("server shutting down\n");
+  }
+  return 0;
+}
+
+}  // namespace rigpm::server

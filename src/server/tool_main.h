@@ -1,0 +1,23 @@
+#ifndef RIGPM_SERVER_TOOL_MAIN_H_
+#define RIGPM_SERVER_TOOL_MAIN_H_
+
+namespace rigpm::server {
+
+/// Entry points shared by the standalone `rigpm_serve` daemon and the
+/// `rigpm_cli serve` / `rigpm_cli client` subcommands, so both surfaces
+/// parse the same flags and behave identically. `first_arg` is the index of
+/// the first flag in argv (1 for the daemon, 2 after a subcommand word).
+
+/// Loads an engine (snapshot or text graph), serves until SIGINT/SIGTERM or
+/// a remote shutdown request, prints final serving stats. Returns a process
+/// exit code.
+int ServeToolMain(int argc, char** argv, int first_arg);
+
+/// One-shot client: connects, issues the requested operation(s), prints
+/// results in the CLI's "N occurrence(s)" format. Returns a process exit
+/// code.
+int ClientToolMain(int argc, char** argv, int first_arg);
+
+}  // namespace rigpm::server
+
+#endif  // RIGPM_SERVER_TOOL_MAIN_H_

@@ -53,8 +53,21 @@ SnapshotReader::SnapshotReader(const std::string& path,
     return;
   }
   in.seekg(0, std::ios::end);
-  const auto file_size = static_cast<uint64_t>(in.tellg());
+  // tellg() returns -1 on failure (unseekable source, failed stream);
+  // casting that straight to uint64_t would fabricate a ~2^64 "file size"
+  // that defeats every size check below, so reject it explicitly.
+  const std::streamoff end_pos = static_cast<std::streamoff>(in.tellg());
+  if (!in || end_pos < 0) {
+    error_ = "cannot determine size of " + path +
+             " (unseekable or failed stream)";
+    return;
+  }
+  const auto file_size = static_cast<uint64_t>(end_pos);
   in.seekg(0, std::ios::beg);
+  if (!in) {
+    error_ = "cannot rewind " + path;
+    return;
+  }
   if (file_size < kHeaderBytes + sizeof(uint64_t)) {
     error_ = "truncated snapshot (smaller than header)";
     return;

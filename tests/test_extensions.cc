@@ -221,6 +221,54 @@ TEST(Incremental, DeltaNeverRepeatsOldMatches) {
             expected_delta);
 }
 
+TEST(Incremental, RepeatedBatchLeavesGraphAndDeltaStable) {
+  // Applying the same batch twice must be idempotent: the second delta is
+  // empty AND the rebuilt graph does not grow parallel CSR edges (the
+  // adjacency bitmaps dedupe silently, so NumEdges() is where the pre-fix
+  // unbounded growth showed).
+  Graph g = Graph::FromEdges({0, 0, 1}, {{0, 2}});
+  auto q = ParsePattern("(a:0)->(b:1)");
+  ASSERT_TRUE(q.has_value());
+  IncrementalMatcher matcher(std::move(g), *q);
+
+  auto first = matcher.ApplyAndDiff({{1, 2}});
+  EXPECT_EQ(first.size(), 1u);
+  const uint64_t edges_after_first = matcher.current_graph().NumEdges();
+  EXPECT_EQ(edges_after_first, 2u);
+
+  auto second = matcher.ApplyAndDiff({{1, 2}});
+  EXPECT_TRUE(second.empty());
+  EXPECT_EQ(matcher.current_graph().NumEdges(), edges_after_first);
+  EXPECT_EQ(matcher.CurrentAnswer().size(), 2u);
+}
+
+TEST(Incremental, DuplicateEdgesWithinOneBatchAreDeduped) {
+  // A batch that repeats an edge (and re-adds an existing one) contributes
+  // each distinct new edge exactly once.
+  Graph g = Graph::FromEdges({0, 0, 1}, {{0, 2}});
+  auto q = ParsePattern("(a:0)->(b:1)");
+  ASSERT_TRUE(q.has_value());
+  IncrementalMatcher matcher(std::move(g), *q);
+
+  auto delta = matcher.ApplyAndDiff({{1, 2}, {1, 2}, {0, 2}, {1, 2}});
+  EXPECT_EQ(delta.size(), 1u);
+  EXPECT_EQ(matcher.current_graph().NumEdges(), 2u);
+  EXPECT_EQ(matcher.CurrentAnswer().size(), 2u);
+}
+
+TEST(Incremental, OverlappingBatchesOnlyGrowByNewEdges) {
+  Graph g = Graph::FromEdges({0, 0, 0, 1}, {{0, 3}});
+  auto q = ParsePattern("(a:0)->(b:1)");
+  ASSERT_TRUE(q.has_value());
+  IncrementalMatcher matcher(std::move(g), *q);
+  EXPECT_EQ(matcher.ApplyAndDiff({{1, 3}}).size(), 1u);
+  // Overlaps with both the original edge and the previous batch; only
+  // {2, 3} is new.
+  EXPECT_EQ(matcher.ApplyAndDiff({{0, 3}, {1, 3}, {2, 3}}).size(), 1u);
+  EXPECT_EQ(matcher.current_graph().NumEdges(), 3u);
+  EXPECT_EQ(matcher.CurrentAnswer().size(), 3u);
+}
+
 TEST(Incremental, SequenceOfBatches) {
   // Build a path one edge at a time; the descendant-pair count after k
   // edges is k(k+1)/2 over path nodes; each batch's delta adds exactly the

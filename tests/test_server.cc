@@ -1,0 +1,535 @@
+// Query daemon tests (server/server.h, server/protocol.h): wire round
+// trips, serving correctness against in-process evaluation, concurrent
+// clients, and the protocol error paths — malformed frames, oversize
+// requests, unknown types, and clients that disconnect mid-conversation.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/gm_engine.h"
+#include "graph/generators.h"
+#include "query/pattern_parser.h"
+#include "query/query_templates.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+
+namespace rigpm {
+namespace {
+
+using rigpm::testing::PaperExample;
+using namespace rigpm::server;
+
+std::string UniqueSocketPath() {
+  static std::atomic<int> counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("rigpm_test_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++) + ".sock"))
+      .string();
+}
+
+/// A paper-example server on a Unix socket, plus the cold engine it must
+/// agree with.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<Graph>(PaperExample::MakeGraph());
+    engine_ = std::make_unique<GmEngine>(*graph_);
+    config_.unix_path = UniqueSocketPath();
+    config_.num_workers = 4;
+    server_ = std::make_unique<QueryServer>(*engine_, config_);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  QueryClient Connect() {
+    QueryClient client;
+    std::string error;
+    EXPECT_TRUE(client.ConnectUnix(config_.unix_path, &error)) << error;
+    return client;
+  }
+
+  static QueryRequest PaperRequest(uint32_t max_tuples = 100) {
+    QueryRequest req;
+    req.patterns = {"(a:0)->(b:1), (a)->(c:2), (b)=>(c)"};
+    req.max_return_tuples = max_tuples;
+    return req;
+  }
+
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<GmEngine> engine_;
+  ServerConfig config_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+// ------------------------------------------------------------- wire layer
+
+TEST(ServerProtocol, QueryRequestRoundTrips) {
+  QueryRequest req;
+  req.patterns = {"(a:0)->(b:1)", "(a:0)=>(b:2)"};
+  req.template_seed = 99;
+  req.limit = 12345;
+  req.num_threads = 3;
+  req.use_prefilter = false;
+  req.max_return_tuples = 7;
+
+  ByteSink sink;
+  req.Serialize(sink);
+  ByteSource src(sink.data().data(), sink.size());
+  EXPECT_EQ(ReadMessageType(src), MessageType::kQueryRequest);
+  QueryRequest back = QueryRequest::Deserialize(src);
+  ASSERT_TRUE(src.ok()) << src.error();
+  EXPECT_EQ(src.remaining(), 0u);
+  EXPECT_EQ(back.patterns, req.patterns);
+  EXPECT_EQ(back.limit, req.limit);
+  EXPECT_EQ(back.num_threads, req.num_threads);
+  EXPECT_EQ(back.use_prefilter, false);
+  EXPECT_EQ(back.use_double_simulation, true);
+  EXPECT_EQ(back.max_return_tuples, req.max_return_tuples);
+}
+
+TEST(ServerProtocol, QueryResponseRoundTrips) {
+  QueryResponse resp;
+  resp.status = StatusCode::kOk;
+  QueryResultWire r;
+  r.num_occurrences = 42;
+  r.hit_limit = true;
+  r.matching_ms = 1.5;
+  r.enumerate_ms = 2.5;
+  r.phase_timings = {{"Reduce", 0.1}, {"Enumerate", 2.5}};
+  resp.results.push_back(r);
+  resp.tuple_arity = 2;
+  resp.tuples = {1, 2, 3, 4};
+
+  ByteSink sink;
+  resp.Serialize(sink);
+  ByteSource src(sink.data().data(), sink.size());
+  EXPECT_EQ(ReadMessageType(src), MessageType::kQueryResponse);
+  QueryResponse back = QueryResponse::Deserialize(src);
+  ASSERT_TRUE(src.ok()) << src.error();
+  ASSERT_EQ(back.results.size(), 1u);
+  EXPECT_EQ(back.results[0].num_occurrences, 42u);
+  EXPECT_TRUE(back.results[0].hit_limit);
+  EXPECT_DOUBLE_EQ(back.results[0].enumerate_ms, 2.5);
+  ASSERT_EQ(back.results[0].phase_timings.size(), 2u);
+  EXPECT_EQ(back.results[0].phase_timings[1].name, "Enumerate");
+  EXPECT_EQ(back.tuples, resp.tuples);
+}
+
+TEST(ServerProtocol, TruncatedResponsePayloadFailsSoftly) {
+  QueryResponse resp;
+  resp.results.resize(1);
+  ByteSink sink;
+  resp.Serialize(sink);
+  for (size_t cut : {size_t{0}, size_t{5}, sink.size() / 2}) {
+    ByteSource src(sink.data().data(), cut);
+    ReadMessageType(src);
+    QueryResponse::Deserialize(src);
+    EXPECT_FALSE(src.ok());
+  }
+}
+
+// --------------------------------------------------------------- serving
+
+TEST_F(ServerTest, SingleQueryMatchesInProcessEvaluation) {
+  QueryClient client = Connect();
+  std::string error;
+  auto resp = client.Query(PaperRequest(), &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  ASSERT_EQ(resp->status, StatusCode::kOk) << resp->error;
+  ASSERT_EQ(resp->results.size(), 1u);
+  EXPECT_EQ(resp->results[0].num_occurrences, 4u);
+  EXPECT_FALSE(resp->results[0].phase_timings.empty());
+
+  // The echoed tuples are the exact in-process answer set.
+  ASSERT_EQ(resp->tuple_arity, 3u);
+  std::set<std::vector<NodeId>> served;
+  for (size_t i = 0; i + 3 <= resp->tuples.size(); i += 3) {
+    served.insert({resp->tuples[i], resp->tuples[i + 1],
+                   resp->tuples[i + 2]});
+  }
+  EXPECT_EQ(served, PaperExample::ExpectedAnswer());
+}
+
+TEST_F(ServerTest, TupleEchoIsCappedByRequest) {
+  QueryClient client = Connect();
+  auto resp = client.Query(PaperRequest(/*max_tuples=*/2));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->results[0].num_occurrences, 4u);  // counting is uncapped
+  EXPECT_EQ(resp->tuples.size(), 2u * 3u);
+}
+
+TEST_F(ServerTest, MultiPatternRequestUsesBatchAndKeepsOrder) {
+  QueryRequest req;
+  req.patterns = {"(a:0)->(b:1), (a)->(c:2), (b)=>(c)",  // the paper query: 4
+                  "(a:0)->(b:1)",                        // every a->b edge
+                  "(x:1)=>(y:2)"};                       // b reaches c
+  req.num_threads = 2;
+  QueryClient client = Connect();
+  std::string error;
+  auto resp = client.Query(req, &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  ASSERT_EQ(resp->status, StatusCode::kOk) << resp->error;
+  ASSERT_EQ(resp->results.size(), 3u);
+
+  GmOptions opts;
+  for (size_t i = 0; i < req.patterns.size(); ++i) {
+    auto q = ParsePattern(req.patterns[i]);
+    ASSERT_TRUE(q.has_value());
+    GmResult direct = engine_->Evaluate(*q, opts);
+    EXPECT_EQ(resp->results[i].num_occurrences, direct.num_occurrences)
+        << "query " << i;
+  }
+}
+
+TEST_F(ServerTest, TemplateRequestMatchesDirectInstantiation) {
+  QueryRequest req;
+  req.template_name = "HQ0";
+  req.template_seed = 17;
+  QueryClient client = Connect();
+  auto resp = client.Query(req);
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->status, StatusCode::kOk) << resp->error;
+
+  PatternQuery q =
+      InstantiateTemplate(TemplateByName("HQ0"), QueryVariant::kHybrid,
+                          graph_->NumLabels(), 17);
+  GmResult direct = engine_->Evaluate(q);
+  ASSERT_EQ(resp->results.size(), 1u);
+  EXPECT_EQ(resp->results[0].num_occurrences, direct.num_occurrences);
+}
+
+TEST_F(ServerTest, StatsCountServedQueries) {
+  QueryClient client = Connect();
+  for (int i = 0; i < 3; ++i) {
+    auto resp = client.Query(PaperRequest(0));
+    ASSERT_TRUE(resp.has_value());
+  }
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->queries_served, 3u);
+  EXPECT_EQ(stats->occurrences_emitted, 12u);
+  EXPECT_EQ(stats->errors, 0u);
+  EXPECT_GE(stats->requests_served, 3u);
+  EXPECT_GE(stats->latency_p99_ms, stats->latency_p50_ms);
+}
+
+TEST_F(ServerTest, HostileThreadCountIsClampedNotHonored) {
+  // num_threads is client-controlled; an absurd value must be clamped to
+  // the hardware, not spawn 4 billion enumeration threads (which would
+  // terminate the daemon with an uncaught std::system_error).
+  QueryRequest req = PaperRequest(0);
+  req.num_threads = std::numeric_limits<uint32_t>::max();
+  QueryClient client = Connect();
+  auto resp = client.Query(req);
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->status, StatusCode::kOk) << resp->error;
+  EXPECT_EQ(resp->results[0].num_occurrences, 4u);
+}
+
+TEST_F(ServerTest, SecondServerOnLiveSocketFailsInsteadOfHijacking) {
+  QueryServer second(*engine_, config_);
+  std::string error;
+  EXPECT_FALSE(second.Start(&error));
+  EXPECT_NE(error.find("already"), std::string::npos) << error;
+  // The original daemon is untouched.
+  QueryClient client = Connect();
+  auto resp = client.Query(PaperRequest(0));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+}
+
+TEST_F(ServerTest, ShutdownRequestStopsTheServer) {
+  QueryClient client = Connect();
+  std::string error;
+  EXPECT_TRUE(client.Shutdown(&error)) << error;
+  server_->Wait();  // returns because the worker requested the stop
+  EXPECT_FALSE(server_->running());
+}
+
+// The acceptance bar: several concurrent clients, every response identical
+// to EvaluateCollect on the same engine.
+TEST_F(ServerTest, ConcurrentClientsMatchInProcessCounts) {
+  const std::vector<std::string> patterns = {
+      "(a:0)->(b:1), (a)->(c:2), (b)=>(c)",
+      "(a:0)->(b:1)",
+      "(a:0)=>(c:2)",
+      "(b:1)=>(c:2)",
+  };
+  std::vector<uint64_t> expected;
+  for (const std::string& p : patterns) {
+    auto q = ParsePattern(p);
+    ASSERT_TRUE(q.has_value());
+    expected.push_back(engine_->EvaluateCollect(*q).size());
+  }
+
+  constexpr int kClients = 6;
+  constexpr int kRoundsPerClient = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      QueryClient client;
+      std::string error;
+      if (!client.ConnectUnix(config_.unix_path, &error)) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < kRoundsPerClient; ++round) {
+        size_t pick = static_cast<size_t>(c + round) % patterns.size();
+        QueryRequest req;
+        req.patterns = {patterns[pick]};
+        auto resp = client.Query(req, &error);
+        if (!resp.has_value() || resp->status != StatusCode::kOk ||
+            resp->results.size() != 1 ||
+            resp->results[0].num_occurrences != expected[pick]) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto stats = server_->Snapshot();
+  EXPECT_EQ(stats.queries_served,
+            static_cast<uint64_t>(kClients) * kRoundsPerClient);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+// A snapshot-backed server (the daemon's deployment shape) serves the same
+// counts as the cold engine it was saved from.
+TEST(ServerSnapshot, WarmServerMatchesColdEngine) {
+  GeneratorOptions gopts;
+  gopts.num_nodes = 300;
+  gopts.num_edges = 1500;
+  gopts.num_labels = 4;
+  gopts.seed = 5;
+  Graph g = GeneratePowerLaw(gopts);
+  GmEngine cold(g);
+
+  std::string snap_path = UniqueSocketPath() + ".snap";
+  std::string error;
+  ASSERT_TRUE(SaveEngineSnapshot(cold, snap_path, &error)) << error;
+  auto warm = LoadEngineSnapshot(snap_path, &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+
+  ServerConfig config;
+  config.unix_path = UniqueSocketPath();
+  config.num_workers = 2;
+  QueryServer server(*warm->engine, config);
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const std::vector<std::string> patterns = {
+      "(a:0)->(b:1)", "(a:0)=>(b:2)", "(a:1)->(b:2), (a)=>(c:3)"};
+  QueryClient client;
+  ASSERT_TRUE(client.ConnectUnix(config.unix_path, &error)) << error;
+  for (const std::string& p : patterns) {
+    QueryRequest req;
+    req.patterns = {p};
+    auto resp = client.Query(req, &error);
+    ASSERT_TRUE(resp.has_value()) << error;
+    ASSERT_EQ(resp->status, StatusCode::kOk) << resp->error;
+    auto q = ParsePattern(p);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(resp->results[0].num_occurrences,
+              cold.EvaluateCollect(*q).size())
+        << p;
+  }
+  client.Close();
+  server.Stop();
+  std::remove(snap_path.c_str());
+}
+
+// ------------------------------------------------------------ error paths
+
+TEST_F(ServerTest, ParseErrorIsReportedNotFatal) {
+  QueryClient client = Connect();
+  QueryRequest req;
+  req.patterns = {"this is not a pattern"};
+  auto resp = client.Query(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kParseError);
+  EXPECT_FALSE(resp->error.empty());
+
+  // Same connection still serves well-formed queries.
+  auto ok = client.Query(PaperRequest());
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, StatusCode::kOk);
+}
+
+TEST_F(ServerTest, UnknownTemplateIsRejected) {
+  QueryClient client = Connect();
+  QueryRequest req;
+  req.template_name = "HQ99";
+  auto resp = client.Query(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kParseError);
+}
+
+TEST_F(ServerTest, EmptyRequestIsRejected) {
+  QueryClient client = Connect();
+  auto resp = client.Query(QueryRequest{});
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kBadRequest);
+}
+
+// Speak raw bytes to exercise the framing errors a well-behaved client
+// never produces.
+class RawConnection {
+ public:
+  explicit RawConnection(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConnection() { Close(); }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Send(const void* data, size_t n) {
+    ASSERT_EQ(::send(fd_, data, n, MSG_NOSIGNAL),
+              static_cast<ssize_t>(n));
+  }
+  void SendU32(uint32_t v) { Send(&v, sizeof(v)); }
+  /// Reads one response frame; returns the leading message type or nullopt
+  /// on EOF/error.
+  std::optional<MessageType> ReadResponseType() {
+    std::vector<uint8_t> payload;
+    std::string error;
+    if (ReadFrame(fd_, kDefaultMaxFrameBytes, &payload, &error) !=
+        FrameReadStatus::kOk) {
+      return std::nullopt;
+    }
+    ByteSource src(payload.data(), payload.size());
+    MessageType type = ReadMessageType(src);
+    return src.ok() ? std::optional<MessageType>(type) : std::nullopt;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST_F(ServerTest, UnknownRequestTypeGetsErrorResponse) {
+  RawConnection raw(config_.unix_path);
+  ASSERT_TRUE(raw.ok());
+  raw.SendU32(4);        // frame length: one u32
+  raw.SendU32(0xBEEF);   // not a MessageType
+  auto type = raw.ReadResponseType();
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, MessageType::kErrorResponse);
+
+  // The connection survives: a valid ping on the same socket still works.
+  ByteSink ping;
+  ping.WriteU32(static_cast<uint32_t>(MessageType::kPingRequest));
+  std::string error;
+  ASSERT_TRUE(WriteFrame(raw.fd(), ping, &error)) << error;
+  type = raw.ReadResponseType();
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, MessageType::kPingResponse);
+}
+
+TEST_F(ServerTest, EmptyFrameGetsErrorResponse) {
+  RawConnection raw(config_.unix_path);
+  ASSERT_TRUE(raw.ok());
+  raw.SendU32(0);  // zero-length frame: no room for a message type
+  auto type = raw.ReadResponseType();
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, MessageType::kErrorResponse);
+  // Protocol rejections land in the operator-facing error counter.
+  EXPECT_EQ(server_->Snapshot().errors, 1u);
+}
+
+TEST_F(ServerTest, MalformedRequestBodyGetsErrorResponse) {
+  // Valid type, body truncated mid-struct: the ByteSource fails softly and
+  // the server reports kBadRequest instead of crashing.
+  RawConnection raw(config_.unix_path);
+  ASSERT_TRUE(raw.ok());
+  raw.SendU32(8);  // type + pattern count only; fields missing
+  raw.SendU32(static_cast<uint32_t>(MessageType::kQueryRequest));
+  raw.SendU32(1);
+  auto type = raw.ReadResponseType();
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, MessageType::kErrorResponse);
+}
+
+TEST_F(ServerTest, OversizeFrameIsRejectedAndConnectionClosed) {
+  // Re-start with a small frame cap so the test doesn't ship megabytes.
+  server_->Stop();
+  config_.max_frame_bytes = 1024;
+  config_.unix_path = UniqueSocketPath();
+  server_ = std::make_unique<QueryServer>(*engine_, config_);
+  std::string error;
+  ASSERT_TRUE(server_->Start(&error)) << error;
+
+  RawConnection raw(config_.unix_path);
+  ASSERT_TRUE(raw.ok());
+  raw.SendU32(1 << 20);  // declared length far over the 1 KiB cap
+  auto type = raw.ReadResponseType();
+  ASSERT_TRUE(type.has_value());
+  EXPECT_EQ(*type, MessageType::kErrorResponse);
+  // The stream cannot be resynchronized; the server hangs up.
+  EXPECT_FALSE(raw.ReadResponseType().has_value());
+
+  // And keeps serving fresh connections.
+  QueryClient client = Connect();
+  auto resp = client.Query(PaperRequest());
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+}
+
+TEST_F(ServerTest, ClientDisconnectMidFrameDoesNotKillServer) {
+  {
+    RawConnection raw(config_.unix_path);
+    ASSERT_TRUE(raw.ok());
+    raw.SendU32(100);  // promise 100 bytes...
+    raw.SendU32(1);    // ...deliver 4, then vanish
+  }
+  {
+    // Send a full valid query but disappear without reading the response.
+    QueryClient client = Connect();
+    ByteSink sink;
+    PaperRequest().Serialize(sink);
+    std::string error;
+    ASSERT_TRUE(WriteFrame(client.fd(), sink, &error)) << error;
+    client.Close();
+  }
+  // The server is still alive and correct for the next client.
+  QueryClient client = Connect();
+  auto resp = client.Query(PaperRequest());
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+  EXPECT_EQ(resp->results[0].num_occurrences, 4u);
+}
+
+}  // namespace
+}  // namespace rigpm

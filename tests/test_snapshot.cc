@@ -3,9 +3,13 @@
 // counts, database round trips, and rejection of malformed input for both
 // the binary snapshot reader and the text graph reader.
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -389,6 +393,49 @@ TEST_F(MalformedSnapshotTest, CorruptPayloadFailsChecksum) {
   std::string error;
   EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
   EXPECT_FALSE(error.empty());
+}
+
+TEST_F(MalformedSnapshotTest, OverstatedPayloadSizeIsRejected) {
+  // The header's payload_size field (offset 16: magic 8 + version 4 +
+  // kind 4) declares ~2^60 bytes; the reader must reject against the real
+  // file size before attempting any allocation of that size.
+  std::string corrupt = bytes_;
+  const uint64_t huge = uint64_t{1} << 60;
+  std::memcpy(&corrupt[16], &huge, sizeof(huge));
+  DumpFile(file_.path(), corrupt);
+  std::string error;
+  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
+  EXPECT_NE(error.find("payload size"), std::string::npos) << error;
+}
+
+TEST_F(MalformedSnapshotTest, UnderstatedPayloadSizeIsRejected) {
+  // Understating the payload length would leave payload bytes parsed as
+  // the checksum footer; the size cross-check must catch it up front.
+  std::string corrupt = bytes_;
+  uint64_t declared = 0;
+  std::memcpy(&declared, &corrupt[16], sizeof(declared));
+  ASSERT_GT(declared, 0u);
+  --declared;
+  std::memcpy(&corrupt[16], &declared, sizeof(declared));
+  DumpFile(file_.path(), corrupt);
+  std::string error;
+  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
+  EXPECT_NE(error.find("payload size"), std::string::npos) << error;
+}
+
+TEST_F(MalformedSnapshotTest, UnseekableSourceIsRejected) {
+  // A FIFO has no end to seek to: tellg() fails with -1, which must become
+  // a descriptive error, not a ~2^64 "file size" cast from the failure
+  // value.
+  std::string fifo_path = file_.path() + ".fifo";
+  ASSERT_EQ(::mkfifo(fifo_path.c_str(), 0600), 0) << std::strerror(errno);
+  int keep_open = ::open(fifo_path.c_str(), O_RDWR);  // so open() can't block
+  ASSERT_GE(keep_open, 0);
+  std::string error;
+  EXPECT_FALSE(LoadGraphSnapshot(fifo_path, &error).has_value());
+  EXPECT_NE(error.find("size"), std::string::npos) << error;
+  ::close(keep_open);
+  ::unlink(fifo_path.c_str());
 }
 
 TEST_F(MalformedSnapshotTest, CorruptChecksumFooterIsRejected) {

@@ -5,11 +5,17 @@
 //   rigpm_cli --graph G.txt --batch QUERIES.txt --threads 8
 //   rigpm_cli snapshot --graph G.txt --out G.snap
 //   rigpm_cli --load-snapshot G.snap --pattern "(a:0)->(b:1)"
+//   rigpm_cli serve --snapshot G.snap --socket /tmp/rigpm.sock
+//   rigpm_cli client --socket /tmp/rigpm.sock --pattern "(a:0)->(b:1)"
 //
 // Subcommands:
 //   snapshot          parse --graph, build the BFL engine, and persist both
 //                     to --out as a binary snapshot (storage/snapshot.h);
 //                     later runs warm-start from it via --load-snapshot
+//   serve             run the query daemon in-process (same flags as the
+//                     standalone rigpm_serve binary; server/tool_main.h)
+//   client            talk to a running daemon: queries, stats, ping,
+//                     shutdown (server/tool_main.h)
 //
 // Flags:
 //   --graph FILE      data graph in the text format of graph_io.h
@@ -49,6 +55,7 @@
 #include "query/pattern_parser.h"
 #include "query/query_io.h"
 #include "query/transitive_reduction.h"
+#include "server/tool_main.h"
 #include "storage/snapshot.h"
 
 namespace {
@@ -77,8 +84,10 @@ int Usage(const char* argv0) {
                "          (--query FILE | --pattern STR | --batch FILE)\n"
                "          [--engine gm|gm-par|jm|tm] [--order jo|ri|bj]\n"
                "          [--threads N] [--limit N] [--print N] [--stats]\n"
-               "       %s snapshot --graph FILE --out FILE\n",
-               argv0, argv0);
+               "       %s snapshot --graph FILE --out FILE\n"
+               "       %s serve ...   (see serve --help)\n"
+               "       %s client ...  (see client --help)\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -278,6 +287,12 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "snapshot") == 0) {
     if (!ParseArgs(argc, argv, 2, &args)) return Usage(argv[0]);
     return RunSnapshot(args);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return server::ServeToolMain(argc, argv, 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "client") == 0) {
+    return server::ClientToolMain(argc, argv, 2);
   }
   if (!ParseArgs(argc, argv, 1, &args) || !HasEvalInputs(args)) {
     return Usage(argv[0]);
