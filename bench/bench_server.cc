@@ -16,6 +16,8 @@
 // Knobs: RIGPM_SCALE scales the graph; RIGPM_SERVER_CLIENTS (default 4)
 // sets the concurrent client count.
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
 #include <cstdio>

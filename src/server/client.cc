@@ -94,13 +94,21 @@ bool QueryClient::RoundTrip(const ByteSink& request,
     SetError(error, "not connected");
     return false;
   }
-  if (!WriteFrame(fd_, request, error)) return false;
-  FrameReadStatus st = ReadFrame(fd_, max_frame_bytes, payload, error);
-  if (st == FrameReadStatus::kEof) {
-    SetError(error, "server closed the connection");
+  if (!WriteFrame(fd_, request, error)) {
+    Close();
     return false;
   }
-  return st == FrameReadStatus::kOk;
+  FrameReadStatus st = ReadFrame(fd_, max_frame_bytes, payload, error);
+  if (st == FrameReadStatus::kOk) return true;
+  if (st == FrameReadStatus::kEof) {
+    SetError(error, "server closed the connection");
+  }
+  // EOF, oversize, or a socket error: the stream is dead or byte-
+  // desynchronized (an oversize response's payload is still unread), so
+  // reusing the connection would read garbage. Drop it; the caller can
+  // reconnect.
+  Close();
+  return false;
 }
 
 std::optional<QueryResponse> QueryClient::Query(const QueryRequest& request,

@@ -8,6 +8,7 @@
 #include <bit>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 namespace rigpm::server {
 
@@ -229,6 +230,15 @@ FrameReadStatus ReadFrame(int fd, uint32_t max_bytes,
 }
 
 bool WriteFrame(int fd, const ByteSink& payload, std::string* error) {
+  if (payload.size() > std::numeric_limits<uint32_t>::max()) {
+    // A u32 length prefix cannot represent this; truncating it would emit
+    // a corrupt frame and desynchronize the stream.
+    if (error != nullptr) {
+      *error = "payload of " + std::to_string(payload.size()) +
+               " bytes does not fit a u32 length prefix";
+    }
+    return false;
+  }
   // Gather the 4-byte prefix and the payload into one sendmsg: no copy of
   // a possibly-multi-MB payload, and one packet instead of a write-write
   // sequence (which Nagle + delayed ACK would penalize on TCP).

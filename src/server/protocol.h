@@ -19,7 +19,8 @@ namespace rigpm::server {
 /// serving IPC protocol, not an interchange format.
 ///
 /// Framing (both directions):
-///   u32      payload length in bytes (must be >= 4 and <= the frame cap)
+///   u32      payload length in bytes (at most the frame cap; a payload too
+///            short to hold its message type draws an error response)
 ///   payload  u32 message type, then the type-specific body
 ///
 /// A connection carries any number of request/response pairs; the server

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -82,21 +83,29 @@ bool QueryServer::Start(std::string* error) {
                  sizeof(addr.sun_path) - 1);
     // Only remove a STALE socket (left by a dead server). If a live daemon
     // still answers on the path, fail loudly instead of silently unlinking
-    // its endpoint out from under it.
-    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (probe >= 0) {
-      bool alive = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
-                             sizeof(addr)) == 0;
-      ::close(probe);
-      if (alive) {
-        return fail(config_.unix_path + " is already being served");
+    // its endpoint out from under it; and never unlink a non-socket (a
+    // mistyped --socket pointing at a regular file must not delete it).
+    struct stat st{};
+    if (::lstat(config_.unix_path.c_str(), &st) == 0) {
+      if (!S_ISSOCK(st.st_mode)) {
+        return fail(config_.unix_path + " exists and is not a socket");
       }
+      int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (probe >= 0) {
+        bool alive = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                               sizeof(addr)) == 0;
+        ::close(probe);
+        if (alive) {
+          return fail(config_.unix_path + " is already being served");
+        }
+      }
+      ::unlink(config_.unix_path.c_str());
     }
-    ::unlink(config_.unix_path.c_str());
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                sizeof(addr)) < 0) {
       return fail("bind " + config_.unix_path + ": " + std::strerror(errno));
     }
+    bound_unix_ = true;
   } else {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) return fail(std::strerror(errno));
@@ -164,7 +173,10 @@ void QueryServer::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+  if (bound_unix_) {
+    ::unlink(config_.unix_path.c_str());
+    bound_unix_ = false;
+  }
   running_.store(false);
 }
 
@@ -285,6 +297,16 @@ void QueryServer::ServeConnection(int fd, EvalContext& ctx) {
                   std::to_string(static_cast<uint32_t>(type)));
           break;
       }
+    }
+    if (response.size() > config_.max_frame_bytes) {
+      // A frame the client would reject as oversize (and that a 4-byte
+      // length prefix may not even represent): substitute a small error
+      // so the work is not silently dropped on the client side.
+      response = MakeErrorResponse(
+          StatusCode::kInternalError,
+          "response of " + std::to_string(response.size()) +
+              " bytes exceeds the frame cap of " +
+              std::to_string(config_.max_frame_bytes));
     }
     {
       // Count every protocol rejection the same way, whichever branch

@@ -115,6 +115,10 @@ class QueryServer {
 
   int listen_fd_ = -1;
   uint16_t bound_port_ = 0;
+  /// True only when THIS instance bound config_.unix_path; Stop() must not
+  /// unlink a path it never owned (e.g. after Start() lost it to a live
+  /// daemon), or destroying the failed server would unlink the live one.
+  bool bound_unix_ = false;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <set>
@@ -245,15 +246,39 @@ TEST_F(ServerTest, HostileThreadCountIsClampedNotHonored) {
 }
 
 TEST_F(ServerTest, SecondServerOnLiveSocketFailsInsteadOfHijacking) {
-  QueryServer second(*engine_, config_);
-  std::string error;
-  EXPECT_FALSE(second.Start(&error));
-  EXPECT_NE(error.find("already"), std::string::npos) << error;
-  // The original daemon is untouched.
+  {
+    QueryServer second(*engine_, config_);
+    std::string error;
+    EXPECT_FALSE(second.Start(&error));
+    EXPECT_NE(error.find("already"), std::string::npos) << error;
+  }
+  // The original daemon is untouched — in particular the failed server's
+  // destructor must not unlink the live socket it never bound.
   QueryClient client = Connect();
   auto resp = client.Query(PaperRequest(0));
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, StatusCode::kOk);
+}
+
+TEST_F(ServerTest, NonSocketPathIsRefusedNotDeleted) {
+  // A mistyped --socket pointing at a regular file must not delete it.
+  std::string path = UniqueSocketPath();
+  {
+    std::ofstream out(path);
+    out << "precious";
+  }
+  ServerConfig config = config_;
+  config.unix_path = path;
+  QueryServer server(*engine_, config);
+  std::string error;
+  EXPECT_FALSE(server.Start(&error));
+  EXPECT_NE(error.find("not a socket"), std::string::npos) << error;
+
+  std::ifstream in(path);
+  std::string content;
+  in >> content;
+  EXPECT_EQ(content, "precious");
+  std::remove(path.c_str());
 }
 
 TEST_F(ServerTest, ShutdownRequestStopsTheServer) {
@@ -505,6 +530,30 @@ TEST_F(ServerTest, OversizeFrameIsRejectedAndConnectionClosed) {
   auto resp = client.Query(PaperRequest());
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, StatusCode::kOk);
+}
+
+TEST_F(ServerTest, OversizeResponseBecomesErrorNotCorruptFrame) {
+  // Re-start with a frame cap the paper request (85 bytes) fits under but
+  // its response (>= 109 bytes of result + echoed tuples) does not; the
+  // server must substitute a small error response rather than send a frame
+  // the client rejects as oversize.
+  server_->Stop();
+  config_.max_frame_bytes = 96;
+  config_.unix_path = UniqueSocketPath();
+  server_ = std::make_unique<QueryServer>(*engine_, config_);
+  std::string error;
+  ASSERT_TRUE(server_->Start(&error)) << error;
+
+  QueryClient client = Connect();
+  auto resp = client.Query(PaperRequest(), &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->status, StatusCode::kInternalError);
+  EXPECT_NE(resp->error.find("frame cap"), std::string::npos) << resp->error;
+
+  // The connection survives for responses that do fit.
+  auto stats = client.Stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_GE(stats->errors, 1u);
 }
 
 TEST_F(ServerTest, ClientDisconnectMidFrameDoesNotKillServer) {
