@@ -5,6 +5,9 @@
 // GM / JM / TM / WCOJ with the environment-configured limit and timeout, and
 // format the outcome the way the paper's tables do (seconds, or "OM"/"TO").
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "baseline/iso_engine.h"
@@ -91,6 +94,26 @@ inline RunOutcome RunWcoj(const WcojEngine& engine, const PatternQuery& q,
   out.formatted = (r.status == EvalStatus::kOk) ? FormatSeconds(out.ms)
                                                 : EvalStatusName(r.status);
   return out;
+}
+
+/// Reads a kB-valued field ("VmHWM", "VmRSS", ...) from /proc/self/status.
+/// Returns -1 when unavailable (non-Linux). VmHWM is the peak resident set
+/// — the number the mmap-vs-slurp warm-start comparison is about.
+inline long ReadProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  long value = -1;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 &&
+        line[field_len] == ':') {
+      value = std::strtol(line + field_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
 }
 
 }  // namespace rigpm::bench

@@ -153,6 +153,21 @@ int main() {
               direct_rps > 0 ? 100.0 * (1.0 - served_rps / direct_rps) : 0.0,
               (served_ms - direct_ms) / n);
 
+  // Daemon memory footprint. This bench builds its engine in-process (cold),
+  // so the whole graph is private heap; a production daemon loading the same
+  // graph via an mmap snapshot keeps the bulk data in a MAP_SHARED mapping
+  // instead, so N daemons on one snapshot hold ~N x (RSS - graph) + 1 x
+  // graph physical memory (bench_snapshot measures the per-process delta).
+  const long rss_kb = ReadProcStatusKb("VmRSS");
+  const long hwm_kb = ReadProcStatusKb("VmHWM");
+  if (rss_kb >= 0) {
+    std::printf("daemon RSS: %.1f MB (peak %.1f MB); graph+index heap "
+                "%.1f MB of that\n",
+                rss_kb / 1024.0, hwm_kb / 1024.0,
+                (g.OwnedHeapBytes() + engine.reach().MemoryBytes()) /
+                    (1024.0 * 1024.0));
+  }
+
   if (transport_failures.load() != 0 || mismatches.load() != 0) {
     std::fprintf(stderr,
                  "FAIL: %llu transport failure(s), %llu count mismatch(es)\n",

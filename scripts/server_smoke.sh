@@ -9,7 +9,7 @@ set -eu
 
 BUILD_DIR=${1:?usage: server_smoke.sh BUILD_DIR}
 WORK_DIR=$(mktemp -d)
-trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "${WORK_DIR}"' EXIT
+trap 'kill "${SERVER_PID:-}" "${SERVER_PID_B:-}" 2>/dev/null || true; rm -rf "${WORK_DIR}"' EXIT
 
 GRAPH=${WORK_DIR}/graph.txt
 SNAP=${WORK_DIR}/engine.snap
@@ -110,6 +110,55 @@ SERVER_PID=
 [ "${code}" = "0" ] || { echo "FAIL: daemon exited ${code}" >&2; exit 1; }
 grep -q "shutdown:" "${WORK_DIR}/serve.log" || {
   echo "FAIL: no shutdown summary in daemon log" >&2; exit 1; }
+
+echo "== two daemons, one snapshot (shared mmap)"
+# The mmap deployment pattern: N daemons map the same snapshot read-only
+# MAP_SHARED and share one physical copy of the graph. Both must answer
+# every query with identical counts.
+SOCK_B=${WORK_DIR}/rigpm_b.sock
+"${BUILD_DIR}/rigpm_serve" --snapshot "${SNAP}" --socket "${SOCK}" \
+  --snapshot-io mmap --workers 2 > "${WORK_DIR}/serve_a.log" 2>&1 &
+SERVER_PID=$!
+"${BUILD_DIR}/rigpm_serve" --snapshot "${SNAP}" --socket "${SOCK_B}" \
+  --snapshot-io mmap --workers 2 > "${WORK_DIR}/serve_b.log" 2>&1 &
+SERVER_PID_B=$!
+for s in "${SOCK}" "${SOCK_B}"; do
+  for _ in $(seq 1 50); do
+    if "${BUILD_DIR}/rigpm_cli" client --socket "${s}" --ping \
+         >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+  "${BUILD_DIR}/rigpm_cli" client --socket "${s}" --ping
+done
+for q in "${QUERIES[@]}"; do
+  a=$(count_of "$("${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" \
+        --pattern "${q}" --print 0)")
+  b=$(count_of "$("${BUILD_DIR}/rigpm_cli" client --socket "${SOCK_B}" \
+        --pattern "${q}" --print 0)")
+  echo "query '${q}': daemon A=${a} daemon B=${b}"
+  if [ "${a}" != "${b}" ] || [ -z "${a}" ]; then
+    echo "FAIL: daemons on one snapshot disagree" >&2
+    exit 1
+  fi
+done
+# Informational: per-daemon RSS — the second mapping of the same snapshot
+# is physically shared, so B's graph pages cost ~nothing extra.
+for pid in "${SERVER_PID}" "${SERVER_PID_B}"; do
+  rss=$(grep -E '^VmRSS' "/proc/${pid}/status" 2>/dev/null || true)
+  echo "daemon ${pid}: ${rss:-VmRSS unavailable}"
+done
+"${BUILD_DIR}/rigpm_cli" client --socket "${SOCK_B}" --shutdown
+code=0
+wait "${SERVER_PID_B}" || code=$?
+SERVER_PID_B=
+[ "${code}" = "0" ] || { echo "FAIL: daemon B exited ${code}" >&2; exit 1; }
+"${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" --shutdown
+code=0
+wait "${SERVER_PID}" || code=$?
+SERVER_PID=
+[ "${code}" = "0" ] || { echo "FAIL: daemon A exited ${code}" >&2; exit 1; }
 
 echo "== clean shutdown via SIGTERM"
 "${BUILD_DIR}/rigpm_serve" --snapshot "${SNAP}" --socket "${SOCK}" \

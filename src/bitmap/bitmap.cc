@@ -33,29 +33,29 @@ bool Bitmap::Container::Contains(uint16_t low) const {
 
 void Bitmap::Container::ToBitset() {
   if (kind == Kind::kBitset) return;
-  words.assign(kWordsPerBitset, 0);
+  std::vector<uint64_t>& w = words.Mutable();
+  w.assign(kWordsPerBitset, 0);
   for (uint16_t low : array) {
-    words[low >> 6] |= uint64_t{1} << (low & 63);
+    w[low >> 6] |= uint64_t{1} << (low & 63);
   }
-  array.clear();
-  array.shrink_to_fit();
+  array.Reset();
   kind = Kind::kBitset;
 }
 
 void Bitmap::Container::ToArrayIfSmall() {
   if (kind == Kind::kArray || cardinality > kArrayCapacity) return;
-  array.clear();
-  array.reserve(cardinality);
+  std::vector<uint16_t>& a = array.Mutable();
+  a.clear();
+  a.reserve(cardinality);
   for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
     uint64_t word = words[w];
     while (word != 0) {
       int bit = std::countr_zero(word);
-      array.push_back(static_cast<uint16_t>((w << 6) | bit));
+      a.push_back(static_cast<uint16_t>((w << 6) | bit));
       word &= word - 1;
     }
   }
-  words.clear();
-  words.shrink_to_fit();
+  words.Reset();
   kind = Kind::kArray;
 }
 
@@ -79,14 +79,16 @@ Bitmap Bitmap::FromSorted(std::span<const uint32_t> sorted_values) {
     c.cardinality = static_cast<uint32_t>(j - i);
     if (c.cardinality <= kArrayCapacity) {
       c.kind = Container::Kind::kArray;
-      c.array.reserve(c.cardinality);
-      for (size_t k = i; k < j; ++k) c.array.push_back(LowBits(sorted_values[k]));
+      std::vector<uint16_t>& arr = c.array.Mutable();
+      arr.reserve(c.cardinality);
+      for (size_t k = i; k < j; ++k) arr.push_back(LowBits(sorted_values[k]));
     } else {
       c.kind = Container::Kind::kBitset;
-      c.words.assign(kWordsPerBitset, 0);
+      std::vector<uint64_t>& w = c.words.Mutable();
+      w.assign(kWordsPerBitset, 0);
       for (size_t k = i; k < j; ++k) {
         uint16_t low = LowBits(sorted_values[k]);
-        c.words[low >> 6] |= uint64_t{1} << (low & 63);
+        w[low >> 6] |= uint64_t{1} << (low & 63);
       }
     }
     result.containers_.push_back(std::move(c));
@@ -136,15 +138,19 @@ Bitmap::Container& Bitmap::GetOrCreateContainer(uint16_t key) {
 void Bitmap::Add(uint32_t value) {
   Container& c = GetOrCreateContainer(HighBits(value));
   uint16_t low = LowBits(value);
+  // Mutable() up front keeps the hot path at a single binary search / word
+  // access, as before the span refactor; it is free for owned containers
+  // (everything the build path touches) and copies once for borrowed ones.
   if (c.kind == Container::Kind::kArray) {
-    auto it = std::lower_bound(c.array.begin(), c.array.end(), low);
-    if (it != c.array.end() && *it == low) return;
-    c.array.insert(it, low);
+    std::vector<uint16_t>& arr = c.array.Mutable();
+    auto it = std::lower_bound(arr.begin(), arr.end(), low);
+    if (it != arr.end() && *it == low) return;
+    arr.insert(it, low);
     ++c.cardinality;
     ++cardinality_;
     if (c.cardinality > kArrayCapacity) c.ToBitset();
   } else {
-    uint64_t& word = c.words[low >> 6];
+    uint64_t& word = c.words.Mutable()[low >> 6];
     uint64_t mask = uint64_t{1} << (low & 63);
     if (word & mask) return;
     word |= mask;
@@ -159,13 +165,14 @@ void Bitmap::Remove(uint32_t value) {
   Container& c = containers_[idx];
   uint16_t low = LowBits(value);
   if (c.kind == Container::Kind::kArray) {
-    auto it = std::lower_bound(c.array.begin(), c.array.end(), low);
-    if (it == c.array.end() || *it != low) return;
-    c.array.erase(it);
+    std::vector<uint16_t>& arr = c.array.Mutable();
+    auto it = std::lower_bound(arr.begin(), arr.end(), low);
+    if (it == arr.end() || *it != low) return;
+    arr.erase(it);
     --c.cardinality;
     --cardinality_;
   } else {
-    uint64_t& word = c.words[low >> 6];
+    uint64_t& word = c.words.Mutable()[low >> 6];
     uint64_t mask = uint64_t{1} << (low & 63);
     if (!(word & mask)) return;
     word &= ~mask;
@@ -210,18 +217,17 @@ namespace {
 
 // Intersection of two sorted uint16 arrays, linear merge with galloping when
 // the sizes are lopsided.
-void IntersectArrays(const std::vector<uint16_t>& a,
-                     const std::vector<uint16_t>& b,
+void IntersectArrays(std::span<const uint16_t> a, std::span<const uint16_t> b,
                      std::vector<uint16_t>* out) {
-  const std::vector<uint16_t>* small = &a;
-  const std::vector<uint16_t>* big = &b;
-  if (small->size() > big->size()) std::swap(small, big);
-  if (big->size() > 32 * small->size()) {
+  std::span<const uint16_t> small = a;
+  std::span<const uint16_t> big = b;
+  if (small.size() > big.size()) std::swap(small, big);
+  if (big.size() > 32 * small.size()) {
     // Galloping: binary-search each element of the small side.
-    auto begin = big->begin();
-    for (uint16_t v : *small) {
-      begin = std::lower_bound(begin, big->end(), v);
-      if (begin == big->end()) break;
+    auto begin = big.begin();
+    for (uint16_t v : small) {
+      begin = std::lower_bound(begin, big.end(), v);
+      if (begin == big.end()) break;
       if (*begin == v) out->push_back(v);
     }
     return;
@@ -247,16 +253,17 @@ Bitmap::Container Bitmap::AndContainers(const Container& a, const Container& b) 
   out.key = a.key;
   using Kind = Container::Kind;
   if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
-    IntersectArrays(a.array, b.array, &out.array);
+    IntersectArrays(a.array, b.array, &out.array.Mutable());
     out.cardinality = static_cast<uint32_t>(out.array.size());
     return out;
   }
   if (a.kind == Kind::kBitset && b.kind == Kind::kBitset) {
-    out.words.assign(kWordsPerBitset, 0);
+    std::vector<uint64_t>& words = out.words.Mutable();
+    words.assign(kWordsPerBitset, 0);
     uint32_t card = 0;
     for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
-      out.words[w] = a.words[w] & b.words[w];
-      card += static_cast<uint32_t>(std::popcount(out.words[w]));
+      words[w] = a.words[w] & b.words[w];
+      card += static_cast<uint32_t>(std::popcount(words[w]));
     }
     out.cardinality = card;
     out.kind = Kind::kBitset;
@@ -266,11 +273,12 @@ Bitmap::Container Bitmap::AndContainers(const Container& a, const Container& b) 
   // array x bitset: probe the bitset with each array element.
   const Container& arr = (a.kind == Kind::kArray) ? a : b;
   const Container& bits = (a.kind == Kind::kArray) ? b : a;
-  out.array.reserve(arr.array.size());
+  std::vector<uint16_t>& out_arr = out.array.Mutable();
+  out_arr.reserve(arr.array.size());
   for (uint16_t low : arr.array) {
-    if ((bits.words[low >> 6] >> (low & 63)) & 1) out.array.push_back(low);
+    if ((bits.words[low >> 6] >> (low & 63)) & 1) out_arr.push_back(low);
   }
-  out.cardinality = static_cast<uint32_t>(out.array.size());
+  out.cardinality = static_cast<uint32_t>(out_arr.size());
   return out;
 }
 
@@ -279,28 +287,30 @@ Bitmap::Container Bitmap::OrContainers(const Container& a, const Container& b) {
   out.key = a.key;
   using Kind = Container::Kind;
   if (a.kind == Kind::kArray && b.kind == Kind::kArray) {
-    out.array.reserve(a.array.size() + b.array.size());
+    std::vector<uint16_t>& out_arr = out.array.Mutable();
+    out_arr.reserve(a.array.size() + b.array.size());
     std::set_union(a.array.begin(), a.array.end(), b.array.begin(),
-                   b.array.end(), std::back_inserter(out.array));
-    out.cardinality = static_cast<uint32_t>(out.array.size());
+                   b.array.end(), std::back_inserter(out_arr));
+    out.cardinality = static_cast<uint32_t>(out_arr.size());
     if (out.cardinality > kArrayCapacity) out.ToBitset();
     return out;
   }
   // At least one bitset: result is a bitset.
   out.kind = Kind::kBitset;
-  out.words.assign(kWordsPerBitset, 0);
-  auto blend = [&out](const Container& c) {
+  std::vector<uint64_t>& words = out.words.Mutable();
+  words.assign(kWordsPerBitset, 0);
+  auto blend = [&words](const Container& c) {
     if (c.kind == Kind::kBitset) {
-      for (uint32_t w = 0; w < kWordsPerBitset; ++w) out.words[w] |= c.words[w];
+      for (uint32_t w = 0; w < kWordsPerBitset; ++w) words[w] |= c.words[w];
     } else {
-      for (uint16_t low : c.array) out.words[low >> 6] |= uint64_t{1} << (low & 63);
+      for (uint16_t low : c.array) words[low >> 6] |= uint64_t{1} << (low & 63);
     }
   };
   blend(a);
   blend(b);
   uint32_t card = 0;
   for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
-    card += static_cast<uint32_t>(std::popcount(out.words[w]));
+    card += static_cast<uint32_t>(std::popcount(words[w]));
   }
   out.cardinality = card;
   return out;
@@ -312,25 +322,27 @@ Bitmap::Container Bitmap::AndNotContainers(const Container& a,
   out.key = a.key;
   using Kind = Container::Kind;
   if (a.kind == Kind::kArray) {
-    out.array.reserve(a.array.size());
+    std::vector<uint16_t>& out_arr = out.array.Mutable();
+    out_arr.reserve(a.array.size());
     for (uint16_t low : a.array) {
-      if (!b.Contains(low)) out.array.push_back(low);
+      if (!b.Contains(low)) out_arr.push_back(low);
     }
-    out.cardinality = static_cast<uint32_t>(out.array.size());
+    out.cardinality = static_cast<uint32_t>(out_arr.size());
     return out;
   }
   out.kind = Kind::kBitset;
-  out.words = a.words;
+  out.words = a.words;  // deep copy (a may borrow from a snapshot mapping)
+  std::vector<uint64_t>& words = out.words.Mutable();
   if (b.kind == Kind::kBitset) {
-    for (uint32_t w = 0; w < kWordsPerBitset; ++w) out.words[w] &= ~b.words[w];
+    for (uint32_t w = 0; w < kWordsPerBitset; ++w) words[w] &= ~b.words[w];
   } else {
     for (uint16_t low : b.array) {
-      out.words[low >> 6] &= ~(uint64_t{1} << (low & 63));
+      words[low >> 6] &= ~(uint64_t{1} << (low & 63));
     }
   }
   uint32_t card = 0;
   for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
-    card += static_cast<uint32_t>(std::popcount(out.words[w]));
+    card += static_cast<uint32_t>(std::popcount(words[w]));
   }
   out.cardinality = card;
   out.ToArrayIfSmall();
@@ -547,6 +559,10 @@ void Bitmap::Serialize(ByteSink& sink) const {
     sink.WriteU16(c.key);
     sink.WriteU8(static_cast<uint8_t>(c.kind));
     sink.WriteU32(c.cardinality);
+    // Padding before each payload block lets the zero-copy loader borrow a
+    // correctly aligned typed pointer straight into the snapshot mapping
+    // (format v2; a v1 sink emits nothing here).
+    sink.PadTo8();
     if (c.kind == Container::Kind::kArray) {
       sink.WriteRaw(c.array.data(), c.array.size() * sizeof(uint16_t));
     } else {
@@ -586,12 +602,11 @@ Bitmap Bitmap::Deserialize(ByteSource& src) {
         return Bitmap();
       }
       c.kind = Container::Kind::kArray;
-      c.array.resize(c.cardinality);
-      src.ReadRaw(c.array.data(), c.array.size() * sizeof(uint16_t));
+      src.ReadBlock(c.cardinality, &c.array);
     } else if (kind == static_cast<uint8_t>(Container::Kind::kBitset)) {
       c.kind = Container::Kind::kBitset;
-      c.words.resize(kWordsPerBitset);
-      src.ReadRaw(c.words.data(), c.words.size() * sizeof(uint64_t));
+      src.ReadBlock(kWordsPerBitset, &c.words);
+      if (!src.ok()) return Bitmap();
       uint32_t card = 0;
       for (uint64_t w : c.words) {
         card += static_cast<uint32_t>(std::popcount(w));
@@ -667,8 +682,8 @@ bool Bitmap::operator==(const Bitmap& other) const {
 size_t Bitmap::MemoryBytes() const {
   size_t bytes = sizeof(Bitmap) + containers_.size() * sizeof(Container);
   for (const Container& c : containers_) {
-    bytes += c.array.capacity() * sizeof(uint16_t);
-    bytes += c.words.capacity() * sizeof(uint64_t);
+    bytes += c.array.OwnedHeapBytes();
+    bytes += c.words.OwnedHeapBytes();
   }
   return bytes;
 }

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "util/owned_span.h"
 #include "util/serde.h"
 
 namespace rigpm {
@@ -103,10 +104,16 @@ class Bitmap {
 
   /// Decodes an image written by Serialize. On malformed input `src.ok()`
   /// turns false (with a description in `src.error()`) and the returned
-  /// bitmap is empty.
+  /// bitmap is empty. In zero-copy mode the container payloads borrow from
+  /// the source's storage: whoever owns this bitmap must retain
+  /// `src.storage()` (Graph and friends do). Mutating a borrowed container
+  /// transparently materializes a private copy first; copying a bitmap
+  /// always deep-copies.
   static Bitmap Deserialize(ByteSource& src);
 
-  /// Approximate heap footprint in bytes (used by RIG size accounting).
+  /// Approximate *owned* heap footprint in bytes (used by RIG size
+  /// accounting). Borrowed container payloads — views into a shared
+  /// snapshot mapping — are accounted to the mapping, not to this bitmap.
   size_t MemoryBytes() const;
 
   /// Number of internal containers (exposed for tests).
@@ -114,15 +121,17 @@ class Bitmap {
 
  private:
   // A single 2^16-element chunk. `kind` selects which representation is
-  // active; the inactive vector is kept empty.
+  // active; the inactive storage is kept empty. The payloads live in
+  // OwnedOrBorrowedSpan so a snapshot load can point them straight into the
+  // file mapping instead of copying (util/owned_span.h).
   struct Container {
     enum class Kind : uint8_t { kArray, kBitset };
 
     uint16_t key = 0;
     Kind kind = Kind::kArray;
     uint32_t cardinality = 0;
-    std::vector<uint16_t> array;  // sorted, used when kind == kArray
-    std::vector<uint64_t> words;  // 1024 words, used when kind == kBitset
+    OwnedOrBorrowedSpan<uint16_t> array;  // sorted, used when kind == kArray
+    OwnedOrBorrowedSpan<uint64_t> words;  // 1024 words, when kind == kBitset
 
     bool Contains(uint16_t low) const;
     void ToBitset();

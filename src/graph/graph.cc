@@ -17,30 +17,34 @@ Graph Graph::FromEdges(std::vector<LabelId> labels,
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
-  g.fwd_offsets_.assign(n + 1, 0);
-  g.bwd_offsets_.assign(n + 1, 0);
+  std::vector<uint64_t>& fwd_offsets = g.fwd_offsets_.Mutable();
+  std::vector<uint64_t>& bwd_offsets = g.bwd_offsets_.Mutable();
+  std::vector<NodeId>& fwd_targets = g.fwd_targets_.Mutable();
+  std::vector<NodeId>& bwd_targets = g.bwd_targets_.Mutable();
+  fwd_offsets.assign(n + 1, 0);
+  bwd_offsets.assign(n + 1, 0);
   for (const auto& [u, v] : edges) {
     assert(u < n && v < n);
-    ++g.fwd_offsets_[u + 1];
-    ++g.bwd_offsets_[v + 1];
+    ++fwd_offsets[u + 1];
+    ++bwd_offsets[v + 1];
   }
   for (uint32_t i = 0; i < n; ++i) {
-    g.fwd_offsets_[i + 1] += g.fwd_offsets_[i];
-    g.bwd_offsets_[i + 1] += g.bwd_offsets_[i];
+    fwd_offsets[i + 1] += fwd_offsets[i];
+    bwd_offsets[i + 1] += bwd_offsets[i];
   }
-  g.fwd_targets_.resize(edges.size());
-  g.bwd_targets_.resize(edges.size());
-  std::vector<uint64_t> fpos(g.fwd_offsets_.begin(), g.fwd_offsets_.end() - 1);
-  std::vector<uint64_t> bpos(g.bwd_offsets_.begin(), g.bwd_offsets_.end() - 1);
+  fwd_targets.resize(edges.size());
+  bwd_targets.resize(edges.size());
+  std::vector<uint64_t> fpos(fwd_offsets.begin(), fwd_offsets.end() - 1);
+  std::vector<uint64_t> bpos(bwd_offsets.begin(), bwd_offsets.end() - 1);
   for (const auto& [u, v] : edges) {
-    g.fwd_targets_[fpos[u]++] = v;
-    g.bwd_targets_[bpos[v]++] = u;
+    fwd_targets[fpos[u]++] = v;
+    bwd_targets[bpos[v]++] = u;
   }
   // Forward targets are already sorted per source (edge list was sorted);
   // backward targets need a per-node sort.
   for (uint32_t v = 0; v < n; ++v) {
-    std::sort(g.bwd_targets_.begin() + static_cast<ptrdiff_t>(g.bwd_offsets_[v]),
-              g.bwd_targets_.begin() + static_cast<ptrdiff_t>(g.bwd_offsets_[v + 1]));
+    std::sort(bwd_targets.begin() + static_cast<ptrdiff_t>(bwd_offsets[v]),
+              bwd_targets.begin() + static_cast<ptrdiff_t>(bwd_offsets[v + 1]));
   }
 
   g.BuildDerivedStructures();
@@ -51,14 +55,16 @@ void Graph::BuildDerivedStructures() {
   const uint32_t n = NumNodes();
 
   // Label inverted lists.
-  label_offsets_.assign(num_labels_ + 1, 0);
-  for (LabelId l : labels_) ++label_offsets_[l + 1];
+  std::vector<uint64_t>& label_offsets = label_offsets_.Mutable();
+  std::vector<NodeId>& label_nodes = label_nodes_.Mutable();
+  label_offsets.assign(num_labels_ + 1, 0);
+  for (LabelId l : labels_) ++label_offsets[l + 1];
   for (uint32_t i = 0; i < num_labels_; ++i) {
-    label_offsets_[i + 1] += label_offsets_[i];
+    label_offsets[i + 1] += label_offsets[i];
   }
-  label_nodes_.resize(n);
-  std::vector<uint64_t> pos(label_offsets_.begin(), label_offsets_.end() - 1);
-  for (NodeId v = 0; v < n; ++v) label_nodes_[pos[labels_[v]]++] = v;
+  label_nodes.resize(n);
+  std::vector<uint64_t> pos(label_offsets.begin(), label_offsets.end() - 1);
+  for (NodeId v = 0; v < n; ++v) label_nodes[pos[labels_[v]]++] = v;
 
   // Bitmap forms of adjacency and inverted lists.
   fwd_bitmaps_.resize(n);
@@ -86,13 +92,13 @@ uint32_t Graph::MaxLabelListSize() const {
 
 void Graph::Serialize(ByteSink& sink) const {
   sink.WriteU32(num_labels_);
-  sink.WriteVec(labels_);
-  sink.WriteVec(fwd_offsets_);
-  sink.WriteVec(fwd_targets_);
-  sink.WriteVec(bwd_offsets_);
-  sink.WriteVec(bwd_targets_);
-  sink.WriteVec(label_offsets_);
-  sink.WriteVec(label_nodes_);
+  sink.WriteSpan<LabelId>(labels_);
+  sink.WriteSpan<uint64_t>(fwd_offsets_);
+  sink.WriteSpan<NodeId>(fwd_targets_);
+  sink.WriteSpan<uint64_t>(bwd_offsets_);
+  sink.WriteSpan<NodeId>(bwd_targets_);
+  sink.WriteSpan<uint64_t>(label_offsets_);
+  sink.WriteSpan<NodeId>(label_nodes_);
   for (const Bitmap& b : fwd_bitmaps_) b.Serialize(sink);
   for (const Bitmap& b : bwd_bitmaps_) b.Serialize(sink);
   for (const Bitmap& b : label_bitmaps_) b.Serialize(sink);
@@ -100,21 +106,24 @@ void Graph::Serialize(ByteSink& sink) const {
 
 Graph Graph::Deserialize(ByteSource& src) {
   Graph g;
+  g.storage_ = src.storage();  // keeps a zero-copy mapping alive
   g.num_labels_ = src.ReadU32();
-  src.ReadVec(&g.labels_);
-  src.ReadVec(&g.fwd_offsets_);
-  src.ReadVec(&g.fwd_targets_);
-  src.ReadVec(&g.bwd_offsets_);
-  src.ReadVec(&g.bwd_targets_);
-  src.ReadVec(&g.label_offsets_);
-  src.ReadVec(&g.label_nodes_);
+  src.ReadSpan(&g.labels_);
+  src.ReadSpan(&g.fwd_offsets_);
+  src.ReadSpan(&g.fwd_targets_);
+  src.ReadSpan(&g.bwd_offsets_);
+  src.ReadSpan(&g.bwd_targets_);
+  src.ReadSpan(&g.label_offsets_);
+  src.ReadSpan(&g.label_nodes_);
   if (!src.ok()) return Graph();
   const size_t n = g.labels_.size();
   // Structural invariants: offset arrays bracket their target arrays and
   // every projection array has one entry per node. Anything else would make
-  // the accessors read out of bounds.
+  // the accessors read out of bounds. (The label count is widened before
+  // the +1: num_labels_ = 0xFFFFFFFF must not wrap to an expected size of
+  // 0 and slip an empty offsets array past the check.)
   if (g.fwd_offsets_.size() != n + 1 || g.bwd_offsets_.size() != n + 1 ||
-      g.label_offsets_.size() != g.num_labels_ + 1 ||
+      g.label_offsets_.size() != static_cast<uint64_t>(g.num_labels_) + 1 ||
       g.fwd_offsets_.front() != 0 || g.bwd_offsets_.front() != 0 ||
       g.label_offsets_.front() != 0 ||
       g.fwd_offsets_.back() != g.fwd_targets_.size() ||
@@ -168,8 +177,20 @@ Graph Graph::Deserialize(ByteSource& src) {
   return g;
 }
 
+size_t Graph::OwnedHeapBytes() const {
+  size_t bytes = labels_.OwnedHeapBytes() + fwd_offsets_.OwnedHeapBytes() +
+                 fwd_targets_.OwnedHeapBytes() + bwd_offsets_.OwnedHeapBytes() +
+                 bwd_targets_.OwnedHeapBytes() +
+                 label_offsets_.OwnedHeapBytes() +
+                 label_nodes_.OwnedHeapBytes();
+  for (const Bitmap& b : fwd_bitmaps_) bytes += b.MemoryBytes();
+  for (const Bitmap& b : bwd_bitmaps_) bytes += b.MemoryBytes();
+  for (const Bitmap& b : label_bitmaps_) bytes += b.MemoryBytes();
+  return bytes;
+}
+
 Graph Graph::MakeBidirected(const Graph& g) {
-  std::vector<LabelId> labels(g.labels_);
+  std::vector<LabelId> labels(g.labels_.begin(), g.labels_.end());
   std::vector<std::pair<NodeId, NodeId>> edges;
   edges.reserve(g.NumEdges() * 2);
   for (NodeId v = 0; v < g.NumNodes(); ++v) {

@@ -2,11 +2,13 @@
 #define RIGPM_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "bitmap/bitmap.h"
+#include "util/owned_span.h"
 
 namespace rigpm {
 
@@ -97,8 +99,16 @@ class Graph {
   void Serialize(ByteSink& sink) const;
 
   /// Decodes an image written by Serialize. On malformed input `src.ok()`
-  /// turns false and an empty graph is returned.
+  /// turns false and an empty graph is returned. In zero-copy mode the CSR
+  /// arrays, label lists, and bitmap container payloads borrow directly
+  /// from the source's backing storage; the graph retains the storage
+  /// ownership token (`src.storage()`), so it stays valid for its whole
+  /// lifetime and through moves. Copies deep-copy into private storage.
   static Graph Deserialize(ByteSource& src);
+
+  /// Heap bytes owned by this graph. Borrowed snapshot-mapping storage is
+  /// excluded — it is shared between every process mapping the snapshot.
+  size_t OwnedHeapBytes() const;
 
   /// Returns a copy with every edge also present in the reverse direction —
   /// the "store each edge in both directions" transformation the paper uses
@@ -111,20 +121,26 @@ class Graph {
 
   void BuildDerivedStructures();
 
-  std::vector<LabelId> labels_;
+  // Owned vectors when built in-process; borrowed views into the snapshot
+  // mapping when loaded zero-copy (storage_ keeps the mapping alive).
+  OwnedOrBorrowedSpan<LabelId> labels_;
   uint32_t num_labels_ = 0;
 
-  std::vector<uint64_t> fwd_offsets_;  // size NumNodes()+1
-  std::vector<NodeId> fwd_targets_;
-  std::vector<uint64_t> bwd_offsets_;
-  std::vector<NodeId> bwd_targets_;
+  OwnedOrBorrowedSpan<uint64_t> fwd_offsets_;  // size NumNodes()+1
+  OwnedOrBorrowedSpan<NodeId> fwd_targets_;
+  OwnedOrBorrowedSpan<uint64_t> bwd_offsets_;
+  OwnedOrBorrowedSpan<NodeId> bwd_targets_;
 
-  std::vector<uint64_t> label_offsets_;  // size NumLabels()+1
-  std::vector<NodeId> label_nodes_;
+  OwnedOrBorrowedSpan<uint64_t> label_offsets_;  // size NumLabels()+1
+  OwnedOrBorrowedSpan<NodeId> label_nodes_;
 
   std::vector<Bitmap> fwd_bitmaps_;
   std::vector<Bitmap> bwd_bitmaps_;
   std::vector<Bitmap> label_bitmaps_;
+
+  // Ownership token for borrowed storage (null for built graphs); e.g. the
+  // shared_ptr<MappedFile> of the snapshot the graph was loaded from.
+  std::shared_ptr<const void> storage_;
 };
 
 }  // namespace rigpm

@@ -4,8 +4,10 @@ namespace rigpm {
 
 IntervalLabels::IntervalLabels(const Graph& g, const Condensation& cond) {
   const uint32_t nc = cond.NumComponents();
-  begin_.assign(nc, 0);
-  end_.assign(nc, 0);
+  std::vector<uint32_t>& begin = begin_.Mutable();
+  std::vector<uint32_t>& end = end_.Mutable();
+  begin.assign(nc, 0);
+  end.assign(nc, 0);
 
   // Iterative DFS over the condensation DAG, restarting at every unvisited
   // component in topological order so sources are natural roots.
@@ -15,7 +17,7 @@ IntervalLabels::IntervalLabels(const Graph& g, const Condensation& cond) {
   for (uint32_t root : cond.TopologicalOrder()) {
     if (visited[root]) continue;
     visited[root] = 1;
-    begin_[root] = clock++;
+    begin[root] = clock++;
     stack.emplace_back(root, 0);
     while (!stack.empty()) {
       uint32_t c = stack.back().first;
@@ -25,42 +27,45 @@ IntervalLabels::IntervalLabels(const Graph& g, const Condensation& cond) {
         uint32_t child = succ[stack.back().second++];
         if (!visited[child]) {
           visited[child] = 1;
-          begin_[child] = clock++;
+          begin[child] = clock++;
           stack.emplace_back(child, 0);
           descended = true;
           break;
         }
       }
       if (!descended) {
-        end_[c] = clock++;
+        end[c] = clock++;
         stack.pop_back();
       }
     }
   }
 
   const uint32_t n = g.NumNodes();
-  begin_node_.resize(n);
-  end_node_.resize(n);
+  std::vector<uint32_t>& begin_node = begin_node_.Mutable();
+  std::vector<uint32_t>& end_node = end_node_.Mutable();
+  begin_node.resize(n);
+  end_node.resize(n);
   for (NodeId v = 0; v < n; ++v) {
     uint32_t c = cond.Component(v);
-    begin_node_[v] = begin_[c];
-    end_node_[v] = end_[c];
+    begin_node[v] = begin[c];
+    end_node[v] = end[c];
   }
 }
 
 void IntervalLabels::Serialize(ByteSink& sink) const {
-  sink.WriteVec(begin_);
-  sink.WriteVec(end_);
-  sink.WriteVec(begin_node_);
-  sink.WriteVec(end_node_);
+  sink.WriteSpan<uint32_t>(begin_);
+  sink.WriteSpan<uint32_t>(end_);
+  sink.WriteSpan<uint32_t>(begin_node_);
+  sink.WriteSpan<uint32_t>(end_node_);
 }
 
 IntervalLabels IntervalLabels::Deserialize(ByteSource& src) {
   IntervalLabels labels;
-  src.ReadVec(&labels.begin_);
-  src.ReadVec(&labels.end_);
-  src.ReadVec(&labels.begin_node_);
-  src.ReadVec(&labels.end_node_);
+  labels.storage_ = src.storage();  // keeps a zero-copy mapping alive
+  src.ReadSpan(&labels.begin_);
+  src.ReadSpan(&labels.end_);
+  src.ReadSpan(&labels.begin_node_);
+  src.ReadSpan(&labels.end_node_);
   if (!src.ok()) return IntervalLabels();
   if (labels.end_.size() != labels.begin_.size() ||
       labels.end_node_.size() != labels.begin_node_.size()) {

@@ -2,10 +2,12 @@
 #define RIGPM_GRAPH_INTERVAL_LABELS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/scc.h"
+#include "util/owned_span.h"
 
 namespace rigpm {
 
@@ -32,6 +34,11 @@ class IntervalLabels {
   uint32_t CompBegin(uint32_t comp) const { return begin_[comp]; }
   uint32_t CompEnd(uint32_t comp) const { return end_[comp]; }
 
+  /// Sizes the labels were built over (validation on snapshot load: these
+  /// must match the condensation the labels are used with).
+  uint64_t NumComponents() const { return begin_.size(); }
+  uint64_t NumNodes() const { return begin_node_.size(); }
+
   /// Necessary condition: returns true when the labels *prove* u cannot
   /// reach v. False means "unknown".
   bool DefinitelyNotReaches(NodeId u, NodeId v) const {
@@ -54,10 +61,13 @@ class IntervalLabels {
  private:
   IntervalLabels() = default;  // only Deserialize builds without a graph
 
-  std::vector<uint32_t> begin_;       // per component
-  std::vector<uint32_t> end_;         // per component
-  std::vector<uint32_t> begin_node_;  // per data node
-  std::vector<uint32_t> end_node_;    // per data node
+  // Owned when built; borrowed views into the snapshot mapping when loaded
+  // zero-copy (storage_ keeps the mapping alive).
+  OwnedOrBorrowedSpan<uint32_t> begin_;       // per component
+  OwnedOrBorrowedSpan<uint32_t> end_;         // per component
+  OwnedOrBorrowedSpan<uint32_t> begin_node_;  // per data node
+  OwnedOrBorrowedSpan<uint32_t> end_node_;    // per data node
+  std::shared_ptr<const void> storage_;
 };
 
 }  // namespace rigpm

@@ -7,7 +7,8 @@ namespace rigpm {
 
 Condensation::Condensation(const Graph& g) {
   const uint32_t n = g.NumNodes();
-  component_.assign(n, static_cast<uint32_t>(-1));
+  std::vector<uint32_t>& component = component_.Mutable();
+  component.assign(n, static_cast<uint32_t>(-1));
 
   // Iterative Tarjan. `index` / `lowlink` per node; explicit DFS stack keeps
   // (node, next-child-offset) frames to avoid recursion on deep graphs.
@@ -46,7 +47,7 @@ Condensation::Condensation(const Graph& g) {
             NodeId w = scc_stack.back();
             scc_stack.pop_back();
             on_stack[w] = 0;
-            component_[w] = next_comp;
+            component[w] = next_comp;
             if (w == v) break;
           }
           ++next_comp;
@@ -66,26 +67,28 @@ Condensation::Condensation(const Graph& g) {
   // of a component is finished first). Renumber so that component ids are a
   // topological order: successors get strictly larger ids.
   for (NodeId v = 0; v < n; ++v) {
-    component_[v] = num_components_ - 1 - component_[v];
+    component[v] = num_components_ - 1 - component[v];
   }
 
-  comp_size_.assign(num_components_, 0);
-  cyclic_.assign(num_components_, 0);
+  std::vector<uint32_t>& comp_size = comp_size_.Mutable();
+  std::vector<uint8_t>& cyclic = cyclic_.Mutable();
+  comp_size.assign(num_components_, 0);
+  cyclic.assign(num_components_, 0);
   for (NodeId v = 0; v < n; ++v) {
-    ++comp_size_[component_[v]];
+    ++comp_size[component[v]];
   }
   for (uint32_t c = 0; c < num_components_; ++c) {
-    if (comp_size_[c] > 1) cyclic_[c] = 1;
+    if (comp_size[c] > 1) cyclic[c] = 1;
   }
 
   // Cross-component DAG edges (deduplicated); self-loops mark cyclic comps.
   std::vector<std::pair<uint32_t, uint32_t>> dag_edges;
   for (NodeId v = 0; v < n; ++v) {
-    uint32_t cv = component_[v];
+    uint32_t cv = component[v];
     for (NodeId w : g.OutNeighbors(v)) {
-      uint32_t cw = component_[w];
+      uint32_t cw = component[w];
       if (cv == cw) {
-        if (v == w) cyclic_[cv] = 1;
+        if (v == w) cyclic[cv] = 1;
         continue;
       }
       assert(cv < cw);  // topological numbering
@@ -96,42 +99,47 @@ Condensation::Condensation(const Graph& g) {
   dag_edges.erase(std::unique(dag_edges.begin(), dag_edges.end()),
                   dag_edges.end());
 
-  dag_offsets_.assign(num_components_ + 1, 0);
-  for (const auto& [c, d] : dag_edges) ++dag_offsets_[c + 1];
+  std::vector<uint64_t>& dag_offsets = dag_offsets_.Mutable();
+  std::vector<uint32_t>& dag_targets = dag_targets_.Mutable();
+  std::vector<uint32_t>& topo_order = topo_order_.Mutable();
+  dag_offsets.assign(num_components_ + 1, 0);
+  for (const auto& [c, d] : dag_edges) ++dag_offsets[c + 1];
   for (uint32_t c = 0; c < num_components_; ++c) {
-    dag_offsets_[c + 1] += dag_offsets_[c];
+    dag_offsets[c + 1] += dag_offsets[c];
   }
-  dag_targets_.resize(dag_edges.size());
-  std::vector<uint64_t> pos(dag_offsets_.begin(), dag_offsets_.end() - 1);
-  for (const auto& [c, d] : dag_edges) dag_targets_[pos[c]++] = d;
+  dag_targets.resize(dag_edges.size());
+  std::vector<uint64_t> pos(dag_offsets.begin(), dag_offsets.end() - 1);
+  for (const auto& [c, d] : dag_edges) dag_targets[pos[c]++] = d;
 
-  topo_order_.resize(num_components_);
-  for (uint32_t c = 0; c < num_components_; ++c) topo_order_[c] = c;
+  topo_order.resize(num_components_);
+  for (uint32_t c = 0; c < num_components_; ++c) topo_order[c] = c;
 }
 
 void Condensation::Serialize(ByteSink& sink) const {
   sink.WriteU32(num_components_);
-  sink.WriteVec(component_);
-  sink.WriteVec(cyclic_);
-  sink.WriteVec(comp_size_);
-  sink.WriteVec(dag_offsets_);
-  sink.WriteVec(dag_targets_);
-  sink.WriteVec(topo_order_);
+  sink.WriteSpan<uint32_t>(component_);
+  sink.WriteSpan<uint8_t>(cyclic_);
+  sink.WriteSpan<uint32_t>(comp_size_);
+  sink.WriteSpan<uint64_t>(dag_offsets_);
+  sink.WriteSpan<uint32_t>(dag_targets_);
+  sink.WriteSpan<uint32_t>(topo_order_);
 }
 
 Condensation Condensation::Deserialize(ByteSource& src) {
   Condensation c;
+  c.storage_ = src.storage();  // keeps a zero-copy mapping alive
   c.num_components_ = src.ReadU32();
-  src.ReadVec(&c.component_);
-  src.ReadVec(&c.cyclic_);
-  src.ReadVec(&c.comp_size_);
-  src.ReadVec(&c.dag_offsets_);
-  src.ReadVec(&c.dag_targets_);
-  src.ReadVec(&c.topo_order_);
+  src.ReadSpan(&c.component_);
+  src.ReadSpan(&c.cyclic_);
+  src.ReadSpan(&c.comp_size_);
+  src.ReadSpan(&c.dag_offsets_);
+  src.ReadSpan(&c.dag_targets_);
+  src.ReadSpan(&c.topo_order_);
   if (!src.ok()) return Condensation();
   const uint32_t nc = c.num_components_;
   if (c.cyclic_.size() != nc || c.comp_size_.size() != nc ||
-      c.topo_order_.size() != nc || c.dag_offsets_.size() != nc + 1 ||
+      c.topo_order_.size() != nc ||
+      c.dag_offsets_.size() != static_cast<uint64_t>(nc) + 1 ||
       (nc > 0 && (c.dag_offsets_.front() != 0 ||
                   c.dag_offsets_.back() != c.dag_targets_.size()))) {
     src.Fail("condensation snapshot structure is inconsistent");

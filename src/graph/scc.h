@@ -2,10 +2,12 @@
 #define RIGPM_GRAPH_SCC_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/owned_span.h"
 
 namespace rigpm {
 
@@ -56,13 +58,16 @@ class Condensation {
  private:
   Condensation() = default;  // only Deserialize builds without a graph
 
+  // Owned when built by Tarjan; borrowed views into the snapshot mapping
+  // when loaded zero-copy (storage_ keeps the mapping alive).
   uint32_t num_components_ = 0;
-  std::vector<uint32_t> component_;
-  std::vector<uint8_t> cyclic_;
-  std::vector<uint32_t> comp_size_;
-  std::vector<uint64_t> dag_offsets_;
-  std::vector<uint32_t> dag_targets_;
-  std::vector<uint32_t> topo_order_;
+  OwnedOrBorrowedSpan<uint32_t> component_;
+  OwnedOrBorrowedSpan<uint8_t> cyclic_;
+  OwnedOrBorrowedSpan<uint32_t> comp_size_;
+  OwnedOrBorrowedSpan<uint64_t> dag_offsets_;
+  OwnedOrBorrowedSpan<uint32_t> dag_targets_;
+  OwnedOrBorrowedSpan<uint32_t> topo_order_;
+  std::shared_ptr<const void> storage_;
 };
 
 }  // namespace rigpm

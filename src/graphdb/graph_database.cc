@@ -29,9 +29,10 @@ std::vector<uint64_t> GraphDatabase::EdgeLabelFeatures(const Graph& g) {
 
 size_t GraphDatabase::Add(Graph g, std::string name) {
   Member m;
-  m.label_counts.assign(g.NumLabels(), 0);
-  for (NodeId v = 0; v < g.NumNodes(); ++v) ++m.label_counts[g.Label(v)];
-  m.edge_labels = EdgeLabelFeatures(g);
+  std::vector<uint32_t>& label_counts = m.label_counts.Mutable();
+  label_counts.assign(g.NumLabels(), 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) ++label_counts[g.Label(v)];
+  m.edge_labels = OwnedOrBorrowedSpan<uint64_t>(EdgeLabelFeatures(g));
   m.graph = std::move(g);
   m.name = std::move(name);
   members_.push_back(std::move(m));
@@ -65,28 +66,30 @@ bool GraphDatabase::Save(const std::string& path, std::string* error) const {
   for (const Member& m : members_) {
     m.graph.Serialize(sink);
     sink.WriteString(m.name);
-    sink.WriteVec(m.label_counts);
-    sink.WriteVec(m.edge_labels);
+    sink.WriteSpan<uint32_t>(m.label_counts);
+    sink.WriteSpan<uint64_t>(m.edge_labels);
   }
   return WriteSnapshotFile(path, SnapshotKind::kGraphDatabase, sink, error);
 }
 
 std::optional<GraphDatabase> GraphDatabase::Load(const std::string& path,
-                                                 std::string* error) {
-  SnapshotReader reader(path, SnapshotKind::kGraphDatabase);
+                                                 std::string* error,
+                                                 SnapshotIoMode mode) {
+  SnapshotReader reader(path, SnapshotKind::kGraphDatabase, mode);
   if (!reader.ok()) {
     if (error != nullptr) *error = reader.error();
     return std::nullopt;
   }
   ByteSource& src = reader.source();
   GraphDatabase db;
+  db.storage_ = src.storage();  // keeps a zero-copy mapping alive
   uint64_t count = src.ReadU64();
   for (uint64_t i = 0; i < count && src.ok(); ++i) {
     Member m;
     m.graph = Graph::Deserialize(src);
     m.name = src.ReadString();
-    src.ReadVec(&m.label_counts);
-    src.ReadVec(&m.edge_labels);
+    src.ReadSpan(&m.label_counts);
+    src.ReadSpan(&m.edge_labels);
     if (src.ok() && m.label_counts.size() != m.graph.NumLabels()) {
       src.Fail("member feature vector does not match its graph");
     }

@@ -2,12 +2,15 @@
 #define RIGPM_GRAPHDB_GRAPH_DATABASE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "query/pattern_query.h"
+#include "storage/snapshot_io.h"
+#include "util/owned_span.h"
 
 namespace rigpm {
 
@@ -70,22 +73,29 @@ class GraphDatabase {
   bool Save(const std::string& path, std::string* error = nullptr) const;
 
   /// Restores a database written by Save. Returns std::nullopt (and fills
-  /// *error) on any malformed input.
-  static std::optional<GraphDatabase> Load(const std::string& path,
-                                           std::string* error = nullptr);
+  /// *error) on any malformed input. In mmap mode (the default) member
+  /// graphs and feature vectors are borrowed views into the shared file
+  /// mapping.
+  static std::optional<GraphDatabase> Load(
+      const std::string& path, std::string* error = nullptr,
+      SnapshotIoMode mode = DefaultSnapshotIoMode());
 
  private:
   struct Member {
     Graph graph;
     std::string name;
-    // Feature vectors for filtering.
-    std::vector<uint32_t> label_counts;
-    std::vector<uint64_t> edge_labels;  // sorted (from_label << 32 | to_label)
+    // Feature vectors for filtering (owned when built at Add() time,
+    // borrowed from the snapshot mapping when loaded zero-copy).
+    OwnedOrBorrowedSpan<uint32_t> label_counts;
+    OwnedOrBorrowedSpan<uint64_t> edge_labels;  // sorted (from << 32 | to)
   };
 
   static std::vector<uint64_t> EdgeLabelFeatures(const Graph& g);
 
   std::vector<Member> members_;
+  // Ownership token for borrowed storage (the snapshot mapping); null for
+  // databases built with Add().
+  std::shared_ptr<const void> storage_;
 };
 
 }  // namespace rigpm

@@ -22,22 +22,25 @@ BflIndex::BflIndex(const Graph& g, uint32_t bits, uint64_t seed)
   words_ = std::max<uint32_t>(1, (bits + 63) / 64);
   const uint32_t total_bits = words_ * 64;
 
-  hash_.resize(nc);
+  std::vector<uint32_t>& hash = hash_.Mutable();
+  hash.resize(nc);
   for (uint32_t c = 0; c < nc; ++c) {
-    hash_[c] = static_cast<uint32_t>(Mix(seed ^ c) % total_bits);
+    hash[c] = static_cast<uint32_t>(Mix(seed ^ c) % total_bits);
   }
 
   // Predecessor CSR of the condensation DAG.
-  pred_offsets_.assign(nc + 1, 0);
+  std::vector<uint64_t>& pred_offsets = pred_offsets_.Mutable();
+  std::vector<uint32_t>& pred_targets = pred_targets_.Mutable();
+  pred_offsets.assign(nc + 1, 0);
   for (uint32_t c = 0; c < nc; ++c) {
-    for (uint32_t d : cond_.Successors(c)) ++pred_offsets_[d + 1];
+    for (uint32_t d : cond_.Successors(c)) ++pred_offsets[d + 1];
   }
-  for (uint32_t c = 0; c < nc; ++c) pred_offsets_[c + 1] += pred_offsets_[c];
-  pred_targets_.resize(cond_.NumDagEdges());
+  for (uint32_t c = 0; c < nc; ++c) pred_offsets[c + 1] += pred_offsets[c];
+  pred_targets.resize(cond_.NumDagEdges());
   {
-    std::vector<uint64_t> pos(pred_offsets_.begin(), pred_offsets_.end() - 1);
+    std::vector<uint64_t> pos(pred_offsets.begin(), pred_offsets.end() - 1);
     for (uint32_t c = 0; c < nc; ++c) {
-      for (uint32_t d : cond_.Successors(c)) pred_targets_[pos[d]++] = c;
+      for (uint32_t d : cond_.Successors(c)) pred_targets[pos[d]++] = c;
     }
   }
 
@@ -45,23 +48,26 @@ BflIndex::BflIndex(const Graph& g, uint32_t bits, uint64_t seed)
   // plain descending scan visits every successor first). Each set contains
   // the component's own hash, making the subset test a necessary condition
   // for reachability including the endpoints.
-  l_out_.assign(static_cast<size_t>(nc) * words_, 0);
+  std::vector<uint64_t>& l_out = l_out_.Mutable();
+  l_out.assign(static_cast<size_t>(nc) * words_, 0);
   for (uint32_t c = nc; c-- > 0;) {
-    uint64_t* out = &l_out_[static_cast<size_t>(c) * words_];
-    out[hash_[c] >> 6] |= uint64_t{1} << (hash_[c] & 63);
+    uint64_t* out = &l_out[static_cast<size_t>(c) * words_];
+    out[hash[c] >> 6] |= uint64_t{1} << (hash[c] & 63);
     for (uint32_t d : cond_.Successors(c)) {
-      const uint64_t* child = &l_out_[static_cast<size_t>(d) * words_];
+      const uint64_t* child = &l_out[static_cast<size_t>(d) * words_];
       for (uint32_t w = 0; w < words_; ++w) out[w] |= child[w];
     }
   }
 
   // L_in: forward topological merge over predecessors.
-  l_in_.assign(static_cast<size_t>(nc) * words_, 0);
+  std::vector<uint64_t>& l_in = l_in_.Mutable();
+  l_in.assign(static_cast<size_t>(nc) * words_, 0);
   for (uint32_t c = 0; c < nc; ++c) {
-    uint64_t* in = &l_in_[static_cast<size_t>(c) * words_];
-    in[hash_[c] >> 6] |= uint64_t{1} << (hash_[c] & 63);
-    for (uint64_t p = pred_offsets_[c]; p < pred_offsets_[c + 1]; ++p) {
-      const uint64_t* parent = &l_in_[static_cast<size_t>(pred_targets_[p]) * words_];
+    uint64_t* in = &l_in[static_cast<size_t>(c) * words_];
+    in[hash[c] >> 6] |= uint64_t{1} << (hash[c] & 63);
+    for (uint64_t p = pred_offsets[c]; p < pred_offsets[c + 1]; ++p) {
+      const uint64_t* parent =
+          &l_in[static_cast<size_t>(pred_targets[p]) * words_];
       for (uint32_t w = 0; w < words_; ++w) in[w] |= parent[w];
     }
   }
@@ -155,11 +161,11 @@ void BflIndex::Serialize(ByteSink& sink) const {
   cond_.Serialize(sink);
   intervals_.Serialize(sink);
   sink.WriteU32(words_);
-  sink.WriteVec(l_out_);
-  sink.WriteVec(l_in_);
-  sink.WriteVec(hash_);
-  sink.WriteVec(pred_offsets_);
-  sink.WriteVec(pred_targets_);
+  sink.WriteSpan<uint64_t>(l_out_);
+  sink.WriteSpan<uint64_t>(l_in_);
+  sink.WriteSpan<uint32_t>(hash_);
+  sink.WriteSpan<uint64_t>(pred_offsets_);
+  sink.WriteSpan<uint32_t>(pred_targets_);
 }
 
 std::unique_ptr<BflIndex> BflIndex::Deserialize(ByteSource& src) {
@@ -168,19 +174,26 @@ std::unique_ptr<BflIndex> BflIndex::Deserialize(ByteSource& src) {
   if (!src.ok()) return nullptr;
   std::unique_ptr<BflIndex> index(
       new BflIndex(std::move(cond), std::move(intervals)));
+  index->storage_ = src.storage();  // keeps a zero-copy mapping alive
   index->words_ = src.ReadU32();
-  src.ReadVec(&index->l_out_);
-  src.ReadVec(&index->l_in_);
-  src.ReadVec(&index->hash_);
-  src.ReadVec(&index->pred_offsets_);
-  src.ReadVec(&index->pred_targets_);
+  src.ReadSpan(&index->l_out_);
+  src.ReadSpan(&index->l_in_);
+  src.ReadSpan(&index->hash_);
+  src.ReadSpan(&index->pred_offsets_);
+  src.ReadSpan(&index->pred_targets_);
   if (!src.ok()) return nullptr;
   const uint32_t nc = index->cond_.NumComponents();
   const size_t label_words = static_cast<size_t>(nc) * index->words_;
+  // The interval labels must cover exactly this condensation: every query
+  // indexes begin_/end_ by component id and begin_node_/end_node_ by data
+  // node id, so a size mismatch (corrupt or crafted but checksum-valid
+  // file) would read out of bounds at query time.
   if (index->words_ == 0 || index->l_out_.size() != label_words ||
       index->l_in_.size() != label_words || index->hash_.size() != nc ||
-      index->pred_offsets_.size() != nc + 1 ||
-      (nc > 0 && index->pred_offsets_.back() != index->pred_targets_.size())) {
+      index->pred_offsets_.size() != static_cast<uint64_t>(nc) + 1 ||
+      (nc > 0 && index->pred_offsets_.back() != index->pred_targets_.size()) ||
+      index->intervals_.NumComponents() != nc ||
+      index->intervals_.NumNodes() != index->cond_.NumNodes()) {
     src.Fail("BFL snapshot structure is inconsistent");
     return nullptr;
   }
@@ -189,11 +202,11 @@ std::unique_ptr<BflIndex> BflIndex::Deserialize(ByteSource& src) {
 }
 
 size_t BflIndex::MemoryBytes() const {
-  return l_out_.capacity() * sizeof(uint64_t) +
-         l_in_.capacity() * sizeof(uint64_t) +
-         hash_.capacity() * sizeof(uint32_t) +
-         pred_offsets_.capacity() * sizeof(uint64_t) +
-         pred_targets_.capacity() * sizeof(uint32_t) +
+  // Owned heap only: borrowed label arrays live in the shared snapshot
+  // mapping and are accounted there.
+  return l_out_.OwnedHeapBytes() + l_in_.OwnedHeapBytes() +
+         hash_.OwnedHeapBytes() + pred_offsets_.OwnedHeapBytes() +
+         pred_targets_.OwnedHeapBytes() +
          visited_epoch_.capacity() * sizeof(uint32_t);
 }
 

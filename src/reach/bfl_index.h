@@ -11,6 +11,7 @@
 #include "graph/interval_labels.h"
 #include "graph/scc.h"
 #include "reach/reachability.h"
+#include "util/owned_span.h"
 #include "util/serde.h"
 
 namespace rigpm {
@@ -69,14 +70,17 @@ class BflIndex : public ReachabilityIndex {
 
   Condensation cond_;
   IntervalLabels intervals_;
-  uint32_t words_;                // label width in 64-bit words
-  std::vector<uint64_t> l_out_;   // nc * words_
-  std::vector<uint64_t> l_in_;    // nc * words_
-  std::vector<uint32_t> hash_;    // per-component hash bit position
+  uint32_t words_;  // label width in 64-bit words
+  // Owned when built; borrowed views into the snapshot mapping when loaded
+  // zero-copy (storage_ keeps the mapping alive).
+  OwnedOrBorrowedSpan<uint64_t> l_out_;  // nc * words_
+  OwnedOrBorrowedSpan<uint64_t> l_in_;   // nc * words_
+  OwnedOrBorrowedSpan<uint32_t> hash_;   // per-component hash bit position
 
   // DAG predecessor lists (needed to propagate L_in).
-  std::vector<uint64_t> pred_offsets_;
-  std::vector<uint32_t> pred_targets_;
+  OwnedOrBorrowedSpan<uint64_t> pred_offsets_;
+  OwnedOrBorrowedSpan<uint32_t> pred_targets_;
+  std::shared_ptr<const void> storage_;
 
   // Scratch for the guided-DFS fallback. One engine's index is shared by
   // every worker (EvaluateBatch, parallel GraphDatabase verify), so the

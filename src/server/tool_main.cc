@@ -40,7 +40,8 @@ int ServeUsage() {
       stderr,
       "usage: serve (--snapshot FILE | --graph FILE)\n"
       "             (--socket PATH | --port N [--host ADDR])\n"
-      "             [--workers N] [--max-tuples N] [--no-remote-shutdown]\n");
+      "             [--workers N] [--max-tuples N] [--no-remote-shutdown]\n"
+      "             [--snapshot-io mmap|read]\n");
   return 2;
 }
 
@@ -72,6 +73,7 @@ void PrintTuples(const QueryResponse& resp, uint64_t max_print) {
 int ServeToolMain(int argc, char** argv, int first_arg) {
   std::string snapshot_path, graph_path, socket_path, host = "127.0.0.1";
   int port = -1;
+  SnapshotIoMode io_mode = DefaultSnapshotIoMode();
   ServerConfig config;
   for (int i = first_arg; i < argc; ++i) {
     const char* v;
@@ -79,6 +81,14 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
       if ((v = NeedValue(argc, argv, &i, "--snapshot")) == nullptr)
         return ServeUsage();
       snapshot_path = v;
+    } else if (std::strcmp(argv[i], "--snapshot-io") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--snapshot-io")) == nullptr)
+        return ServeUsage();
+      if (!ParseSnapshotIoMode(v, &io_mode)) {
+        std::fprintf(stderr, "--snapshot-io must be mmap or read (got %s)\n",
+                     v);
+        return ServeUsage();
+      }
     } else if (std::strcmp(argv[i], "--graph") == 0) {
       if ((v = NeedValue(argc, argv, &i, "--graph")) == nullptr)
         return ServeUsage();
@@ -125,21 +135,25 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
   config.port = static_cast<uint16_t>(port < 0 ? 0 : port);
 
   // Load once; serve many. The snapshot path is the whole point: restart
-  // cost is one deserialization, not a parse + index rebuild.
+  // cost is one deserialization, not a parse + index rebuild — and in mmap
+  // mode (the default) the graph is served straight out of a read-only
+  // MAP_SHARED mapping, so N daemons on one snapshot share a single
+  // physical copy through the page cache.
   std::string error;
   WarmEngine warm;
   std::optional<Graph> parsed_graph;
   std::optional<GmEngine> cold_engine;
   const GmEngine* engine = nullptr;
   if (!snapshot_path.empty()) {
-    auto loaded = LoadEngineSnapshot(snapshot_path, &error);
+    auto loaded = LoadEngineSnapshot(snapshot_path, &error, io_mode);
     if (!loaded.has_value()) {
       std::fprintf(stderr, "cannot load snapshot: %s\n", error.c_str());
       return 1;
     }
     warm = std::move(*loaded);
     engine = warm.engine.get();
-    std::printf("snapshot: %s (warm start)\n", snapshot_path.c_str());
+    std::printf("snapshot: %s (warm start via %s)\n", snapshot_path.c_str(),
+                io_mode == SnapshotIoMode::kMmap ? "mmap" : "read");
     std::printf("graph: %s\n", warm.graph->Summary().c_str());
   } else {
     parsed_graph = ReadGraphFile(graph_path, &error);

@@ -6,9 +6,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "engine/gm_engine.h"
 #include "graph/graph.h"
+#include "storage/snapshot_io.h"
+#include "util/mapped_file.h"
 #include "util/serde.h"
 
 namespace rigpm {
@@ -16,7 +19,8 @@ namespace rigpm {
 /// Versioned binary snapshot files — the persistence layer that turns
 /// process restarts from recompute-bound into I/O-bound (cold start parses
 /// text and rebuilds the BFL index; warm start streams pre-built structures
-/// back in).
+/// back in, or — the default — maps the file and serves straight out of the
+/// page cache).
 ///
 /// Container layout (all integers host-endian, see util/serde.h):
 ///   8 bytes  magic "RIGPMSNP"
@@ -26,12 +30,22 @@ namespace rigpm {
 ///   payload  kind-specific body written via ByteSink
 ///   u64      Checksum64 of the payload
 ///
+/// Format v2 pads every bulk array inside the payload to an 8-byte boundary
+/// (relative to the payload start; the 24-byte header keeps payload offsets
+/// congruent to file offsets mod 8, and both the mmap base and the slurp
+/// buffer are at least 8-byte aligned). That is what lets the zero-copy
+/// loader hand out typed pointers straight into the mapping. v1 files (no
+/// padding) still load — their arrays are copied out instead.
+///
 /// Readers reject bad magic, unknown versions, kind mismatches, payload
 /// sizes inconsistent with the file, truncation, and checksum mismatches —
 /// each with a descriptive error, never by crashing or silently returning a
 /// partial structure.
 
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
+
+/// Oldest format version the reader still accepts (copy-out fallback).
+inline constexpr uint32_t kMinSnapshotVersion = 1;
 
 enum class SnapshotKind : uint32_t {
   kGraph = 1,          // Graph only
@@ -40,25 +54,54 @@ enum class SnapshotKind : uint32_t {
 };
 
 /// Frames `payload` with the header and CRC and writes it to `path`.
+/// `version` is the format version stamped into the header; pass
+/// kMinSnapshotVersion together with ByteSink(/*pad_arrays=*/false) to
+/// reproduce a v1 file (compat tests and migration tooling only).
 bool WriteSnapshotFile(const std::string& path, SnapshotKind kind,
-                       const ByteSink& payload, std::string* error = nullptr);
+                       const ByteSink& payload, std::string* error = nullptr,
+                       uint32_t version = kSnapshotVersion);
 
-/// Opens a snapshot file, validates the container header, slurps the
-/// payload with a single read, and verifies the checksum *before* any
-/// decoding (so deserializers never see corrupt bytes). Usage:
+/// Header fields of a snapshot file, readable without touching the payload
+/// (`rigpm_cli snapshot --inspect`).
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint32_t kind_value = 0;  // SnapshotKind, raw (may be unknown to us)
+  uint64_t payload_size = 0;
+  uint64_t stored_checksum = 0;  // trailing footer, NOT re-verified here
+  uint64_t file_size = 0;
+  bool aligned = false;  // version >= 2: arrays 8-byte padded (zero-copy OK)
+};
+
+/// Reads and validates only the container header + footer (magic, version
+/// range, size consistency). Never decodes or checksums the payload.
+std::optional<SnapshotInfo> InspectSnapshot(const std::string& path,
+                                            std::string* error = nullptr);
+
+/// Opens a snapshot file, validates the container header, gets the payload
+/// into memory per `mode`, and verifies the checksum *before* any decoding
+/// (so deserializers never see corrupt bytes). Usage:
 ///   SnapshotReader reader(path, SnapshotKind::kGraph);
 ///   if (!reader.ok()) ...;
 ///   Graph g = Graph::Deserialize(reader.source());
 ///   if (!reader.Finish()) ...;   // decode succeeded + payload consumed
+///
+/// In mmap mode the source is zero-copy: deserialized objects borrow spans
+/// from the mapping and retain a shared ownership token for it, so they
+/// stay valid after the reader is destroyed; the mapping is unmapped when
+/// the last such object goes away.
 class SnapshotReader {
  public:
-  SnapshotReader(const std::string& path, SnapshotKind expected_kind);
+  SnapshotReader(const std::string& path, SnapshotKind expected_kind,
+                 SnapshotIoMode mode = DefaultSnapshotIoMode());
 
   SnapshotReader(const SnapshotReader&) = delete;
   SnapshotReader& operator=(const SnapshotReader&) = delete;
 
   bool ok() const { return error_.empty(); }
   const std::string& error() const { return error_; }
+
+  /// True when the payload is served from a file mapping (zero-copy mode).
+  bool mapped() const { return mapping_ != nullptr; }
 
   /// Valid only while ok().
   ByteSource& source() { return *source_; }
@@ -68,7 +111,12 @@ class SnapshotReader {
   bool Finish();
 
  private:
-  std::unique_ptr<uint8_t[]> payload_;
+  void InitFromMapping(SnapshotKind expected_kind);
+  void InitFromStream(const std::string& path, SnapshotKind expected_kind);
+
+  std::shared_ptr<MappedFile> mapping_;   // mmap mode
+  std::unique_ptr<uint8_t[]> payload_raw_;  // read mode, size known up front
+  std::vector<uint8_t> payload_buf_;        // read mode, unseekable source
   uint64_t payload_size_ = 0;
   std::optional<ByteSource> source_;
   std::string error_;
@@ -78,8 +126,9 @@ class SnapshotReader {
 
 bool SaveGraphSnapshot(const Graph& g, const std::string& path,
                        std::string* error = nullptr);
-std::optional<Graph> LoadGraphSnapshot(const std::string& path,
-                                       std::string* error = nullptr);
+std::optional<Graph> LoadGraphSnapshot(
+    const std::string& path, std::string* error = nullptr,
+    SnapshotIoMode mode = DefaultSnapshotIoMode());
 
 // ----------------------------------------------------------------- engines
 
@@ -97,9 +146,11 @@ bool SaveEngineSnapshot(const GmEngine& engine, const std::string& path,
                         std::string* error = nullptr);
 
 /// Restores a graph + engine pair without re-parsing text or rebuilding the
-/// index: the whole load is deserialization.
-std::optional<WarmEngine> LoadEngineSnapshot(const std::string& path,
-                                             std::string* error = nullptr);
+/// index: the whole load is deserialization (and in mmap mode, mostly just
+/// establishing views into the mapping).
+std::optional<WarmEngine> LoadEngineSnapshot(
+    const std::string& path, std::string* error = nullptr,
+    SnapshotIoMode mode = DefaultSnapshotIoMode());
 
 }  // namespace rigpm
 

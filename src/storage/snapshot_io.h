@@ -1,0 +1,45 @@
+#ifndef RIGPM_STORAGE_SNAPSHOT_IO_H_
+#define RIGPM_STORAGE_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace rigpm {
+
+/// How SnapshotReader gets the payload into memory (split out of
+/// storage/snapshot.h so lightweight headers can take a mode parameter
+/// without pulling in the engine).
+enum class SnapshotIoMode : uint8_t {
+  /// mmap the file read-only MAP_SHARED, checksum it in place, and decode
+  /// into borrowed views — warm start is page-fault-lazy and N processes
+  /// serving the same snapshot share one physical copy. Falls back to kRead
+  /// for sources that cannot be mapped (FIFOs, exotic filesystems).
+  kMmap,
+  /// Stream the payload into a private buffer in bounded chunks (checksum
+  /// verified incrementally), then decode by copying. Works for any
+  /// readable source; uses private anonymous memory for everything.
+  kRead,
+};
+
+/// kMmap unless the RIGPM_SNAPSHOT_IO environment variable says "read"
+/// ("mmap" selects the default explicitly; CI uses this to force one mode
+/// across a whole test run).
+SnapshotIoMode DefaultSnapshotIoMode();
+
+/// Parses a --snapshot-io flag value ("mmap" or "read"). Returns false on
+/// anything else, leaving *out untouched.
+inline bool ParseSnapshotIoMode(const char* value, SnapshotIoMode* out) {
+  if (std::strcmp(value, "mmap") == 0) {
+    *out = SnapshotIoMode::kMmap;
+    return true;
+  }
+  if (std::strcmp(value, "read") == 0) {
+    *out = SnapshotIoMode::kRead;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rigpm
+
+#endif  // RIGPM_STORAGE_SNAPSHOT_IO_H_

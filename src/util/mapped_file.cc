@@ -1,0 +1,83 @@
+#include "util/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rigpm {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path,
+                                             std::string* error) {
+  // Check the file type BEFORE opening: merely opening a FIFO blocks until
+  // a writer appears (and consumes the writer's one rendezvous that the
+  // streaming fallback needs), so non-regular files must be rejected
+  // without ever touching them.
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    SetError(error, "cannot stat " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    // FIFOs, sockets, devices: no well-defined size to map; the caller
+    // falls back to a streaming read.
+    SetError(error, path + " is not a regular file (cannot mmap)");
+    return nullptr;
+  }
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    SetError(error, "cannot open " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  if (::fstat(fd, &st) != 0) {
+    SetError(error, "cannot stat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  if (st.st_size <= 0) {
+    SetError(error, path + " is empty (cannot mmap)");
+    ::close(fd);
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is no
+  // longer needed either way.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    SetError(error, "cannot mmap " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  // The loader's first pass (checksum) streams the whole file once;
+  // WILLNEED starts the read-ahead immediately. Advisory only — failure is
+  // harmless.
+  (void)::madvise(addr, size, MADV_SEQUENTIAL);
+  (void)::madvise(addr, size, MADV_WILLNEED);
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(static_cast<const uint8_t*>(addr), size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+void MappedFile::AdviseRandom() {
+  if (data_ != nullptr) {
+    (void)::madvise(const_cast<uint8_t*>(data_), size_, MADV_RANDOM);
+  }
+}
+
+}  // namespace rigpm

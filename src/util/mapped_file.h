@@ -1,0 +1,50 @@
+#ifndef RIGPM_UTIL_MAPPED_FILE_H_
+#define RIGPM_UTIL_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace rigpm {
+
+/// RAII wrapper around a read-only, MAP_SHARED memory mapping of a regular
+/// file. MAP_SHARED matters for the serving deployment: N daemon processes
+/// mapping the same snapshot share one physical copy of its pages through
+/// the page cache instead of holding N private heaps.
+///
+/// Open() returns nullptr (with a description in *error) for sources that
+/// cannot be mapped — missing files, FIFOs/pipes, empty files, exotic
+/// filesystems where mmap fails — so callers can fall back to a streaming
+/// read. The mapping is advised MADV_SEQUENTIAL|MADV_WILLNEED up front
+/// (snapshot loading checksums the whole payload in one sequential pass),
+/// then MADV_RANDOM after the checksum pass via AdviseRandom(), matching
+/// the point-lookup access pattern of query serving.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Returns nullptr and fills *error on failure.
+  static std::shared_ptr<MappedFile> Open(const std::string& path,
+                                          std::string* error = nullptr);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// Switches the kernel read-ahead hint from sequential to random access
+  /// (called once the sequential checksum pass is done).
+  void AdviseRandom();
+
+ private:
+  MappedFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace rigpm
+
+#endif  // RIGPM_UTIL_MAPPED_FILE_H_

@@ -5,9 +5,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "util/owned_span.h"
 
 namespace rigpm {
 
@@ -26,10 +30,38 @@ static_assert(std::endian::native == std::endian::little,
 /// dev box and dominated warm-start latency).
 uint64_t Checksum64(const void* data, size_t n, uint64_t seed = 0);
 
+/// Incremental form of Checksum64 for data that arrives in chunks (the
+/// snapshot reader's streaming fallback checksums bounded blocks as they
+/// land instead of requiring the whole payload in memory first). Feeding
+/// the same bytes in any chunking yields exactly the one-shot result.
+class Checksum64Stream {
+ public:
+  explicit Checksum64Stream(uint64_t seed = 0);
+
+  void Update(const void* data, size_t n);
+
+  /// Folds in the total length and returns the digest. May be called once.
+  uint64_t Finish();
+
+ private:
+  void Block(const uint8_t* chunk);  // exactly 32 bytes
+
+  uint64_t lanes_[4];
+  uint64_t total_ = 0;
+  uint8_t tail_[32];     // carry-over bytes not yet forming a 32-byte block
+  size_t tail_len_ = 0;
+};
+
 /// Growable in-memory byte buffer that the Serialize() methods append to.
 /// The snapshot writer frames the finished buffer with a header and CRC.
+///
+/// `pad_arrays` controls whether WriteSpan/PadTo8 emit alignment padding
+/// (snapshot format v2). It exists only so tests and migration tools can
+/// reproduce the unpadded v1 layout; leave it on everywhere else.
 class ByteSink {
  public:
+  explicit ByteSink(bool pad_arrays = true) : pad_arrays_(pad_arrays) {}
+
   void WriteRaw(const void* data, size_t n) {
     if (n == 0) return;
     size_t old_size = buffer_.size();
@@ -58,28 +90,77 @@ class ByteSink {
     WriteRaw(v.data(), v.size() * sizeof(T));
   }
 
+  /// Zero-pads the buffer to the next 8-byte boundary (no-op when the sink
+  /// was built with pad_arrays = false). Offsets are relative to the buffer
+  /// start, which the snapshot container guarantees lands 8-byte aligned in
+  /// both the file mapping and the slurp buffer, so "aligned in the buffer"
+  /// means "aligned in memory" on the load side.
+  void PadTo8() {
+    if (!pad_arrays_) return;
+    static constexpr uint8_t kZeros[8] = {0};
+    size_t pad = (8 - (buffer_.size() & 7)) & 7;
+    WriteRaw(kZeros, pad);
+  }
+
+  /// u64 element count, alignment padding, then the elements as one raw
+  /// block. The padding is what lets the zero-copy loader hand out typed
+  /// pointers straight into the snapshot mapping (snapshot format v2);
+  /// mirror of ByteSource::ReadSpan.
+  template <typename T>
+  void WriteSpan(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    PadTo8();
+    WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
   const std::vector<uint8_t>& data() const { return buffer_; }
   size_t size() const { return buffer_.size(); }
 
  private:
   std::vector<uint8_t> buffer_;
+  bool pad_arrays_;
 };
 
-/// Bounded reader over an in-memory payload (the snapshot reader slurps the
-/// file's payload with one read and checksums it in one pass before any
-/// decoding, so decode itself is pure memcpy). Every accessor fails softly:
-/// after the first error (truncation, overrun, caller-reported corruption)
-/// `ok()` turns false, subsequent reads return zero values, and `error()`
-/// describes the first failure. Deserializers can therefore run a
-/// straight-line decode and check `ok()` once at the end.
+/// Bounded reader over an in-memory payload — either a buffer the snapshot
+/// reader slurped (checksummed in one pass before any decoding, so decode
+/// itself is pure memcpy) or a borrowed view of a file mapping. Every
+/// accessor fails softly: after the first error (truncation, overrun,
+/// caller-reported corruption) `ok()` turns false, subsequent reads return
+/// zero values, and `error()` describes the first failure. Deserializers
+/// can therefore run a straight-line decode and check `ok()` once at the
+/// end.
+///
+/// Zero-copy mode (EnableZeroCopy): ReadSpan/ReadBlock hand out borrowed
+/// pointers into the payload instead of copying, and expose the storage
+/// ownership token deserialized objects must retain so the payload outlives
+/// every borrowed view. Without it (the default) they always copy, so the
+/// payload may be discarded after decoding.
 class ByteSource {
  public:
   /// The caller keeps `data` alive and unchanged while reading.
   ByteSource(const void* data, size_t n)
-      : cursor_(static_cast<const uint8_t*>(data)), remaining_(n) {}
+      : base_(static_cast<const uint8_t*>(data)),
+        cursor_(base_),
+        remaining_(n) {}
 
   ByteSource(const ByteSource&) = delete;
   ByteSource& operator=(const ByteSource&) = delete;
+
+  /// Allows ReadSpan/ReadBlock to borrow instead of copy. `storage` is the
+  /// ownership token (e.g. a shared_ptr<MappedFile>) that keeps the payload
+  /// alive; deserialized objects copy it via storage().
+  void EnableZeroCopy(std::shared_ptr<const void> storage) {
+    zero_copy_ = true;
+    storage_ = std::move(storage);
+  }
+
+  /// Reads payloads written without alignment padding (snapshot format v1,
+  /// where ReadSpan always copies and never skips pad bytes).
+  void SetUnpadded() { padded_ = false; }
+
+  /// Null unless zero-copy mode is on.
+  const std::shared_ptr<const void>& storage() const { return storage_; }
 
   bool ok() const { return ok_; }
   const std::string& error() const { return error_; }
@@ -131,6 +212,59 @@ class ByteSource {
     return ReadRaw(out->data(), count * sizeof(T));
   }
 
+  /// Consumes the alignment padding WriteSpan/PadTo8 emitted (no-op after
+  /// SetUnpadded — v1 payloads carry none).
+  bool SkipPad8() {
+    if (!ok_) return false;
+    if (!padded_) return true;
+    size_t pad = (8 - (static_cast<size_t>(cursor_ - base_) & 7)) & 7;
+    if (pad > remaining_) {
+      Fail("truncated snapshot payload");
+      return false;
+    }
+    cursor_ += pad;
+    remaining_ -= pad;
+    return true;
+  }
+
+  /// Reads `count` elements whose count was transmitted out of band (e.g.
+  /// in a bitmap container header): skips alignment padding, then either
+  /// borrows a typed pointer into the payload (zero-copy mode, pointer
+  /// suitably aligned — guaranteed for padded v2 payloads, checked at
+  /// runtime regardless) or copies into owned storage.
+  template <typename T>
+  bool ReadBlock(size_t count, OwnedOrBorrowedSpan<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!SkipPad8()) return false;
+    if (count > remaining_ / sizeof(T)) {
+      Fail("array length exceeds snapshot payload");
+      return false;
+    }
+    const size_t bytes = count * sizeof(T);
+    if (zero_copy_ &&
+        reinterpret_cast<uintptr_t>(cursor_) % alignof(T) == 0) {
+      out->Borrow(reinterpret_cast<const T*>(cursor_), count);
+      cursor_ += bytes;
+      remaining_ -= bytes;
+      return true;
+    }
+    std::vector<T>& vec = out->Mutable();
+    vec.resize(count);
+    return ReadRaw(vec.data(), bytes);
+  }
+
+  /// Mirror of ByteSink::WriteSpan: u64 count, padding, raw block.
+  template <typename T>
+  bool ReadSpan(OwnedOrBorrowedSpan<T>* out) {
+    uint64_t count = ReadU64();
+    if (!ok_) return false;
+    if (count > remaining_ / sizeof(T)) {
+      Fail("array length exceeds snapshot payload");
+      return false;
+    }
+    return ReadBlock(static_cast<size_t>(count), out);
+  }
+
  private:
   template <typename T>
   T ReadPod() {
@@ -139,9 +273,13 @@ class ByteSource {
     return v;
   }
 
+  const uint8_t* base_;
   const uint8_t* cursor_;
   uint64_t remaining_;
   bool ok_ = true;
+  bool padded_ = true;
+  bool zero_copy_ = false;
+  std::shared_ptr<const void> storage_;
   std::string error_;
 };
 

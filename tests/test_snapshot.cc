@@ -1,14 +1,20 @@
 // Persistence subsystem tests (storage/snapshot.h, util/serde.h): bitmap
 // and graph round trips, warm-start engine equivalence at several thread
-// counts, database round trips, and rejection of malformed input for both
-// the binary snapshot reader and the text graph reader.
+// counts and under both IO modes (zero-copy mmap and streaming read),
+// database round trips, v1-format compatibility, header inspection, FIFO
+// streaming fallback, and rejection of malformed input for both the binary
+// snapshot reader and the text graph reader. Every malformed-file check
+// runs under both IO modes — corrupt mapped files must be rejected before
+// any decode, exactly like corrupt slurped ones.
 
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
+#include <thread>
 #include <cstring>
 #include <cstdio>
 #include <filesystem>
@@ -28,6 +34,7 @@
 #include "graph/graph_io.h"
 #include "graphdb/graph_database.h"
 #include "query/query_generator.h"
+#include "reach/bfl_index.h"
 #include "storage/snapshot.h"
 #include "test_util.h"
 #include "util/serde.h"
@@ -36,6 +43,13 @@ namespace rigpm {
 namespace {
 
 using rigpm::testing::PaperExample;
+
+constexpr SnapshotIoMode kBothModes[] = {SnapshotIoMode::kMmap,
+                                         SnapshotIoMode::kRead};
+
+const char* ModeName(SnapshotIoMode mode) {
+  return mode == SnapshotIoMode::kMmap ? "mmap" : "read";
+}
 
 // Unique temp path per test; removed on destruction.
 class TempFile {
@@ -54,6 +68,18 @@ class TempFile {
   std::string path_;
 };
 
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void DumpFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
 Bitmap RoundTrip(const Bitmap& b) {
   ByteSink sink;
   b.Serialize(sink);
@@ -63,6 +89,27 @@ Bitmap RoundTrip(const Bitmap& b) {
   EXPECT_EQ(src.remaining(), 0u);
   return out;
 }
+
+// ------------------------------------------------------------- checksum
+
+TEST(ChecksumStream, MatchesOneShotAcrossChunkings) {
+  std::mt19937_64 rng(99);
+  std::vector<uint8_t> data(100'000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng());
+  const uint64_t expected = Checksum64(data.data(), data.size());
+  for (size_t chunk : {size_t{1}, size_t{7}, size_t{31}, size_t{32},
+                       size_t{33}, size_t{4096}, data.size()}) {
+    Checksum64Stream stream;
+    for (size_t off = 0; off < data.size(); off += chunk) {
+      stream.Update(data.data() + off, std::min(chunk, data.size() - off));
+    }
+    EXPECT_EQ(stream.Finish(), expected) << "chunk " << chunk;
+  }
+  Checksum64Stream empty;
+  EXPECT_EQ(empty.Finish(), Checksum64(nullptr, 0));
+}
+
+// --------------------------------------------------------------- bitmaps
 
 TEST(BitmapSerde, EmptyRoundTrips) {
   Bitmap empty;
@@ -132,14 +179,16 @@ void ExpectSameGraph(const Graph& a, const Graph& b) {
   }
 }
 
-TEST(GraphSnapshot, PaperExampleRoundTrips) {
+TEST(GraphSnapshot, PaperExampleRoundTripsUnderBothIoModes) {
   Graph g = PaperExample::MakeGraph();
   TempFile file("graph_paper");
   std::string error;
   ASSERT_TRUE(SaveGraphSnapshot(g, file.path(), &error)) << error;
-  auto loaded = LoadGraphSnapshot(file.path(), &error);
-  ASSERT_TRUE(loaded.has_value()) << error;
-  ExpectSameGraph(g, *loaded);
+  for (SnapshotIoMode mode : kBothModes) {
+    auto loaded = LoadGraphSnapshot(file.path(), &error, mode);
+    ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
+    ExpectSameGraph(g, *loaded);
+  }
 }
 
 TEST(GraphSnapshot, GeneratedGraphsRoundTrip) {
@@ -154,11 +203,91 @@ TEST(GraphSnapshot, GeneratedGraphsRoundTrip) {
       TempFile file("graph_gen");
       std::string error;
       ASSERT_TRUE(SaveGraphSnapshot(g, file.path(), &error)) << error;
-      auto loaded = LoadGraphSnapshot(file.path(), &error);
-      ASSERT_TRUE(loaded.has_value()) << error;
-      ExpectSameGraph(g, *loaded);
+      for (SnapshotIoMode mode : kBothModes) {
+        auto loaded = LoadGraphSnapshot(file.path(), &error, mode);
+        ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
+        ExpectSameGraph(g, *loaded);
+      }
     }
   }
+}
+
+TEST(GraphSnapshot, MmapLoadedGraphOutlivesReaderAndDeletedFile) {
+  // The zero-copy contract: the loaded graph borrows from the mapping and
+  // owns a token keeping it alive, so it must stay fully usable after the
+  // reader is gone, after the file is unlinked, and across moves. (ASan in
+  // CI turns any lifetime violation here into a hard failure.)
+  Graph g = PaperExample::MakeGraph();
+  TempFile file("graph_lifetime");
+  ASSERT_TRUE(SaveGraphSnapshot(g, file.path()));
+  std::optional<Graph> loaded =
+      LoadGraphSnapshot(file.path(), nullptr, SnapshotIoMode::kMmap);
+  ASSERT_TRUE(loaded.has_value());
+  std::remove(file.path().c_str());  // mapping survives the unlink
+
+  Graph moved = std::move(*loaded);
+  loaded.reset();
+  ExpectSameGraph(g, moved);
+
+  // Copies deep-copy: mutating a copied bitmap must not touch the original
+  // (which may be a borrowed view of the mapping).
+  Bitmap copy = moved.OutBitmap(0);
+  Bitmap before = copy;
+  copy.Add(31);
+  copy.Remove(6);
+  EXPECT_NE(copy, moved.OutBitmap(0));
+  EXPECT_EQ(before, moved.OutBitmap(0));
+}
+
+TEST(GraphSnapshot, V1FormatLoadsViaCopyFallback) {
+  // A v1 file has no alignment padding, so zero-copy borrowing is mostly
+  // impossible — the loader must still accept it (copying arrays out),
+  // under both IO modes.
+  Graph g = PaperExample::MakeGraph();
+  ByteSink v1_sink(/*pad_arrays=*/false);
+  g.Serialize(v1_sink);
+  TempFile file("graph_v1");
+  std::string error;
+  ASSERT_TRUE(WriteSnapshotFile(file.path(), SnapshotKind::kGraph, v1_sink,
+                                &error, kMinSnapshotVersion))
+      << error;
+  auto info = InspectSnapshot(file.path(), &error);
+  ASSERT_TRUE(info.has_value()) << error;
+  EXPECT_EQ(info->version, kMinSnapshotVersion);
+  EXPECT_FALSE(info->aligned);
+  for (SnapshotIoMode mode : kBothModes) {
+    auto loaded = LoadGraphSnapshot(file.path(), &error, mode);
+    ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
+    ExpectSameGraph(g, *loaded);
+  }
+}
+
+TEST(GraphSnapshot, InspectReportsHeaderWithoutDecoding) {
+  Graph g = PaperExample::MakeGraph();
+  TempFile file("graph_inspect");
+  ASSERT_TRUE(SaveGraphSnapshot(g, file.path()));
+  std::string error;
+  auto info = InspectSnapshot(file.path(), &error);
+  ASSERT_TRUE(info.has_value()) << error;
+  EXPECT_EQ(info->version, kSnapshotVersion);
+  EXPECT_EQ(info->kind_value, static_cast<uint32_t>(SnapshotKind::kGraph));
+  EXPECT_TRUE(info->aligned);
+  EXPECT_EQ(info->file_size, info->payload_size + 24 + 8);
+
+  // Inspect must work even when the payload itself is garbage (that is the
+  // point: debugging files that fail to load) ...
+  std::ofstream out(file.path(),
+                    std::ios::binary | std::ios::in | std::ios::out);
+  out.seekp(30);
+  out.put('\xFF');
+  out.close();
+  EXPECT_TRUE(InspectSnapshot(file.path(), &error).has_value());
+
+  // ... but still reject files too short to hold a header.
+  TempFile stub("inspect_stub");
+  DumpFile(stub.path(), "RIGPM");
+  EXPECT_FALSE(InspectSnapshot(stub.path(), &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
 }
 
 TEST(GraphSnapshot, TextWriteOfLoadedGraphIsIdentical) {
@@ -190,15 +319,18 @@ TEST(EngineSnapshot, WarmStartMatchesColdStartOnPaperExample) {
   TempFile file("engine_paper");
   std::string error;
   ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
-  auto warm = LoadEngineSnapshot(file.path(), &error);
-  ASSERT_TRUE(warm.has_value()) << error;
-  ExpectSameGraph(g, *warm->graph);
+  for (SnapshotIoMode mode : kBothModes) {
+    auto warm = LoadEngineSnapshot(file.path(), &error, mode);
+    ASSERT_TRUE(warm.has_value()) << ModeName(mode) << ": " << error;
+    ExpectSameGraph(g, *warm->graph);
 
-  PatternQuery q = PaperExample::MakeQuery();
-  for (uint32_t threads : {1u, 2u, 4u}) {
-    EXPECT_EQ(CollectSet(cold, q, threads), PaperExample::ExpectedAnswer());
-    EXPECT_EQ(CollectSet(*warm->engine, q, threads),
-              PaperExample::ExpectedAnswer());
+    PatternQuery q = PaperExample::MakeQuery();
+    for (uint32_t threads : {1u, 2u, 4u}) {
+      EXPECT_EQ(CollectSet(cold, q, threads), PaperExample::ExpectedAnswer());
+      EXPECT_EQ(CollectSet(*warm->engine, q, threads),
+                PaperExample::ExpectedAnswer())
+          << ModeName(mode) << " threads " << threads;
+    }
   }
 }
 
@@ -219,18 +351,27 @@ TEST(EngineSnapshot, WarmStartMatchesColdStartOnRandomGraphs) {
     TempFile file("engine_rand");
     std::string error;
     ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
-    auto warm = LoadEngineSnapshot(file.path(), &error);
-    ASSERT_TRUE(warm.has_value()) << error;
+    // Load via zero-copy mmap AND streaming read: both engines must agree
+    // with the cold build (and therefore with each other) on every query.
+    auto warm_mmap =
+        LoadEngineSnapshot(file.path(), &error, SnapshotIoMode::kMmap);
+    ASSERT_TRUE(warm_mmap.has_value()) << error;
+    auto warm_read =
+        LoadEngineSnapshot(file.path(), &error, SnapshotIoMode::kRead);
+    ASSERT_TRUE(warm_read.has_value()) << error;
 
     for (uint64_t qseed = 1; qseed <= 5; ++qseed) {
       qopts.seed = qseed;
       PatternQuery q = GenerateRandomQuery(qopts);
       if (!q.IsConnected()) continue;
       for (uint32_t threads : {1u, 2u, 4u}) {
-        EXPECT_EQ(CollectSet(cold, q, threads),
-                  CollectSet(*warm->engine, q, threads))
-            << "graph seed " << seed << " query seed " << qseed << " threads "
-            << threads;
+        auto expected = CollectSet(cold, q, threads);
+        EXPECT_EQ(expected, CollectSet(*warm_mmap->engine, q, threads))
+            << "mmap: graph seed " << seed << " query seed " << qseed
+            << " threads " << threads;
+        EXPECT_EQ(expected, CollectSet(*warm_read->engine, q, threads))
+            << "read: graph seed " << seed << " query seed " << qseed
+            << " threads " << threads;
       }
     }
   }
@@ -261,24 +402,52 @@ TEST(EngineSnapshot, WarmStartMatchesColdStartOnTemplateWorkload) {
   }
 }
 
+TEST(EngineSnapshot, MmapLoadMatchesColdOnTemplateWorkload) {
+  GeneratorOptions gopts;
+  gopts.num_nodes = 1000;
+  gopts.num_edges = 5000;
+  gopts.num_labels = 8;
+  gopts.seed = 11;
+  Graph g = GeneratePowerLaw(gopts);
+  GmEngine cold(g);
+  TempFile file("engine_tmpl_mmap");
+  std::string error;
+  ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
+  auto warm = LoadEngineSnapshot(file.path(), &error, SnapshotIoMode::kMmap);
+  ASSERT_TRUE(warm.has_value()) << error;
+
+  auto workload = TemplateWorkload(g, RepresentativeTemplateNames(),
+                                   QueryVariant::kHybrid, /*seed=*/17);
+  for (const NamedQuery& nq : workload) {
+    GmOptions opts;
+    opts.limit = 20000;
+    GmResult a = cold.Evaluate(nq.query, opts);
+    GmResult b = warm->engine->Evaluate(nq.query, opts);
+    EXPECT_EQ(a.num_occurrences, b.num_occurrences) << nq.name;
+  }
+}
+
 TEST(EngineSnapshot, BatchServingMatchesAcrossThreadCounts) {
   Graph g = PaperExample::MakeGraph();
   GmEngine cold(g);
   TempFile file("engine_batch");
   ASSERT_TRUE(SaveEngineSnapshot(cold, file.path()));
-  auto warm = LoadEngineSnapshot(file.path());
-  ASSERT_TRUE(warm.has_value());
+  for (SnapshotIoMode mode : kBothModes) {
+    auto warm = LoadEngineSnapshot(file.path(), nullptr, mode);
+    ASSERT_TRUE(warm.has_value());
 
-  std::vector<PatternQuery> batch(6, PaperExample::MakeQuery());
-  for (uint32_t threads : {1u, 2u, 4u}) {
-    GmOptions opts;
-    opts.num_threads = threads;
-    auto cold_results = cold.EvaluateBatch(batch, opts);
-    auto warm_results = warm->engine->EvaluateBatch(batch, opts);
-    ASSERT_EQ(cold_results.size(), warm_results.size());
-    for (size_t i = 0; i < cold_results.size(); ++i) {
-      EXPECT_EQ(cold_results[i].num_occurrences,
-                warm_results[i].num_occurrences);
+    std::vector<PatternQuery> batch(6, PaperExample::MakeQuery());
+    for (uint32_t threads : {1u, 2u, 4u}) {
+      GmOptions opts;
+      opts.num_threads = threads;
+      auto cold_results = cold.EvaluateBatch(batch, opts);
+      auto warm_results = warm->engine->EvaluateBatch(batch, opts);
+      ASSERT_EQ(cold_results.size(), warm_results.size());
+      for (size_t i = 0; i < cold_results.size(); ++i) {
+        EXPECT_EQ(cold_results[i].num_occurrences,
+                  warm_results[i].num_occurrences)
+            << ModeName(mode);
+      }
     }
   }
 }
@@ -300,41 +469,32 @@ TEST(GraphDatabaseSnapshot, SearchResultsSurviveRoundTrip) {
   TempFile file("graphdb");
   std::string error;
   ASSERT_TRUE(db.Save(file.path(), &error)) << error;
-  auto loaded = GraphDatabase::Load(file.path(), &error);
-  ASSERT_TRUE(loaded.has_value()) << error;
-  ASSERT_EQ(loaded->Size(), db.Size());
-  for (size_t id = 0; id < db.Size(); ++id) {
-    EXPECT_EQ(loaded->Name(id), db.Name(id));
-    ExpectSameGraph(db.MemberGraph(id), loaded->MemberGraph(id));
-  }
+  for (SnapshotIoMode mode : kBothModes) {
+    auto loaded = GraphDatabase::Load(file.path(), &error, mode);
+    ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
+    ASSERT_EQ(loaded->Size(), db.Size());
+    for (size_t id = 0; id < db.Size(); ++id) {
+      EXPECT_EQ(loaded->Name(id), db.Name(id));
+      ExpectSameGraph(db.MemberGraph(id), loaded->MemberGraph(id));
+    }
 
-  PatternQuery q = PaperExample::MakeQuery();
-  for (uint32_t threads : {1u, 2u}) {
-    GraphDatabase::SearchOptions sopts;
-    sopts.num_threads = threads;
-    GraphDatabase::SearchStats stats_a, stats_b;
-    EXPECT_EQ(db.Search(q, sopts, &stats_a),
-              loaded->Search(q, sopts, &stats_b));
-    EXPECT_EQ(stats_a.candidates_after_filter, stats_b.candidates_after_filter);
-  }
-  for (size_t id = 0; id < db.Size(); ++id) {
-    EXPECT_EQ(db.PassesFilter(id, q), loaded->PassesFilter(id, q));
+    PatternQuery q = PaperExample::MakeQuery();
+    for (uint32_t threads : {1u, 2u}) {
+      GraphDatabase::SearchOptions sopts;
+      sopts.num_threads = threads;
+      GraphDatabase::SearchStats stats_a, stats_b;
+      EXPECT_EQ(db.Search(q, sopts, &stats_a),
+                loaded->Search(q, sopts, &stats_b));
+      EXPECT_EQ(stats_a.candidates_after_filter,
+                stats_b.candidates_after_filter);
+    }
+    for (size_t id = 0; id < db.Size(); ++id) {
+      EXPECT_EQ(db.PassesFilter(id, q), loaded->PassesFilter(id, q));
+    }
   }
 }
 
 // ------------------------------------------------------- malformed binary
-
-std::string SlurpFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-void DumpFile(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-}
 
 class MalformedSnapshotTest : public ::testing::Test {
  protected:
@@ -345,6 +505,22 @@ class MalformedSnapshotTest : public ::testing::Test {
     ASSERT_GT(bytes_.size(), 24u);
   }
 
+  // Every malformed file must be rejected before any decode under BOTH IO
+  // modes — a corrupt mapped file is just as dangerous as a corrupt slurped
+  // one. `expect_substr` must appear in the error (empty = any error).
+  void ExpectRejected(const std::string& contents,
+                      const char* expect_substr = "") {
+    DumpFile(file_.path(), contents);
+    for (SnapshotIoMode mode : kBothModes) {
+      std::string error;
+      EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error, mode).has_value())
+          << ModeName(mode);
+      EXPECT_FALSE(error.empty()) << ModeName(mode);
+      EXPECT_NE(error.find(expect_substr), std::string::npos)
+          << ModeName(mode) << ": " << error;
+    }
+  }
+
   TempFile file_{"malformed"};
   std::string bytes_;
 };
@@ -352,36 +528,29 @@ class MalformedSnapshotTest : public ::testing::Test {
 TEST_F(MalformedSnapshotTest, TruncatedFileIsRejected) {
   for (size_t keep : {size_t{0}, size_t{4}, size_t{20}, bytes_.size() / 2,
                       bytes_.size() - 1}) {
-    DumpFile(file_.path(), bytes_.substr(0, keep));
-    std::string error;
-    EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
-    EXPECT_FALSE(error.empty());
+    ExpectRejected(bytes_.substr(0, keep));
   }
 }
 
 TEST_F(MalformedSnapshotTest, BadMagicIsRejected) {
   std::string corrupt = bytes_;
   corrupt[0] = 'X';
-  DumpFile(file_.path(), corrupt);
-  std::string error;
-  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
-  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  ExpectRejected(corrupt, "magic");
 }
 
 TEST_F(MalformedSnapshotTest, WrongVersionIsRejected) {
   std::string corrupt = bytes_;
   corrupt[8] = static_cast<char>(kSnapshotVersion + 7);
-  DumpFile(file_.path(), corrupt);
-  std::string error;
-  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
-  EXPECT_NE(error.find("version"), std::string::npos) << error;
+  ExpectRejected(corrupt, "version");
 }
 
 TEST_F(MalformedSnapshotTest, KindMismatchIsRejected) {
-  std::string error;
   // A graph snapshot is not an engine snapshot.
-  EXPECT_FALSE(LoadEngineSnapshot(file_.path(), &error).has_value());
-  EXPECT_NE(error.find("kind"), std::string::npos) << error;
+  for (SnapshotIoMode mode : kBothModes) {
+    std::string error;
+    EXPECT_FALSE(LoadEngineSnapshot(file_.path(), &error, mode).has_value());
+    EXPECT_NE(error.find("kind"), std::string::npos) << error;
+  }
 }
 
 TEST_F(MalformedSnapshotTest, CorruptPayloadFailsChecksum) {
@@ -389,10 +558,7 @@ TEST_F(MalformedSnapshotTest, CorruptPayloadFailsChecksum) {
   // even when the payload still decodes structurally.
   std::string corrupt = bytes_;
   corrupt[corrupt.size() / 2] ^= 0x01;
-  DumpFile(file_.path(), corrupt);
-  std::string error;
-  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
-  EXPECT_FALSE(error.empty());
+  ExpectRejected(corrupt);
 }
 
 TEST_F(MalformedSnapshotTest, OverstatedPayloadSizeIsRejected) {
@@ -402,10 +568,7 @@ TEST_F(MalformedSnapshotTest, OverstatedPayloadSizeIsRejected) {
   std::string corrupt = bytes_;
   const uint64_t huge = uint64_t{1} << 60;
   std::memcpy(&corrupt[16], &huge, sizeof(huge));
-  DumpFile(file_.path(), corrupt);
-  std::string error;
-  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
-  EXPECT_NE(error.find("payload size"), std::string::npos) << error;
+  ExpectRejected(corrupt, "payload size");
 }
 
 TEST_F(MalformedSnapshotTest, UnderstatedPayloadSizeIsRejected) {
@@ -417,34 +580,129 @@ TEST_F(MalformedSnapshotTest, UnderstatedPayloadSizeIsRejected) {
   ASSERT_GT(declared, 0u);
   --declared;
   std::memcpy(&corrupt[16], &declared, sizeof(declared));
-  DumpFile(file_.path(), corrupt);
-  std::string error;
-  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
-  EXPECT_NE(error.find("payload size"), std::string::npos) << error;
-}
-
-TEST_F(MalformedSnapshotTest, UnseekableSourceIsRejected) {
-  // A FIFO has no end to seek to: tellg() fails with -1, which must become
-  // a descriptive error, not a ~2^64 "file size" cast from the failure
-  // value.
-  std::string fifo_path = file_.path() + ".fifo";
-  ASSERT_EQ(::mkfifo(fifo_path.c_str(), 0600), 0) << std::strerror(errno);
-  int keep_open = ::open(fifo_path.c_str(), O_RDWR);  // so open() can't block
-  ASSERT_GE(keep_open, 0);
-  std::string error;
-  EXPECT_FALSE(LoadGraphSnapshot(fifo_path, &error).has_value());
-  EXPECT_NE(error.find("size"), std::string::npos) << error;
-  ::close(keep_open);
-  ::unlink(fifo_path.c_str());
+  ExpectRejected(corrupt, "payload size");
 }
 
 TEST_F(MalformedSnapshotTest, CorruptChecksumFooterIsRejected) {
   std::string corrupt = bytes_;
   corrupt[corrupt.size() - 1] ^= 0xFF;
-  DumpFile(file_.path(), corrupt);
+  ExpectRejected(corrupt, "checksum");
+}
+
+TEST_F(MalformedSnapshotTest, HeaderOnlyFileWithHugePayloadSizeIsRejected) {
+  // A 24-byte file (header, no footer) whose payload_size is crafted as
+  // exactly `-(header+checksum)` mod 2^64: the reader's file-size
+  // cross-check must not wrap into agreement and then die trying to
+  // reserve ~2^64 bytes.
+  std::string header_only = bytes_.substr(0, 24);
+  const uint64_t wrap = ~uint64_t{0} - 7;  // 2^64 - 8 == 24 - 32 mod 2^64
+  std::memcpy(&header_only[16], &wrap, sizeof(wrap));
+  ExpectRejected(header_only, "truncated");
+}
+
+TEST_F(MalformedSnapshotTest, LabelCountOverflowIsRejected) {
+  // num_labels = 0xFFFFFFFF must not wrap the `label_offsets.size() ==
+  // num_labels + 1` structure check to "expected 0" and walk an empty
+  // offsets array (checksum-valid payload, so only the structural
+  // validation stands between this file and a crash).
+  ByteSink sink;
+  sink.WriteU32(0xFFFFFFFFu);  // num_labels
+  OwnedOrBorrowedSpan<uint32_t> empty_u32;
+  OwnedOrBorrowedSpan<uint64_t> zero_offsets(std::vector<uint64_t>{0});
+  sink.WriteSpan<uint32_t>(empty_u32);     // labels (0 nodes)
+  sink.WriteSpan<uint64_t>(zero_offsets);  // fwd_offsets = [0]
+  sink.WriteSpan<uint32_t>(empty_u32);     // fwd_targets
+  sink.WriteSpan<uint64_t>(zero_offsets);  // bwd_offsets = [0]
+  sink.WriteSpan<uint32_t>(empty_u32);     // bwd_targets
+  OwnedOrBorrowedSpan<uint64_t> empty_u64;
+  sink.WriteSpan<uint64_t>(empty_u64);     // label_offsets (empty!)
+  sink.WriteSpan<uint32_t>(empty_u32);     // label_nodes
+  ASSERT_TRUE(WriteSnapshotFile(file_.path(), SnapshotKind::kGraph, sink));
+  for (SnapshotIoMode mode : kBothModes) {
+    std::string error;
+    EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error, mode).has_value())
+        << ModeName(mode);
+    EXPECT_NE(error.find("inconsistent"), std::string::npos)
+        << ModeName(mode) << ": " << error;
+  }
+}
+
+// A FIFO cannot be mapped or seeked; the reader must fall back to the
+// bounded streaming path and still load a valid snapshot end-to-end.
+TEST_F(MalformedSnapshotTest, FifoStreamsViaReadFallback) {
+  std::string fifo_path = file_.path() + ".fifo";
+  ASSERT_EQ(::mkfifo(fifo_path.c_str(), 0600), 0) << std::strerror(errno);
+  for (SnapshotIoMode mode : kBothModes) {
+    // Feed the snapshot through the FIFO from a writer thread (a FIFO's
+    // kernel buffer is smaller than the snapshot, so a blocking writer is
+    // required).
+    std::thread writer([&] {
+      std::ofstream out(fifo_path, std::ios::binary);
+      out.write(bytes_.data(), static_cast<std::streamsize>(bytes_.size()));
+    });
+    std::string error;
+    auto loaded = LoadGraphSnapshot(fifo_path, &error, mode);
+    writer.join();
+    ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
+    ExpectSameGraph(PaperExample::MakeGraph(), *loaded);
+  }
+  ::unlink(fifo_path.c_str());
+}
+
+TEST_F(MalformedSnapshotTest, FifoWithLyingPayloadSizeIsRejectedBounded) {
+  // Through a FIFO the payload_size header cannot be cross-checked against
+  // a file size; a corrupt ~2^60 value must hit the bounded chunk loop and
+  // fail with `truncated` after the real bytes run out — never a giant
+  // up-front allocation.
+  std::string corrupt = bytes_;
+  const uint64_t huge = uint64_t{1} << 60;
+  std::memcpy(&corrupt[16], &huge, sizeof(huge));
+  std::string fifo_path = file_.path() + ".fifo2";
+  ASSERT_EQ(::mkfifo(fifo_path.c_str(), 0600), 0) << std::strerror(errno);
+  std::thread writer([&] {
+    std::ofstream out(fifo_path, std::ios::binary);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+  });
   std::string error;
-  EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error).has_value());
-  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  EXPECT_FALSE(LoadGraphSnapshot(fifo_path, &error).has_value());
+  writer.join();
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  ::unlink(fifo_path.c_str());
+}
+
+TEST(BflSnapshot, IntervalSizeMismatchIsRejected) {
+  // A checksum-valid BFL image whose interval labels were built over a
+  // different (smaller) graph than its condensation: every per-component /
+  // per-node array the cuts index into would be too short, so Deserialize
+  // must reject the structure instead of serving OOB reachability reads.
+  Graph big = PaperExample::MakeGraph();
+  Condensation cond_big(big);
+  Graph small = Graph::FromEdges({0}, {});
+  Condensation cond_small(small);
+  IntervalLabels iv_small(small, cond_small);
+
+  const uint32_t nc = cond_big.NumComponents();
+  ASSERT_GT(nc, 1u);
+  ByteSink sink;
+  cond_big.Serialize(sink);
+  iv_small.Serialize(sink);  // sizes disagree with cond_big
+  sink.WriteU32(1);          // words_
+  OwnedOrBorrowedSpan<uint64_t> labels(std::vector<uint64_t>(nc, 0));
+  sink.WriteSpan<uint64_t>(labels);  // l_out
+  sink.WriteSpan<uint64_t>(labels);  // l_in
+  OwnedOrBorrowedSpan<uint32_t> hash(std::vector<uint32_t>(nc, 0));
+  sink.WriteSpan<uint32_t>(hash);
+  OwnedOrBorrowedSpan<uint64_t> pred_offsets(
+      std::vector<uint64_t>(nc + 1, 0));
+  sink.WriteSpan<uint64_t>(pred_offsets);
+  OwnedOrBorrowedSpan<uint32_t> pred_targets;
+  sink.WriteSpan<uint32_t>(pred_targets);
+
+  ByteSource src(sink.data().data(), sink.size());
+  EXPECT_EQ(BflIndex::Deserialize(src), nullptr);
+  EXPECT_FALSE(src.ok());
+  EXPECT_NE(src.error().find("inconsistent"), std::string::npos)
+      << src.error();
 }
 
 // --------------------------------------------------------- malformed text

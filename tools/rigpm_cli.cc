@@ -4,6 +4,7 @@
 //   rigpm_cli --graph G.txt --query Q.txt --engine jm --limit 100
 //   rigpm_cli --graph G.txt --batch QUERIES.txt --threads 8
 //   rigpm_cli snapshot --graph G.txt --out G.snap
+//   rigpm_cli snapshot --inspect G.snap
 //   rigpm_cli --load-snapshot G.snap --pattern "(a:0)->(b:1)"
 //   rigpm_cli serve --snapshot G.snap --socket /tmp/rigpm.sock
 //   rigpm_cli client --socket /tmp/rigpm.sock --pattern "(a:0)->(b:1)"
@@ -11,7 +12,10 @@
 // Subcommands:
 //   snapshot          parse --graph, build the BFL engine, and persist both
 //                     to --out as a binary snapshot (storage/snapshot.h);
-//                     later runs warm-start from it via --load-snapshot
+//                     later runs warm-start from it via --load-snapshot.
+//                     With --inspect FILE, print the container header of an
+//                     existing snapshot (version, kind, payload size,
+//                     checksum, alignment) without decoding the payload
 //   serve             run the query daemon in-process (same flags as the
 //                     standalone rigpm_serve binary; server/tool_main.h)
 //   client            talk to a running daemon: queries, stats, ping,
@@ -21,6 +25,10 @@
 //   --graph FILE      data graph in the text format of graph_io.h
 //   --load-snapshot F warm start: load graph + pre-built reachability index
 //                     from a binary engine snapshot instead of --graph
+//   --snapshot-io M   how to load snapshots: mmap (default; zero-copy, the
+//                     mapping is shared across processes) or read (stream
+//                     into private memory). Also settable process-wide via
+//                     the RIGPM_SNAPSHOT_IO environment variable
 //   --out FILE        snapshot output path (snapshot subcommand)
 //   --query FILE      query in the text format of query_io.h
 //   --pattern STR     query in the inline syntax of pattern_parser.h
@@ -66,6 +74,8 @@ struct CliArgs {
   std::string graph_path;
   std::string snapshot_path;  // --load-snapshot
   std::string out_path;       // snapshot subcommand --out
+  std::string inspect_path;   // snapshot subcommand --inspect
+  SnapshotIoMode io_mode = DefaultSnapshotIoMode();  // --snapshot-io
   std::string query_path;
   std::string pattern;
   std::string batch_path;
@@ -84,7 +94,9 @@ int Usage(const char* argv0) {
                "          (--query FILE | --pattern STR | --batch FILE)\n"
                "          [--engine gm|gm-par|jm|tm] [--order jo|ri|bj]\n"
                "          [--threads N] [--limit N] [--print N] [--stats]\n"
-               "       %s snapshot --graph FILE --out FILE\n"
+               "          [--snapshot-io mmap|read]\n"
+               "       %s snapshot (--graph FILE --out FILE "
+               "| --inspect FILE)\n"
                "       %s serve ...   (see serve --help)\n"
                "       %s client ...  (see client --help)\n",
                argv0, argv0, argv0, argv0);
@@ -112,6 +124,18 @@ bool ParseArgs(int argc, char** argv, int first, CliArgs* out) {
       const char* v = need_value("--out");
       if (v == nullptr) return false;
       out->out_path = v;
+    } else if (std::strcmp(argv[i], "--inspect") == 0) {
+      const char* v = need_value("--inspect");
+      if (v == nullptr) return false;
+      out->inspect_path = v;
+    } else if (std::strcmp(argv[i], "--snapshot-io") == 0) {
+      const char* v = need_value("--snapshot-io");
+      if (v == nullptr) return false;
+      if (!ParseSnapshotIoMode(v, &out->io_mode)) {
+        std::fprintf(stderr, "--snapshot-io must be mmap or read (got %s)\n",
+                     v);
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--query") == 0) {
       const char* v = need_value("--query");
       if (v == nullptr) return false;
@@ -176,11 +200,56 @@ void PrintOccurrence(const Occurrence& t) {
   std::printf(")\n");
 }
 
+const char* SnapshotKindName(uint32_t kind_value) {
+  switch (static_cast<SnapshotKind>(kind_value)) {
+    case SnapshotKind::kGraph:
+      return "graph";
+    case SnapshotKind::kEngine:
+      return "engine";
+    case SnapshotKind::kGraphDatabase:
+      return "graph-database";
+  }
+  return "unknown";
+}
+
+// snapshot --inspect: header fields only, payload never decoded — the
+// debugging view for format v2 files.
+int RunInspect(const std::string& path) {
+  std::string error;
+  auto info = InspectSnapshot(path, &error);
+  if (!info.has_value()) {
+    std::fprintf(stderr, "cannot inspect %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("snapshot:  %s\n", path.c_str());
+  std::printf("version:   %u%s\n", info->version,
+              info->version == kSnapshotVersion ? " (current)" : "");
+  std::printf("kind:      %u (%s)\n", info->kind_value,
+              SnapshotKindName(info->kind_value));
+  std::printf("payload:   %llu byte(s)\n",
+              static_cast<unsigned long long>(info->payload_size));
+  std::printf("file:      %llu byte(s) (24-byte header + payload + 8-byte "
+              "checksum)\n",
+              static_cast<unsigned long long>(info->file_size));
+  std::printf("checksum:  %016llx (stored; not re-verified by inspect)\n",
+              static_cast<unsigned long long>(info->stored_checksum));
+  std::printf("alignment: %s\n",
+              info->aligned ? "8-byte padded arrays (zero-copy mmap load)"
+                            : "unpadded v1 arrays (loads copy out)");
+  return 0;
+}
+
 // snapshot subcommand: parse the text graph, build the BFL engine once, and
 // persist both so later runs skip the parse and the index build entirely.
 int RunSnapshot(const CliArgs& args) {
+  if (!args.inspect_path.empty()) {
+    return RunInspect(args.inspect_path);
+  }
   if (args.graph_path.empty() || args.out_path.empty()) {
-    std::fprintf(stderr, "snapshot needs --graph FILE and --out FILE\n");
+    std::fprintf(stderr,
+                 "snapshot needs --graph FILE and --out FILE "
+                 "(or --inspect FILE)\n");
     return 2;
   }
   std::string error;
@@ -303,15 +372,16 @@ int main(int argc, char** argv) {
   WarmEngine warm;
   const Graph* graph = nullptr;
   if (!args.snapshot_path.empty()) {
-    auto loaded = LoadEngineSnapshot(args.snapshot_path, &error);
+    auto loaded = LoadEngineSnapshot(args.snapshot_path, &error, args.io_mode);
     if (!loaded.has_value()) {
       std::fprintf(stderr, "cannot load snapshot: %s\n", error.c_str());
       return 1;
     }
     warm = std::move(*loaded);
     graph = warm.graph.get();
-    std::printf("snapshot: %s (warm start, index build skipped)\n",
-                args.snapshot_path.c_str());
+    std::printf("snapshot: %s (warm start via %s, index build skipped)\n",
+                args.snapshot_path.c_str(),
+                args.io_mode == SnapshotIoMode::kMmap ? "mmap" : "read");
   } else {
     parsed_graph = ReadGraphFile(args.graph_path, &error);
     if (!parsed_graph.has_value()) {
