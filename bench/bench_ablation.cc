@@ -65,7 +65,9 @@ int main() {
   }
 
   // --- (c) Batch BFS reachability pruning vs per-pair probes.
-  std::printf("\n-- (c) descendant-edge pruning: batch BFS vs per-pair (matching time)\n");
+  std::printf(
+      "\n-- (c) descendant-edge pruning: batch BFS vs per-pair "
+      "(matching time)\n");
   {
     TablePrinter table({"Query", "batch(s)", "per-pair(s)"});
     for (const auto& nq : queries) {
@@ -84,7 +86,8 @@ int main() {
   // --- (d) Parallel MJoin.
   std::printf("\n-- (d) parallel MJoin speedup (enumeration only)\n");
   {
-    TablePrinter table({"Query", "matches", "1 thread(s)", "2(s)", "4(s)", "8(s)"});
+    TablePrinter table(
+        {"Query", "matches", "1 thread(s)", "2(s)", "4(s)", "8(s)"});
     for (const auto& nq : queries) {
       PatternQuery reduced = QueryTransitiveReduction(nq.query);
       GmResult rr;

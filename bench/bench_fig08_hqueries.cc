@@ -19,7 +19,8 @@ void TemplatePart(const std::string& dataset) {
   auto reach = BuildReachabilityIndex(g, ReachKind::kBfl);
   MatchContext ctx(g, *reach);
 
-  TablePrinter table({"Class", "Query", "GM(s)", "TM(s)", "JM(s)", "GM matches"});
+  TablePrinter table(
+      {"Class", "Query", "GM(s)", "TM(s)", "JM(s)", "GM matches"});
   auto queries = TemplateWorkload(g, RepresentativeTemplateNames(),
                                   QueryVariant::kHybrid);
   for (const auto& nq : queries) {

@@ -13,8 +13,9 @@ using namespace rigpm;
 using namespace rigpm::bench;
 
 int main() {
-  PrintBenchHeader("Fig. 12 — child-constraint checking & simulation build (em)",
-                   "scale=" + std::to_string(DatasetScaleFromEnv()));
+  PrintBenchHeader(
+      "Fig. 12 — child-constraint checking & simulation build (em)",
+      "scale=" + std::to_string(DatasetScaleFromEnv()));
   Graph g = MakeDatasetByName("em");
   std::printf("graph: %s\n", g.Summary().c_str());
   GmEngine engine(g);
@@ -22,7 +23,8 @@ int main() {
   MatchContext ctx(g, *reach);
 
   // --- (a) Child-constraint check modes, C-queries, matching time.
-  std::printf("\n-- (a) child-constraint check modes (C-queries, matching time)\n");
+  std::printf(
+      "\n-- (a) child-constraint check modes (C-queries, matching time)\n");
   {
     TablePrinter table({"Query", "binSearch(s)", "bitIter(s)", "bitBat(s)"});
     auto queries = TemplateWorkload(g, RepresentativeTemplateNames(),
@@ -47,7 +49,9 @@ int main() {
   }
 
   // --- (b) Simulation-relation construction algorithms, H-queries.
-  std::printf("\n-- (b) simulation construction: Gra vs Dag vs DagMap (H-queries)\n");
+  std::printf(
+      "\n-- (b) simulation construction: Gra vs Dag vs DagMap "
+      "(H-queries)\n");
   {
     TablePrinter table({"Query", "Gra(s)", "Dag(s)", "DagMap(s)"});
     auto queries = TemplateWorkload(g, RepresentativeTemplateNames(),

@@ -40,7 +40,7 @@ VariantRow RunVariant(const GmEngine& engine, const Graph& g,
 
 int main() {
   PrintBenchHeader(
-      "Fig. 13 — summary graph size / build time / query time (ep, H-queries)",
+      "Fig. 13 — summary graph size / build / query time (ep, H-queries)",
       "scale=" + std::to_string(DatasetScaleFromEnv()));
   Graph g = MakeDatasetByName("ep");
   std::printf("graph: %s\n", g.Summary().c_str());

@@ -11,8 +11,9 @@ using namespace rigpm;
 using namespace rigpm::bench;
 
 int main() {
-  PrintBenchHeader("Fig. 15 — D-query time with / without transitive reduction",
-                   "scale=" + std::to_string(DatasetScaleFromEnv()));
+  PrintBenchHeader(
+      "Fig. 15 — D-query time with / without transitive reduction",
+      "scale=" + std::to_string(DatasetScaleFromEnv()));
   for (const std::string& dataset : {"em", "ep"}) {
     Graph g = MakeDatasetByName(dataset);
     std::printf("\n-- %s: %s\n", dataset.c_str(), g.Summary().c_str());

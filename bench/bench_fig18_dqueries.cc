@@ -20,7 +20,8 @@ int main() {
   const DatasetSpec& em = DatasetByName("em");
 
   // --- (a) Index construction costs.
-  std::printf("\n-- (a) BFL vs transitive closure (TC) vs catalog (CAT) build\n");
+  std::printf(
+      "\n-- (a) BFL vs transitive closure (TC) vs catalog (CAT) build\n");
   TablePrinter build_tab({"#labels", "#nodes", "BFL(s)", "TC(s)", "CAT(s)"});
   struct Config {
     uint32_t labels, nodes;

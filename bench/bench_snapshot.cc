@@ -82,7 +82,8 @@ WarmStartReport MeasureWarmStart(const std::string& snap_path,
     WarmStartReport r;
     std::string error;
     std::optional<WarmEngine> warm;
-    r.load_ms = TimeMs([&] { warm = LoadEngineSnapshot(snap_path, &error, mode); });
+    r.load_ms =
+        TimeMs([&] { warm = LoadEngineSnapshot(snap_path, &error, mode); });
     if (warm.has_value()) {
       auto q = ParsePattern(pattern, &error);
       if (q.has_value()) {
@@ -158,7 +159,8 @@ int main() {
 
   // --- Warm start: deserialize graph + pre-built index.
   std::optional<WarmEngine> warm;
-  double load_ms = TimeMs([&] { warm = LoadEngineSnapshot(snap_path, &error); });
+  double load_ms =
+      TimeMs([&] { warm = LoadEngineSnapshot(snap_path, &error); });
   if (!warm.has_value()) {
     std::fprintf(stderr, "snapshot load failed: %s\n", error.c_str());
     return 1;

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_smoke run against a committed baseline.
+
+usage: bench_compare.py BASELINE.json CURRENT.json
+           [--max-regress 0.25] [--min-abs-secs 1.0]
+
+Both files are BENCH_*.json summaries written by scripts/bench_smoke.sh
+(one record per bench: name, status, exit_code, seconds). The comparison
+fails (exit 1) when:
+
+  * any bench present in BOTH files has status != "ok" in CURRENT,
+  * any bench present in the baseline is missing from CURRENT (a bench
+    silently dropping out of the suite is a regression too), or
+  * any bench slowed down by more than --max-regress (relative) AND more
+    than --min-abs-secs (absolute). The absolute floor exists because CI
+    runners are noisy and sub-second benches routinely jitter far beyond
+    25% — a 0.05s -> 0.08s "regression" is measurement noise, a
+    30s -> 40s one is not.
+
+Benches only present in CURRENT (new in this PR) are reported but never
+fail the comparison; they become part of the baseline when the next
+BENCH_N.json is committed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    benches = {}
+    for rec in doc.get("benches", []):
+        benches[rec["name"]] = rec
+    if not benches:
+        sys.exit(f"error: {path} contains no bench records")
+    return doc, benches
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="relative slowdown threshold (default 0.25)")
+    parser.add_argument("--min-abs-secs", type=float, default=1.0,
+                        help="absolute slowdown floor in seconds "
+                             "(default 1.0)")
+    args = parser.parse_args()
+
+    base_doc, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
+
+    if base_doc.get("scale") != cur_doc.get("scale"):
+        print(f"warning: scale differs (baseline {base_doc.get('scale')}, "
+              f"current {cur_doc.get('scale')}) — timings are not "
+              f"comparable", file=sys.stderr)
+
+    failures = []
+    width = max(len(n) for n in set(base) | set(cur))
+    print(f"{'bench':<{width}}  {'base(s)':>8}  {'now(s)':>8}  "
+          f"{'delta':>7}  verdict")
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            failures.append(f"{name}: present in baseline but missing "
+                            f"from the current run")
+            print(f"{name:<{width}}  {base[name]['seconds']:>8}  "
+                  f"{'-':>8}  {'-':>7}  MISSING")
+            continue
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>8}  "
+                  f"{cur[name]['seconds']:>8}  {'-':>7}  new (ignored)")
+            continue
+        b, c = base[name], cur[name]
+        if c.get("status") != "ok":
+            failures.append(f"{name}: status {c.get('status')} "
+                            f"(exit {c.get('exit_code')})")
+            print(f"{name:<{width}}  {b['seconds']:>8}  {c['seconds']:>8}  "
+                  f"{'-':>7}  {c.get('status').upper()}")
+            continue
+        bs, cs = float(b["seconds"]), float(c["seconds"])
+        delta = cs - bs
+        # A 0.00s baseline (sub-centisecond bench) must not disable the
+        # check: any growth past the absolute floor is a regression there.
+        rel = (delta / bs) if bs > 0 else float("inf")
+        regressed = rel > args.max_regress and delta > args.min_abs_secs
+        verdict = "REGRESSED" if regressed else "ok"
+        rel_str = f"{rel * 100:+6.0f}%" if bs > 0 else "   n/a"
+        if regressed:
+            failures.append(f"{name}: {bs:.2f}s -> {cs:.2f}s "
+                            f"(+{delta:.2f}s)")
+        print(f"{name:<{width}}  {bs:>8.2f}  {cs:>8.2f}  "
+              f"{rel_str}  {verdict}")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nno regressions vs {args.baseline} "
+          f"(>{args.max_regress * 100:.0f}% and "
+          f">{args.min_abs_secs}s slower)")
+
+
+if __name__ == "__main__":
+    main()

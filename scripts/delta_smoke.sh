@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the delta-log refresh path: snapshot a graph, append
+# two delta batches via the CLI, start a daemon armed with the log, send
+# kRefresh after each batch, diff every served count against a cold rebuild
+# of the merged graph (`rigpm_cli --load-snapshot ... --delta ...`), keep
+# clients querying THROUGH the refresh (no round trip may fail), and
+# require a clean shutdown.
+#
+# usage: scripts/delta_smoke.sh BUILD_DIR
+set -eu
+
+BUILD_DIR=${1:?usage: delta_smoke.sh BUILD_DIR}
+WORK_DIR=$(mktemp -d)
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "${WORK_DIR}"' EXIT
+
+GRAPH=${WORK_DIR}/graph.txt
+SNAP=${WORK_DIR}/base.snap
+DELTA=${WORK_DIR}/graph.delta
+SOCK=${WORK_DIR}/rigpm.sock
+
+# The paper's running example graph (Fig. 2).
+cat > "${GRAPH}" <<'EOF'
+t 10 13
+v 0 0
+v 1 0
+v 2 0
+v 3 1
+v 4 1
+v 5 1
+v 6 1
+v 7 2
+v 8 2
+v 9 2
+e 0 6
+e 1 3
+e 2 5
+e 1 7
+e 1 8
+e 2 7
+e 2 9
+e 3 7
+e 3 8
+e 4 7
+e 4 9
+e 5 3
+e 5 9
+EOF
+
+# Two update batches: batch 1 gives a0 a b-child and a c-child (new hybrid
+# matches), batch 2 gives b3 a path to a c (more reachability matches).
+cat > "${WORK_DIR}/batch1.txt" <<'EOF'
+0 3
+0 7
+EOF
+cat > "${WORK_DIR}/batch2.txt" <<'EOF'
+6 9
+EOF
+
+QUERIES=(
+  "(a:0)->(b:1), (a)->(c:2), (b)=>(c)"
+  "(a:0)->(b:1)"
+  "(a:0)=>(c:2)"
+  "(b:1)=>(c:2)"
+)
+
+count_of() { grep -Eo '^[0-9]+ occurrence' <<<"$1" | grep -Eo '[0-9]+'; }
+
+diff_served_vs_cold() {
+  # Served counts must equal a cold rebuild of base + the records appended
+  # so far ($1 = "with-delta" once the log exists).
+  for q in "${QUERIES[@]}"; do
+    served=$("${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" \
+               --pattern "${q}" --print 0)
+    if [ "$1" = "with-delta" ]; then
+      direct=$("${BUILD_DIR}/rigpm_cli" --load-snapshot "${SNAP}" \
+                 --delta "${DELTA}" --pattern "${q}" --print 0)
+    else
+      direct=$("${BUILD_DIR}/rigpm_cli" --load-snapshot "${SNAP}" \
+                 --pattern "${q}" --print 0)
+    fi
+    served_n=$(count_of "${served}")
+    direct_n=$(count_of "${direct}")
+    echo "query '${q}': served=${served_n} cold=${direct_n}"
+    if [ "${served_n}" != "${direct_n}" ] || [ -z "${served_n}" ]; then
+      echo "FAIL: count mismatch" >&2
+      exit 1
+    fi
+  done
+}
+
+echo "== snapshot"
+"${BUILD_DIR}/rigpm_cli" snapshot --graph "${GRAPH}" --out "${SNAP}"
+
+echo "== start daemon (delta-armed)"
+"${BUILD_DIR}/rigpm_serve" --snapshot "${SNAP}" --delta "${DELTA}" \
+  --socket "${SOCK}" --workers 6 > "${WORK_DIR}/serve.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+  if "${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" --ping \
+       >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" --ping
+
+echo "== baseline counts (no delta yet)"
+diff_served_vs_cold "no-delta"
+
+echo "== append batch 1, refresh, re-diff"
+"${BUILD_DIR}/rigpm_cli" delta append --base "${SNAP}" --delta "${DELTA}" \
+  --edges "${WORK_DIR}/batch1.txt"
+"${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" --refresh
+diff_served_vs_cold "with-delta"
+
+echo "== append batch 2; refresh WHILE clients query"
+"${BUILD_DIR}/rigpm_cli" delta append --base "${SNAP}" --delta "${DELTA}" \
+  --edges "${WORK_DIR}/batch2.txt"
+pids=()
+for i in 1 2 3 4; do
+  (
+    for _ in $(seq 1 10); do
+      "${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" \
+        --pattern "${QUERIES[0]}" --print 0 > /dev/null || exit 1
+    done
+  ) &
+  pids+=($!)
+done
+"${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" --refresh
+for pid in "${pids[@]}"; do
+  wait "${pid}" || { echo "FAIL: client dropped during refresh" >&2; exit 1; }
+done
+echo "no client failed across the refresh"
+diff_served_vs_cold "with-delta"
+
+echo "== second refresh round is a no-op"
+out=$("${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" --refresh)
+echo "${out}"
+grep -q "refresh: 0 record(s)" <<<"${out}" || {
+  echo "FAIL: expected a caught-up refresh" >&2; exit 1; }
+
+echo "== stats"
+stats=$("${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" --stats)
+echo "${stats}"
+grep -q "refreshes: 2" <<<"${stats}" || {
+  echo "FAIL: expected 2 refreshes in stats" >&2; exit 1; }
+grep -qE ", 0 error" <<<"$(grep requests: <<<"${stats}")" || {
+  echo "FAIL: daemon counted protocol errors" >&2; exit 1; }
+
+echo "== delta inspect"
+"${BUILD_DIR}/rigpm_cli" delta inspect --delta "${DELTA}"
+
+echo "== clean shutdown"
+"${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" --shutdown
+code=0
+wait "${SERVER_PID}" || code=$?
+SERVER_PID=
+[ "${code}" = "0" ] || { echo "FAIL: daemon exited ${code}" >&2; exit 1; }
+grep -q "shutdown:" "${WORK_DIR}/serve.log" || {
+  echo "FAIL: no shutdown summary in daemon log" >&2; exit 1; }
+
+echo "delta smoke: OK"

@@ -86,9 +86,9 @@ std::vector<size_t> DpPlan(const PatternQuery& q,
     const QueryEdge& e = q.Edge(rels[i].edge);
     double denom = std::max<double>(
         1.0, std::exp(log_card[e.from]) * std::exp(log_card[e.to]));
-    log_sel[i] =
-        std::log(std::max<double>(1.0, static_cast<double>(rels[i].pairs.size())) /
-                 denom);
+    log_sel[i] = std::log(
+        std::max<double>(1.0, static_cast<double>(rels[i].pairs.size())) /
+        denom);
   }
   auto log_size = [&](uint32_t mask) {
     // Covered nodes and per-edge selectivities, independence assumption.

@@ -33,8 +33,8 @@ struct TmResult {
 /// of [59] (tree double simulation + answer-graph enumeration), and filters
 /// every tree solution against the non-tree edges of the original query.
 ///
-/// Its weakness — shared with all TM algorithms — is that the number of tree
-/// solutions can dwarf the final answer, and each one pays a reachability
+/// Its weakness — shared with all TM algorithms — is that the number of
+/// tree solutions can dwarf the final answer, and each one pays a reachability
 /// check per missing edge; that is the behaviour the experiments measure.
 TmResult TmEvaluate(const MatchContext& ctx, const PatternQuery& q,
                     const TmOptions& opts = {},

@@ -41,10 +41,12 @@ std::string FormatSeconds(double ms) {
 }
 
 void PrintBenchHeader(const std::string& title, const std::string& details) {
-  std::printf("==============================================================\n");
+  static constexpr char kRule[] =
+      "==============================================================";
+  std::printf("%s\n", kRule);
   std::printf("%s\n", title.c_str());
   if (!details.empty()) std::printf("%s\n", details.c_str());
-  std::printf("==============================================================\n");
+  std::printf("%s\n", kRule);
 }
 
 }  // namespace rigpm

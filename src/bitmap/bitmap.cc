@@ -12,7 +12,9 @@ namespace {
 constexpr uint32_t kWordsPerBitset = 1024;  // 1024 * 64 = 65536 bits
 
 uint16_t HighBits(uint32_t value) { return static_cast<uint16_t>(value >> 16); }
-uint16_t LowBits(uint32_t value) { return static_cast<uint16_t>(value & 0xFFFF); }
+uint16_t LowBits(uint32_t value) {
+  return static_cast<uint16_t>(value & 0xFFFF);
+}
 
 uint32_t Combine(uint16_t key, uint16_t low) {
   return (static_cast<uint32_t>(key) << 16) | low;
@@ -202,8 +204,8 @@ uint32_t Bitmap::First() const {
   if (c.kind == Container::Kind::kArray) return Combine(c.key, c.array.front());
   for (uint32_t w = 0; w < kWordsPerBitset; ++w) {
     if (c.words[w] != 0) {
-      return Combine(c.key,
-                     static_cast<uint16_t>((w << 6) | std::countr_zero(c.words[w])));
+      return Combine(c.key, static_cast<uint16_t>(
+                                (w << 6) | std::countr_zero(c.words[w])));
     }
   }
   return 0;  // unreachable given cardinality > 0
@@ -248,7 +250,8 @@ void IntersectArrays(std::span<const uint16_t> a, std::span<const uint16_t> b,
 
 }  // namespace
 
-Bitmap::Container Bitmap::AndContainers(const Container& a, const Container& b) {
+Bitmap::Container Bitmap::AndContainers(const Container& a,
+                                        const Container& b) {
   Container out;
   out.key = a.key;
   using Kind = Container::Kind;
@@ -421,7 +424,9 @@ bool Bitmap::Intersects(const Bitmap& other) const {
     } else if (ka > kb) {
       ++j;
     } else {
-      if (ContainersIntersect(containers_[i], other.containers_[j])) return true;
+      if (ContainersIntersect(containers_[i], other.containers_[j])) {
+        return true;
+      }
       ++i;
       ++j;
     }
@@ -433,7 +438,9 @@ bool Bitmap::IsSubsetOf(const Bitmap& other) const {
   if (cardinality_ > other.cardinality_) return false;
   size_t j = 0;
   for (const Container& c : containers_) {
-    while (j < other.containers_.size() && other.containers_[j].key < c.key) ++j;
+    while (j < other.containers_.size() && other.containers_[j].key < c.key) {
+      ++j;
+    }
     if (j == other.containers_.size() || other.containers_[j].key != c.key) {
       return false;
     }
@@ -470,7 +477,8 @@ Bitmap Bitmap::Or(const Bitmap& a, const Bitmap& b) {
   size_t i = 0, j = 0;
   while (i < a.containers_.size() || j < b.containers_.size()) {
     if (j == b.containers_.size() ||
-        (i < a.containers_.size() && a.containers_[i].key < b.containers_[j].key)) {
+        (i < a.containers_.size() &&
+         a.containers_[i].key < b.containers_[j].key)) {
       out.containers_.push_back(a.containers_[i]);
       out.cardinality_ += a.containers_[i].cardinality;
       ++i;

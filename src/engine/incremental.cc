@@ -15,36 +15,48 @@ std::vector<Occurrence> IncrementalMatcher::CurrentAnswer() const {
   return engine_->EvaluateCollect(query_, options_);
 }
 
-std::vector<Occurrence> IncrementalMatcher::ApplyAndDiff(
-    const std::vector<std::pair<NodeId, NodeId>>& new_edges) {
+std::optional<std::vector<Occurrence>> IncrementalMatcher::ApplyAndDiff(
+    const std::vector<std::pair<NodeId, NodeId>>& new_edges,
+    std::string* error) {
+  // Both endpoints must already exist — reject the whole batch before any
+  // state (graph or journal) changes. An out-of-range endpoint is a node
+  // insertion in disguise, and a journaled record naming it could never be
+  // replayed against the base the log is bound to.
+  std::string endpoint_error;
+  if (!ValidateEdgeEndpoints(new_edges, current_->NumNodes(),
+                             &endpoint_error)) {
+    if (error != nullptr) {
+      *error = endpoint_error + " (insert nodes out-of-band, then "
+               "reconstruct)";
+    }
+    return std::nullopt;
+  }
+
+  // Dedupe the batch against itself and against edges already present, so
+  // repeated/overlapping batches cannot grow the rebuild input and the
+  // journal records exactly the edges that change the graph (the same
+  // shared definition replay uses, so the two cannot diverge).
+  std::vector<std::pair<NodeId, NodeId>> fresh = new_edges;
+  DedupeNewEdges(*current_, &fresh);
+
+  // Nothing genuinely new (a retried or duplicate-only batch): the diff is
+  // empty by definition — skip the journal, the graph rebuild, the index
+  // rebuild, and the re-enumeration outright.
+  if (fresh.empty()) return std::vector<Occurrence>{};
+
+  // Write-ahead journaling: the record must be durable before the batch is
+  // applied. On failure the matcher state is untouched, so the caller can
+  // retry the same batch.
+  if (journal_ != nullptr) {
+    if (!journal_->Append(fresh, error)) return std::nullopt;
+  }
+
   // Keep the old graph + reachability as the "was it already matched"
   // oracle while the new engine enumerates.
   std::unique_ptr<Graph> old_graph = std::move(current_);
   std::unique_ptr<GmEngine> old_engine = std::move(engine_);
-
-  // Rebuild the graph with the extra edges.
-  std::vector<LabelId> labels(old_graph->NumNodes());
-  for (NodeId v = 0; v < old_graph->NumNodes(); ++v) {
-    labels[v] = old_graph->Label(v);
-  }
-  // Dedupe the batch against itself and against edges already present, so
-  // repeated/overlapping batches cannot grow the rebuild input: the graph
-  // must not depend on Graph::FromEdges quietly dropping duplicates, and
-  // every duplicate fed through would be re-sorted on each batch.
-  std::vector<std::pair<NodeId, NodeId>> fresh = new_edges;
-  std::sort(fresh.begin(), fresh.end());
-  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
-  std::erase_if(fresh, [&](const std::pair<NodeId, NodeId>& e) {
-    return old_graph->HasEdge(e.first, e.second);
-  });
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  edges.reserve(old_graph->NumEdges() + fresh.size());
-  for (NodeId v = 0; v < old_graph->NumNodes(); ++v) {
-    for (NodeId w : old_graph->OutNeighbors(v)) edges.emplace_back(v, w);
-  }
-  edges.insert(edges.end(), fresh.begin(), fresh.end());
   current_ = std::make_unique<Graph>(
-      Graph::FromEdges(std::move(labels), std::move(edges)));
+      ApplyEdgesToGraph(*old_graph, fresh, /*already_deduplicated=*/true));
   engine_ = std::make_unique<GmEngine>(*current_);
 
   // An occurrence is OLD iff every query edge was already matched in the

@@ -2,10 +2,13 @@
 #define RIGPM_ENGINE_INCREMENTAL_H_
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "engine/gm_engine.h"
+#include "storage/delta_log.h"
 
 namespace rigpm {
 
@@ -26,6 +29,12 @@ namespace rigpm {
 /// old-graph edge/reachability probe per query edge per result — the
 /// natural baseline the paper's future incremental algorithm would be
 /// compared against.
+///
+/// Persistence: attach a DeltaWriter (storage/delta_log.h) and every
+/// accepted batch is journaled as one delta record BEFORE it is applied
+/// (write-ahead), so `base.snap + graph.delta` always reconstructs the
+/// matcher's current graph — the serving tier refreshes from the log
+/// instead of re-dumping the whole snapshot.
 class IncrementalMatcher {
  public:
   /// Starts from `initial`. The matcher owns its graphs.
@@ -39,17 +48,35 @@ class IncrementalMatcher {
   /// options.limit).
   std::vector<Occurrence> CurrentAnswer() const;
 
-  /// Applies the edge batch and returns only the occurrences that the batch
-  /// created. Both endpoints must already exist (node insertions can be
-  /// modeled by growing the graph out-of-band and re-constructing).
-  std::vector<Occurrence> ApplyAndDiff(
-      const std::vector<std::pair<NodeId, NodeId>>& new_edges);
+  /// Journals every subsequently accepted batch through `writer` (null
+  /// detaches). Write-ahead: ApplyAndDiff appends the deduplicated batch
+  /// and only applies it once the record is durable, so a crash can lose
+  /// an unapplied record (harmless — replay is idempotent) but never an
+  /// applied-but-unjournaled batch. The writer must outlive the matcher or
+  /// be detached first.
+  void AttachJournal(DeltaWriter* writer) { journal_ = writer; }
+
+  /// Applies the edge batch and returns only the occurrences that the
+  /// batch created.
+  ///
+  /// Error path: every edge must connect nodes that already exist; a batch
+  /// naming a node id >= NumNodes() is rejected whole — nullopt, *error
+  /// says which edge — and neither the graph nor the journal changes.
+  /// (Node insertions are modeled by growing the graph out-of-band and
+  /// re-constructing; silently journaling such an edge would poison the
+  /// delta log with a record that can never replay against its base.)
+  /// A journal append failure is also reported here, again with the batch
+  /// left unapplied.
+  std::optional<std::vector<Occurrence>> ApplyAndDiff(
+      const std::vector<std::pair<NodeId, NodeId>>& new_edges,
+      std::string* error = nullptr);
 
  private:
   PatternQuery query_;
   GmOptions options_;
   std::unique_ptr<Graph> current_;
   std::unique_ptr<GmEngine> engine_;
+  DeltaWriter* journal_ = nullptr;  // not owned
 };
 
 }  // namespace rigpm

@@ -57,7 +57,8 @@ class Enumerator {
       return produced_ < opts_.limit;
     }
     if (stats_ != nullptr) {
-      stats_->max_depth_reached = std::max<uint64_t>(stats_->max_depth_reached, i + 1);
+      stats_->max_depth_reached =
+          std::max<uint64_t>(stats_->max_depth_reached, i + 1);
     }
 
     QueryNodeId qi = order_[i];

@@ -41,7 +41,7 @@ struct MJoinStats {
 
 /// Algorithm 5, MJoin: worst-case-optimal, query-node-at-a-time enumeration
 /// over a runtime index graph. At search step i the local candidate set is
-///   cos_i = cos(q_i) ∩ ⋂ { adjacency of t[j] in G_Q : q_j earlier neighbor }
+///   cos_i = cos(q_i) ∩ ⋂ { adjacency of t[j] in G_Q : q_j earlier nbr }
 /// computed as one multiway bitmap intersection; the recursion therefore
 /// never materializes partial join results (space O(n * MaxCos),
 /// Theorem 5.1).

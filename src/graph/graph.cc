@@ -86,7 +86,9 @@ bool Graph::HasEdge(NodeId u, NodeId v) const {
 
 uint32_t Graph::MaxLabelListSize() const {
   uint32_t best = 0;
-  for (LabelId a = 0; a < num_labels_; ++a) best = std::max(best, LabelCount(a));
+  for (LabelId a = 0; a < num_labels_; ++a) {
+    best = std::max(best, LabelCount(a));
+  }
   return best;
 }
 

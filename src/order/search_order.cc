@@ -68,8 +68,9 @@ std::vector<QueryNodeId> JoOrder(const PatternQuery& q, const Rig& rig) {
       // Disconnected query (should not happen per Definition 2.4): append
       // the smallest remaining set to stay total.
       for (QueryNodeId v = 0; v < n; ++v) {
-        if (!chosen[v] && (next == kInvalidNode ||
-                           rig.Cos(v).Cardinality() < rig.Cos(next).Cardinality())) {
+        if (!chosen[v] &&
+            (next == kInvalidNode ||
+             rig.Cos(v).Cardinality() < rig.Cos(next).Cardinality())) {
           next = v;
         }
       }
@@ -119,7 +120,8 @@ std::vector<QueryNodeId> RiOrder(const PatternQuery& q) {
       if (s1 == 0 && !order.empty() && frontier.count(cand) == 0) {
         continue;  // keep the prefix connected whenever possible
       }
-      std::tuple<int, int, int> score{s1, s2, static_cast<int>(nbrs[cand].size())};
+      std::tuple<int, int, int> score{s1, s2,
+                                      static_cast<int>(nbrs[cand].size())};
       if (score > best_score) {
         best_score = score;
         next = cand;

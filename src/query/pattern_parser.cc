@@ -40,7 +40,8 @@ class Parser {
     return pos_ >= text_.size();
   }
   void SkipSpace() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
     }
   }

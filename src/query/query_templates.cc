@@ -105,9 +105,16 @@ std::vector<QueryTemplate> BuildTemplates() {
   t.push_back(MakeClique("HQ11", 4));
   t.push_back(MakeClique("HQ12", 5));
   // --- More combo patterns.
-  t.push_back(MakeTemplate(
-      "HQ13", P::kCombo, 6,
-      {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {3, 5}, {4, 5}, {0, 3}}));
+  t.push_back(MakeTemplate("HQ13", P::kCombo, 6,
+                           {{0, 1},
+                            {0, 2},
+                            {1, 2},
+                            {1, 3},
+                            {2, 4},
+                            {3, 4},
+                            {3, 5},
+                            {4, 5},
+                            {0, 3}}));
   t.push_back(MakeTemplate("HQ14", P::kCombo, 8,
                            {{0, 1},
                             {0, 2},

@@ -35,7 +35,8 @@ class BflIndex : public ReachabilityIndex {
  public:
   /// `bits` is the Bloom label width (default 256, as a few cache lines per
   /// node gave the best trade-off in the BFL paper).
-  explicit BflIndex(const Graph& g, uint32_t bits = 256, uint64_t seed = 0x9E3779B97F4A7C15ull);
+  explicit BflIndex(const Graph& g, uint32_t bits = 256,
+                    uint64_t seed = 0x9E3779B97F4A7C15ull);
 
   bool Reaches(NodeId u, NodeId v) const override;
   std::string Name() const override { return "BFL"; }

@@ -15,7 +15,7 @@ namespace rigpm {
 /// the test suite.
 enum class ReachKind {
   kBfs,                // no index: per-query pruned BFS over the condensation
-  kTransitiveClosure,  // full materialized reachability (fast query, slow build)
+  kTransitiveClosure,  // materialized reachability (fast query, slow build)
   kBfl,                // Bloom Filter Labeling + interval cuts + guided DFS
 };
 

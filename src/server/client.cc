@@ -159,6 +159,34 @@ std::optional<StatsResponse> QueryClient::Stats(std::string* error) {
   return resp;
 }
 
+std::optional<RefreshResponse> QueryClient::Refresh(std::string* error) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kRefreshRequest));
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(sink, &payload, error)) return std::nullopt;
+
+  ByteSource src(payload.data(), payload.size());
+  MessageType type = ReadMessageType(src);
+  if (type == MessageType::kErrorResponse) {
+    RefreshResponse resp;
+    if (!DecodeErrorResponse(src, &resp.status, &resp.error)) {
+      SetError(error, "malformed error response");
+      return std::nullopt;
+    }
+    return resp;
+  }
+  if (type != MessageType::kRefreshResponse) {
+    SetError(error, "unexpected response type");
+    return std::nullopt;
+  }
+  RefreshResponse resp = RefreshResponse::Deserialize(src);
+  if (!src.ok()) {
+    SetError(error, "malformed refresh response: " + src.error());
+    return std::nullopt;
+  }
+  return resp;
+}
+
 bool QueryClient::Ping(std::string* error) {
   ByteSink sink;
   sink.WriteU32(static_cast<uint32_t>(MessageType::kPingRequest));

@@ -38,6 +38,12 @@ class QueryClient {
 
   std::optional<StatsResponse> Stats(std::string* error = nullptr);
 
+  /// Asks the server to replay its delta log and swap the refreshed engine
+  /// in (kRefreshRequest). Returns nullopt only on transport failure;
+  /// server-side rejections (no delta configured, unreadable log) come back
+  /// as a response with status != kOk.
+  std::optional<RefreshResponse> Refresh(std::string* error = nullptr);
+
   /// Liveness probe (also what scripts poll while the daemon starts up).
   bool Ping(std::string* error = nullptr);
 

@@ -191,6 +191,9 @@ void StatsResponse::Serialize(ByteSink& sink) const {
   sink.WriteU64(occurrences_emitted);
   WriteF64(sink, latency_p50_ms);
   WriteF64(sink, latency_p99_ms);
+  // Appended last: a reader built before this field existed still parses
+  // every earlier field correctly (the wire format carries no version).
+  sink.WriteU64(refreshes);
 }
 
 StatsResponse StatsResponse::Deserialize(ByteSource& src) {
@@ -204,7 +207,40 @@ StatsResponse StatsResponse::Deserialize(ByteSource& src) {
   s.occurrences_emitted = src.ReadU64();
   s.latency_p50_ms = ReadF64(src);
   s.latency_p99_ms = ReadF64(src);
+  // Appended after the original fields; absent from pre-refresh daemons.
+  // Tolerating the short payload keeps a new client's --stats working
+  // against a still-running old daemon (they are long-lived on purpose).
+  s.refreshes = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
   return s;
+}
+
+// -------------------------------------------------------- RefreshResponse
+
+void RefreshResponse::Serialize(ByteSink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kRefreshResponse));
+  sink.WriteU32(static_cast<uint32_t>(status));
+  sink.WriteString(error);
+  sink.WriteU64(records_applied);
+  sink.WriteU64(edges_in_records);
+  sink.WriteU64(last_seqno);
+  sink.WriteU64(num_nodes);
+  sink.WriteU64(num_edges);
+  WriteBool(sink, log_truncated);
+  WriteF64(sink, refresh_ms);
+}
+
+RefreshResponse RefreshResponse::Deserialize(ByteSource& src) {
+  RefreshResponse r;
+  r.status = static_cast<StatusCode>(src.ReadU32());
+  r.error = src.ReadString();
+  r.records_applied = src.ReadU64();
+  r.edges_in_records = src.ReadU64();
+  r.last_seqno = src.ReadU64();
+  r.num_nodes = src.ReadU64();
+  r.num_edges = src.ReadU64();
+  r.log_truncated = ReadBool(src);
+  r.refresh_ms = ReadF64(src);
+  return r;
 }
 
 // ------------------------------------------------------------- frame I/O

@@ -36,11 +36,19 @@ enum class MessageType : uint32_t {
   kStatsRequest = 2,
   kPingRequest = 3,
   kShutdownRequest = 4,
+  /// Asks the daemon to replay the new records of its configured delta log
+  /// (storage/delta_log.h) and swap the refreshed engine in behind an
+  /// RCU-style shared_ptr — in-flight queries finish on the old engine, new
+  /// requests see the merged graph; no restart, no dropped connections.
+  /// Empty body. Answered with kRefreshResponse (RefreshResponse below) or
+  /// an error response when the daemon has no delta source configured.
+  kRefreshRequest = 5,
 
   kQueryResponse = 101,
   kStatsResponse = 102,
   kPingResponse = 103,
   kShutdownResponse = 104,
+  kRefreshResponse = 105,
   kErrorResponse = 199,
 };
 
@@ -117,11 +125,32 @@ struct StatsResponse {
   uint64_t queries_served = 0;  // patterns evaluated (a batch counts each)
   uint64_t errors = 0;
   uint64_t occurrences_emitted = 0;
+  uint64_t refreshes = 0;  // successful delta refreshes (engine swaps)
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
 
   void Serialize(ByteSink& sink) const;
   static StatsResponse Deserialize(ByteSource& src);
+};
+
+/// Result of one kRefreshRequest. `records_applied` == 0 with status kOk
+/// means the daemon was already caught up with its delta log.
+struct RefreshResponse {
+  StatusCode status = StatusCode::kOk;
+  std::string error;
+  uint64_t records_applied = 0;
+  uint64_t edges_in_records = 0;  // before deduplication
+  uint64_t last_seqno = 0;        // log position the daemon is now at
+  uint64_t num_nodes = 0;         // served graph after the refresh
+  uint64_t num_edges = 0;
+  bool log_truncated = false;  // the log ended in a torn (crashed,
+                               // never-acknowledged) append; its valid
+                               // prefix was applied. A CORRUPT tail is an
+                               // error response instead, never a swap.
+  double refresh_ms = 0.0;     // replay + index rebuild + swap
+
+  void Serialize(ByteSink& sink) const;
+  static RefreshResponse Deserialize(ByteSource& src);
 };
 
 // ------------------------------------------------------------ frame I/O

@@ -13,9 +13,11 @@
 #include <cstring>
 #include <limits>
 #include <span>
+#include <utility>
 
 #include "query/pattern_parser.h"
 #include "query/query_templates.h"
+#include "storage/delta_log.h"
 #include "util/concurrency.h"
 
 namespace rigpm::server {
@@ -50,7 +52,13 @@ double Percentile(std::vector<double> samples, double p) {
 }  // namespace
 
 QueryServer::QueryServer(const GmEngine& engine, ServerConfig config)
-    : engine_(engine), config_(std::move(config)) {
+    : config_(std::move(config)) {
+  // The initial state aliases the caller's engine (which must outlive the
+  // server); refreshed states own their graph + engine.
+  auto initial = std::make_shared<EngineState>();
+  initial->engine = std::shared_ptr<const GmEngine>(
+      std::shared_ptr<const GmEngine>(), &engine);
+  state_ = std::move(initial);
   latency_ring_.resize(kLatencyRingCapacity, 0.0);
 }
 
@@ -59,6 +67,26 @@ QueryServer::~QueryServer() { Stop(); }
 std::string QueryServer::endpoint() const {
   if (!config_.unix_path.empty()) return "unix:" + config_.unix_path;
   return config_.host + ":" + std::to_string(bound_port_);
+}
+
+std::shared_ptr<const QueryServer::EngineState> QueryServer::CurrentState()
+    const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+void QueryServer::SyncWorkerEngine(WorkerEngine& we) const {
+  std::shared_ptr<const EngineState> current = CurrentState();
+  if (current == we.state) return;
+  // The context references the state's graph/index; drop it before the
+  // state so nothing dangles, then rebuild against the fresh engine.
+  we.ctx.reset();
+  we.state = std::move(current);
+  we.ctx.emplace(we.state->engine->MakeContext());
+}
+
+uint64_t QueryServer::applied_seqno() const {
+  return CurrentState()->applied_seqno;
 }
 
 bool QueryServer::Start(std::string* error) {
@@ -204,7 +232,7 @@ void QueryServer::AcceptLoop() {
 }
 
 void QueryServer::WorkerLoop(size_t /*worker_index*/) {
-  EvalContext ctx = engine_.MakeContext();
+  WorkerEngine we;
   while (true) {
     int fd = -1;
     {
@@ -219,8 +247,16 @@ void QueryServer::WorkerLoop(size_t /*worker_index*/) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++active_connections_;
     }
-    ServeConnection(fd, ctx);
+    ServeConnection(fd, we);
     ::close(fd);
+    // Drop the engine pin before blocking on the queue: an idle worker
+    // must not keep a superseded (refreshed-away) graph + index
+    // generation resident — with N workers that would hold up to N extra
+    // full engines after refreshes. The context is rebuilt on the next
+    // query request (SyncWorkerEngine), which is cheap next to serving a
+    // connection.
+    we.ctx.reset();
+    we.state.reset();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       --active_connections_;
@@ -228,7 +264,7 @@ void QueryServer::WorkerLoop(size_t /*worker_index*/) {
   }
 }
 
-void QueryServer::ServeConnection(int fd, EvalContext& ctx) {
+void QueryServer::ServeConnection(int fd, WorkerEngine& we) {
   std::vector<uint8_t> frame;
   std::string io_error;
   while (!stop_.load()) {
@@ -266,8 +302,11 @@ void QueryServer::ServeConnection(int fd, EvalContext& ctx) {
                 StatusCode::kBadRequest,
                 src.ok() ? "trailing bytes in query request" : src.error());
           } else {
+            // Pick up any engine published by a refresh since the last
+            // request; queries in flight elsewhere keep their own pins.
+            SyncWorkerEngine(we);
             auto t0 = std::chrono::steady_clock::now();
-            response = HandleQuery(req, ctx);
+            response = HandleQuery(req, we);
             RecordLatency(MsSince(t0));
           }
           break;
@@ -278,6 +317,9 @@ void QueryServer::ServeConnection(int fd, EvalContext& ctx) {
         case MessageType::kPingRequest:
           response.WriteU32(
               static_cast<uint32_t>(MessageType::kPingResponse));
+          break;
+        case MessageType::kRefreshRequest:
+          response = HandleRefresh();
           break;
         case MessageType::kShutdownRequest:
           if (config_.allow_remote_shutdown) {
@@ -323,10 +365,21 @@ void QueryServer::ServeConnection(int fd, EvalContext& ctx) {
     }
     if (!WriteFrame(fd, response, nullptr)) return;  // peer vanished
     if (close_after) return;
+    if (!config_.delta_path.empty()) {
+      // Refresh-enabled daemon: drop the engine pin before blocking for
+      // the connection's next request, or an idle-but-connected client
+      // would keep a refreshed-away engine generation resident. Costs a
+      // context rebuild per request; static-engine deployments (no delta)
+      // keep the per-connection scratch reuse instead.
+      we.ctx.reset();
+      we.state.reset();
+    }
   }
 }
 
-ByteSink QueryServer::HandleQuery(const QueryRequest& req, EvalContext& ctx) {
+ByteSink QueryServer::HandleQuery(const QueryRequest& req, WorkerEngine& we) {
+  const GmEngine& engine = *we.state->engine;
+  EvalContext& ctx = *we.ctx;
   QueryResponse resp;
   auto respond_error = [&](StatusCode status, const std::string& msg) {
     {
@@ -354,7 +407,7 @@ ByteSink QueryServer::HandleQuery(const QueryRequest& req, EvalContext& ctx) {
     }
     queries.push_back(InstantiateTemplate(TemplateByName(req.template_name),
                                           QueryVariant::kHybrid,
-                                          engine_.graph().NumLabels(),
+                                          engine.graph().NumLabels(),
                                           req.template_seed));
   } else {
     if (req.patterns.empty()) {
@@ -408,12 +461,12 @@ ByteSink QueryServer::HandleQuery(const QueryRequest& req, EvalContext& ctx) {
         return true;
       };
     }
-    results.push_back(engine_.Evaluate(ctx, queries[0], opts, sink));
+    results.push_back(engine.Evaluate(ctx, queries[0], opts, sink));
   } else {
     // Multi-pattern request: one EvaluateBatch call (its own worker pool
     // and contexts; per-query results identical to sequential evaluation).
-    results = engine_.EvaluateBatch(std::span<const PatternQuery>(queries),
-                                    opts, nullptr);
+    results = engine.EvaluateBatch(std::span<const PatternQuery>(queries),
+                                   opts, nullptr);
   }
 
   uint64_t occurrences = 0;
@@ -441,6 +494,141 @@ ByteSink QueryServer::HandleQuery(const QueryRequest& req, EvalContext& ctx) {
   return sink;
 }
 
+ByteSink QueryServer::HandleRefresh() {
+  RefreshResponse resp;
+  auto respond = [&]() {
+    if (resp.status != StatusCode::kOk) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++errors_;
+    }
+    ByteSink sink;
+    resp.Serialize(sink);
+    return sink;
+  };
+  if (config_.delta_path.empty()) {
+    resp.status = StatusCode::kBadRequest;
+    resp.error = "server has no delta log configured (--delta)";
+    return respond();
+  }
+
+  // One refresh at a time; a second request queues here and then finds the
+  // log already replayed (records_applied == 0).
+  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+  auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const EngineState> old_state = CurrentState();
+  const Graph& old_graph = old_state->engine->graph();
+  auto respond_caught_up = [&]() {
+    resp.last_seqno = old_state->applied_seqno;
+    resp.num_nodes = old_graph.NumNodes();
+    resp.num_edges = old_graph.NumEdges();
+    resp.refresh_ms = MsSince(t0);
+    return respond();
+  };
+
+  // The log is created lazily by the first append; a refresh that beats it
+  // is a healthy caught-up state, not an error. A zero-length file is the
+  // same state one crashed step later (open(O_CREAT) happened, the header
+  // pwrite did not) — DeltaWriter::Open likewise treats it as
+  // empty-to-initialize.
+  struct stat st{};
+  if (::stat(config_.delta_path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return respond_caught_up();
+  } else if (st.st_size == 0) {
+    return respond_caught_up();
+  }
+
+  DeltaReader reader(config_.delta_path, config_.delta_io);
+  if (!reader.ok()) {
+    resp.status = StatusCode::kInternalError;
+    resp.error = "cannot read delta log: " + reader.error();
+    return respond();
+  }
+  if (config_.base_checksum != 0 &&
+      reader.base_checksum() != config_.base_checksum) {
+    resp.status = StatusCode::kBadRequest;
+    resp.error = "delta log is bound to a different base snapshot";
+    return respond();
+  }
+
+  // Note: every refresh re-validates the chain from record 1 (the seeded
+  // checksums require a prefix scan), so a caught-up poll costs O(total
+  // log), not O(new records). Fine while logs stay small relative to the
+  // base — compaction-by-resnapshot is the pressure valve; caching the
+  // (offset, chain) position across refreshes is the follow-on if polling
+  // long logs ever matters.
+  std::string replay_error;
+  ReplayStats stats;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  if (!CollectDeltaEdges(reader, old_graph.NumNodes(),
+                         old_state->applied_seqno, &edges, &stats,
+                         &replay_error)) {
+    resp.status = StatusCode::kInternalError;
+    resp.error = replay_error;
+    return respond();
+  }
+  // Corruption check FIRST: a corrupt record inside the already-applied
+  // prefix also stops the reader before the resume point, and diagnosing
+  // that as "rewritten log" would send the operator chasing the wrong
+  // remediation.
+  if (reader.truncated() && !reader.tail_torn()) {
+    // Corruption of acknowledged data — NOT the benign crashed-append
+    // tail. Applying the valid prefix would silently serve a graph missing
+    // journaled updates; keep the current state and surface it.
+    resp.status = StatusCode::kInternalError;
+    resp.error = "delta log is corrupt after record " +
+                 std::to_string(reader.records_read()) + " (" +
+                 reader.tail_error() + ") — refresh refused";
+    return respond();
+  }
+  // The applied prefix must still be the prefix we applied: if the log
+  // was truncated and rewritten with reused seqnos (recovery after
+  // corruption, or delete + recreate), skipping by number alone would
+  // serve a silently stale graph forever. The chain checksum at the
+  // resume point detects any such rewrite.
+  if (old_state->applied_seqno > 0 &&
+      stats.resume_chain != old_state->applied_chain) {
+    resp.status = StatusCode::kBadRequest;
+    resp.error =
+        "delta log no longer contains the applied prefix (rewritten or "
+        "replaced since the last refresh) — restart the daemon from the "
+        "base snapshot";
+    return respond();
+  }
+  resp.log_truncated = reader.truncated();
+  resp.records_applied = stats.records_applied;
+  resp.edges_in_records = stats.edges_in_records;
+
+  // Already caught up: nothing to rebuild or swap.
+  if (stats.records_applied == 0) return respond_caught_up();
+
+  // Build the successor state: merged graph + a fresh reachability index.
+  // This is the refresh cost — and still far cheaper than re-dumping and
+  // reloading the whole snapshot (bench_delta measures both).
+  auto new_state = std::make_shared<EngineState>();
+  new_state->graph =
+      std::make_shared<const Graph>(ApplyEdgesToGraph(old_graph, edges));
+  new_state->engine = std::make_shared<const GmEngine>(*new_state->graph);
+  new_state->applied_seqno = stats.last_seqno;
+  new_state->applied_chain = stats.end_chain;
+  resp.last_seqno = stats.last_seqno;
+  resp.num_nodes = new_state->graph->NumNodes();
+  resp.num_edges = new_state->graph->NumEdges();
+
+  {
+    // RCU publish: workers pick the new state up on their next request;
+    // queries running right now finish on the old engine, which stays
+    // alive until the last of them drops its shared_ptr.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = std::move(new_state);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++refreshes_;
+  }
+  resp.refresh_ms = MsSince(t0);
+  return respond();
+}
+
 ByteSink QueryServer::HandleStats() const {
   ServerStats stats = Snapshot();
   StatsResponse resp;
@@ -451,6 +639,7 @@ ByteSink QueryServer::HandleStats() const {
   resp.queries_served = stats.queries_served;
   resp.errors = stats.errors;
   resp.occurrences_emitted = stats.occurrences_emitted;
+  resp.refreshes = stats.refreshes;
   resp.latency_p50_ms = stats.latency_p50_ms;
   resp.latency_p99_ms = stats.latency_p99_ms;
   ByteSink sink;
@@ -474,6 +663,7 @@ ServerStats QueryServer::Snapshot() const {
   stats.queries_served = queries_served_;
   stats.errors = errors_;
   stats.occurrences_emitted = occurrences_emitted_;
+  stats.refreshes = refreshes_;
   stats.uptime_ms = MsSince(start_time_);
   std::vector<double> samples(
       latency_ring_.begin(),

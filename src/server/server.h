@@ -6,13 +6,16 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/gm_engine.h"
 #include "server/protocol.h"
+#include "storage/snapshot_io.h"
 
 namespace rigpm::server {
 
@@ -37,6 +40,25 @@ struct ServerConfig {
   /// Honor kShutdownRequest frames (handy for scripted smoke tests; a
   /// deployment that only trusts signals can turn it off).
   bool allow_remote_shutdown = true;
+
+  /// Delta-log refresh source (storage/delta_log.h). When set, a
+  /// kRefreshRequest replays the log's new records over the served graph
+  /// and swaps the refreshed engine in without a restart. Empty disables
+  /// refresh (kRefreshRequest then draws an error response).
+  std::string delta_path;
+
+  /// Stored payload checksum of the base snapshot the engine was loaded
+  /// from (SnapshotInfo::stored_checksum). When nonzero, a refresh rejects
+  /// a delta log bound to a different base; 0 skips the check (engines not
+  /// loaded from a snapshot have no checksum to bind to).
+  uint64_t base_checksum = 0;
+
+  /// IO mode for reading the delta log on refresh. Defaults to the
+  /// streaming read (NOT the snapshot default of mmap): a recovering
+  /// DeltaWriter may ftruncate a torn tail concurrently, and shrinking a
+  /// file under a live mapping raises SIGBUS in the reader — a slurped
+  /// copy of a small log cannot be yanked away mid-replay.
+  SnapshotIoMode delta_io = SnapshotIoMode::kRead;
 };
 
 /// Point-in-time serving counters (also what a kStatsRequest returns).
@@ -47,6 +69,7 @@ struct ServerStats {
   uint64_t queries_served = 0;
   uint64_t errors = 0;
   uint64_t occurrences_emitted = 0;
+  uint64_t refreshes = 0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double uptime_ms = 0.0;
@@ -63,12 +86,22 @@ struct ServerStats {
 /// connection request-by-request, so per-query results are identical to
 /// in-process evaluation; multi-pattern requests go through EvaluateBatch.
 ///
+/// Live refresh: the served engine lives behind a shared_ptr<EngineState>
+/// that workers re-load per request (RCU-style). A kRefreshRequest replays
+/// the configured delta log's new records (ReplayDelta), rebuilds the
+/// reachability index over the merged graph, and publishes the new state;
+/// queries already running keep their reference to the old engine until
+/// they finish, so nothing blocks and no connection drops. The old state is
+/// freed when its last in-flight query completes.
+///
 /// Shutdown: Stop() (or a kShutdownRequest, or the daemon's SIGINT/SIGTERM
 /// handler calling RequestStop()) stops accepting, lets in-flight requests
 /// finish, closes queued-but-unserved connections, and joins all threads.
 class QueryServer {
  public:
-  /// The engine (and the graph it references) must outlive the server.
+  /// The engine (and the graph it references) must outlive the server. When
+  /// config.delta_path is set, refreshes build *owned* successor engines
+  /// internally; the caller's engine only serves until the first refresh.
   QueryServer(const GmEngine& engine, ServerConfig config);
   ~QueryServer();
 
@@ -99,19 +132,55 @@ class QueryServer {
 
   ServerStats Snapshot() const;
 
+  /// Delta-log sequence number the served engine includes (0 before any
+  /// refresh). Test/diagnostic hook.
+  uint64_t applied_seqno() const;
+
  private:
+  /// One immutable served unit. Refresh publishes a new instance; queries
+  /// in flight pin the old one via shared_ptr until they return.
+  struct EngineState {
+    std::shared_ptr<const Graph> graph;      // null for the initial
+                                             // caller-owned engine
+    std::shared_ptr<const GmEngine> engine;  // never null
+    uint64_t applied_seqno = 0;
+    /// Chain checksum of the delta record at applied_seqno (0 before any
+    /// refresh). The next refresh verifies the log still carries this
+    /// exact prefix — resuming by seqno alone would silently skip a log
+    /// that was truncated and rewritten with reused sequence numbers.
+    uint64_t applied_chain = 0;
+  };
+
+  /// A worker's view of the served engine: the pinned state plus the
+  /// EvalContext built against it. Sync() re-pins and rebuilds the context
+  /// when a refresh has been published since the last request.
+  struct WorkerEngine {
+    std::shared_ptr<const EngineState> state;
+    std::optional<EvalContext> ctx;
+  };
+
   void AcceptLoop();
   void WorkerLoop(size_t worker_index);
-  void ServeConnection(int fd, EvalContext& ctx);
+  void ServeConnection(int fd, WorkerEngine& we);
+
+  std::shared_ptr<const EngineState> CurrentState() const;
+  void SyncWorkerEngine(WorkerEngine& we) const;
 
   /// Evaluates one query request; returns the response payload.
-  ByteSink HandleQuery(const QueryRequest& req, EvalContext& ctx);
+  ByteSink HandleQuery(const QueryRequest& req, WorkerEngine& we);
   ByteSink HandleStats() const;
+  /// Replays new delta records and swaps the engine (serialized; concurrent
+  /// refresh requests queue on refresh_mu_).
+  ByteSink HandleRefresh();
 
   void RecordLatency(double ms);
 
-  const GmEngine& engine_;
   ServerConfig config_;
+
+  // The served engine, swapped atomically on refresh.
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const EngineState> state_;
+  std::mutex refresh_mu_;  // at most one refresh runs at a time
 
   int listen_fd_ = -1;
   uint16_t bound_port_ = 0;
@@ -140,6 +209,7 @@ class QueryServer {
   uint64_t queries_served_ = 0;
   uint64_t errors_ = 0;
   uint64_t occurrences_emitted_ = 0;
+  uint64_t refreshes_ = 0;
   std::vector<double> latency_ring_;
   size_t latency_next_ = 0;
   bool latency_wrapped_ = false;

@@ -40,8 +40,8 @@ int ServeUsage() {
       stderr,
       "usage: serve (--snapshot FILE | --graph FILE)\n"
       "             (--socket PATH | --port N [--host ADDR])\n"
-      "             [--workers N] [--max-tuples N] [--no-remote-shutdown]\n"
-      "             [--snapshot-io mmap|read]\n");
+      "             [--delta FILE] [--workers N] [--max-tuples N]\n"
+      "             [--no-remote-shutdown] [--snapshot-io mmap|read]\n");
   return 2;
 }
 
@@ -50,7 +50,7 @@ int ClientUsage() {
       stderr,
       "usage: client (--socket PATH | --host ADDR --port N)\n"
       "              (--pattern STR | --batch FILE | --template NAME\n"
-      "               | --stats | --ping | --shutdown)\n"
+      "               | --stats | --ping | --refresh | --shutdown)\n"
       "              [--seed N] [--limit N] [--threads N] [--tuples N]\n"
       "              [--print N]\n");
   return 2;
@@ -72,6 +72,7 @@ void PrintTuples(const QueryResponse& resp, uint64_t max_print) {
 
 int ServeToolMain(int argc, char** argv, int first_arg) {
   std::string snapshot_path, graph_path, socket_path, host = "127.0.0.1";
+  std::string delta_path;
   int port = -1;
   SnapshotIoMode io_mode = DefaultSnapshotIoMode();
   ServerConfig config;
@@ -81,6 +82,10 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
       if ((v = NeedValue(argc, argv, &i, "--snapshot")) == nullptr)
         return ServeUsage();
       snapshot_path = v;
+    } else if (std::strcmp(argv[i], "--delta") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--delta")) == nullptr)
+        return ServeUsage();
+      delta_path = v;
     } else if (std::strcmp(argv[i], "--snapshot-io") == 0) {
       if ((v = NeedValue(argc, argv, &i, "--snapshot-io")) == nullptr)
         return ServeUsage();
@@ -130,9 +135,20 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
     std::fprintf(stderr, "serve needs --socket PATH or --port N\n");
     return ServeUsage();
   }
+  if (!delta_path.empty() && snapshot_path.empty()) {
+    // A delta log is bound to a base snapshot checksum; without a snapshot
+    // there is nothing to bind the refresh to.
+    std::fprintf(stderr, "--delta requires --snapshot\n");
+    return ServeUsage();
+  }
   config.unix_path = socket_path;
   config.host = host;
   config.port = static_cast<uint16_t>(port < 0 ? 0 : port);
+  config.delta_path = delta_path;
+  // config.delta_io stays on its kRead default: --snapshot-io governs how
+  // the (immutable, rename-replaced) snapshot is loaded, but the delta log
+  // is appended to and tail-truncated in place, where reading through a
+  // mapping could SIGBUS (server.h).
 
   // Load once; serve many. The snapshot path is the whole point: restart
   // cost is one deserialization, not a parse + index rebuild — and in mmap
@@ -155,6 +171,15 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
     std::printf("snapshot: %s (warm start via %s)\n", snapshot_path.c_str(),
                 io_mode == SnapshotIoMode::kMmap ? "mmap" : "read");
     std::printf("graph: %s\n", warm.graph->Summary().c_str());
+    if (!delta_path.empty()) {
+      // Bind refreshes to this exact base — the checksum of the bytes we
+      // actually LOADED, not a re-read of the path (which a concurrent
+      // compaction may have rename-replaced with a different snapshot).
+      config.base_checksum = warm.stored_checksum;
+      std::printf("delta: %s (kRefresh enabled, base %016llx)\n",
+                  delta_path.c_str(),
+                  static_cast<unsigned long long>(config.base_checksum));
+    }
   } else {
     parsed_graph = ReadGraphFile(graph_path, &error);
     if (!parsed_graph.has_value()) {
@@ -203,6 +228,7 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
   std::string socket_path, host = "127.0.0.1", batch_path;
   int port = -1;
   bool want_stats = false, want_ping = false, want_shutdown = false;
+  bool want_refresh = false;
   uint64_t print = 10;
   QueryRequest req;
   for (int i = first_arg; i < argc; ++i) {
@@ -256,6 +282,8 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
       want_stats = true;
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       want_ping = true;
+    } else if (std::strcmp(argv[i], "--refresh") == 0) {
+      want_refresh = true;
     } else if (std::strcmp(argv[i], "--shutdown") == 0) {
       want_shutdown = true;
     } else {
@@ -281,7 +309,8 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
     }
   }
   const bool has_query = !req.patterns.empty() || !req.template_name.empty();
-  if (!has_query && !want_stats && !want_ping && !want_shutdown) {
+  if (!has_query && !want_stats && !want_ping && !want_refresh &&
+      !want_shutdown) {
     std::fprintf(stderr, "client has nothing to do\n");
     return ClientUsage();
   }
@@ -308,6 +337,29 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
       return 1;
     }
     std::printf("pong\n");
+  }
+
+  if (want_refresh) {
+    auto resp = client.Refresh(&error);
+    if (!resp.has_value()) {
+      std::fprintf(stderr, "refresh failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (resp->status != StatusCode::kOk) {
+      std::fprintf(stderr, "server rejected refresh (%s): %s\n",
+                   StatusCodeName(resp->status), resp->error.c_str());
+      return 1;
+    }
+    std::printf("refresh: %llu record(s), %llu edge(s) applied in %.2f ms "
+                "(log position %llu%s)\n",
+                static_cast<unsigned long long>(resp->records_applied),
+                static_cast<unsigned long long>(resp->edges_in_records),
+                resp->refresh_ms,
+                static_cast<unsigned long long>(resp->last_seqno),
+                resp->log_truncated ? "; log has a torn tail" : "");
+    std::printf("serving: %llu node(s), %llu edge(s)\n",
+                static_cast<unsigned long long>(resp->num_nodes),
+                static_cast<unsigned long long>(resp->num_edges));
   }
 
   if (has_query) {
@@ -356,6 +408,8 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
                 static_cast<unsigned long long>(stats->errors));
     std::printf("occurrences emitted: %llu\n",
                 static_cast<unsigned long long>(stats->occurrences_emitted));
+    std::printf("refreshes: %llu\n",
+                static_cast<unsigned long long>(stats->refreshes));
     std::printf("latency: p50 %.2f ms, p99 %.2f ms\n", stats->latency_p50_ms,
                 stats->latency_p99_ms);
   }

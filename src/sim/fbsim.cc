@@ -42,8 +42,8 @@ CandidateSets FBSim(const MatchContext& ctx, const PatternQuery& q,
       const QueryEdge& edge = q.Edge(e);
       changed |=
           ForwardPruneEdge(ctx, edge, &fb[edge.from], fb[edge.to], opts, stats);
-      changed |=
-          BackwardPruneEdge(ctx, edge, fb[edge.from], &fb[edge.to], opts, stats);
+      changed |= BackwardPruneEdge(ctx, edge, fb[edge.from], &fb[edge.to],
+                                   opts, stats);
     }
   }
   return fb;

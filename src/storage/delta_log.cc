@@ -1,0 +1,559 @@
+#include "storage/delta_log.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
+
+#include "storage/snapshot.h"
+#include "util/serde.h"
+
+namespace rigpm {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'I', 'G', 'P', 'M', 'S', 'N', 'P'};
+// 24-byte snapshot container head + u32 base node count + u32 reserved.
+constexpr uint64_t kFileHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint32_t) +
+                                      sizeof(uint64_t) + 2 * sizeof(uint32_t);
+// base checksum + seqno + edge count + flags (the fields the header
+// checksum covers).
+constexpr uint64_t kRecordFieldsBytes = 2 * sizeof(uint64_t) +
+                                        2 * sizeof(uint32_t);
+// ... plus the header checksum itself.
+constexpr uint64_t kRecordHeaderBytes = kRecordFieldsBytes + sizeof(uint64_t);
+constexpr uint64_t kEdgeBytes = 2 * sizeof(NodeId);
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+/// fsyncs the directory containing `path`, so a freshly created file's
+/// directory entry is durable — fdatasync(fd) alone persists the data but
+/// not the entry, and a crash could lose the whole "synced" file.
+bool SyncParentDir(const std::string& path, std::string* error) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    SetError(error, "cannot open directory " + dir + ": " +
+                        std::strerror(errno));
+    return false;
+  }
+  const bool ok = ::fsync(dfd) == 0;
+  if (!ok) {
+    SetError(error,
+             "cannot sync directory " + dir + ": " + std::strerror(errno));
+  }
+  ::close(dfd);
+  return ok;
+}
+
+/// Serializes the delta file header into `sink`.
+void WriteFileHeader(ByteSink& sink, uint64_t base_checksum,
+                     uint32_t base_num_nodes) {
+  sink.WriteRaw(kMagic, sizeof(kMagic));
+  sink.WriteU32(kSnapshotVersion);
+  sink.WriteU32(static_cast<uint32_t>(SnapshotKind::kDelta));
+  sink.WriteU64(base_checksum);
+  sink.WriteU32(base_num_nodes);
+  sink.WriteU32(0);  // reserved
+}
+
+/// Validates a delta file header in `data` (at least kFileHeaderBytes).
+/// Returns false with *error on anything but a well-formed delta header.
+bool ParseFileHeader(const uint8_t* data, uint64_t* base_checksum,
+                     uint32_t* base_num_nodes, std::string* error) {
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    SetError(error, "bad delta log magic (not a rigpm delta log)");
+    return false;
+  }
+  uint32_t version = 0;
+  uint32_t kind = 0;
+  std::memcpy(&version, data + sizeof(kMagic), sizeof(version));
+  std::memcpy(&kind, data + sizeof(kMagic) + sizeof(uint32_t), sizeof(kind));
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
+    SetError(error,
+             "unsupported delta log version " + std::to_string(version));
+    return false;
+  }
+  if (kind != static_cast<uint32_t>(SnapshotKind::kDelta)) {
+    SetError(error, "file has snapshot kind " + std::to_string(kind) +
+                        ", not a delta log");
+    return false;
+  }
+  std::memcpy(base_checksum, data + sizeof(kMagic) + 2 * sizeof(uint32_t),
+              sizeof(*base_checksum));
+  std::memcpy(base_num_nodes,
+              data + sizeof(kMagic) + 2 * sizeof(uint32_t) + sizeof(uint64_t),
+              sizeof(*base_num_nodes));
+  return true;
+}
+
+/// One parsed-and-verified record starting at `offset` in data[0..size).
+/// Returns the number of bytes consumed, or 0 when the bytes at `offset` do
+/// not form a valid next record (*why says what failed). *torn_tail
+/// distinguishes the two failure classes: true when the record simply runs
+/// past end-of-file (a crashed append — Append writes each record with one
+/// pwrite, so a tear always leaves a strict prefix), false when the full
+/// record bytes are present but invalid (corruption of acknowledged data).
+/// Pure validation — shared by writer recovery and reader iteration.
+uint64_t ParseRecord(const uint8_t* data, uint64_t size, uint64_t offset,
+                     uint64_t expected_base, uint64_t expected_seqno,
+                     uint64_t chain_seed, DeltaRecord* out, std::string* why,
+                     bool* torn_tail = nullptr) {
+  if (torn_tail != nullptr) *torn_tail = false;
+  if (size - offset < kRecordHeaderBytes) {
+    if (torn_tail != nullptr) *torn_tail = true;
+    SetError(why, "truncated record header");
+    return 0;
+  }
+  const uint8_t* rec = data + offset;
+  uint64_t base = 0;
+  uint64_t seqno = 0;
+  uint32_t num_edges = 0;
+  uint32_t flags = 0;
+  uint64_t header_checksum = 0;
+  std::memcpy(&base, rec, sizeof(base));
+  std::memcpy(&seqno, rec + 8, sizeof(seqno));
+  std::memcpy(&num_edges, rec + 16, sizeof(num_edges));
+  std::memcpy(&flags, rec + 20, sizeof(flags));
+  std::memcpy(&header_checksum, rec + kRecordFieldsBytes,
+              sizeof(header_checksum));
+  if (base != expected_base) {
+    SetError(why, "record is bound to a different base snapshot");
+    return 0;
+  }
+  if (seqno != expected_seqno) {
+    SetError(why, "record sequence number " + std::to_string(seqno) +
+                      " breaks the chain (expected " +
+                      std::to_string(expected_seqno) + ")");
+    return 0;
+  }
+  if (flags != 0) {
+    SetError(why, "record has unknown flags");
+    return 0;
+  }
+  // The header carries its own checksum so the edge count is trustworthy
+  // BEFORE the truncated-body test below: without it, a bit flip in
+  // num_edges would inflate the declared size past EOF and a corrupt
+  // record mid-log would be indistinguishable from a torn append — and
+  // writer recovery would truncate acknowledged records behind it.
+  if (header_checksum != Checksum64(rec, kRecordFieldsBytes, chain_seed)) {
+    SetError(why, "record header checksum mismatch");
+    return 0;
+  }
+  const uint64_t body = kRecordHeaderBytes + uint64_t{num_edges} * kEdgeBytes;
+  if (size - offset < body + sizeof(uint64_t)) {
+    if (torn_tail != nullptr) *torn_tail = true;
+    SetError(why, "truncated record body");
+    return 0;
+  }
+  uint64_t stored = 0;
+  std::memcpy(&stored, rec + body, sizeof(stored));
+  if (stored != Checksum64(rec, body, chain_seed)) {
+    SetError(why, "record checksum mismatch");
+    return 0;
+  }
+  if (out != nullptr) {
+    out->seqno = seqno;
+    out->edges.resize(num_edges);
+    for (uint32_t i = 0; i < num_edges; ++i) {
+      NodeId src = 0;
+      NodeId dst = 0;
+      std::memcpy(&src, rec + kRecordHeaderBytes + uint64_t{i} * kEdgeBytes,
+                  sizeof(src));
+      std::memcpy(&dst,
+                  rec + kRecordHeaderBytes + uint64_t{i} * kEdgeBytes +
+                      sizeof(NodeId),
+                  sizeof(dst));
+      out->edges[i] = {src, dst};
+    }
+  }
+  return body + sizeof(uint64_t);
+}
+
+/// Updates *chain to the checksum of the record at `offset` (caller has
+/// already validated it via ParseRecord).
+void AdvanceChain(const uint8_t* data, uint64_t offset, uint64_t consumed,
+                  uint64_t* chain) {
+  std::memcpy(chain, data + offset + consumed - sizeof(uint64_t),
+              sizeof(*chain));
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- DeltaWriter
+
+DeltaWriter::~DeltaWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<DeltaWriter> DeltaWriter::Open(const std::string& path,
+                                               uint64_t base_checksum,
+                                               uint32_t base_num_nodes,
+                                               std::string* error,
+                                               DeltaWriterOptions options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    SetError(error, "cannot open " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  auto writer = std::unique_ptr<DeltaWriter>(new DeltaWriter());
+  writer->fd_ = fd;  // the writer owns fd (and its lock) from here on
+  writer->base_num_nodes_ = base_num_nodes;
+  // One writer at a time: two concurrent appenders would both scan to the
+  // same chain position and interleave same-seqno records — the second
+  // writer's acknowledged record would read as a torn tail and be
+  // truncated away by the next recovery scan. The lock lives as long as
+  // the fd, i.e. the writer.
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    SetError(error, path + (errno == EWOULDBLOCK
+                                ? " is locked by another delta writer"
+                                : std::string(" lock failed: ") +
+                                      std::strerror(errno)));
+    return nullptr;
+  }
+  writer->base_checksum_ = base_checksum;
+  writer->chain_checksum_ = base_checksum;
+  writer->options_ = options;
+
+  // Read whatever is there: a fresh file gets a header; an existing log is
+  // validated and scanned so appends continue the chain. The scan doubles
+  // as crash recovery — an invalid tail (a torn append) is truncated away.
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    SetError(error, "cannot seek " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  if (end == 0) {
+    // Truly empty (just created, or a zero-length leftover): initialize.
+    // The directory fsync makes the new entry itself durable — without it
+    // a crash after an "acknowledged" first append could lose the whole
+    // file, violating the write-ahead guarantee the journal exists for.
+    if (base_num_nodes == 0) {
+      SetError(error, "creating " + path + " requires the base graph's "
+                          "node count (the permanent endpoint bound)");
+      return nullptr;
+    }
+    ByteSink header;
+    WriteFileHeader(header, base_checksum, base_num_nodes);
+    if (::pwrite(fd, header.data().data(), header.size(), 0) !=
+        static_cast<ssize_t>(header.size())) {
+      SetError(error, "cannot initialize " + path + ": " +
+                          std::strerror(errno));
+      return nullptr;
+    }
+    if (options.fsync_each_append &&
+        (::fdatasync(fd) != 0 || !SyncParentDir(path, error))) {
+      if (error != nullptr && error->empty()) {
+        SetError(error, "cannot sync " + path + ": " + std::strerror(errno));
+      }
+      return nullptr;
+    }
+    return writer;
+  }
+  if (static_cast<uint64_t>(end) < kFileHeaderBytes) {
+    // Nonempty but too short to be a delta log. This is NOT ours to
+    // repair: a torn header write can only exist for a log that never
+    // acknowledged an append, and the far likelier cause is a mistyped
+    // path pointing at some other small file — refuse instead of
+    // truncating someone's data away.
+    SetError(error, path + " exists but is not a delta log (" +
+                        std::to_string(end) + " bytes); refusing to "
+                        "overwrite it");
+    return nullptr;
+  }
+
+  std::vector<uint8_t> bytes(static_cast<size_t>(end));
+  ssize_t got = ::pread(fd, bytes.data(), bytes.size(), 0);
+  if (got != static_cast<ssize_t>(bytes.size())) {
+    SetError(error, "cannot read " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  uint64_t file_base = 0;
+  uint32_t file_num_nodes = 0;
+  if (!ParseFileHeader(bytes.data(), &file_base, &file_num_nodes, error)) {
+    return nullptr;
+  }
+  if (file_base != base_checksum) {
+    SetError(error, path + " is bound to a different base snapshot "
+                        "(refusing to mix bases in one log)");
+    return nullptr;
+  }
+  if (base_num_nodes != 0 && base_num_nodes != file_num_nodes) {
+    SetError(error, path + " records a base of " +
+                        std::to_string(file_num_nodes) +
+                        " nodes, but the caller expects " +
+                        std::to_string(base_num_nodes));
+    return nullptr;
+  }
+  writer->base_num_nodes_ = file_num_nodes;
+  uint64_t offset = kFileHeaderBytes;
+  while (offset < bytes.size()) {
+    std::string why;
+    bool torn_tail = false;
+    uint64_t consumed =
+        ParseRecord(bytes.data(), bytes.size(), offset, base_checksum,
+                    writer->last_seqno_ + 1, writer->chain_checksum_,
+                    nullptr, &why, &torn_tail);
+    if (consumed == 0) {
+      if (!torn_tail) {
+        // Full record bytes are present but invalid: that is corruption of
+        // acknowledged (fsynced) data, not a crashed append — truncating
+        // here would silently destroy every durable record after it.
+        // Refuse; the operator can inspect/replay the valid prefix and
+        // re-snapshot.
+        SetError(error, path + " is corrupt after record " +
+                            std::to_string(writer->last_seqno_) + " (" +
+                            why + "); refusing to truncate acknowledged "
+                            "records — recover via `delta replay` + a new "
+                            "log");
+        return nullptr;
+      }
+      // Torn tail from a crashed append: drop it so the next record chains
+      // cleanly off the last durable one.
+      if (::ftruncate(fd, static_cast<off_t>(offset)) != 0) {
+        SetError(error, "cannot truncate torn tail of " + path + ": " +
+                            std::strerror(errno));
+        return nullptr;
+      }
+      break;
+    }
+    AdvanceChain(bytes.data(), offset, consumed, &writer->chain_checksum_);
+    ++writer->last_seqno_;
+    offset += consumed;
+  }
+  return writer;
+}
+
+bool DeltaWriter::Append(std::span<const std::pair<NodeId, NodeId>> edges,
+                         std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "delta writer is not open");
+    return false;
+  }
+  if (poisoned_) {
+    SetError(error, "delta writer is poisoned (a failed append could not "
+                    "be rolled back; reopen the log to recover)");
+    return false;
+  }
+  if (edges.size() > std::numeric_limits<uint32_t>::max()) {
+    SetError(error, "edge batch too large for one delta record");
+    return false;
+  }
+  // The format layer's own line of defense: no record may ever reference a
+  // node the base does not have, whatever the caller checked.
+  if (!ValidateEdgeEndpoints(edges, base_num_nodes_, error)) return false;
+  ByteSink record;
+  record.WriteU64(base_checksum_);
+  record.WriteU64(last_seqno_ + 1);
+  record.WriteU32(static_cast<uint32_t>(edges.size()));
+  record.WriteU32(0);  // flags
+  // Header checksum over the fields above: keeps the edge count
+  // trustworthy for readers even when the body is torn (ParseRecord).
+  record.WriteU64(
+      Checksum64(record.data().data(), record.size(), chain_checksum_));
+  for (const auto& [src, dst] : edges) {
+    record.WriteU32(src);
+    record.WriteU32(dst);
+  }
+  const uint64_t checksum =
+      Checksum64(record.data().data(), record.size(), chain_checksum_);
+  record.WriteU64(checksum);
+
+  // One positional write at the end: no seek state to race, and a torn
+  // write is recovered by the next Open()'s tail truncation.
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    SetError(error, std::string("delta append failed: ") +
+                        std::strerror(errno));
+    return false;
+  }
+  // On ANY failure, roll the file back to where this append started: a
+  // partial record left in place would sit in front of the next
+  // successful append, turning an acknowledged record into an unreadable
+  // tail that recovery would then truncate away. If even the rollback
+  // fails, the writer poisons itself — a blind retry would land after the
+  // junk and be unrecoverable; reopening the log re-runs torn-tail
+  // recovery on the real file state.
+  auto fail_and_rollback = [&](const char* what) {
+    SetError(error, std::string(what) + ": " + std::strerror(errno));
+    if (::ftruncate(fd_, end) != 0) poisoned_ = true;
+    return false;
+  };
+  if (::pwrite(fd_, record.data().data(), record.size(), end) !=
+      static_cast<ssize_t>(record.size())) {
+    return fail_and_rollback("delta append failed");
+  }
+  if (options_.fsync_each_append && ::fdatasync(fd_) != 0) {
+    return fail_and_rollback("delta fsync failed");
+  }
+  chain_checksum_ = checksum;
+  ++last_seqno_;
+  return true;
+}
+
+// ----------------------------------------------------------- DeltaReader
+
+DeltaReader::DeltaReader(const std::string& path, SnapshotIoMode mode) {
+  if (mode == SnapshotIoMode::kMmap) {
+    std::string map_error;
+    mapping_ = MappedFile::Open(path, &map_error);
+    if (mapping_ != nullptr) {
+      data_ = mapping_->data();
+      size_ = mapping_->size();
+    }
+    // Unmappable: fall through to the streaming read, like SnapshotReader.
+  }
+  if (data_ == nullptr) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      error_ = "cannot open " + path;
+      return;
+    }
+    buffer_.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) {
+      error_ = "cannot read " + path;
+      return;
+    }
+    data_ = buffer_.data();
+    size_ = buffer_.size();
+  }
+  if (size_ < kFileHeaderBytes) {
+    error_ = "truncated delta log (smaller than header)";
+    return;
+  }
+  if (!ParseFileHeader(data_, &base_checksum_, &base_num_nodes_, &error_)) {
+    return;
+  }
+  chain_checksum_ = base_checksum_;
+  offset_ = kFileHeaderBytes;
+}
+
+bool DeltaReader::Next(DeltaRecord* out) {
+  if (!ok() || truncated_) return false;
+  if (offset_ >= size_) return false;  // clean end of log
+  std::string why;
+  uint64_t consumed = ParseRecord(data_, size_, offset_, base_checksum_,
+                                  last_seqno_ + 1, chain_checksum_, out,
+                                  &why, &tail_torn_);
+  if (consumed == 0) {
+    truncated_ = true;
+    tail_error_ = why;
+    return false;
+  }
+  AdvanceChain(data_, offset_, consumed, &chain_checksum_);
+  offset_ += consumed;
+  ++last_seqno_;
+  ++records_read_;
+  return true;
+}
+
+// ------------------------------------------------------------- replaying
+
+void DedupeNewEdges(const Graph& g,
+                    std::vector<std::pair<NodeId, NodeId>>* edges) {
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+  std::erase_if(*edges, [&](const std::pair<NodeId, NodeId>& e) {
+    return g.HasEdge(e.first, e.second);
+  });
+}
+
+Graph ApplyEdgesToGraph(const Graph& g,
+                        std::span<const std::pair<NodeId, NodeId>> new_edges,
+                        bool already_deduplicated) {
+  std::vector<LabelId> labels(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) labels[v] = g.Label(v);
+  // Dedupe the batch against itself and the existing adjacency so repeated
+  // batches cannot grow the rebuild input (Graph::FromEdges would drop the
+  // duplicates anyway, but re-sorting them on every rebuild is waste).
+  std::vector<std::pair<NodeId, NodeId>> fresh(new_edges.begin(),
+                                               new_edges.end());
+  if (!already_deduplicated) DedupeNewEdges(g, &fresh);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.NumEdges() + fresh.size());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) edges.emplace_back(v, w);
+  }
+  edges.insert(edges.end(), fresh.begin(), fresh.end());
+  return Graph::FromEdges(std::move(labels), std::move(edges));
+}
+
+bool ValidateEdgeEndpoints(std::span<const std::pair<NodeId, NodeId>> edges,
+                           uint32_t num_nodes, std::string* error) {
+  for (const auto& [src, dst] : edges) {
+    if (src >= num_nodes || dst >= num_nodes) {
+      SetError(error, "edge (" + std::to_string(src) + ", " +
+                          std::to_string(dst) + ") references node " +
+                          std::to_string(std::max(src, dst)) +
+                          ", but the graph has only " +
+                          std::to_string(num_nodes) + " nodes");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CollectDeltaEdges(DeltaReader& reader, uint32_t num_nodes,
+                       uint64_t after_seqno,
+                       std::vector<std::pair<NodeId, NodeId>>* edges,
+                       ReplayStats* stats, std::string* error) {
+  if (!reader.ok()) {
+    SetError(error, reader.error());
+    return false;
+  }
+  ReplayStats local;
+  local.resume_chain = after_seqno == 0 ? reader.base_checksum() : 0;
+  local.end_chain = local.resume_chain;
+  DeltaRecord rec;
+  while (reader.Next(&rec)) {
+    if (rec.seqno <= after_seqno) {
+      if (rec.seqno == after_seqno) {
+        local.resume_chain = reader.chain_checksum();
+        local.end_chain = local.resume_chain;
+      }
+      continue;
+    }
+    std::string endpoint_error;
+    if (!ValidateEdgeEndpoints(rec.edges, num_nodes, &endpoint_error)) {
+      SetError(error, "delta record " + std::to_string(rec.seqno) + ": " +
+                          endpoint_error + " — log does not match this base");
+      return false;
+    }
+    edges->insert(edges->end(), rec.edges.begin(), rec.edges.end());
+    ++local.records_applied;
+    local.edges_in_records += rec.edges.size();
+    local.last_seqno = rec.seqno;
+    local.end_chain = reader.chain_checksum();
+  }
+  if (stats != nullptr) *stats = local;
+  return true;
+}
+
+std::optional<Graph> ReplayDelta(const Graph& base, DeltaReader& reader,
+                                 std::string* error, ReplayStats* stats,
+                                 uint64_t after_seqno) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  ReplayStats local;
+  if (!CollectDeltaEdges(reader, base.NumNodes(), after_seqno, &edges,
+                         &local, error)) {
+    return std::nullopt;
+  }
+  if (stats != nullptr) *stats = local;
+  if (local.records_applied == 0) return base;  // copy of the base
+  return ApplyEdgesToGraph(base, edges);
+}
+
+}  // namespace rigpm

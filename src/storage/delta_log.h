@@ -1,0 +1,293 @@
+#ifndef RIGPM_STORAGE_DELTA_LOG_H_
+#define RIGPM_STORAGE_DELTA_LOG_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "storage/snapshot_io.h"
+#include "util/mapped_file.h"
+
+namespace rigpm {
+
+/// Append-only edge-delta log over a base snapshot — the persistence layer
+/// for the incremental setting (engine/incremental.h). A served graph is
+/// refreshed by shipping `base.snap + graph.delta` instead of re-dumping
+/// and reloading the whole snapshot: updates land in the log as small
+/// checksummed records, and readers (rigpm_serve's kRefresh path, `rigpm_cli
+/// delta replay`) rebuild the current graph by replaying them over the base.
+///
+/// File layout (the 24-byte container head of storage/snapshot.h plus an
+/// 8-byte delta extension; the body is an unbounded record sequence rather
+/// than one checksummed payload — an append must not have to rewrite a
+/// trailing footer):
+///   8 bytes  magic "RIGPMSNP"
+///   u32      format version (kSnapshotVersion)
+///   u32      kind (SnapshotKind::kDelta)
+///   u64      base checksum — the stored payload checksum of the base
+///            snapshot file (SnapshotInfo::stored_checksum); binds the log
+///            to exactly one base
+///   u32      base node count — recorded at creation so later appends can
+///            validate edge endpoints without decoding the base snapshot
+///            at all (edge insertions never add nodes, so the bound is
+///            permanent)
+///   u32      reserved (0)
+/// followed by zero or more records, each:
+///   u64      base checksum (repeated, so every record self-identifies)
+///   u64      sequence number (1-based, consecutive)
+///   u32      edge count
+///   u32      flags (reserved, 0)
+///   u64      header checksum — Checksum64 over the four fields above,
+///            seeded like the record checksum. It makes the edge count
+///            trustworthy on its own, so a bit-flipped length that claims
+///            to run past end-of-file is detected as corruption instead of
+///            masquerading as a torn append.
+///   pairs    edge list: (u32 src, u32 dst) per edge
+///   u64      record checksum — Checksum64 over the record bytes above,
+///            SEEDED with the previous record's checksum (the base checksum
+///            for record 1). The seed chaining makes each checksum depend
+///            on the whole prefix, so reordered, spliced, or cross-wired
+///            records fail validation, not just bit-flipped ones.
+///
+/// Durability: DeltaWriter::Append writes the record and fdatasync()s by
+/// default, so an acknowledged append survives a crash. A crash mid-append
+/// leaves a truncated tail; DeltaWriter::Open truncates it away (standard
+/// WAL recovery) and DeltaReader replays the valid prefix.
+///
+/// All integers are host-endian, like every other rigpm persistence format.
+
+/// One replayable edge batch.
+struct DeltaRecord {
+  uint64_t seqno = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+struct DeltaWriterOptions {
+  /// fdatasync() after every record. Turn off only where losing the tail on
+  /// a crash is acceptable (benchmarks).
+  bool fsync_each_append = true;
+};
+
+/// Appends edge-batch records to a delta log, creating the file (and its
+/// header) on first use. Open() recovers from a crashed append by
+/// truncating the invalid tail, then positions at the end of the valid
+/// prefix; Append() frames, checksums, and (by default) syncs one record.
+class DeltaWriter {
+ public:
+  ~DeltaWriter();
+
+  DeltaWriter(const DeltaWriter&) = delete;
+  DeltaWriter& operator=(const DeltaWriter&) = delete;
+
+  /// Opens `path` for appending and takes an exclusive flock (held for
+  /// the writer's lifetime; a second concurrent writer is refused). A
+  /// missing or empty file is initialized with a header binding it to
+  /// `base_checksum` and `base_num_nodes` (and the directory entry
+  /// fsynced); an existing log must carry the same base checksum
+  /// (appending records for a different base would make the whole log
+  /// unreplayable) and `base_num_nodes` is then read from it, so callers
+  /// may pass 0 to mean "whatever the log says" — decoding the base graph
+  /// is only needed to CREATE a log. A TORN tail — a record whose bytes
+  /// end at EOF, i.e. a crashed append — is truncated to the last valid
+  /// record; full-size records that fail validation are treated as
+  /// corruption of acknowledged data and make Open refuse rather than
+  /// destroy them. (Deliberate tradeoff: on filesystems whose crash
+  /// behavior can extend the file size before all data blocks land, an
+  /// UNACKNOWLEDGED torn append may leave a full-size-but-invalid tail
+  /// indistinguishable from corruption of an acknowledged record — Open
+  /// refuses that too, favoring "never silently drop acknowledged data"
+  /// over auto-recovery; the operator inspects and rebuilds the log.) A
+  /// nonempty file that is not a delta log — including one shorter than
+  /// the header — is refused, never overwritten. Returns null with *error
+  /// on failure.
+  static std::unique_ptr<DeltaWriter> Open(const std::string& path,
+                                           uint64_t base_checksum,
+                                           uint32_t base_num_nodes,
+                                           std::string* error,
+                                           DeltaWriterOptions options = {});
+
+  /// Appends one record holding `edges` and assigns it the next sequence
+  /// number. Every endpoint must be < base_num_nodes() — a violating batch
+  /// is rejected whole (the format layer's own enforcement that no record
+  /// can ever be unreplayable, on top of the callers' earlier checks). An
+  /// empty batch is valid (and replayable) but pointless; callers usually
+  /// skip it.
+  bool Append(std::span<const std::pair<NodeId, NodeId>> edges,
+              std::string* error);
+  bool Append(std::initializer_list<std::pair<NodeId, NodeId>> edges,
+              std::string* error) {
+    return Append(std::span<const std::pair<NodeId, NodeId>>(edges.begin(),
+                                                             edges.size()),
+                  error);
+  }
+
+  uint64_t base_checksum() const { return base_checksum_; }
+  /// Node count of the base graph (from the header; the endpoint bound).
+  uint32_t base_num_nodes() const { return base_num_nodes_; }
+  /// Sequence number the next Append will stamp.
+  uint64_t next_seqno() const { return last_seqno_ + 1; }
+  /// Records in the log (== last stamped sequence number).
+  uint64_t record_count() const { return last_seqno_; }
+
+ private:
+  DeltaWriter() = default;
+
+  int fd_ = -1;
+  uint64_t base_checksum_ = 0;
+  uint32_t base_num_nodes_ = 0;
+  uint64_t last_seqno_ = 0;
+  uint64_t chain_checksum_ = 0;  // checksum of the last record (seed chain)
+  /// A failed append whose rollback ALSO failed left unknown bytes at the
+  /// tail; further appends would land after them and become unreadable.
+  /// All later Appends fail until the log is reopened (recovery rescans).
+  bool poisoned_ = false;
+  DeltaWriterOptions options_;
+};
+
+/// Sequential reader over a delta log: validates the header, then hands out
+/// records one at a time, verifying the base-checksum binding, sequence
+/// numbering, and the seeded checksum chain as it goes. A truncated or
+/// corrupt tail ends iteration at the last valid record (`truncated()`
+/// reports it) — the valid prefix is always replayable.
+///
+/// IO: mmap mode maps the file read-only (MappedFile, the same mechanism
+/// SnapshotReader uses); read mode slurps it into private memory. Delta
+/// logs are small next to their base snapshot, so both are cheap. Caveat:
+/// unlike snapshots (immutable, replaced by rename), a delta log mutates
+/// in place — a concurrently recovering writer may ftruncate a torn tail,
+/// and shrinking a mapped file SIGBUSes readers of the vanished pages.
+/// Long-lived processes that poll a log while writers may restart (the
+/// daemon's kRefresh) should therefore use kRead; one-shot CLI reads are
+/// fine either way.
+class DeltaReader {
+ public:
+  explicit DeltaReader(const std::string& path,
+                       SnapshotIoMode mode = DefaultSnapshotIoMode());
+
+  DeltaReader(const DeltaReader&) = delete;
+  DeltaReader& operator=(const DeltaReader&) = delete;
+
+  /// Header was valid; records may be read.
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  uint64_t base_checksum() const { return base_checksum_; }
+  /// Node count of the base graph, from the header.
+  uint32_t base_num_nodes() const { return base_num_nodes_; }
+
+  /// Reads the next valid record into *out. Returns false at the end of
+  /// the valid prefix — either a clean end of file, or a truncated/corrupt
+  /// tail (distinguish with truncated()).
+  bool Next(DeltaRecord* out);
+
+  /// True once Next() has hit an invalid tail: bytes remain after the last
+  /// valid record but they do not form one. tail_error() describes why,
+  /// and tail_torn() distinguishes the two classes: true = the record
+  /// simply runs past end-of-file (a crashed, never-acknowledged append —
+  /// benign, the valid prefix is complete), false = full-size bytes that
+  /// fail validation (corruption of acknowledged data — the prefix is NOT
+  /// everything that was written; surface it, do not compact over it).
+  bool truncated() const { return truncated_; }
+  bool tail_torn() const { return tail_torn_; }
+  const std::string& tail_error() const { return tail_error_; }
+
+  /// Records successfully returned by Next() so far.
+  uint64_t records_read() const { return records_read_; }
+
+  /// Checksum-chain value after the last record Next() returned (the base
+  /// checksum before any). Two logs agree on a prefix iff they agree on
+  /// this value at its end — consumers resuming "after seqno N" compare it
+  /// to detect a log that was truncated and rewritten with reused seqnos.
+  uint64_t chain_checksum() const { return chain_checksum_; }
+
+ private:
+  const uint8_t* data_ = nullptr;  // whole file
+  uint64_t size_ = 0;
+  uint64_t offset_ = 0;  // next unread byte
+  std::shared_ptr<MappedFile> mapping_;  // mmap mode keeps the file alive
+  std::vector<uint8_t> buffer_;          // read mode owns the bytes
+  uint64_t base_checksum_ = 0;
+  uint32_t base_num_nodes_ = 0;
+  uint64_t chain_checksum_ = 0;
+  uint64_t last_seqno_ = 0;
+  uint64_t records_read_ = 0;
+  bool truncated_ = false;
+  bool tail_torn_ = false;
+  std::string tail_error_;
+  std::string error_;
+};
+
+/// Returns a copy of `g` with `new_edges` added (the node set and labels
+/// are unchanged). Every endpoint must be < g.NumNodes(); the caller
+/// validates. This is the shared rebuild step of IncrementalMatcher and
+/// delta replay. Duplicates — within the batch or against existing edges —
+/// are dropped; pass `already_deduplicated = true` when the caller has
+/// done that itself (IncrementalMatcher must, to journal exactly the
+/// edges that change the graph) to skip the second pass.
+Graph ApplyEdgesToGraph(const Graph& g,
+                        std::span<const std::pair<NodeId, NodeId>> new_edges,
+                        bool already_deduplicated = false);
+
+struct ReplayStats {
+  uint64_t records_applied = 0;
+  uint64_t edges_in_records = 0;  // before deduplication
+  uint64_t last_seqno = 0;        // 0 when nothing was applied
+  /// Chain checksum at the resume point: the checksum of the record with
+  /// seqno == after_seqno (the reader's base checksum when after_seqno is
+  /// 0), or 0 if the log never reached after_seqno. A caller that stored
+  /// this value when it applied record after_seqno compares it to detect a
+  /// rewritten log (see DeltaReader::chain_checksum()).
+  uint64_t resume_chain = 0;
+  /// Chain checksum after the last applied record (== resume_chain when
+  /// nothing applied); store it alongside last_seqno for the next resume.
+  uint64_t end_chain = 0;
+};
+
+/// Checks that every endpoint in `edges` names an existing node
+/// (< num_nodes). False with a descriptive *error on the first violation —
+/// the shared enforcement of the format's core precondition (a journaled
+/// record must always replay against its base): IncrementalMatcher checks
+/// before journaling, `rigpm_cli delta append` before appending, and
+/// replay before applying.
+bool ValidateEdgeEndpoints(std::span<const std::pair<NodeId, NodeId>> edges,
+                           uint32_t num_nodes, std::string* error);
+
+/// Sorts *edges, drops in-batch duplicates, and drops edges `g` already
+/// has — the one definition of "the edges that actually change the graph",
+/// shared by journaling (IncrementalMatcher) and replay
+/// (ApplyEdgesToGraph) so the two can never diverge.
+void DedupeNewEdges(const Graph& g,
+                    std::vector<std::pair<NodeId, NodeId>>* edges);
+
+/// Reads every record of `reader` with seqno > `after_seqno`, validating
+/// each endpoint against `num_nodes`, and appends their edges to *edges.
+/// False (with *error) on an out-of-range endpoint or an unreadable log.
+/// This is ReplayDelta without the graph rebuild — callers that may find
+/// nothing new (the daemon's caught-up refresh poll) use it to avoid
+/// materializing a merged graph just to discard it.
+bool CollectDeltaEdges(DeltaReader& reader, uint32_t num_nodes,
+                       uint64_t after_seqno,
+                       std::vector<std::pair<NodeId, NodeId>>* edges,
+                       ReplayStats* stats, std::string* error);
+
+/// Replays every record of `reader` with seqno > `after_seqno` over `base`
+/// and returns the merged graph. Fails (nullopt + *error) if any applied
+/// record references a node that does not exist in `base` — a journaled
+/// log never contains such a record (IncrementalMatcher validates before
+/// journaling), so hitting one means the log does not belong to this base.
+/// A truncated tail is NOT an error here: the valid prefix is replayed and
+/// the caller can consult reader.truncated().
+std::optional<Graph> ReplayDelta(const Graph& base, DeltaReader& reader,
+                                 std::string* error,
+                                 ReplayStats* stats = nullptr,
+                                 uint64_t after_seqno = 0);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_STORAGE_DELTA_LOG_H_

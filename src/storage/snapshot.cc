@@ -155,6 +155,23 @@ std::optional<SnapshotInfo> InspectSnapshot(const std::string& path,
   info.kind_value = fields.kind_value;
   info.payload_size = fields.payload_size;
   info.aligned = info.version >= 2;
+  if (fields.kind_value == static_cast<uint32_t>(SnapshotKind::kDelta)) {
+    // Delta logs reuse the container head but not its framing: the u64 slot
+    // is the base snapshot checksum, the head is followed by an 8-byte
+    // delta extension (base node count + reserved, storage/delta_log.h),
+    // and there is no trailing footer — the single-payload size/footer
+    // cross-checks below do not apply.
+    constexpr uint64_t kDeltaHeaderBytes = kHeaderBytes + 2 * sizeof(uint32_t);
+    info.stored_checksum = fields.payload_size;
+    info.payload_size = 0;
+    in.seekg(0, std::ios::end);
+    const std::streamoff delta_end = static_cast<std::streamoff>(in.tellg());
+    if (in && delta_end >= static_cast<std::streamoff>(kDeltaHeaderBytes)) {
+      info.file_size = static_cast<uint64_t>(delta_end);
+      info.payload_size = info.file_size - kDeltaHeaderBytes;  // record area
+    }
+    return info;
+  }
   in.seekg(0, std::ios::end);
   const std::streamoff end_pos = static_cast<std::streamoff>(in.tellg());
   if (in && end_pos >= 0) {
@@ -220,6 +237,7 @@ void SnapshotReader::InitFromMapping(SnapshotKind expected_kind) {
     error_ = "snapshot checksum mismatch (file is corrupt)";
     return;
   }
+  stored_checksum_ = stored_checksum;
   // The sequential pass is done; what follows is decode + point queries.
   mapping_->AdviseRandom();
   source_.emplace(payload, payload_size_);
@@ -321,6 +339,7 @@ void SnapshotReader::InitFromStream(const std::string& path,
     error_ = "snapshot checksum mismatch (file is corrupt)";
     return;
   }
+  stored_checksum_ = stored_checksum;
   source_.emplace(seekable ? payload_raw_.get() : payload_buf_.data(),
                   payload_size_);
   if (header.version < 2) source_->SetUnpadded();
@@ -410,6 +429,7 @@ std::optional<WarmEngine> LoadEngineSnapshot(const std::string& path,
   warm.engine = std::make_unique<GmEngine>(*warm.graph, std::move(bfl),
                                            std::move(condensation),
                                            std::move(intervals));
+  warm.stored_checksum = reader.stored_checksum();
   return warm;
 }
 

@@ -51,6 +51,10 @@ enum class SnapshotKind : uint32_t {
   kGraph = 1,          // Graph only
   kEngine = 2,         // Graph + BFL index (+ condensation/intervals)
   kGraphDatabase = 3,  // member graphs + names + feature vectors
+  kDelta = 4,          // append-only edge-delta log (storage/delta_log.h);
+                       // NOT a single-payload snapshot: the u64 header slot
+                       // holds the base snapshot's checksum, and the body is
+                       // a record sequence with per-record checksums
 };
 
 /// Frames `payload` with the header and CRC and writes it to `path`.
@@ -62,7 +66,10 @@ bool WriteSnapshotFile(const std::string& path, SnapshotKind kind,
                        uint32_t version = kSnapshotVersion);
 
 /// Header fields of a snapshot file, readable without touching the payload
-/// (`rigpm_cli snapshot --inspect`).
+/// (`rigpm_cli snapshot --inspect`). For kind kDelta the header's u64 slot
+/// is the BASE snapshot checksum, not a payload size: payload_size is
+/// reported as the record-area byte count and stored_checksum as that base
+/// binding (use `rigpm_cli delta inspect` for per-record detail).
 struct SnapshotInfo {
   uint32_t version = 0;
   uint32_t kind_value = 0;  // SnapshotKind, raw (may be unknown to us)
@@ -103,6 +110,12 @@ class SnapshotReader {
   /// True when the payload is served from a file mapping (zero-copy mode).
   bool mapped() const { return mapping_ != nullptr; }
 
+  /// The file's stored payload checksum (valid once ok(); verified against
+  /// the payload). This is the value delta logs bind to — callers that
+  /// need it should take it from here rather than re-opening the file,
+  /// which could have been rename-replaced since.
+  uint64_t stored_checksum() const { return stored_checksum_; }
+
   /// Valid only while ok().
   ByteSource& source() { return *source_; }
 
@@ -118,6 +131,7 @@ class SnapshotReader {
   std::unique_ptr<uint8_t[]> payload_raw_;  // read mode, size known up front
   std::vector<uint8_t> payload_buf_;        // read mode, unseekable source
   uint64_t payload_size_ = 0;
+  uint64_t stored_checksum_ = 0;
   std::optional<ByteSource> source_;
   std::string error_;
 };
@@ -137,6 +151,11 @@ std::optional<Graph> LoadGraphSnapshot(
 struct WarmEngine {
   std::unique_ptr<Graph> graph;
   std::unique_ptr<GmEngine> engine;
+  /// Stored payload checksum of the snapshot this engine was loaded from —
+  /// the identity delta logs bind to. Taken from the bytes actually
+  /// loaded, so it cannot disagree with the served graph even if the file
+  /// is rename-replaced concurrently.
+  uint64_t stored_checksum = 0;
 };
 
 /// Persists `engine`'s graph and its pre-built BFL reachability index.

@@ -1,0 +1,531 @@
+// Delta-log persistence tests (storage/delta_log.h): record round trips,
+// the seeded checksum chain, crash recovery (torn tails replay their valid
+// prefix; the writer truncates them), base-binding enforcement, replay
+// equivalence with the in-memory IncrementalMatcher, and both snapshot IO
+// modes.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/incremental.h"
+#include "graph/generators.h"
+#include "query/pattern_parser.h"
+#include "storage/delta_log.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+#include "util/serde.h"
+
+namespace rigpm {
+namespace {
+
+using rigpm::testing::PaperExample;
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/rigpm_delta_XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+ private:
+  std::string dir_;
+};
+
+std::vector<uint8_t> SerializeGraph(const Graph& g) {
+  ByteSink sink;
+  g.Serialize(sink);
+  return sink.data();
+}
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st{};
+  EXPECT_EQ(::stat(path.c_str(), &st), 0);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+void TruncateFile(const std::string& path, uint64_t size) {
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(size)), 0);
+}
+
+void FlipByte(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x5a);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&b, 1);
+}
+
+constexpr uint64_t kBase = 0x1234abcd5678ef01ull;
+
+/// Round-trip and rejection tests run under both IO modes — replay must be
+/// identical whether the log is mapped or slurped.
+class DeltaIoTest : public ::testing::TestWithParam<SnapshotIoMode> {};
+
+INSTANTIATE_TEST_SUITE_P(IoModes, DeltaIoTest,
+                         ::testing::Values(SnapshotIoMode::kMmap,
+                                           SnapshotIoMode::kRead),
+                         [](const auto& info) {
+                           return info.param == SnapshotIoMode::kMmap
+                                      ? "mmap"
+                                      : "read";
+                         });
+
+TEST_P(DeltaIoTest, WriteThenReplayEqualsInMemoryGraph) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  Graph base = PaperExample::MakeGraph();
+
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  std::vector<std::pair<NodeId, NodeId>> batch1 = {{0, 3}, {0, 7}};
+  std::vector<std::pair<NodeId, NodeId>> batch2 = {{6, 9}};
+  ASSERT_TRUE(writer->Append(batch1, &error)) << error;
+  ASSERT_TRUE(writer->Append(batch2, &error)) << error;
+  EXPECT_EQ(writer->record_count(), 2u);
+
+  DeltaReader reader(path, GetParam());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.base_checksum(), kBase);
+  ReplayStats stats;
+  auto merged = ReplayDelta(base, reader, &error, &stats);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(stats.records_applied, 2u);
+  EXPECT_EQ(stats.edges_in_records, 3u);
+  EXPECT_EQ(stats.last_seqno, 2u);
+  EXPECT_FALSE(reader.truncated());
+
+  std::vector<std::pair<NodeId, NodeId>> all = batch1;
+  all.insert(all.end(), batch2.begin(), batch2.end());
+  Graph expected = ApplyEdgesToGraph(base, all);
+  EXPECT_EQ(SerializeGraph(*merged), SerializeGraph(expected));
+  EXPECT_EQ(merged->NumEdges(), base.NumEdges() + 3);
+}
+
+TEST_P(DeltaIoTest, ReplayAfterSeqnoSkipsOldRecords) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  Graph base = PaperExample::MakeGraph();
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->Append({{0, 3}}, &error));
+  ASSERT_TRUE(writer->Append({{0, 7}}, &error));
+  ASSERT_TRUE(writer->Append({{6, 9}}, &error));
+
+  DeltaReader reader(path, GetParam());
+  ReplayStats stats;
+  auto merged = ReplayDelta(base, reader, &error, &stats,
+                            /*after_seqno=*/2);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(stats.records_applied, 1u);
+  EXPECT_EQ(stats.last_seqno, 3u);
+  EXPECT_EQ(merged->NumEdges(), base.NumEdges() + 1);
+}
+
+TEST_P(DeltaIoTest, EmptyLogReplaysToTheBase) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  Graph base = PaperExample::MakeGraph();
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  writer.reset();
+  EXPECT_EQ(FileSize(path), 32u);  // header only
+
+  DeltaReader reader(path, GetParam());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  ReplayStats stats;
+  auto merged = ReplayDelta(base, reader, &error, &stats);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(stats.records_applied, 0u);
+  EXPECT_EQ(SerializeGraph(*merged), SerializeGraph(base));
+}
+
+TEST_P(DeltaIoTest, MidRecordTruncationReplaysTheValidPrefix) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  Graph base = PaperExample::MakeGraph();
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->Append({{0, 3}, {0, 7}}, &error));
+  const uint64_t after_first = FileSize(path);
+  ASSERT_TRUE(writer->Append({{6, 9}}, &error));
+  writer.reset();
+
+  // Cut into the middle of record 2 (a crashed append).
+  TruncateFile(path, after_first + 5);
+
+  DeltaReader reader(path, GetParam());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  DeltaRecord rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.seqno, 1u);
+  EXPECT_EQ(rec.edges.size(), 2u);
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_TRUE(reader.tail_torn());  // a tear, not corruption
+  EXPECT_FALSE(reader.tail_error().empty());
+
+  // ReplayDelta applies record 1 and reports the truncation via the reader.
+  DeltaReader replay_reader(path, GetParam());
+  ReplayStats stats;
+  auto merged = ReplayDelta(base, replay_reader, &error, &stats);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(stats.records_applied, 1u);
+  EXPECT_TRUE(replay_reader.truncated());
+  EXPECT_EQ(merged->NumEdges(), base.NumEdges() + 2);
+}
+
+TEST_P(DeltaIoTest, CorruptRecordEndsTheValidPrefix) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->Append({{0, 3}}, &error));
+  const uint64_t after_first = FileSize(path);
+  ASSERT_TRUE(writer->Append({{6, 9}}, &error));
+  writer.reset();
+
+  // Flip one byte inside record 2's edge list (past the 32-byte record
+  // header): the BODY checksum no longer verifies, so iteration stops
+  // after record 1. (The header-checksum path is covered by the writer's
+  // CorruptAcknowledgedRecord test, which flips the header-checksum
+  // field.)
+  FlipByte(path, after_first + 32);
+
+  DeltaReader reader(path, GetParam());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  DeltaRecord rec;
+  EXPECT_TRUE(reader.Next(&rec));
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_FALSE(reader.tail_torn());  // full bytes present: corruption
+  EXPECT_NE(reader.tail_error().find("checksum"), std::string::npos)
+      << reader.tail_error();
+}
+
+TEST_P(DeltaIoTest, CorruptFirstRecordYieldsEmptyValidPrefix) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->Append({{0, 3}}, &error));
+  writer.reset();
+  FlipByte(path, 32 + 8);  // record 1's seqno field
+
+  DeltaReader reader(path, GetParam());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  DeltaRecord rec;
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_EQ(reader.records_read(), 0u);
+}
+
+TEST_P(DeltaIoTest, RecordBoundToDifferentBaseBreaksTheChain) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->Append({{0, 3}}, &error));
+  writer.reset();
+  // Flip a byte of record 1's per-record base-checksum field.
+  FlipByte(path, 32 + 2);
+
+  DeltaReader reader(path, GetParam());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  DeltaRecord rec;
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_NE(reader.tail_error().find("different base"), std::string::npos)
+      << reader.tail_error();
+}
+
+TEST_P(DeltaIoTest, OutOfRangeEndpointFailsReplayHard) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  Graph base = PaperExample::MakeGraph();  // 10 nodes
+  std::string error;
+  {
+    // The format layer itself refuses a record that could not replay
+    // against the node count the log is bound to.
+    auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    EXPECT_FALSE(writer->Append({{0, 99}}, &error));
+    EXPECT_NE(error.find("99"), std::string::npos) << error;
+    EXPECT_EQ(writer->record_count(), 0u);
+  }
+  std::remove(path.c_str());
+  // A log legitimately written for a BIGGER base (200 nodes) must fail
+  // replay against a smaller graph loudly, not crash or truncate silently.
+  auto writer = DeltaWriter::Open(path, kBase, 200, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->Append({{0, 99}}, &error)) << error;
+  writer.reset();
+
+  DeltaReader reader(path, GetParam());
+  EXPECT_EQ(reader.base_num_nodes(), 200u);
+  ReplayStats stats;
+  auto merged = ReplayDelta(base, reader, &error, &stats);
+  EXPECT_FALSE(merged.has_value());
+  EXPECT_NE(error.find("log does not match this base"), std::string::npos)
+      << error;
+}
+
+// ------------------------------------------------------- writer semantics
+
+TEST(DeltaWriter, ReopenContinuesTheChain) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  {
+    auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    ASSERT_TRUE(writer->Append({{0, 3}}, &error));
+  }
+  {
+    auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    EXPECT_EQ(writer->next_seqno(), 2u);
+    ASSERT_TRUE(writer->Append({{0, 7}}, &error));
+  }
+  DeltaReader reader(path);
+  DeltaRecord rec;
+  EXPECT_TRUE(reader.Next(&rec));
+  EXPECT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.seqno, 2u);
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST(DeltaWriter, SecondConcurrentWriterIsRefused) {
+  // Two live writers would both scan to the same chain position and
+  // interleave same-seqno records; the flock makes the second Open fail
+  // instead. Releasing the first writer frees the log.
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  auto first = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(first, nullptr) << error;
+  auto second = DeltaWriter::Open(path, kBase, 10, &error);
+  EXPECT_EQ(second, nullptr);
+  EXPECT_NE(error.find("locked"), std::string::npos) << error;
+  first.reset();
+  auto third = DeltaWriter::Open(path, kBase, 10, &error);
+  EXPECT_NE(third, nullptr) << error;
+}
+
+TEST(DeltaWriter, ReopenWithDifferentBaseIsRefused) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  {
+    auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    ASSERT_TRUE(writer->Append({{0, 3}}, &error));
+  }
+  auto writer = DeltaWriter::Open(path, kBase + 1, 10, &error);
+  EXPECT_EQ(writer, nullptr);
+  EXPECT_NE(error.find("different base"), std::string::npos) << error;
+}
+
+TEST(DeltaWriter, CorruptAcknowledgedRecordRefusesOpenInsteadOfTruncating) {
+  // A full-size record that fails validation is disk corruption of
+  // acknowledged data, not a crashed append — Open must refuse, not
+  // quietly truncate every durable record after the corruption away.
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  uint64_t after_first = 0;
+  {
+    auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    ASSERT_TRUE(writer->Append({{0, 3}}, &error));
+    after_first = FileSize(path);
+    ASSERT_TRUE(writer->Append({{6, 9}}, &error));
+  }
+  const uint64_t full_size = FileSize(path);
+  FlipByte(path, after_first + 24);  // record 2's header-checksum field
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  EXPECT_EQ(writer, nullptr);
+  EXPECT_NE(error.find("corrupt"), std::string::npos) << error;
+  EXPECT_EQ(FileSize(path), full_size);  // nothing was destroyed
+}
+
+TEST(DeltaWriter, ReopenTruncatesATornTailAndRecovers) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  uint64_t after_first = 0;
+  {
+    auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    ASSERT_TRUE(writer->Append({{0, 3}}, &error));
+    after_first = FileSize(path);
+    ASSERT_TRUE(writer->Append({{6, 9}}, &error));
+  }
+  // Simulate a crash mid-append of record 2.
+  TruncateFile(path, after_first + 7);
+  {
+    auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+    ASSERT_NE(writer, nullptr) << error;
+    EXPECT_EQ(writer->next_seqno(), 2u);  // torn record 2 was dropped
+    EXPECT_EQ(FileSize(path), after_first);
+    ASSERT_TRUE(writer->Append({{1, 5}}, &error));
+  }
+  DeltaReader reader(path);
+  DeltaRecord rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.edges, (std::vector<std::pair<NodeId, NodeId>>{{0, 3}}));
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.seqno, 2u);
+  EXPECT_EQ(rec.edges, (std::vector<std::pair<NodeId, NodeId>>{{1, 5}}));
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST(DeltaWriter, ShortNonDeltaFileIsRefusedNotClobbered) {
+  // A mistyped --delta pointing at some small existing file must not be
+  // "initialized" over: only truly empty files get a header. (A >=24-byte
+  // non-delta file is already refused by the magic check.)
+  TempDir tmp;
+  const std::string path = tmp.Path("notes.txt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "ten bytes!";
+  }
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  EXPECT_EQ(writer, nullptr);
+  EXPECT_NE(error.find("refusing"), std::string::npos) << error;
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "ten bytes!");
+}
+
+TEST(DeltaReader, NonDeltaFileIsRejected) {
+  TempDir tmp;
+  // A real engine snapshot is not a delta log.
+  const std::string snap = tmp.Path("g.snap");
+  Graph g = PaperExample::MakeGraph();
+  GmEngine engine(g);
+  std::string error;
+  ASSERT_TRUE(SaveEngineSnapshot(engine, snap, &error)) << error;
+  DeltaReader reader(snap);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("not a delta log"), std::string::npos)
+      << reader.error();
+
+  DeltaReader missing(tmp.Path("nope.delta"));
+  EXPECT_FALSE(missing.ok());
+}
+
+// ---------------------------------------------- journaled IncrementalMatcher
+
+TEST(DeltaJournal, JournaledBatchesReplayToTheMatcherGraph) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  Graph base = PaperExample::MakeGraph();
+  Graph base_copy = base;  // the matcher consumes its argument
+  auto q = ParsePattern("(a:0)->(b:1)");
+  ASSERT_TRUE(q.has_value());
+
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  IncrementalMatcher matcher(std::move(base), *q);
+  matcher.AttachJournal(writer.get());
+
+  ASSERT_TRUE(matcher.ApplyAndDiff({{0, 3}, {0, 7}}).has_value());
+  // Duplicates and already-present edges are deduped before journaling, so
+  // the record holds exactly the edges that changed the graph.
+  ASSERT_TRUE(matcher.ApplyAndDiff({{6, 9}, {6, 9}, {0, 3}}).has_value());
+  // An all-duplicate batch changes nothing and journals nothing.
+  ASSERT_TRUE(matcher.ApplyAndDiff({{0, 3}}).has_value());
+  EXPECT_EQ(writer->record_count(), 2u);
+
+  // A rejected batch journals nothing either.
+  EXPECT_FALSE(matcher.ApplyAndDiff({{0, 1234}}, &error).has_value());
+  EXPECT_EQ(writer->record_count(), 2u);
+  writer.reset();
+
+  DeltaReader reader(path);
+  ReplayStats stats;
+  auto merged = ReplayDelta(base_copy, reader, &error, &stats);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(stats.records_applied, 2u);
+  EXPECT_EQ(SerializeGraph(*merged),
+            SerializeGraph(matcher.current_graph()));
+}
+
+// ------------------------------------------------- snapshot-bound lifecycle
+
+TEST(DeltaLifecycle, SnapshotDeltaReplayMatchesDirectRebuild) {
+  // The full workflow the serving tier uses: snapshot a graph, journal
+  // updates against the snapshot's stored checksum, replay base+delta, and
+  // get exactly the graph a cold rebuild with those edges produces —
+  // including query answers.
+  TempDir tmp;
+  const std::string snap = tmp.Path("base.snap");
+  const std::string log = tmp.Path("g.delta");
+  Graph g = GeneratePowerLaw({.num_nodes = 120, .num_edges = 420,
+                              .num_labels = 3, .seed = 11});
+  GmEngine engine(g);
+  std::string error;
+  ASSERT_TRUE(SaveEngineSnapshot(engine, snap, &error)) << error;
+  auto info = InspectSnapshot(snap, &error);
+  ASSERT_TRUE(info.has_value()) << error;
+
+  auto writer =
+      DeltaWriter::Open(log, info->stored_checksum, g.NumNodes(), &error);
+  ASSERT_NE(writer, nullptr) << error;
+  std::vector<std::pair<NodeId, NodeId>> batch1 = {{0, 50}, {3, 99}};
+  std::vector<std::pair<NodeId, NodeId>> batch2 = {{7, 101}, {50, 3}};
+  ASSERT_TRUE(writer->Append(batch1, &error));
+  ASSERT_TRUE(writer->Append(batch2, &error));
+  writer.reset();
+
+  auto warm = LoadEngineSnapshot(snap, &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  DeltaReader reader(log);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.base_checksum(), info->stored_checksum);
+  auto merged = ReplayDelta(*warm->graph, reader, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+
+  std::vector<std::pair<NodeId, NodeId>> all = batch1;
+  all.insert(all.end(), batch2.begin(), batch2.end());
+  Graph direct = ApplyEdgesToGraph(g, all);
+  EXPECT_EQ(SerializeGraph(*merged), SerializeGraph(direct));
+
+  GmEngine merged_engine(*merged);
+  GmEngine direct_engine(direct);
+  PatternQuery q = PaperExample::MakeQuery();
+  EXPECT_EQ(merged_engine.EvaluateCollect(q).size(),
+            direct_engine.EvaluateCollect(q).size());
+}
+
+}  // namespace
+}  // namespace rigpm

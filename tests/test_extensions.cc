@@ -172,8 +172,9 @@ TEST(Incremental, ChildEdgeInsertionYieldsExactDelta) {
   IncrementalMatcher matcher(std::move(g), *q);
   EXPECT_EQ(matcher.CurrentAnswer().size(), 1u);
   auto delta = matcher.ApplyAndDiff({{1, 2}});
-  ASSERT_EQ(delta.size(), 1u);
-  EXPECT_EQ(delta[0], (Occurrence{1, 2}));
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(delta->size(), 1u);
+  EXPECT_EQ((*delta)[0], (Occurrence{1, 2}));
   EXPECT_EQ(matcher.CurrentAnswer().size(), 2u);
 }
 
@@ -186,8 +187,9 @@ TEST(Incremental, TransitiveReachabilityDelta) {
   IncrementalMatcher matcher(std::move(g), *q);
   EXPECT_TRUE(matcher.CurrentAnswer().empty());
   auto delta = matcher.ApplyAndDiff({{1, 2}});
-  ASSERT_EQ(delta.size(), 1u);
-  EXPECT_EQ(delta[0], (Occurrence{0, 2}));
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(delta->size(), 1u);
+  EXPECT_EQ((*delta)[0], (Occurrence{0, 2}));
 }
 
 TEST(Incremental, DeltaNeverRepeatsOldMatches) {
@@ -217,7 +219,8 @@ TEST(Incremental, DeltaNeverRepeatsOldMatches) {
 
   IncrementalMatcher matcher(Graph::FromEdges(labels, edges), q);
   auto delta = matcher.ApplyAndDiff(batch);
-  EXPECT_EQ(std::set<std::vector<NodeId>>(delta.begin(), delta.end()),
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(std::set<std::vector<NodeId>>(delta->begin(), delta->end()),
             expected_delta);
 }
 
@@ -232,12 +235,14 @@ TEST(Incremental, RepeatedBatchLeavesGraphAndDeltaStable) {
   IncrementalMatcher matcher(std::move(g), *q);
 
   auto first = matcher.ApplyAndDiff({{1, 2}});
-  EXPECT_EQ(first.size(), 1u);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->size(), 1u);
   const uint64_t edges_after_first = matcher.current_graph().NumEdges();
   EXPECT_EQ(edges_after_first, 2u);
 
   auto second = matcher.ApplyAndDiff({{1, 2}});
-  EXPECT_TRUE(second.empty());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->empty());
   EXPECT_EQ(matcher.current_graph().NumEdges(), edges_after_first);
   EXPECT_EQ(matcher.CurrentAnswer().size(), 2u);
 }
@@ -251,7 +256,8 @@ TEST(Incremental, DuplicateEdgesWithinOneBatchAreDeduped) {
   IncrementalMatcher matcher(std::move(g), *q);
 
   auto delta = matcher.ApplyAndDiff({{1, 2}, {1, 2}, {0, 2}, {1, 2}});
-  EXPECT_EQ(delta.size(), 1u);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->size(), 1u);
   EXPECT_EQ(matcher.current_graph().NumEdges(), 2u);
   EXPECT_EQ(matcher.CurrentAnswer().size(), 2u);
 }
@@ -261,12 +267,33 @@ TEST(Incremental, OverlappingBatchesOnlyGrowByNewEdges) {
   auto q = ParsePattern("(a:0)->(b:1)");
   ASSERT_TRUE(q.has_value());
   IncrementalMatcher matcher(std::move(g), *q);
-  EXPECT_EQ(matcher.ApplyAndDiff({{1, 3}}).size(), 1u);
+  EXPECT_EQ(matcher.ApplyAndDiff({{1, 3}})->size(), 1u);
   // Overlaps with both the original edge and the previous batch; only
   // {2, 3} is new.
-  EXPECT_EQ(matcher.ApplyAndDiff({{0, 3}, {1, 3}, {2, 3}}).size(), 1u);
+  EXPECT_EQ(matcher.ApplyAndDiff({{0, 3}, {1, 3}, {2, 3}})->size(), 1u);
   EXPECT_EQ(matcher.current_graph().NumEdges(), 3u);
   EXPECT_EQ(matcher.CurrentAnswer().size(), 3u);
+}
+
+TEST(Incremental, BatchWithNonexistentEndpointIsRejectedWhole) {
+  // "Both endpoints must already exist" is an enforced precondition, not a
+  // comment: one out-of-range edge rejects the whole batch with a
+  // descriptive error, and no state changes — a journaled delta log must
+  // never contain a record that cannot replay against its base.
+  Graph g = Graph::FromEdges({0, 0, 1}, {{0, 2}});
+  auto q = ParsePattern("(a:0)->(b:1)");
+  ASSERT_TRUE(q.has_value());
+  IncrementalMatcher matcher(std::move(g), *q);
+  std::string error;
+  auto delta = matcher.ApplyAndDiff({{1, 2}, {1, 99}}, &error);
+  EXPECT_FALSE(delta.has_value());
+  EXPECT_NE(error.find("99"), std::string::npos) << error;
+  EXPECT_EQ(matcher.current_graph().NumEdges(), 1u);
+  EXPECT_EQ(matcher.CurrentAnswer().size(), 1u);
+  // The same batch without the offending edge applies normally afterwards.
+  auto retry = matcher.ApplyAndDiff({{1, 2}});
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->size(), 1u);
 }
 
 TEST(Incremental, SequenceOfBatches) {
@@ -282,8 +309,9 @@ TEST(Incremental, SequenceOfBatches) {
   uint64_t total = 0;
   for (NodeId v = 0; v + 1 < n; ++v) {
     auto delta = matcher.ApplyAndDiff({{v, v + 1}});
-    EXPECT_EQ(delta.size(), v + 1u);  // every earlier node now reaches v+1
-    total += delta.size();
+    ASSERT_TRUE(delta.has_value());
+    EXPECT_EQ(delta->size(), v + 1u);  // every earlier node now reaches v+1
+    total += delta->size();
   }
   EXPECT_EQ(total, matcher.CurrentAnswer().size());
   EXPECT_EQ(total, static_cast<uint64_t>(n) * (n - 1) / 2);

@@ -274,8 +274,8 @@ TEST(QueryGenerator, RandomQueryRespectsOptions) {
 TEST(QueryGenerator, ExtractedQueryHasGuaranteedMatch) {
   Graph g = Graph::FromEdges({0, 1, 2, 0, 1, 2},
                              {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 4}});
-  ExtractedQueryOptions opts{.num_nodes = 4, .variant = QueryVariant::kChildOnly,
-                             .seed = 9};
+  ExtractedQueryOptions opts{
+      .num_nodes = 4, .variant = QueryVariant::kChildOnly, .seed = 9};
   auto q = ExtractQueryFromGraph(g, opts);
   ASSERT_TRUE(q.has_value());
   EXPECT_EQ(q->NumNodes(), 4u);

@@ -27,8 +27,10 @@
 #include "query/query_templates.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/delta_log.h"
 #include "storage/snapshot.h"
 #include "test_util.h"
+#include "util/concurrency.h"
 
 namespace rigpm {
 namespace {
@@ -578,6 +580,279 @@ TEST_F(ServerTest, ClientDisconnectMidFrameDoesNotKillServer) {
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, StatusCode::kOk);
   EXPECT_EQ(resp->results[0].num_occurrences, 4u);
+}
+
+// ---------------------------------------------------------- delta refresh
+
+TEST_F(ServerTest, RefreshWithoutDeltaConfiguredIsRejected) {
+  QueryClient client = Connect();
+  std::string error;
+  auto resp = client.Refresh(&error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->status, StatusCode::kBadRequest);
+  EXPECT_NE(resp->error.find("delta"), std::string::npos) << resp->error;
+  // The connection (and server) keep serving.
+  auto ok = client.Query(PaperRequest());
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, StatusCode::kOk);
+}
+
+/// A snapshot-backed server armed with a delta log: the live-refresh
+/// deployment shape. The fixture owns the base snapshot, its checksum, and
+/// a writer-side view of the log so tests can append and refresh at will.
+class RefreshTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_graph_ = PaperExample::MakeGraph();
+    snap_path_ = UniqueSocketPath() + ".snap";
+    delta_path_ = UniqueSocketPath() + ".delta";
+    std::string error;
+    {
+      GmEngine cold(base_graph_);
+      ASSERT_TRUE(SaveEngineSnapshot(cold, snap_path_, &error)) << error;
+    }
+    auto info = InspectSnapshot(snap_path_, &error);
+    ASSERT_TRUE(info.has_value()) << error;
+    base_checksum_ = info->stored_checksum;
+    warm_ = LoadEngineSnapshot(snap_path_, &error);
+    ASSERT_TRUE(warm_.has_value()) << error;
+
+    config_.unix_path = UniqueSocketPath();
+    // More workers than the 4 steady clients of the under-load test: a
+    // worker holds its connection until the client leaves, so the
+    // refresher's connection needs a free worker of its own.
+    config_.num_workers = 6;
+    config_.delta_path = delta_path_;
+    config_.base_checksum = base_checksum_;
+    server_ = std::make_unique<QueryServer>(*warm_->engine, config_);
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();  // SetUp may have ASSERTed out
+    std::remove(snap_path_.c_str());
+    std::remove(delta_path_.c_str());
+  }
+
+  void AppendBatch(
+      const std::vector<std::pair<NodeId, NodeId>>& edges) {
+    std::string error;
+    auto writer = DeltaWriter::Open(delta_path_, base_checksum_,
+                                    base_graph_.NumNodes(), &error);
+    ASSERT_NE(writer, nullptr) << error;
+    ASSERT_TRUE(writer->Append(edges, &error)) << error;
+  }
+
+  uint64_t ServedCount(QueryClient& client, const std::string& pattern) {
+    QueryRequest req;
+    req.patterns = {pattern};
+    std::string error;
+    auto resp = client.Query(req, &error);
+    EXPECT_TRUE(resp.has_value()) << error;
+    if (!resp.has_value()) return ~0ull;
+    EXPECT_EQ(resp->status, StatusCode::kOk) << resp->error;
+    return resp->results[0].num_occurrences;
+  }
+
+  Graph base_graph_;
+  std::string snap_path_, delta_path_;
+  uint64_t base_checksum_ = 0;
+  std::optional<WarmEngine> warm_;
+  ServerConfig config_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+TEST_F(RefreshTest, RefreshBeforeTheLogExistsIsACaughtUpNoOp) {
+  // The log is created lazily by the first `delta append`; a refresh that
+  // arrives first (a poller on a timer) is a healthy caught-up state, not
+  // an error — status kOk, nothing applied, no errors counted. A
+  // zero-length file (crashed first creation) is the same state.
+  QueryClient client;
+  std::string error;
+  ASSERT_TRUE(client.ConnectUnix(config_.unix_path, &error)) << error;
+  auto resp = client.Refresh(&error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->status, StatusCode::kOk) << resp->error;
+  EXPECT_EQ(resp->records_applied, 0u);
+  EXPECT_EQ(resp->num_edges, base_graph_.NumEdges());
+
+  std::ofstream(delta_path_, std::ios::binary).close();  // 0-byte file
+  auto resp2 = client.Refresh(&error);
+  ASSERT_TRUE(resp2.has_value()) << error;
+  EXPECT_EQ(resp2->status, StatusCode::kOk) << resp2->error;
+  EXPECT_EQ(resp2->records_applied, 0u);
+
+  EXPECT_EQ(server_->Snapshot().errors, 0u);
+  EXPECT_EQ(server_->Snapshot().refreshes, 0u);
+}
+
+TEST_F(RefreshTest, RefreshMatchesColdRebuildOfBasePlusDelta) {
+  const std::string pattern = "(a:0)->(b:1)";
+  QueryClient client;
+  std::string error;
+  ASSERT_TRUE(client.ConnectUnix(config_.unix_path, &error)) << error;
+
+  // Two batches, two refresh rounds — counts after each must equal a cold
+  // rebuild of base + the records applied so far.
+  const std::vector<std::pair<NodeId, NodeId>> batch1 = {{0, 3}, {0, 7}};
+  const std::vector<std::pair<NodeId, NodeId>> batch2 = {{1, 4}, {2, 6}};
+  AppendBatch(batch1);
+  auto r1 = client.Refresh(&error);
+  ASSERT_TRUE(r1.has_value()) << error;
+  ASSERT_EQ(r1->status, StatusCode::kOk) << r1->error;
+  EXPECT_EQ(r1->records_applied, 1u);
+  EXPECT_EQ(server_->applied_seqno(), 1u);
+  {
+    Graph merged = ApplyEdgesToGraph(base_graph_, batch1);
+    GmEngine cold(merged);
+    auto q = ParsePattern(pattern);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(ServedCount(client, pattern), cold.EvaluateCollect(*q).size());
+    EXPECT_EQ(r1->num_edges, merged.NumEdges());
+  }
+
+  AppendBatch(batch2);
+  auto r2 = client.Refresh(&error);
+  ASSERT_TRUE(r2.has_value()) << error;
+  ASSERT_EQ(r2->status, StatusCode::kOk) << r2->error;
+  EXPECT_EQ(r2->records_applied, 1u);
+  EXPECT_EQ(r2->last_seqno, 2u);
+  {
+    std::vector<std::pair<NodeId, NodeId>> all = batch1;
+    all.insert(all.end(), batch2.begin(), batch2.end());
+    Graph merged = ApplyEdgesToGraph(base_graph_, all);
+    GmEngine cold(merged);
+    auto q = ParsePattern(pattern);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(ServedCount(client, pattern), cold.EvaluateCollect(*q).size());
+  }
+
+  // Caught up: the third refresh is a no-op, not an error.
+  auto r3 = client.Refresh(&error);
+  ASSERT_TRUE(r3.has_value()) << error;
+  EXPECT_EQ(r3->status, StatusCode::kOk);
+  EXPECT_EQ(r3->records_applied, 0u);
+  EXPECT_EQ(server_->Snapshot().refreshes, 2u);
+}
+
+TEST_F(RefreshTest, LogBoundToDifferentBaseIsRejected) {
+  std::string error;
+  {
+    auto writer = DeltaWriter::Open(delta_path_, base_checksum_ + 1,
+                                    base_graph_.NumNodes(), &error);
+    ASSERT_NE(writer, nullptr) << error;
+    ASSERT_TRUE(writer->Append({{0, 3}}, &error)) << error;
+  }
+  QueryClient client;
+  ASSERT_TRUE(client.ConnectUnix(config_.unix_path, &error)) << error;
+  auto resp = client.Refresh(&error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->status, StatusCode::kBadRequest);
+  EXPECT_NE(resp->error.find("different base"), std::string::npos)
+      << resp->error;
+  // Serving is unchanged (4 paper-example occurrences).
+  QueryRequest req;
+  req.patterns = {"(a:0)->(b:1), (a)->(c:2), (b)=>(c)"};
+  auto q = client.Query(req, &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ(q->results[0].num_occurrences, 4u);
+}
+
+TEST_F(RefreshTest, RewrittenLogWithReusedSeqnosIsRejectedNotSkipped) {
+  // After a refresh, replace the log with a different one against the same
+  // base (seqno 1 reused with other edges). Resuming by seqno alone would
+  // report "caught up" and serve a stale graph forever; the chain check
+  // must reject instead.
+  QueryClient client;
+  std::string error;
+  ASSERT_TRUE(client.ConnectUnix(config_.unix_path, &error)) << error;
+  AppendBatch({{0, 3}});
+  auto r1 = client.Refresh(&error);
+  ASSERT_TRUE(r1.has_value()) << error;
+  ASSERT_EQ(r1->status, StatusCode::kOk) << r1->error;
+
+  std::remove(delta_path_.c_str());
+  AppendBatch({{0, 7}});  // fresh log: seqno 1 again, different edges
+  auto r2 = client.Refresh(&error);
+  ASSERT_TRUE(r2.has_value()) << error;
+  EXPECT_EQ(r2->status, StatusCode::kBadRequest);
+  EXPECT_NE(r2->error.find("applied prefix"), std::string::npos)
+      << r2->error;
+  // Serving continues on the last good state.
+  EXPECT_EQ(server_->applied_seqno(), 1u);
+}
+
+TEST_F(RefreshTest, RefreshUnderConcurrentClientsDropsNothing) {
+  // The RCU swap under fire: 4 clients hammer the same query while the
+  // main thread appends records and refreshes twice. Every round trip must
+  // succeed on its original connection, and every observed count must be
+  // one of the legal states (before / after first / after second batch).
+  // This is the primary TSAN target for the engine-swap path.
+  const std::string pattern = "(a:0)->(b:1)";
+  auto count_for = [&](const std::vector<std::pair<NodeId, NodeId>>& extra) {
+    Graph merged = ApplyEdgesToGraph(base_graph_, extra);
+    GmEngine cold(merged);
+    auto q = ParsePattern(pattern);
+    return static_cast<uint64_t>(cold.EvaluateCollect(*q).size());
+  };
+  const std::vector<std::pair<NodeId, NodeId>> batch1 = {{0, 3}};
+  std::vector<std::pair<NodeId, NodeId>> both = batch1;
+  both.emplace_back(0, 4);
+  const uint64_t count0 = count_for({});
+  const uint64_t count1 = count_for(batch1);
+  const uint64_t count2 = count_for(both);
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 30;
+  std::atomic<int> failures{0};
+  std::atomic<int> bad_counts{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      QueryClient client;
+      std::string error;
+      if (!client.ConnectUnix(config_.unix_path, &error)) {
+        ++failures;
+        return;
+      }
+      while (!go.load()) std::this_thread::yield();
+      QueryRequest req;
+      req.patterns = {pattern};
+      for (int r = 0; r < kRounds; ++r) {
+        auto resp = client.Query(req, &error);
+        if (!resp.has_value() || resp->status != StatusCode::kOk) {
+          ++failures;
+          return;
+        }
+        uint64_t n = resp->results[0].num_occurrences;
+        if (n != count0 && n != count1 && n != count2) ++bad_counts;
+      }
+    });
+  }
+
+  go.store(true);
+  QueryClient refresher;
+  std::string error;
+  ASSERT_TRUE(refresher.ConnectUnix(config_.unix_path, &error)) << error;
+  AppendBatch(batch1);
+  auto r1 = refresher.Refresh(&error);
+  ASSERT_TRUE(r1.has_value()) << error;
+  EXPECT_EQ(r1->status, StatusCode::kOk) << r1->error;
+  AppendBatch({{0, 4}});
+  auto r2 = refresher.Refresh(&error);
+  ASSERT_TRUE(r2.has_value()) << error;
+  EXPECT_EQ(r2->status, StatusCode::kOk) << r2->error;
+
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(bad_counts.load(), 0);
+  // Steady state: everyone sees base + both batches.
+  QueryClient after;
+  ASSERT_TRUE(after.ConnectUnix(config_.unix_path, &error)) << error;
+  EXPECT_EQ(ServedCount(after, pattern), count2);
+  EXPECT_EQ(server_->applied_seqno(), 2u);
 }
 
 }  // namespace

@@ -29,7 +29,7 @@ struct PaperExample {
         {a1, c0}, {a1, c1}, {a2, c0}, {a2, c2},  // a -> c children
         {b0, c0}, {b0, c1},                      // b0 reaches c0, c1
         {b1, c0}, {b1, c2},                      // b1 reaches c0, c2
-        {b2, b0}, {b2, c2},                      // b2 reaches c0, c1 (via b0), c2
+        {b2, b0}, {b2, c2},  // b2 reaches c0, c1 (via b0), c2
     };
     return Graph::FromEdges(std::move(labels), std::move(edges));
   }

@@ -6,6 +6,9 @@
 //   rigpm_cli snapshot --graph G.txt --out G.snap
 //   rigpm_cli snapshot --inspect G.snap
 //   rigpm_cli --load-snapshot G.snap --pattern "(a:0)->(b:1)"
+//   rigpm_cli delta append --base G.snap --delta G.delta --edges E.txt
+//   rigpm_cli delta replay --base G.snap --delta G.delta --out G2.snap
+//   rigpm_cli --load-snapshot G.snap --delta G.delta --pattern "..."
 //   rigpm_cli serve --snapshot G.snap --socket /tmp/rigpm.sock
 //   rigpm_cli client --socket /tmp/rigpm.sock --pattern "(a:0)->(b:1)"
 //
@@ -16,15 +19,31 @@
 //                     With --inspect FILE, print the container header of an
 //                     existing snapshot (version, kind, payload size,
 //                     checksum, alignment) without decoding the payload
+//   delta             append-only edge updates over a base snapshot
+//                     (storage/delta_log.h):
+//                       append  --base S --delta D --edges FILE
+//                               journal one edge batch (lines "u v") as a
+//                               checksummed record; creates D on first use
+//                       inspect --delta D
+//                               header + per-record summary + chain validity
+//                       replay  --base S --delta D [--out S2]
+//                               rebuild base+delta; with --out, write the
+//                               merged engine snapshot (compaction — the new
+//                               snapshot starts a fresh delta lineage)
 //   serve             run the query daemon in-process (same flags as the
-//                     standalone rigpm_serve binary; server/tool_main.h)
+//                     standalone rigpm_serve binary; server/tool_main.h);
+//                     --delta FILE arms the kRefresh live-refresh path
 //   client            talk to a running daemon: queries, stats, ping,
-//                     shutdown (server/tool_main.h)
+//                     refresh, shutdown (server/tool_main.h)
 //
 // Flags:
 //   --graph FILE      data graph in the text format of graph_io.h
 //   --load-snapshot F warm start: load graph + pre-built reachability index
 //                     from a binary engine snapshot instead of --graph
+//   --delta FILE      with --load-snapshot: replay the delta log over the
+//                     base before evaluating (queries then see base+delta;
+//                     the reachability index is rebuilt over the merged
+//                     graph)
 //   --snapshot-io M   how to load snapshots: mmap (default; zero-copy, the
 //                     mapping is shared across processes) or read (stream
 //                     into private memory). Also settable process-wide via
@@ -48,6 +67,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <optional>
@@ -64,6 +84,7 @@
 #include "query/query_io.h"
 #include "query/transitive_reduction.h"
 #include "server/tool_main.h"
+#include "storage/delta_log.h"
 #include "storage/snapshot.h"
 
 namespace {
@@ -73,6 +94,7 @@ using namespace rigpm;
 struct CliArgs {
   std::string graph_path;
   std::string snapshot_path;  // --load-snapshot
+  std::string delta_path;     // --delta (overlay for --load-snapshot)
   std::string out_path;       // snapshot subcommand --out
   std::string inspect_path;   // snapshot subcommand --inspect
   SnapshotIoMode io_mode = DefaultSnapshotIoMode();  // --snapshot-io
@@ -97,9 +119,10 @@ int Usage(const char* argv0) {
                "          [--snapshot-io mmap|read]\n"
                "       %s snapshot (--graph FILE --out FILE "
                "| --inspect FILE)\n"
+               "       %s delta (append|inspect|replay) ...\n"
                "       %s serve ...   (see serve --help)\n"
                "       %s client ...  (see client --help)\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -120,6 +143,10 @@ bool ParseArgs(int argc, char** argv, int first, CliArgs* out) {
       const char* v = need_value("--load-snapshot");
       if (v == nullptr) return false;
       out->snapshot_path = v;
+    } else if (std::strcmp(argv[i], "--delta") == 0) {
+      const char* v = need_value("--delta");
+      if (v == nullptr) return false;
+      out->delta_path = v;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       const char* v = need_value("--out");
       if (v == nullptr) return false;
@@ -208,6 +235,8 @@ const char* SnapshotKindName(uint32_t kind_value) {
       return "engine";
     case SnapshotKind::kGraphDatabase:
       return "graph-database";
+    case SnapshotKind::kDelta:
+      return "delta-log";
   }
   return "unknown";
 }
@@ -227,6 +256,17 @@ int RunInspect(const std::string& path) {
               info->version == kSnapshotVersion ? " (current)" : "");
   std::printf("kind:      %u (%s)\n", info->kind_value,
               SnapshotKindName(info->kind_value));
+  if (info->kind_value == static_cast<uint32_t>(SnapshotKind::kDelta)) {
+    // Delta logs have no single payload/footer; the u64 slot is the base
+    // binding. Per-record detail: `rigpm_cli delta inspect`.
+    std::printf("records:   %llu byte(s) of per-record-checksummed data\n",
+                static_cast<unsigned long long>(info->payload_size));
+    std::printf("base:      %016llx (stored checksum of the base snapshot)\n",
+                static_cast<unsigned long long>(info->stored_checksum));
+    std::printf("file:      %llu byte(s)\n",
+                static_cast<unsigned long long>(info->file_size));
+    return 0;
+  }
   std::printf("payload:   %llu byte(s)\n",
               static_cast<unsigned long long>(info->payload_size));
   std::printf("file:      %llu byte(s) (24-byte header + payload + 8-byte "
@@ -272,6 +312,306 @@ int RunSnapshot(const CliArgs& args) {
               "— both skipped on --load-snapshot)\n",
               args.out_path.c_str(), parse_ms, engine.reach_build_ms());
   return 0;
+}
+
+// ------------------------------------------------------ delta subcommand
+
+int DeltaUsage() {
+  std::fprintf(
+      stderr,
+      "usage: delta append  --base SNAP --delta FILE --edges FILE\n"
+      "       delta inspect --delta FILE\n"
+      "       delta replay  --base SNAP --delta FILE [--out SNAP2]\n"
+      "       (all verbs accept --snapshot-io mmap|read)\n");
+  return 2;
+}
+
+// Loads the graph part of a base snapshot (graph or engine kind) and
+// reports its stored payload checksum — the value delta logs bind to. The
+// delta workflow needs only the graph (endpoint validation and replay), so
+// for engine snapshots the BFL index that follows it is never decoded —
+// `delta append` against a big base costs one graph decode, not a full
+// engine load.
+std::optional<Graph> LoadBaseGraph(const std::string& path,
+                                   SnapshotIoMode mode, uint64_t* checksum,
+                                   std::string* error) {
+  // The kind probe is a separate (header-only) read, but the reported
+  // checksum comes from the SAME reader that decodes the graph: a
+  // concurrent rename-replace between the two opens can only produce a
+  // kind-mismatch error, never a checksum bound to one file and a graph
+  // from another.
+  auto info = InspectSnapshot(path, error);
+  if (!info.has_value()) return std::nullopt;
+  const bool is_graph =
+      info->kind_value == static_cast<uint32_t>(SnapshotKind::kGraph);
+  const bool is_engine =
+      info->kind_value == static_cast<uint32_t>(SnapshotKind::kEngine);
+  if (!is_graph && !is_engine) {
+    *error =
+        std::string("base must be a graph or engine snapshot (file is ") +
+        SnapshotKindName(info->kind_value) + ")";
+    return std::nullopt;
+  }
+  SnapshotReader reader(
+      path, is_graph ? SnapshotKind::kGraph : SnapshotKind::kEngine, mode);
+  if (!reader.ok()) {
+    *error = reader.error();
+    return std::nullopt;
+  }
+  Graph g = Graph::Deserialize(reader.source());
+  // Graph snapshots must be fully consumed; engine snapshots legitimately
+  // have the (skipped) index payload remaining — check the decode only.
+  if (is_graph ? !reader.Finish() : !reader.source().ok()) {
+    *error = is_graph ? reader.error() : reader.source().error();
+    return std::nullopt;
+  }
+  *checksum = reader.stored_checksum();
+  return g;
+}
+
+// Edge batch file: one "src dst" pair per line, '#' comments and blank
+// lines skipped.
+bool ReadEdgeFile(const std::string& path,
+                  std::vector<std::pair<NodeId, NodeId>>* out,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open edge file " + path;
+    return false;
+  }
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    unsigned long long src = 0, dst = 0;
+    if (std::sscanf(line.c_str(), "%llu %llu", &src, &dst) != 2 ||
+        src > std::numeric_limits<NodeId>::max() ||
+        dst > std::numeric_limits<NodeId>::max()) {
+      *error = "edge file line " + std::to_string(line_no) +
+               " is not 'src dst'";
+      return false;
+    }
+    out->emplace_back(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+  }
+  return true;
+}
+
+int RunDelta(int argc, char** argv) {
+  if (argc < 3) return DeltaUsage();
+  const std::string verb = argv[2];
+  std::string base_path, delta_path, edges_path, out_path;
+  SnapshotIoMode io_mode = DefaultSnapshotIoMode();
+  for (int i = 3; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v;
+    if (std::strcmp(argv[i], "--base") == 0) {
+      if ((v = need_value("--base")) == nullptr) return DeltaUsage();
+      base_path = v;
+    } else if (std::strcmp(argv[i], "--delta") == 0) {
+      if ((v = need_value("--delta")) == nullptr) return DeltaUsage();
+      delta_path = v;
+    } else if (std::strcmp(argv[i], "--edges") == 0) {
+      if ((v = need_value("--edges")) == nullptr) return DeltaUsage();
+      edges_path = v;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if ((v = need_value("--out")) == nullptr) return DeltaUsage();
+      out_path = v;
+    } else if (std::strcmp(argv[i], "--snapshot-io") == 0) {
+      if ((v = need_value("--snapshot-io")) == nullptr) return DeltaUsage();
+      if (!ParseSnapshotIoMode(v, &io_mode)) {
+        std::fprintf(stderr, "--snapshot-io must be mmap or read\n");
+        return DeltaUsage();
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return DeltaUsage();
+    }
+  }
+  std::string error;
+
+  if (verb == "append") {
+    if (base_path.empty() || delta_path.empty() || edges_path.empty()) {
+      return DeltaUsage();
+    }
+    // Appending to an EXISTING log needs only a header-read of the base
+    // (the cross-check against the log's own binding); the base GRAPH is
+    // decoded only when the log must be created — its header then records
+    // the node count, so every later append is O(batch) + the log scan,
+    // never O(base). On creation both the checksum and the node count come
+    // from the one read that decoded the graph, so a concurrent
+    // rename-replace of the base cannot bind mismatched values.
+    auto info = InspectSnapshot(base_path, &error);
+    if (!info.has_value()) {
+      std::fprintf(stderr, "cannot inspect base: %s\n", error.c_str());
+      return 1;
+    }
+    uint64_t bind_checksum = info->stored_checksum;
+    uint32_t base_nodes = 0;
+    std::error_code ec;
+    const bool log_has_header =
+        std::filesystem::exists(delta_path, ec) &&
+        std::filesystem::file_size(delta_path, ec) > 0;
+    if (!log_has_header) {
+      // Missing OR zero-length (a crashed first creation): Open will
+      // (re)initialize the header, which needs the base's node count.
+      auto base = LoadBaseGraph(base_path, io_mode, &bind_checksum, &error);
+      if (!base.has_value()) {
+        std::fprintf(stderr, "cannot load base: %s\n", error.c_str());
+        return 1;
+      }
+      base_nodes = base->NumNodes();
+    }
+    auto writer =
+        DeltaWriter::Open(delta_path, bind_checksum, base_nodes, &error);
+    if (writer == nullptr) {
+      std::fprintf(stderr, "cannot open delta log: %s\n", error.c_str());
+      return 1;
+    }
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    if (!ReadEdgeFile(edges_path, &edges, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    // The precondition journaled records rely on: every endpoint exists in
+    // the base (Append enforces it too; checking first gives the clearer
+    // message without a half-advanced writer).
+    if (!ValidateEdgeEndpoints(edges, writer->base_num_nodes(), &error)) {
+      std::fprintf(stderr,
+                   "%s — refusing to journal an unreplayable record\n",
+                   error.c_str());
+      return 1;
+    }
+    if (!writer->Append(edges, &error)) {
+      std::fprintf(stderr, "append failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("appended record %llu (%zu edge(s)) to %s\n",
+                static_cast<unsigned long long>(writer->record_count()),
+                edges.size(), delta_path.c_str());
+    return 0;
+  }
+
+  if (verb == "inspect") {
+    if (delta_path.empty()) return DeltaUsage();
+    DeltaReader reader(delta_path, io_mode);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "cannot inspect %s: %s\n", delta_path.c_str(),
+                   reader.error().c_str());
+      return 1;
+    }
+    std::printf("delta log: %s\n", delta_path.c_str());
+    std::printf("base:      %016llx (stored checksum of the base snapshot), "
+                "%u node(s)\n",
+                static_cast<unsigned long long>(reader.base_checksum()),
+                reader.base_num_nodes());
+    DeltaRecord rec;
+    uint64_t total_edges = 0;
+    while (reader.Next(&rec)) {
+      std::printf("record %llu: %zu edge(s)\n",
+                  static_cast<unsigned long long>(rec.seqno),
+                  rec.edges.size());
+      total_edges += rec.edges.size();
+    }
+    std::printf("records:   %llu (%llu edge(s) total)\n",
+                static_cast<unsigned long long>(reader.records_read()),
+                static_cast<unsigned long long>(total_edges));
+    if (!reader.truncated()) {
+      std::printf("chain:     valid\n");
+      return 0;
+    }
+    if (reader.tail_torn()) {
+      std::printf("chain:     TORN TAIL after record %llu (%s) — a crashed, "
+                  "never-acknowledged append; the valid prefix is complete "
+                  "and the next append recovers the file\n",
+                  static_cast<unsigned long long>(reader.records_read()),
+                  reader.tail_error().c_str());
+      return 0;
+    }
+    std::printf("chain:     CORRUPT after record %llu (%s) — acknowledged "
+                "data is damaged; records past this point are NOT "
+                "recoverable from this file\n",
+                static_cast<unsigned long long>(reader.records_read()),
+                reader.tail_error().c_str());
+    return 1;
+  }
+
+  if (verb == "replay") {
+    if (base_path.empty() || delta_path.empty()) return DeltaUsage();
+    uint64_t base_checksum = 0;
+    auto base = LoadBaseGraph(base_path, io_mode, &base_checksum, &error);
+    if (!base.has_value()) {
+      std::fprintf(stderr, "cannot load base: %s\n", error.c_str());
+      return 1;
+    }
+    DeltaReader reader(delta_path, io_mode);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "cannot read delta log: %s\n",
+                   reader.error().c_str());
+      return 1;
+    }
+    if (reader.base_checksum() != base_checksum) {
+      std::fprintf(stderr,
+                   "delta log is bound to base %016llx, but %s has "
+                   "checksum %016llx\n",
+                   static_cast<unsigned long long>(reader.base_checksum()),
+                   base_path.c_str(),
+                   static_cast<unsigned long long>(base_checksum));
+      return 1;
+    }
+    ReplayStats stats;
+    auto merged = ReplayDelta(*base, reader, &error, &stats);
+    if (!merged.has_value()) {
+      std::fprintf(stderr, "replay failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (reader.truncated() && !reader.tail_torn()) {
+      // Mid-log corruption of acknowledged data: the valid prefix is NOT
+      // everything that was journaled. Producing output (or worse, a
+      // compacted snapshot the operator then treats as complete) would
+      // silently lose the rest — refuse.
+      std::fprintf(stderr,
+                   "replay refused: %s is corrupt after record %llu (%s); "
+                   "acknowledged records past that point cannot be "
+                   "recovered from this file\n",
+                   delta_path.c_str(),
+                   static_cast<unsigned long long>(reader.records_read()),
+                   reader.tail_error().c_str());
+      return 1;
+    }
+    std::printf("base:   %s\n", base->Summary().c_str());
+    std::printf("replay: %llu record(s), %llu edge(s)%s\n",
+                static_cast<unsigned long long>(stats.records_applied),
+                static_cast<unsigned long long>(stats.edges_in_records),
+                reader.truncated()
+                    ? " (torn, never-acknowledged tail skipped)"
+                    : "");
+    std::printf("merged: %s\n", merged->Summary().c_str());
+    if (!out_path.empty()) {
+      // Compaction-by-resnapshot: the merged graph becomes a new base with
+      // its own checksum; existing delta logs do NOT apply to it — start a
+      // fresh log bound to the new snapshot.
+      GmEngine engine(*merged);
+      if (!SaveEngineSnapshot(engine, out_path, &error)) {
+        std::fprintf(stderr, "cannot write snapshot: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("compacted snapshot written to %s (index build %.2f ms; "
+                  "start a new delta log against it)\n",
+                  out_path.c_str(), engine.reach_build_ms());
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown delta verb %s\n", verb.c_str());
+  return DeltaUsage();
 }
 
 // Batch mode: every line of the file is an inline pattern; the whole batch
@@ -357,6 +697,9 @@ int main(int argc, char** argv) {
     if (!ParseArgs(argc, argv, 2, &args)) return Usage(argv[0]);
     return RunSnapshot(args);
   }
+  if (argc > 1 && std::strcmp(argv[1], "delta") == 0) {
+    return RunDelta(argc, argv);
+  }
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     return server::ServeToolMain(argc, argv, 2);
   }
@@ -382,7 +725,68 @@ int main(int argc, char** argv) {
     std::printf("snapshot: %s (warm start via %s, index build skipped)\n",
                 args.snapshot_path.c_str(),
                 args.io_mode == SnapshotIoMode::kMmap ? "mmap" : "read");
+    if (!args.delta_path.empty()) {
+      // Overlay the delta log: replay its records over the base and rebuild
+      // the index over the merged graph, so every query below sees
+      // base+delta — the cold-rebuild twin of the daemon's kRefresh path.
+      // The binding check uses the checksum of the bytes actually LOADED
+      // (warm.stored_checksum), never a re-read of the path — a concurrent
+      // compaction may have rename-replaced the file since.
+      DeltaReader reader(args.delta_path, args.io_mode);
+      if (!reader.ok()) {
+        std::fprintf(stderr, "cannot read delta log: %s\n",
+                     reader.error().c_str());
+        return 1;
+      }
+      if (reader.base_checksum() != warm.stored_checksum) {
+        std::fprintf(stderr,
+                     "delta log is bound to a different base snapshot\n");
+        return 1;
+      }
+      // Same shape as the daemon's HandleRefresh: collect first, and only
+      // materialize a merged graph when records actually applied — an
+      // empty log must not deep-copy the mmap-backed graph just to throw
+      // the copy away.
+      ReplayStats stats;
+      std::vector<std::pair<NodeId, NodeId>> delta_edges;
+      if (!CollectDeltaEdges(reader, warm.graph->NumNodes(), 0,
+                             &delta_edges, &stats, &error)) {
+        std::fprintf(stderr, "delta replay failed: %s\n", error.c_str());
+        return 1;
+      }
+      if (reader.truncated() && !reader.tail_torn()) {
+        std::fprintf(stderr,
+                     "delta log is corrupt after record %llu (%s); "
+                     "refusing to serve a silently partial graph\n",
+                     static_cast<unsigned long long>(reader.records_read()),
+                     reader.tail_error().c_str());
+        return 1;
+      }
+      if (stats.records_applied == 0) {
+        // Empty (or fully-compacted-away) log: the snapshot's prebuilt
+        // index is already exactly right — keep the warm start warm.
+        std::printf("delta: %s (no records to replay)\n",
+                    args.delta_path.c_str());
+      } else {
+        auto merged = std::make_unique<Graph>(
+            ApplyEdgesToGraph(*warm.graph, delta_edges));
+        warm.engine.reset();  // references the base graph; drop it first
+        warm.graph = std::move(merged);
+        warm.engine = std::make_unique<GmEngine>(*warm.graph);
+        graph = warm.graph.get();
+        std::printf("delta: %s (%llu record(s), %llu edge(s) replayed; "
+                    "index rebuilt in %.2f ms)\n",
+                    args.delta_path.c_str(),
+                    static_cast<unsigned long long>(stats.records_applied),
+                    static_cast<unsigned long long>(stats.edges_in_records),
+                    warm.engine->reach_build_ms());
+      }
+    }
   } else {
+    if (!args.delta_path.empty()) {
+      std::fprintf(stderr, "--delta requires --load-snapshot\n");
+      return 1;
+    }
     parsed_graph = ReadGraphFile(args.graph_path, &error);
     if (!parsed_graph.has_value()) {
       std::fprintf(stderr, "cannot read graph: %s\n", error.c_str());

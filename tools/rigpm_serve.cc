@@ -8,6 +8,11 @@
 //
 //   rigpm_serve --snapshot G.snap --socket /tmp/rigpm.sock --workers 4
 //   rigpm_serve --graph G.txt --port 7771
+//   rigpm_serve --snapshot G.snap --delta G.delta --socket /tmp/rigpm.sock
+//
+// With --delta, a client `--refresh` replays the delta log's new records
+// (storage/delta_log.h) and swaps the refreshed engine in live — no
+// restart, no dropped connections.
 //
 // Flags are shared with `rigpm_cli serve` (src/server/tool_main.h).
 
