@@ -217,10 +217,10 @@ int main() {
   constexpr int kClients = 4;
   server::ServerConfig config;
   config.unix_path = TempPath("rigpm_bench_delta.sock");
-  // Workers hold their connection until the client leaves, so the pool
-  // must be larger than the steady client count or the refresher's
-  // connection would starve in the accept queue.
-  config.num_workers = kClients + 2;
+  // FEWER workers than steady clients, on purpose: the event loop
+  // multiplexes every connection over the pool, so the refresher gets
+  // served promptly even with all workers oversubscribed.
+  config.num_workers = 2;
   config.delta_path = delta_log;
   config.base_checksum = info->stored_checksum;
   server::QueryServer server(*warm->engine, config);

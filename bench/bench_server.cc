@@ -13,11 +13,21 @@
 // scheduling — the price of the RDBMS-style "load once, serve repeatedly"
 // deployment the snapshot subsystem enables.
 //
+// A third phase stresses the event-loop core the way the C10K problem
+// does: a thousand-plus idle connections parked on the daemon while the
+// hot clients pipeline their requests (many in flight per connection)
+// and a churn thread opens/closes connections the whole time. The idle
+// flood must not cost a single failed round trip, and the accept-to-
+// first-byte percentiles under churn come from the server's own stats.
+//
 // Knobs: RIGPM_SCALE scales the graph; RIGPM_SERVER_CLIENTS (default 4)
-// sets the concurrent client count.
+// sets the concurrent client count; RIGPM_IDLE_CONNS (default 1000)
+// sizes the idle flood (0 skips the C10K phase).
 
+#include <sys/resource.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -43,6 +53,27 @@ uint32_t ClientsFromEnv() {
   if (raw == nullptr) return 4;
   long v = std::strtol(raw, nullptr, 10);
   return v > 0 ? static_cast<uint32_t>(v) : 4;
+}
+
+uint32_t IdleConnsFromEnv() {
+  const char* raw = std::getenv("RIGPM_IDLE_CONNS");
+  if (raw == nullptr) return 1000;
+  long v = std::strtol(raw, nullptr, 10);
+  return v >= 0 ? static_cast<uint32_t>(v) : 1000;
+}
+
+// Lifts the soft RLIMIT_NOFILE toward the hard cap so the idle flood
+// (plus the server's own fds) fits. Best effort: if the hard cap is
+// still too small the connect loop reports it.
+void RaiseNofileLimit(uint64_t want) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur >= want) return;
+  rlimit raised = lim;
+  raised.rlim_cur = lim.rlim_max == RLIM_INFINITY
+                        ? want
+                        : std::min<rlim_t>(lim.rlim_max, want);
+  setrlimit(RLIMIT_NOFILE, &raised);
 }
 
 }  // namespace
@@ -134,6 +165,102 @@ int main() {
     }
     for (std::thread& t : clients) t.join();
   });
+
+  // --- (c) C10K: the identical workload again, but every client pipelines
+  // its slice (kPipelineWindow tagged requests in flight per connection)
+  // while `idle_conns` connections sit parked on the daemon doing nothing
+  // and a churn thread opens/closes short-lived connections throughout.
+  const uint32_t idle_conns = IdleConnsFromEnv();
+  double c10k_ms = 0.0;
+  uint64_t churn_accepts = 0;
+  server::ServerStats c10k_stats{};
+  std::atomic<uint64_t> c10k_failures{0};
+  std::atomic<uint64_t> c10k_mismatches{0};
+  if (idle_conns > 0) {
+    RaiseNofileLimit(static_cast<uint64_t>(idle_conns) + 512);
+    std::vector<server::QueryClient> idle;
+    idle.reserve(idle_conns);
+    for (uint32_t i = 0; i < idle_conns; ++i) {
+      server::QueryClient holder;
+      std::string herr;
+      if (!holder.ConnectUnix(config.unix_path, &herr)) {
+        std::fprintf(stderr, "idle connect %u/%u failed: %s\n", i + 1,
+                     idle_conns, herr.c_str());
+        return 1;
+      }
+      idle.push_back(std::move(holder));
+    }
+
+    std::atomic<bool> churn_stop{false};
+    std::atomic<uint64_t> churned{0};
+    std::thread churner([&] {
+      // Accept churn: each iteration is a fresh connection, one ping, and
+      // a close — so the accept-to-first-byte percentiles below measure
+      // accepts that happen WHILE the loop juggles 1000+ parked fds and
+      // the pipelined hot path.
+      while (!churn_stop.load(std::memory_order_relaxed)) {
+        server::QueryClient c;
+        std::string cerr2;
+        if (!c.ConnectUnix(config.unix_path, &cerr2) || !c.Ping(&cerr2)) {
+          ++c10k_failures;
+          return;
+        }
+        ++churned;
+      }
+    });
+
+    constexpr size_t kPipelineWindow = 16;
+    c10k_ms = TimeMs([&] {
+      std::vector<std::thread> hot;
+      hot.reserve(num_clients);
+      for (uint32_t c = 0; c < num_clients; ++c) {
+        hot.emplace_back([&, c] {
+          server::QueryClient client;
+          std::string cerr2;
+          if (!client.ConnectUnix(config.unix_path, &cerr2)) {
+            ++c10k_failures;
+            return;
+          }
+          std::vector<size_t> slice;
+          for (size_t i = c; i < query_texts.size(); i += num_clients) {
+            slice.push_back(i);
+          }
+          for (size_t start = 0; start < slice.size();
+               start += kPipelineWindow) {
+            size_t end = std::min(slice.size(), start + kPipelineWindow);
+            std::vector<server::QueryRequest> reqs;
+            reqs.reserve(end - start);
+            for (size_t k = start; k < end; ++k) {
+              server::QueryRequest req;
+              req.patterns = {query_texts[slice[k]]};
+              req.limit = opts.limit;
+              reqs.push_back(std::move(req));
+            }
+            auto resps = client.QueryPipelined(reqs, &cerr2);
+            if (!resps.has_value()) {
+              c10k_failures += end - start;
+              return;
+            }
+            for (size_t k = start; k < end; ++k) {
+              const server::QueryResponse& r = (*resps)[k - start];
+              if (r.status != server::StatusCode::kOk ||
+                  r.results.size() != 1) {
+                ++c10k_failures;
+              } else if (r.results[0].num_occurrences !=
+                         direct[slice[k]].num_occurrences) {
+                ++c10k_mismatches;
+              }
+            }
+          }
+        });
+      }
+      for (std::thread& t : hot) t.join();
+    });
+    churn_stop.store(true);
+    churner.join();
+    churn_accepts = churned.load();
+    c10k_stats = server.Snapshot();
+  }
   server.Stop();
 
   const double n = static_cast<double>(queries.size());
@@ -148,10 +275,25 @@ int main() {
   std::snprintf(buf[2], sizeof(buf[2]), "%.0f", served_rps);
   table.AddRow({"daemon (unix socket)", buf[0], FormatSeconds(served_ms),
                 buf[2]});
+  if (idle_conns > 0) {
+    const double c10k_rps = n / (c10k_ms / 1000.0);
+    char crow[2][32];
+    std::snprintf(crow[0], sizeof(crow[0]), "%zu", queries.size());
+    std::snprintf(crow[1], sizeof(crow[1]), "%.0f", c10k_rps);
+    table.AddRow({"daemon pipelined + idle flood", crow[0],
+                  FormatSeconds(c10k_ms), crow[1]});
+  }
   table.Print();
   std::printf("\nprotocol overhead: %.1f%% RPS (%.3f ms per request)\n",
               direct_rps > 0 ? 100.0 * (1.0 - served_rps / direct_rps) : 0.0,
               (served_ms - direct_ms) / n);
+  if (idle_conns > 0) {
+    std::printf("c10k: %u idle connection(s) parked, %llu churn accept(s); "
+                "accept-to-first-byte p50 %.2f ms, p99 %.2f ms\n",
+                idle_conns,
+                static_cast<unsigned long long>(churn_accepts),
+                c10k_stats.accept_p50_ms, c10k_stats.accept_p99_ms);
+  }
 
   // Daemon memory footprint. This bench builds its engine in-process (cold),
   // so the whole graph is private heap; a production daemon loading the same
@@ -168,14 +310,19 @@ int main() {
                     (1024.0 * 1024.0));
   }
 
-  if (transport_failures.load() != 0 || mismatches.load() != 0) {
+  if (transport_failures.load() != 0 || mismatches.load() != 0 ||
+      c10k_failures.load() != 0 || c10k_mismatches.load() != 0) {
     std::fprintf(stderr,
-                 "FAIL: %llu transport failure(s), %llu count mismatch(es)\n",
+                 "FAIL: %llu transport failure(s), %llu count mismatch(es), "
+                 "%llu c10k failure(s), %llu c10k mismatch(es)\n",
                  static_cast<unsigned long long>(transport_failures.load()),
-                 static_cast<unsigned long long>(mismatches.load()));
+                 static_cast<unsigned long long>(mismatches.load()),
+                 static_cast<unsigned long long>(c10k_failures.load()),
+                 static_cast<unsigned long long>(c10k_mismatches.load()));
     return 1;
   }
   std::printf("served counts identical to in-process evaluation "
-              "(%zu queries)\n", queries.size());
+              "(%zu queries%s)\n", queries.size(),
+              idle_conns > 0 ? ", sequential and pipelined" : "");
   return 0;
 }

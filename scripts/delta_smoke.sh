@@ -4,7 +4,9 @@
 # kRefresh after each batch, diff every served count against a cold rebuild
 # of the merged graph (`rigpm_cli --load-snapshot ... --delta ...`), keep
 # clients querying THROUGH the refresh (no round trip may fail), and
-# require a clean shutdown.
+# require a clean shutdown. The daemon deliberately runs FEWER workers
+# (2) than concurrent clients (4): the event loop multiplexes, so the
+# old "size the pool above the client count" caveat must stay dead.
 #
 # usage: scripts/delta_smoke.sh BUILD_DIR
 set -eu
@@ -93,7 +95,7 @@ echo "== snapshot"
 
 echo "== start daemon (delta-armed)"
 "${BUILD_DIR}/rigpm_serve" --snapshot "${SNAP}" --delta "${DELTA}" \
-  --socket "${SOCK}" --workers 6 > "${WORK_DIR}/serve.log" 2>&1 &
+  --socket "${SOCK}" --workers 2 > "${WORK_DIR}/serve.log" 2>&1 &
 SERVER_PID=$!
 for _ in $(seq 1 50); do
   if "${BUILD_DIR}/rigpm_cli" client --socket "${SOCK}" --ping \

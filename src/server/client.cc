@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <unordered_map>
 #include <vector>
 
 namespace rigpm::server {
@@ -25,6 +26,35 @@ bool DecodeErrorResponse(ByteSource& src, StatusCode* status,
   *status = static_cast<StatusCode>(src.ReadU32());
   *message = src.ReadString();
   return src.ok();
+}
+
+/// Decodes a query (or error) response payload starting at its message
+/// type; shared by the blocking and pipelined paths.
+std::optional<QueryResponse> DecodeQueryPayload(ByteSource& src,
+                                                std::string* error) {
+  MessageType type = ReadMessageType(src);
+  if (type == MessageType::kErrorResponse) {
+    QueryResponse resp;
+    StatusCode status;
+    std::string message;
+    if (!DecodeErrorResponse(src, &status, &message)) {
+      SetError(error, "malformed error response");
+      return std::nullopt;
+    }
+    resp.status = status;
+    resp.error = std::move(message);
+    return resp;
+  }
+  if (type != MessageType::kQueryResponse) {
+    SetError(error, "unexpected response type");
+    return std::nullopt;
+  }
+  QueryResponse resp = QueryResponse::Deserialize(src);
+  if (!src.ok()) {
+    SetError(error, "malformed query response: " + src.error());
+    return std::nullopt;
+  }
+  return resp;
 }
 
 }  // namespace
@@ -87,17 +117,8 @@ bool QueryClient::ConnectTcp(const std::string& host, uint16_t port,
   return true;
 }
 
-bool QueryClient::RoundTrip(const ByteSink& request,
-                            std::vector<uint8_t>* payload,
-                            std::string* error) {
-  if (fd_ < 0) {
-    SetError(error, "not connected");
-    return false;
-  }
-  if (!WriteFrame(fd_, request, error)) {
-    Close();
-    return false;
-  }
+bool QueryClient::ReadResponseFrame(std::vector<uint8_t>* payload,
+                                    std::string* error) {
   FrameReadStatus st = ReadFrame(fd_, max_frame_bytes, payload, error);
   if (st == FrameReadStatus::kOk) return true;
   if (st == FrameReadStatus::kEof) {
@@ -111,6 +132,20 @@ bool QueryClient::RoundTrip(const ByteSink& request,
   return false;
 }
 
+bool QueryClient::RoundTrip(const ByteSink& request,
+                            std::vector<uint8_t>* payload,
+                            std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return false;
+  }
+  if (!WriteFrame(fd_, request, error)) {
+    Close();
+    return false;
+  }
+  return ReadResponseFrame(payload, error);
+}
+
 std::optional<QueryResponse> QueryClient::Query(const QueryRequest& request,
                                                 std::string* error) {
   ByteSink sink;
@@ -119,25 +154,86 @@ std::optional<QueryResponse> QueryClient::Query(const QueryRequest& request,
   if (!RoundTrip(sink, &payload, error)) return std::nullopt;
 
   ByteSource src(payload.data(), payload.size());
-  MessageType type = ReadMessageType(src);
-  if (type == MessageType::kErrorResponse) {
-    QueryResponse resp;
-    if (!DecodeErrorResponse(src, &resp.status, &resp.error)) {
-      SetError(error, "malformed error response");
+  return DecodeQueryPayload(src, error);
+}
+
+std::optional<uint64_t> QueryClient::SendTagged(const QueryRequest& request,
+                                                std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return std::nullopt;
+  }
+  uint64_t id = next_request_id_++;
+  ByteSink inner;
+  request.Serialize(inner);
+  ByteSink frame = WrapTagged(MessageType::kTaggedRequest, id, inner);
+  if (!WriteFrame(fd_, frame, error)) {
+    Close();
+    return std::nullopt;
+  }
+  return id;
+}
+
+std::optional<QueryClient::TaggedQueryResponse> QueryClient::ReceiveTagged(
+    std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return std::nullopt;
+  }
+  std::vector<uint8_t> payload;
+  if (!ReadResponseFrame(&payload, error)) return std::nullopt;
+  ByteSource src(payload.data(), payload.size());
+  if (ReadMessageType(src) != MessageType::kTaggedResponse) {
+    SetError(error, "expected a tagged response");
+    return std::nullopt;
+  }
+  TaggedQueryResponse out;
+  out.request_id = ReadTaggedId(src);
+  if (!src.ok()) {
+    SetError(error, "malformed tagged response");
+    return std::nullopt;
+  }
+  auto resp = DecodeQueryPayload(src, error);
+  if (!resp.has_value()) return std::nullopt;
+  out.response = std::move(*resp);
+  return out;
+}
+
+std::optional<std::vector<QueryResponse>> QueryClient::QueryPipelined(
+    const std::vector<QueryRequest>& requests, std::string* error) {
+  std::vector<uint64_t> ids;
+  ids.reserve(requests.size());
+  for (const QueryRequest& req : requests) {
+    auto id = SendTagged(req, error);
+    if (!id.has_value()) return std::nullopt;
+    ids.push_back(*id);
+  }
+  // Collect in completion order, return in request order.
+  std::unordered_map<uint64_t, QueryResponse> by_id;
+  by_id.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto tagged = ReceiveTagged(error);
+    if (!tagged.has_value()) return std::nullopt;
+    if (!by_id.emplace(tagged->request_id, std::move(tagged->response))
+             .second) {
+      SetError(error, "duplicate response id " +
+                          std::to_string(tagged->request_id));
+      Close();
       return std::nullopt;
     }
-    return resp;
   }
-  if (type != MessageType::kQueryResponse) {
-    SetError(error, "unexpected response type");
-    return std::nullopt;
+  std::vector<QueryResponse> ordered;
+  ordered.reserve(ids.size());
+  for (uint64_t id : ids) {
+    auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      SetError(error, "response id " + std::to_string(id) + " never arrived");
+      Close();
+      return std::nullopt;
+    }
+    ordered.push_back(std::move(it->second));
   }
-  QueryResponse resp = QueryResponse::Deserialize(src);
-  if (!src.ok()) {
-    SetError(error, "malformed query response: " + src.error());
-    return std::nullopt;
-  }
-  return resp;
+  return ordered;
 }
 
 std::optional<StatsResponse> QueryClient::Stats(std::string* error) {

@@ -10,9 +10,10 @@
 namespace rigpm::server {
 
 /// Blocking client for the rigpm query daemon: one connection, any number of
-/// request/response round trips. Thread contract: one thread per client
-/// (open several clients for concurrency — the server handles each on its
-/// own worker).
+/// request/response round trips — or, with SendTagged/ReceiveTagged, many
+/// requests pipelined on the one connection with out-of-order completion.
+/// Thread contract: one thread per client (open several clients for
+/// concurrency — the server multiplexes all of them over its event loop).
 class QueryClient {
  public:
   QueryClient() = default;
@@ -21,7 +22,9 @@ class QueryClient {
   QueryClient(const QueryClient&) = delete;
   QueryClient& operator=(const QueryClient&) = delete;
   QueryClient(QueryClient&& other) noexcept
-      : max_frame_bytes(other.max_frame_bytes), fd_(other.fd_) {
+      : max_frame_bytes(other.max_frame_bytes),
+        fd_(other.fd_),
+        next_request_id_(other.next_request_id_) {
     other.fd_ = -1;
   }
 
@@ -35,6 +38,30 @@ class QueryClient {
   /// server-side rejections come back as a response with status != kOk.
   std::optional<QueryResponse> Query(const QueryRequest& request,
                                      std::string* error = nullptr);
+
+  /// Pipelining: sends a kTaggedRequest query frame without waiting for
+  /// the response and returns the request id it was tagged with. Any
+  /// number may be in flight; collect each with ReceiveTagged (responses
+  /// arrive in the server's completion order, not send order).
+  std::optional<uint64_t> SendTagged(const QueryRequest& request,
+                                     std::string* error = nullptr);
+
+  struct TaggedQueryResponse {
+    uint64_t request_id = 0;
+    QueryResponse response;
+  };
+
+  /// Reads one tagged response frame, whichever in-flight request it
+  /// answers. Returns nullopt on transport failure or a non-tagged frame.
+  std::optional<TaggedQueryResponse> ReceiveTagged(
+      std::string* error = nullptr);
+
+  /// Convenience pipeline: sends every request back-to-back on the one
+  /// connection, then collects all responses and returns them in request
+  /// order regardless of the order the server finished them in.
+  std::optional<std::vector<QueryResponse>> QueryPipelined(
+      const std::vector<QueryRequest>& requests,
+      std::string* error = nullptr);
 
   std::optional<StatsResponse> Stats(std::string* error = nullptr);
 
@@ -62,7 +89,12 @@ class QueryClient {
   bool RoundTrip(const ByteSink& request, std::vector<uint8_t>* payload,
                  std::string* error);
 
+  /// Reads one response frame (closing the connection on failure, since
+  /// the stream is then desynchronized).
+  bool ReadResponseFrame(std::vector<uint8_t>* payload, std::string* error);
+
   int fd_ = -1;
+  uint64_t next_request_id_ = 1;
 };
 
 }  // namespace rigpm::server

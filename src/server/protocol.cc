@@ -191,9 +191,12 @@ void StatsResponse::Serialize(ByteSink& sink) const {
   sink.WriteU64(occurrences_emitted);
   WriteF64(sink, latency_p50_ms);
   WriteF64(sink, latency_p99_ms);
-  // Appended last: a reader built before this field existed still parses
+  // Appended last: a reader built before these fields existed still parses
   // every earlier field correctly (the wire format carries no version).
   sink.WriteU64(refreshes);
+  sink.WriteU64(dispatch_depth);
+  WriteF64(sink, accept_p50_ms);
+  WriteF64(sink, accept_p99_ms);
 }
 
 StatsResponse StatsResponse::Deserialize(ByteSource& src) {
@@ -211,6 +214,10 @@ StatsResponse StatsResponse::Deserialize(ByteSource& src) {
   // Tolerating the short payload keeps a new client's --stats working
   // against a still-running old daemon (they are long-lived on purpose).
   s.refreshes = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  // Event-loop fields, appended by the epoll core (one release later).
+  s.dispatch_depth = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.accept_p50_ms = src.remaining() >= sizeof(uint64_t) ? ReadF64(src) : 0.0;
+  s.accept_p99_ms = src.remaining() >= sizeof(uint64_t) ? ReadF64(src) : 0.0;
   return s;
 }
 
@@ -324,5 +331,16 @@ ByteSink MakeErrorResponse(StatusCode status, const std::string& message) {
   sink.WriteString(message);
   return sink;
 }
+
+ByteSink WrapTagged(MessageType envelope, uint64_t request_id,
+                    const ByteSink& inner) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(envelope));
+  sink.WriteU64(request_id);
+  sink.WriteRaw(inner.data().data(), inner.size());
+  return sink;
+}
+
+uint64_t ReadTaggedId(ByteSource& src) { return src.ReadU64(); }
 
 }  // namespace rigpm::server

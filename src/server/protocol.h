@@ -43,12 +43,21 @@ enum class MessageType : uint32_t {
   /// Empty body. Answered with kRefreshResponse (RefreshResponse below) or
   /// an error response when the daemon has no delta source configured.
   kRefreshRequest = 5,
+  /// Pipelining envelope: u64 request_id, then a complete inner request
+  /// payload (u32 inner type + body). A client may have many tagged frames
+  /// in flight on one connection; each is answered with a kTaggedResponse
+  /// carrying the same id, and responses may arrive in any order. Untagged
+  /// frames keep their PR-1 semantics: one at a time, answered in order,
+  /// with an untagged response (conceptually id 0).
+  kTaggedRequest = 6,
 
   kQueryResponse = 101,
   kStatsResponse = 102,
   kPingResponse = 103,
   kShutdownResponse = 104,
   kRefreshResponse = 105,
+  /// u64 request_id, then the complete inner response payload.
+  kTaggedResponse = 106,
   kErrorResponse = 199,
 };
 
@@ -129,6 +138,12 @@ struct StatsResponse {
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
 
+  // Event-loop health (appended at the wire tail; absent from daemons
+  // built before the epoll core and then reported as zero).
+  uint64_t dispatch_depth = 0;  // requests parsed but not yet on a worker
+  double accept_p50_ms = 0.0;   // accept() to first response byte
+  double accept_p99_ms = 0.0;
+
   void Serialize(ByteSink& sink) const;
   static StatsResponse Deserialize(ByteSource& src);
 };
@@ -181,6 +196,17 @@ MessageType ReadMessageType(ByteSource& src);
 
 /// Builds an error-response payload (type + status + message).
 ByteSink MakeErrorResponse(StatusCode status, const std::string& message);
+
+/// Wraps a complete inner payload (u32 type + body) in a pipelining
+/// envelope: `envelope` type, u64 request id, inner bytes. `envelope` must
+/// be kTaggedRequest or kTaggedResponse.
+ByteSink WrapTagged(MessageType envelope, uint64_t request_id,
+                    const ByteSink& inner);
+
+/// Reads the u64 request id of a tagged envelope; call after
+/// ReadMessageType returned kTaggedRequest/kTaggedResponse. The source is
+/// then positioned at the inner payload's message type.
+uint64_t ReadTaggedId(ByteSource& src);
 
 }  // namespace rigpm::server
 

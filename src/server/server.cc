@@ -1,8 +1,10 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -24,8 +26,18 @@ namespace rigpm::server {
 
 namespace {
 
-constexpr int kAcceptPollMs = 100;
+/// Epoll wait slice: bounds how stale the stop flag and the idle-timeout
+/// scan can get when no fd is active.
+constexpr int kLoopTickMs = 100;
 constexpr size_t kLatencyRingCapacity = 4096;
+/// recv() staging buffer, and the per-event read bound that keeps one
+/// firehose client from monopolizing the loop (leftover bytes re-trigger
+/// the level-triggered EPOLLIN on the next re-arm).
+constexpr size_t kReadChunk = 16384;
+constexpr size_t kMaxReadPerEvent = 256 * 1024;
+/// Shutdown drain bound: in-flight requests get this long to finish and
+/// flush before remaining connections are cut.
+constexpr double kDrainCapMs = 5000.0;
 
 double MsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
@@ -49,6 +61,32 @@ double Percentile(std::vector<double> samples, double p) {
   return samples[rank];
 }
 
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Length prefix + payload as one contiguous buffer, ready for the
+/// non-blocking write queue (the blocking WriteFrame of protocol.cc cannot
+/// be used from the event loop).
+std::vector<uint8_t> FrameBytes(const ByteSink& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::vector<uint8_t> framed(sizeof(len) + payload.size());
+  std::memcpy(framed.data(), &len, sizeof(len));
+  std::memcpy(framed.data() + sizeof(len), payload.data().data(),
+              payload.size());
+  return framed;
+}
+
+uint32_t PeekType(const std::vector<uint8_t>& bytes, size_t offset = 0) {
+  uint32_t type = 0;
+  if (bytes.size() >= offset + sizeof(type)) {
+    std::memcpy(&type, bytes.data() + offset, sizeof(type));
+  }
+  return type;
+}
+
 }  // namespace
 
 QueryServer::QueryServer(const GmEngine& engine, ServerConfig config)
@@ -60,6 +98,8 @@ QueryServer::QueryServer(const GmEngine& engine, ServerConfig config)
       std::shared_ptr<const GmEngine>(), &engine);
   state_ = std::move(initial);
   latency_ring_.resize(kLatencyRingCapacity, 0.0);
+  accept_ring_.resize(kLatencyRingCapacity, 0.0);
+  if (config_.max_pipeline == 0) config_.max_pipeline = 1;
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -95,6 +135,14 @@ bool QueryServer::Start(std::string* error) {
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
+    }
+    if (epoll_fd_ >= 0) {
+      ::close(epoll_fd_);
+      epoll_fd_ = -1;
+    }
+    if (wake_fd_ >= 0) {
+      ::close(wake_fd_);
+      wake_fd_ = -1;
     }
     return false;
   };
@@ -160,6 +208,32 @@ bool QueryServer::Start(std::string* error) {
   if (::listen(listen_fd_, SOMAXCONN) < 0) {
     return fail(std::string("listen: ") + std::strerror(errno));
   }
+  if (!SetNonBlocking(listen_fd_)) {
+    return fail(std::string("fcntl O_NONBLOCK: ") + std::strerror(errno));
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return fail(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    return fail(std::string("eventfd: ") + std::strerror(errno));
+  }
+  // The listen socket and the wake eventfd stay level-triggered and
+  // always armed; only connection fds use EPOLLONESHOT re-arm.
+  epoll_event lev{};
+  lev.events = EPOLLIN;
+  lev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &lev) < 0) {
+    return fail(std::string("epoll_ctl listen: ") + std::strerror(errno));
+  }
+  epoll_event wev{};
+  wev.events = EPOLLIN;
+  wev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wev) < 0) {
+    return fail(std::string("epoll_ctl eventfd: ") + std::strerror(errno));
+  }
 
   stop_.store(false);
   running_.store(true);
@@ -171,13 +245,20 @@ bool QueryServer::Start(std::string* error) {
   for (uint32_t i = 0; i < workers; ++i) {
     workers_.emplace_back(&QueryServer::WorkerLoop, this, i);
   }
-  acceptor_ = std::thread(&QueryServer::AcceptLoop, this);
+  loop_thread_ = std::thread(&QueryServer::EventLoop, this);
   return true;
 }
 
 void QueryServer::RequestStop() {
   stop_.store(true);
   queue_cv_.notify_all();
+  WakeLoop();
+}
+
+void QueryServer::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
 }
 
 void QueryServer::Wait() {
@@ -189,17 +270,22 @@ void QueryServer::Wait() {
 
 void QueryServer::Stop() {
   RequestStop();
-  if (acceptor_.joinable()) acceptor_.join();
+  if (loop_thread_.joinable()) loop_thread_.join();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  // Connections accepted but never picked up by a worker.
-  for (int fd : pending_fds_) ::close(fd);
-  pending_fds_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
   }
   if (bound_unix_) {
     ::unlink(config_.unix_path.c_str());
@@ -208,88 +294,409 @@ void QueryServer::Stop() {
   running_.store(false);
 }
 
-void QueryServer::AcceptLoop() {
-  while (!stop_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, kAcceptPollMs);
-    if (ready < 0) {
+// ------------------------------------------------------------ event loop
+
+void QueryServer::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_start;
+
+  while (true) {
+    if (stop_.load() && !draining) {
+      // Stop accepting; keep looping until dispatched requests have
+      // finished and their responses are flushed (the shutdown ACK must
+      // reach its client), then cut the remaining connections.
+      draining = true;
+      drain_start = std::chrono::steady_clock::now();
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      queue_cv_.notify_all();
+    }
+    if (draining && (Drained() || MsSince(drain_start) > kDrainCapMs)) break;
+
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, kLoopTickMs);
+    if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (ready == 0) continue;
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    // Accepts are deferred to the end of the batch: closing a connection
+    // mid-batch releases its fd number, and accepting inside the batch
+    // could re-use it while a stale event for the old connection is still
+    // queued in `events`.
+    bool accept_ready = false;
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_ready = true;
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drainv = 0;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drainv, sizeof(drainv));
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(conn);
+      }
+      SettleConnection(conn);
+    }
+    if (accept_ready && !draining) AcceptNewConnections();
+
+    // Worker completions: flush the fresh responses and re-arm (a finished
+    // untagged request may also unblock held frames → PumpDispatch inside
+    // SettleConnection).
+    std::vector<std::shared_ptr<Connection>> done;
+    {
+      std::lock_guard<std::mutex> lock(compl_mu_);
+      done.swap(completions_);
+    }
+    for (const std::shared_ptr<Connection>& conn : done) {
+      SettleConnection(conn);
+    }
+
+    if (config_.idle_timeout_ms > 0 && !draining) CloseIdleConnections();
+  }
+
+  // Teardown: everything still open is cut (queued-but-unserved frames and
+  // unflushed bytes included — the drain window above is their grace
+  // period).
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) remaining.push_back(conn);
+  for (const std::shared_ptr<Connection>& conn : remaining) {
+    CloseConnection(conn);
+  }
+}
+
+bool QueryServer::Drained() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!dispatch_q_.empty()) return false;
+  }
+  if (inflight_total_.load() != 0) return false;
+  for (auto& [fd, conn] : conns_) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!conn->wq.empty()) return false;
+  }
+  return true;
+}
+
+void QueryServer::AcceptNewConnections() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (drained) or a transient accept error
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++connections_accepted_;
     }
+    if (config_.max_connections > 0 &&
+        conns_.size() >= config_.max_connections) {
+      // Over the ceiling: shed the connection instead of letting an fd
+      // flood starve the process of descriptors.
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->accept_time = std::chrono::steady_clock::now();
+    conn->last_activity = conn->accept_time;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLONESHOT;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    conn->in_epoll = true;
+    conns_.emplace(fd, std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++active_connections_;
+    }
+  }
+}
+
+void QueryServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  if (conn->poisoned || conn->eof || conn->io_dead) return;
+  uint8_t buf[kReadChunk];
+  size_t total = 0;
+  while (total < kMaxReadPerEvent) {
+    ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      conn->rbuf.insert(conn->rbuf.end(), buf, buf + r);
+      conn->last_activity = std::chrono::steady_clock::now();
+      total += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      // Clean FIN. Frames already received still get served and their
+      // responses written (the write side may be open); the connection is
+      // reaped once it quiesces (SettleConnection).
+      conn->eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn->io_dead = true;
+    return;
+  }
+  ParseFrames(conn);
+}
+
+void QueryServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
+  while (!conn->poisoned) {
+    size_t avail = conn->rbuf.size() - conn->rpos;
+    uint32_t len = 0;
+    if (avail < sizeof(len)) break;
+    std::memcpy(&len, conn->rbuf.data() + conn->rpos, sizeof(len));
+    if (len > config_.max_frame_bytes) {
+      // The oversized payload will never be buffered, so the stream cannot
+      // be resynchronized — answer once and drop the connection after the
+      // error flushes. Frames already parsed but not dispatched are
+      // dropped with it (the client never got an ack for them).
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++errors_;
+      }
+      ByteSink err = MakeErrorResponse(
+          StatusCode::kBadRequest,
+          "frame of " + std::to_string(len) + " bytes exceeds the limit of " +
+              std::to_string(config_.max_frame_bytes));
+      std::vector<uint8_t> framed = FrameBytes(err);
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->wq_bytes += framed.size();
+        conn->wq.push_back(std::move(framed));
+        conn->close_after_flush = true;
+      }
+      conn->ready.clear();
+      conn->poisoned = true;
+      break;
+    }
+    if (avail - sizeof(len) < len) break;  // frame still incomplete
+    auto begin = conn->rbuf.begin() +
+                 static_cast<ptrdiff_t>(conn->rpos + sizeof(len));
+    conn->ready.emplace_back(begin, begin + static_cast<ptrdiff_t>(len));
+    conn->rpos += sizeof(len) + len;
+  }
+  // Compact the consumed prefix (the leftover is at most one partial
+  // frame's worth of bytes).
+  if (conn->rpos > 0) {
+    conn->rbuf.erase(conn->rbuf.begin(),
+                     conn->rbuf.begin() + static_cast<ptrdiff_t>(conn->rpos));
+    conn->rpos = 0;
+  }
+}
+
+void QueryServer::PumpDispatch(const std::shared_ptr<Connection>& conn) {
+  if (stop_.load()) return;  // draining: never-dispatched frames are dropped
+  while (!conn->ready.empty()) {
+    const std::vector<uint8_t>& front = conn->ready.front();
+    bool tagged = PeekType(front) ==
+                  static_cast<uint32_t>(MessageType::kTaggedRequest);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      // Untagged requests keep their original strictly-in-order contract:
+      // one in flight, nothing overtakes it. Tagged requests fill the
+      // pipeline up to the cap.
+      if (conn->untagged_inflight) break;
+      if (!tagged && conn->inflight > 0) break;
+      if (tagged && conn->inflight >= config_.max_pipeline) break;
+      ++conn->inflight;
+      if (!tagged) conn->untagged_inflight = true;
+    }
+    inflight_total_.fetch_add(1);
+    WorkItem item;
+    item.conn = conn;
+    item.frame = std::move(conn->ready.front());
+    conn->ready.pop_front();
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
-      pending_fds_.push_back(fd);
+      dispatch_q_.push_back(std::move(item));
     }
     queue_cv_.notify_one();
   }
 }
 
+bool QueryServer::FlushWrites(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  while (!conn->wq.empty()) {
+    const std::vector<uint8_t>& front = conn->wq.front();
+    ssize_t r = ::send(conn->fd, front.data() + conn->wq_front_off,
+                       front.size() - conn->wq_front_off, MSG_NOSIGNAL);
+    if (r > 0) {
+      if (!conn->first_byte_recorded) {
+        conn->first_byte_recorded = true;
+        RecordAcceptLatency(MsSince(conn->accept_time));
+      }
+      conn->last_activity = std::chrono::steady_clock::now();
+      conn->wq_front_off += static_cast<size_t>(r);
+      conn->wq_bytes -= static_cast<size_t>(r);
+      if (conn->wq_front_off == front.size()) {
+        conn->wq.pop_front();
+        conn->wq_front_off = 0;
+      }
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // socket buffer full; EPOLLOUT re-arms the flush
+    }
+    return false;  // peer vanished
+  }
+  return !conn->close_after_flush;  // fully flushed; close if so marked
+}
+
+bool QueryServer::SettleConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return false;
+  }
+  if (conn->io_dead) {
+    CloseConnection(conn);
+    return false;
+  }
+  if (!FlushWrites(conn)) {
+    CloseConnection(conn);
+    return false;
+  }
+  PumpDispatch(conn);
+  bool quiesced;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    quiesced = conn->eof && conn->ready.empty() && conn->inflight == 0 &&
+               conn->wq.empty();
+  }
+  if (quiesced) {
+    CloseConnection(conn);
+    return false;
+  }
+  UpdateInterest(conn);
+  return true;
+}
+
+void QueryServer::UpdateInterest(const std::shared_ptr<Connection>& conn) {
+  bool want_read;
+  bool want_write;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    want_write = !conn->wq.empty();
+    // Backpressure: a connection whose pipeline or write queue is full
+    // simply stops being read until completions drain it — the client
+    // blocks in its send() instead of ballooning server memory.
+    bool backpressured =
+        conn->ready.size() >= 2 * static_cast<size_t>(config_.max_pipeline) ||
+        conn->wq_bytes > 2 * static_cast<size_t>(config_.max_frame_bytes);
+    want_read = !conn->poisoned && !conn->eof && !conn->close_after_flush &&
+                !backpressured && !stop_.load();
+  }
+  epoll_event ev{};
+  ev.events = EPOLLONESHOT | (want_read ? EPOLLIN : 0u) |
+              (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void QueryServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    conn->wq.clear();
+    conn->wq_bytes = 0;
+  }
+  if (conn->in_epoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    conn->in_epoll = false;
+  }
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    --active_connections_;
+  }
+}
+
+void QueryServer::CloseIdleConnections() {
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (auto& [fd, conn] : conns_) {
+    bool busy;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      busy = conn->inflight > 0 || !conn->wq.empty() || !conn->ready.empty();
+    }
+    if (!busy && MsSince(conn->last_activity) >
+                     static_cast<double>(config_.idle_timeout_ms)) {
+      idle.push_back(conn);
+    }
+  }
+  for (const std::shared_ptr<Connection>& conn : idle) {
+    CloseConnection(conn);
+  }
+}
+
+// --------------------------------------------------------------- workers
+
 void QueryServer::WorkerLoop(size_t /*worker_index*/) {
   WorkerEngine we;
   while (true) {
-    int fd = -1;
+    WorkItem item;
+    bool queue_empty;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
-                     [&] { return stop_.load() || !pending_fds_.empty(); });
-      if (stop_.load()) return;  // queued fds are closed by Stop()
-      fd = pending_fds_.front();
-      pending_fds_.pop_front();
+                     [&] { return stop_.load() || !dispatch_q_.empty(); });
+      if (dispatch_q_.empty()) {
+        // stop_ is set and nothing is queued: every dispatched request has
+        // an owner; this worker is done.
+        return;
+      }
+      item = std::move(dispatch_q_.front());
+      dispatch_q_.pop_front();
+      queue_empty = dispatch_q_.empty();
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++active_connections_;
-    }
-    ServeConnection(fd, we);
-    ::close(fd);
-    // Drop the engine pin before blocking on the queue: an idle worker
-    // must not keep a superseded (refreshed-away) graph + index
-    // generation resident — with N workers that would hold up to N extra
-    // full engines after refreshes. The context is rebuilt on the next
-    // query request (SyncWorkerEngine), which is cheap next to serving a
-    // connection.
-    we.ctx.reset();
-    we.state.reset();
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      --active_connections_;
+    ProcessItem(std::move(item), we);
+    if (!config_.delta_path.empty() || queue_empty) {
+      // Drop the engine pin between requests (refresh-enabled daemons) and
+      // whenever the worker goes idle: an idle pin would keep a superseded
+      // (refreshed-away) graph + index generation resident. Static-engine
+      // deployments under load keep the scratch context warm instead.
+      we.ctx.reset();
+      we.state.reset();
     }
   }
 }
 
-void QueryServer::ServeConnection(int fd, WorkerEngine& we) {
-  std::vector<uint8_t> frame;
-  std::string io_error;
-  while (!stop_.load()) {
-    FrameReadStatus st = ReadFrame(fd, config_.max_frame_bytes, &frame,
-                                   &io_error, &stop_);
-    if (st == FrameReadStatus::kEof || st == FrameReadStatus::kStopped) {
-      return;
-    }
-    if (st == FrameReadStatus::kOversize) {
-      // The oversized payload was never read, so the stream cannot be
-      // resynchronized — answer once and drop the connection.
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++errors_;
-      }
-      ByteSink err = MakeErrorResponse(StatusCode::kBadRequest, io_error);
-      WriteFrame(fd, err, nullptr);
-      return;
-    }
-    if (st == FrameReadStatus::kError) return;  // disconnect mid-frame
+void QueryServer::ProcessItem(WorkItem item, WorkerEngine& we) {
+  ByteSource src(item.frame.data(), item.frame.size());
+  MessageType type = ReadMessageType(src);
+  bool tagged = false;
+  uint64_t request_id = 0;
+  bool close_after = false;
+  ByteSink response;
+  bool have_response = false;
 
-    ByteSource src(frame.data(), frame.size());
-    MessageType type = ReadMessageType(src);
-    ByteSink response;
-    bool close_after = false;
+  if (src.ok() && type == MessageType::kTaggedRequest) {
+    request_id = ReadTaggedId(src);
+    if (!src.ok()) {
+      // No id to echo — answer untagged, like any other malformed frame.
+      response = MakeErrorResponse(StatusCode::kBadRequest,
+                                   "tagged frame too short for a request id");
+      have_response = true;
+    } else {
+      tagged = true;
+      type = ReadMessageType(src);
+    }
+  }
+
+  if (!have_response) {
     if (!src.ok()) {
       response = MakeErrorResponse(StatusCode::kBadRequest,
                                    "frame too short for a message type");
@@ -340,42 +747,64 @@ void QueryServer::ServeConnection(int fd, WorkerEngine& we) {
           break;
       }
     }
-    if (response.size() > config_.max_frame_bytes) {
-      // A frame the client would reject as oversize (and that a 4-byte
-      // length prefix may not even represent): substitute a small error
-      // so the work is not silently dropped on the client side.
-      response = MakeErrorResponse(
-          StatusCode::kInternalError,
-          "response of " + std::to_string(response.size()) +
-              " bytes exceeds the frame cap of " +
-              std::to_string(config_.max_frame_bytes));
+  }
+
+  // A frame the client would reject as oversize (and that a 4-byte length
+  // prefix may not even represent): substitute a small error so the work
+  // is not silently dropped on the client side. The tagged envelope costs
+  // 12 bytes of the budget.
+  const size_t envelope_bytes =
+      tagged ? sizeof(uint32_t) + sizeof(uint64_t) : 0;
+  if (response.size() + envelope_bytes > config_.max_frame_bytes) {
+    response = MakeErrorResponse(
+        StatusCode::kInternalError,
+        "response of " + std::to_string(response.size()) +
+            " bytes exceeds the frame cap of " +
+            std::to_string(config_.max_frame_bytes));
+  }
+  {
+    // Count every protocol rejection the same way, whichever branch built
+    // it (query failures are counted inside HandleQuery). The peek looks
+    // at the INNER response type, before any envelope.
+    uint32_t resp_type = 0;
+    if (response.size() >= sizeof(resp_type)) {
+      std::memcpy(&resp_type, response.data().data(), sizeof(resp_type));
     }
-    {
-      // Count every protocol rejection the same way, whichever branch
-      // built it (query failures are counted inside HandleQuery).
-      uint32_t resp_type = 0;
-      if (response.size() >= sizeof(resp_type)) {
-        std::memcpy(&resp_type, response.data().data(), sizeof(resp_type));
-      }
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++requests_served_;
-      if (resp_type == static_cast<uint32_t>(MessageType::kErrorResponse)) {
-        ++errors_;
-      }
-    }
-    if (!WriteFrame(fd, response, nullptr)) return;  // peer vanished
-    if (close_after) return;
-    if (!config_.delta_path.empty()) {
-      // Refresh-enabled daemon: drop the engine pin before blocking for
-      // the connection's next request, or an idle-but-connected client
-      // would keep a refreshed-away engine generation resident. Costs a
-      // context rebuild per request; static-engine deployments (no delta)
-      // keep the per-connection scratch reuse instead.
-      we.ctx.reset();
-      we.state.reset();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++requests_served_;
+    if (resp_type == static_cast<uint32_t>(MessageType::kErrorResponse)) {
+      ++errors_;
     }
   }
+  if (tagged) {
+    response = WrapTagged(MessageType::kTaggedResponse, request_id, response);
+  }
+  FinishRequest(item.conn, FrameBytes(response), /*was_untagged=*/!tagged,
+                close_after);
 }
+
+void QueryServer::FinishRequest(const std::shared_ptr<Connection>& conn,
+                                std::vector<uint8_t> framed_response,
+                                bool was_untagged, bool close_after) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    --conn->inflight;
+    if (was_untagged) conn->untagged_inflight = false;
+    if (close_after) conn->close_after_flush = true;
+    if (!conn->closed) {
+      conn->wq_bytes += framed_response.size();
+      conn->wq.push_back(std::move(framed_response));
+    }
+  }
+  inflight_total_.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(compl_mu_);
+    completions_.push_back(conn);
+  }
+  WakeLoop();
+}
+
+// -------------------------------------------------------------- handlers
 
 ByteSink QueryServer::HandleQuery(const QueryRequest& req, WorkerEngine& we) {
   const GmEngine& engine = *we.state->engine;
@@ -640,8 +1069,11 @@ ByteSink QueryServer::HandleStats() const {
   resp.errors = stats.errors;
   resp.occurrences_emitted = stats.occurrences_emitted;
   resp.refreshes = stats.refreshes;
+  resp.dispatch_depth = stats.dispatch_depth;
   resp.latency_p50_ms = stats.latency_p50_ms;
   resp.latency_p99_ms = stats.latency_p99_ms;
+  resp.accept_p50_ms = stats.accept_p50_ms;
+  resp.accept_p99_ms = stats.accept_p99_ms;
   ByteSink sink;
   resp.Serialize(sink);
   return sink;
@@ -654,9 +1086,20 @@ void QueryServer::RecordLatency(double ms) {
   if (latency_next_ == 0) latency_wrapped_ = true;
 }
 
-ServerStats QueryServer::Snapshot() const {
+void QueryServer::RecordAcceptLatency(double ms) {
   std::lock_guard<std::mutex> lock(stats_mu_);
+  accept_ring_[accept_next_] = ms;
+  accept_next_ = (accept_next_ + 1) % accept_ring_.size();
+  if (accept_next_ == 0) accept_wrapped_ = true;
+}
+
+ServerStats QueryServer::Snapshot() const {
   ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.dispatch_depth = dispatch_q_.size();
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats.connections_accepted = connections_accepted_;
   stats.active_connections = active_connections_;
   stats.requests_served = requests_served_;
@@ -670,7 +1113,13 @@ ServerStats QueryServer::Snapshot() const {
       latency_ring_.begin() +
           (latency_wrapped_ ? latency_ring_.size() : latency_next_));
   stats.latency_p50_ms = Percentile(samples, 0.50);
-  stats.latency_p99_ms = Percentile(samples, 0.99);
+  stats.latency_p99_ms = Percentile(std::move(samples), 0.99);
+  std::vector<double> accepts(
+      accept_ring_.begin(),
+      accept_ring_.begin() +
+          (accept_wrapped_ ? accept_ring_.size() : accept_next_));
+  stats.accept_p50_ms = Percentile(accepts, 0.50);
+  stats.accept_p99_ms = Percentile(std::move(accepts), 0.99);
   return stats;
 }
 

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/gm_engine.h"
@@ -27,8 +28,9 @@ struct ServerConfig {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
 
-  /// Worker pool size (0 = hardware concurrency). Each worker owns one
-  /// EvalContext and serves one connection at a time.
+  /// Worker pool size (0 = hardware concurrency). Workers evaluate parsed
+  /// requests; they never own a connection, so any number of clients can
+  /// share a small pool.
   uint32_t num_workers = 4;
 
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
@@ -40,6 +42,22 @@ struct ServerConfig {
   /// Honor kShutdownRequest frames (handy for scripted smoke tests; a
   /// deployment that only trusts signals can turn it off).
   bool allow_remote_shutdown = true;
+
+  /// Per-connection cap on tagged requests in flight at once; frames past
+  /// the cap wait in the connection's ready queue (the client is never
+  /// errored, just back-pressured via paused reads).
+  uint32_t max_pipeline = 64;
+
+  /// Open-connection ceiling (0 = unlimited). Accepts past the cap are
+  /// closed immediately — cheaper than letting an fd flood exhaust the
+  /// process's descriptor table.
+  uint32_t max_connections = 0;
+
+  /// Close connections with no in-flight work and no bytes received for
+  /// this long (0 = never). The idle-connection knob: thousands of idle
+  /// sockets cost only memory under the event loop, but a deployment can
+  /// still bound them.
+  uint32_t idle_timeout_ms = 0;
 
   /// Delta-log refresh source (storage/delta_log.h). When set, a
   /// kRefreshRequest replays the log's new records over the served graph
@@ -64,14 +82,17 @@ struct ServerConfig {
 /// Point-in-time serving counters (also what a kStatsRequest returns).
 struct ServerStats {
   uint64_t connections_accepted = 0;
-  uint64_t active_connections = 0;
+  uint64_t active_connections = 0;  // connections currently open
   uint64_t requests_served = 0;
   uint64_t queries_served = 0;
   uint64_t errors = 0;
   uint64_t occurrences_emitted = 0;
   uint64_t refreshes = 0;
+  uint64_t dispatch_depth = 0;  // parsed requests waiting for a worker
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
+  double accept_p50_ms = 0.0;  // accept() to first response byte
+  double accept_p99_ms = 0.0;
   double uptime_ms = 0.0;
 };
 
@@ -80,11 +101,22 @@ struct ServerStats {
 /// storage/snapshot.h) and answers pattern queries over the frame protocol
 /// of server/protocol.h.
 ///
-/// Threading: one acceptor thread hands accepted sockets to a fixed worker
-/// pool over a queue. Each worker owns a reusable EvalContext (the same
-/// per-worker-scratch design as GmEngine::EvaluateBatch) and serves its
-/// connection request-by-request, so per-query results are identical to
-/// in-process evaluation; multi-pattern requests go through EvaluateBatch.
+/// Threading: one event-loop thread owns every socket — it accepts, does
+/// non-blocking frame reassembly per connection (epoll, level-triggered
+/// with EPOLLONESHOT re-arm), and flushes per-connection write queues.
+/// Complete requests are handed to a fixed worker pool over a dispatch
+/// queue; each worker owns a reusable EvalContext (the same per-worker-
+/// scratch design as GmEngine::EvaluateBatch), so per-query results are
+/// identical to in-process evaluation; multi-pattern requests go through
+/// EvaluateBatch. Workers never touch sockets: a finished response is
+/// queued on its connection and the loop is woken over an eventfd, which
+/// keeps every fd single-writer and lets thousands of idle or slow
+/// connections coexist with a handful of workers.
+///
+/// Pipelining: a kTaggedRequest envelope carries a client-chosen request
+/// id; up to max_pipeline tagged requests per connection run concurrently
+/// and complete in any order. Untagged frames keep the original semantics
+/// — served one at a time, in order.
 ///
 /// Live refresh: the served engine lives behind a shared_ptr<EngineState>
 /// that workers re-load per request (RCU-style). A kRefreshRequest replays
@@ -95,8 +127,9 @@ struct ServerStats {
 /// freed when its last in-flight query completes.
 ///
 /// Shutdown: Stop() (or a kShutdownRequest, or the daemon's SIGINT/SIGTERM
-/// handler calling RequestStop()) stops accepting, lets in-flight requests
-/// finish, closes queued-but-unserved connections, and joins all threads.
+/// handler calling RequestStop()) stops accepting, lets dispatched requests
+/// finish, flushes their responses (a shutdown ACK reaches its client),
+/// closes every connection, and joins all threads.
 class QueryServer {
  public:
   /// The engine (and the graph it references) must outlive the server. When
@@ -108,7 +141,7 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Binds, listens, and spawns the acceptor and worker threads.
+  /// Binds, listens, and spawns the event-loop and worker threads.
   bool Start(std::string* error);
 
   /// Bound TCP port (after Start; 0 for Unix-domain servers).
@@ -159,9 +192,69 @@ class QueryServer {
     std::optional<EvalContext> ctx;
   };
 
-  void AcceptLoop();
+  /// Per-connection state machine. The event loop owns the fd and all
+  /// read-side fields; `mu` guards only what workers also touch (the write
+  /// queue and in-flight accounting).
+  struct Connection {
+    int fd = -1;
+    std::chrono::steady_clock::time_point accept_time;
+    std::chrono::steady_clock::time_point last_activity;
+
+    // --- event-loop-only (no lock) ---
+    std::vector<uint8_t> rbuf;  // unparsed bytes; rpos = consumed prefix
+    size_t rpos = 0;
+    std::deque<std::vector<uint8_t>> ready;  // parsed frames, not dispatched
+    bool first_byte_recorded = false;
+    bool in_epoll = false;
+    bool poisoned = false;  // oversize length prefix; stop reading/parsing
+    bool eof = false;       // clean FIN; reap once quiesced
+    bool io_dead = false;   // hard read error; close on next settle
+
+    // --- shared with workers ---
+    std::mutex mu;
+    std::deque<std::vector<uint8_t>> wq;  // framed responses (length
+                                          // prefix included)
+    size_t wq_front_off = 0;              // sent bytes of wq.front()
+    size_t wq_bytes = 0;
+    uint32_t inflight = 0;           // dispatched, not yet completed
+    bool untagged_inflight = false;  // serializes untagged requests
+    bool close_after_flush = false;
+    bool closed = false;  // loop closed the fd; completions are dropped
+  };
+
+  /// One parsed request frame on its way to a worker.
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    std::vector<uint8_t> frame;  // payload (u32 type + body)
+  };
+
+  void EventLoop();
   void WorkerLoop(size_t worker_index);
-  void ServeConnection(int fd, WorkerEngine& we);
+
+  // Event-loop internals (called only from the loop thread).
+  void AcceptNewConnections();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void ParseFrames(const std::shared_ptr<Connection>& conn);
+  void PumpDispatch(const std::shared_ptr<Connection>& conn);
+  /// Flushes as much of the write queue as the socket accepts. Returns
+  /// false when the connection must close (error, or drained after
+  /// close_after_flush).
+  bool FlushWrites(const std::shared_ptr<Connection>& conn);
+  /// Post-event/post-completion settling: flush, dispatch newly unblocked
+  /// frames, reap a quiesced connection, re-arm epoll interest. Returns
+  /// false when the connection was closed.
+  bool SettleConnection(const std::shared_ptr<Connection>& conn);
+  void UpdateInterest(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void CloseIdleConnections();
+  bool Drained();
+
+  /// Worker side: evaluates one parsed frame and queues the response.
+  void ProcessItem(WorkItem item, WorkerEngine& we);
+  void FinishRequest(const std::shared_ptr<Connection>& conn,
+                     std::vector<uint8_t> framed_response, bool was_untagged,
+                     bool close_after);
+  void WakeLoop();
 
   std::shared_ptr<const EngineState> CurrentState() const;
   void SyncWorkerEngine(WorkerEngine& we) const;
@@ -174,6 +267,7 @@ class QueryServer {
   ByteSink HandleRefresh();
 
   void RecordLatency(double ms);
+  void RecordAcceptLatency(double ms);
 
   ServerConfig config_;
 
@@ -183,6 +277,8 @@ class QueryServer {
   std::mutex refresh_mu_;  // at most one refresh runs at a time
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers wake the loop for completions
   uint16_t bound_port_ = 0;
   /// True only when THIS instance bound config_.unix_path; Stop() must not
   /// unlink a path it never owned (e.g. after Start() lost it to a live
@@ -191,16 +287,27 @@ class QueryServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
 
-  std::thread acceptor_;
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
 
-  std::mutex queue_mu_;
+  // Connections, keyed by fd. Loop-owned; Snapshot() reads counters from
+  // stats_mu_ instead of touching this map.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  // Parsed requests waiting for a worker.
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_fds_;
+  std::deque<WorkItem> dispatch_q_;
+
+  // Connections with fresh completions, for the loop to flush/re-arm.
+  std::mutex compl_mu_;
+  std::vector<std::shared_ptr<Connection>> completions_;
+
+  std::atomic<uint64_t> inflight_total_{0};  // dispatched, not completed
 
   std::chrono::steady_clock::time_point start_time_;
 
-  // Serving counters; the latency ring keeps the most recent samples for
+  // Serving counters; the latency rings keep the most recent samples for
   // the percentile estimates.
   mutable std::mutex stats_mu_;
   uint64_t connections_accepted_ = 0;
@@ -213,6 +320,9 @@ class QueryServer {
   std::vector<double> latency_ring_;
   size_t latency_next_ = 0;
   bool latency_wrapped_ = false;
+  std::vector<double> accept_ring_;
+  size_t accept_next_ = 0;
+  bool accept_wrapped_ = false;
 };
 
 }  // namespace rigpm::server

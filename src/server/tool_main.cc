@@ -41,6 +41,7 @@ int ServeUsage() {
       "usage: serve (--snapshot FILE | --graph FILE)\n"
       "             (--socket PATH | --port N [--host ADDR])\n"
       "             [--delta FILE] [--workers N] [--max-tuples N]\n"
+      "             [--max-conns N] [--idle-timeout-ms N]\n"
       "             [--no-remote-shutdown] [--snapshot-io mmap|read]\n");
   return 2;
 }
@@ -50,9 +51,10 @@ int ClientUsage() {
       stderr,
       "usage: client (--socket PATH | --host ADDR --port N)\n"
       "              (--pattern STR | --batch FILE | --template NAME\n"
-      "               | --stats | --ping | --refresh | --shutdown)\n"
+      "               | --stats | --ping | --refresh | --shutdown\n"
+      "               | --idle-hold N [--hold-secs S])\n"
       "              [--seed N] [--limit N] [--threads N] [--tuples N]\n"
-      "              [--print N]\n");
+      "              [--print N] [--pipeline N]\n");
   return 2;
 }
 
@@ -118,6 +120,16 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
       if ((v = NeedValue(argc, argv, &i, "--max-tuples")) == nullptr)
         return ServeUsage();
       config.max_return_tuples =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-conns") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--max-conns")) == nullptr)
+        return ServeUsage();
+      config.max_connections =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--idle-timeout-ms")) == nullptr)
+        return ServeUsage();
+      config.idle_timeout_ms =
           static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(argv[i], "--no-remote-shutdown") == 0) {
       config.allow_remote_shutdown = false;
@@ -230,6 +242,9 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
   bool want_stats = false, want_ping = false, want_shutdown = false;
   bool want_refresh = false;
   uint64_t print = 10;
+  uint64_t pipeline = 0;
+  uint64_t idle_hold = 0;
+  uint64_t hold_secs = 600;
   QueryRequest req;
   for (int i = first_arg; i < argc; ++i) {
     const char* v;
@@ -278,6 +293,18 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
       if ((v = NeedValue(argc, argv, &i, "--print")) == nullptr)
         return ClientUsage();
       print = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--pipeline")) == nullptr)
+        return ClientUsage();
+      pipeline = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--idle-hold") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--idle-hold")) == nullptr)
+        return ClientUsage();
+      idle_hold = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--hold-secs") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--hold-secs")) == nullptr)
+        return ClientUsage();
+      hold_secs = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
     } else if (std::strcmp(argv[i], "--ping") == 0) {
@@ -310,7 +337,7 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
   }
   const bool has_query = !req.patterns.empty() || !req.template_name.empty();
   if (!has_query && !want_stats && !want_ping && !want_refresh &&
-      !want_shutdown) {
+      !want_shutdown && idle_hold == 0) {
     std::fprintf(stderr, "client has nothing to do\n");
     return ClientUsage();
   }
@@ -322,6 +349,39 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
 
   QueryClient client;
   std::string error;
+
+  // Idle-hold mode: open N connections, announce, and sit on them. The
+  // C10K smoke test backgrounds this to prove idle connections cost the
+  // server an fd each and nothing else (no worker is parked on them).
+  if (idle_hold > 0) {
+    std::vector<QueryClient> holders;
+    holders.reserve(idle_hold);
+    for (uint64_t i = 0; i < idle_hold; ++i) {
+      QueryClient holder;
+      bool ok = socket_path.empty()
+                    ? holder.ConnectTcp(host, static_cast<uint16_t>(port),
+                                        &error)
+                    : holder.ConnectUnix(socket_path, &error);
+      if (!ok) {
+        std::fprintf(stderr, "idle-hold connect %llu/%llu failed: %s\n",
+                     static_cast<unsigned long long>(i + 1),
+                     static_cast<unsigned long long>(idle_hold),
+                     error.c_str());
+        return 1;
+      }
+      holders.push_back(std::move(holder));
+    }
+    std::printf("holding %llu connection(s)\n",
+                static_cast<unsigned long long>(idle_hold));
+    std::fflush(stdout);
+    // Sleep in slices so the harness can SIGKILL us promptly; exiting on
+    // our own (timeout) is also fine — the server just reaps the EOFs.
+    for (uint64_t slept = 0; slept < hold_secs * 10; ++slept) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return 0;
+  }
+
   bool connected = socket_path.empty()
                        ? client.ConnectTcp(host, static_cast<uint16_t>(port),
                                            &error)
@@ -362,7 +422,35 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
                 static_cast<unsigned long long>(resp->num_edges));
   }
 
-  if (has_query) {
+  if (has_query && pipeline > 1) {
+    // Pipelined mode: N copies of the request in flight at once on this
+    // one connection, answered out of order and matched back by tag.
+    std::vector<QueryRequest> reqs(pipeline, req);
+    auto resps = client.QueryPipelined(reqs, &error);
+    if (!resps.has_value()) {
+      std::fprintf(stderr, "pipelined query failed: %s\n", error.c_str());
+      return 1;
+    }
+    uint64_t ok = 0;
+    for (const QueryResponse& r : *resps) {
+      if (r.status != StatusCode::kOk) {
+        std::fprintf(stderr, "server rejected query (%s): %s\n",
+                     StatusCodeName(r.status), r.error.c_str());
+        return 1;
+      }
+      ++ok;
+    }
+    std::printf("pipeline: %llu request(s) completed\n",
+                static_cast<unsigned long long>(ok));
+    // Report the LAST response's counts: if a refresh raced the pipeline,
+    // earlier responses may legitimately reflect the older graph.
+    const QueryResponse& last = resps->back();
+    std::printf("%llu occurrence(s)%s\n",
+                static_cast<unsigned long long>(last.TotalOccurrences()),
+                !last.results.empty() && last.results.back().hit_limit
+                    ? " (limit reached)"
+                    : "");
+  } else if (has_query) {
     auto resp = client.Query(req, &error);
     if (!resp.has_value()) {
       std::fprintf(stderr, "query failed: %s\n", error.c_str());
@@ -412,6 +500,10 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
                 static_cast<unsigned long long>(stats->refreshes));
     std::printf("latency: p50 %.2f ms, p99 %.2f ms\n", stats->latency_p50_ms,
                 stats->latency_p99_ms);
+    std::printf("dispatch depth: %llu\n",
+                static_cast<unsigned long long>(stats->dispatch_depth));
+    std::printf("accept-to-first-byte: p50 %.2f ms, p99 %.2f ms\n",
+                stats->accept_p50_ms, stats->accept_p99_ms);
   }
 
   if (want_shutdown) {

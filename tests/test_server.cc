@@ -535,12 +535,13 @@ TEST_F(ServerTest, OversizeFrameIsRejectedAndConnectionClosed) {
 }
 
 TEST_F(ServerTest, OversizeResponseBecomesErrorNotCorruptFrame) {
-  // Re-start with a frame cap the paper request (85 bytes) fits under but
-  // its response (>= 109 bytes of result + echoed tuples) does not; the
-  // server must substitute a small error response rather than send a frame
-  // the client rejects as oversize.
+  // Re-start with a frame cap the paper request (85 bytes) and a stats
+  // response (108 bytes) fit under but the query response (>= 141 bytes of
+  // result + echoed tuples) does not; the server must substitute a small
+  // error response rather than send a frame the client rejects as
+  // oversize.
   server_->Stop();
-  config_.max_frame_bytes = 96;
+  config_.max_frame_bytes = 120;
   config_.unix_path = UniqueSocketPath();
   server_ = std::make_unique<QueryServer>(*engine_, config_);
   std::string error;
@@ -582,6 +583,193 @@ TEST_F(ServerTest, ClientDisconnectMidFrameDoesNotKillServer) {
   EXPECT_EQ(resp->results[0].num_occurrences, 4u);
 }
 
+// ---------------------------- event loop: slow clients, idle connections
+
+TEST_F(ServerTest, SlowLorisClientsDoNotOccupyWorkers) {
+  // 64 connections drip one byte of a frame header each — with the old
+  // thread-per-connection core and one worker, the first of them would
+  // have parked the whole pool forever. Under the event loop a partial
+  // frame is just buffered bytes; no worker is involved until a frame
+  // completes.
+  server_->Stop();
+  config_.num_workers = 1;
+  config_.unix_path = UniqueSocketPath();
+  server_ = std::make_unique<QueryServer>(*engine_, config_);
+  std::string error;
+  ASSERT_TRUE(server_->Start(&error)) << error;
+
+  constexpr int kLoris = 64;
+  std::vector<std::unique_ptr<RawConnection>> loris;
+  loris.reserve(kLoris);
+  for (int i = 0; i < kLoris; ++i) {
+    auto raw = std::make_unique<RawConnection>(config_.unix_path);
+    ASSERT_TRUE(raw->ok());
+    const uint8_t byte = 0x20;  // first byte of some future length prefix
+    raw->Send(&byte, 1);
+    loris.push_back(std::move(raw));
+  }
+
+  // A fresh client gets served promptly while all 64 sit mid-header.
+  QueryClient client = Connect();
+  for (int round = 0; round < 3; ++round) {
+    auto resp = client.Query(PaperRequest(), &error);
+    ASSERT_TRUE(resp.has_value()) << error;
+    EXPECT_EQ(resp->status, StatusCode::kOk);
+    EXPECT_EQ(resp->results[0].num_occurrences, 4u);
+  }
+  // Only the real requests ever reached the worker.
+  EXPECT_EQ(server_->Snapshot().requests_served, 3u);
+  EXPECT_GE(server_->Snapshot().active_connections,
+            static_cast<uint64_t>(kLoris));
+}
+
+TEST_F(ServerTest, UntaggedRequestsAreAnsweredStrictlyInOrder) {
+  // An old client may write several untagged frames back-to-back; the
+  // responses must come back one per request, in request order (the
+  // pipelining envelope is what opts INTO reordering).
+  RawConnection raw(config_.unix_path);
+  ASSERT_TRUE(raw.ok());
+  std::string error;
+  ByteSink ping;
+  ping.WriteU32(static_cast<uint32_t>(MessageType::kPingRequest));
+  ByteSink stats;
+  stats.WriteU32(static_cast<uint32_t>(MessageType::kStatsRequest));
+  ASSERT_TRUE(WriteFrame(raw.fd(), ping, &error)) << error;
+  ASSERT_TRUE(WriteFrame(raw.fd(), stats, &error)) << error;
+  ASSERT_TRUE(WriteFrame(raw.fd(), ping, &error)) << error;
+  auto t1 = raw.ReadResponseType();
+  auto t2 = raw.ReadResponseType();
+  auto t3 = raw.ReadResponseType();
+  ASSERT_TRUE(t1.has_value() && t2.has_value() && t3.has_value());
+  EXPECT_EQ(*t1, MessageType::kPingResponse);
+  EXPECT_EQ(*t2, MessageType::kStatsResponse);
+  EXPECT_EQ(*t3, MessageType::kPingResponse);
+}
+
+TEST_F(ServerTest, ConnectionCapShedsExcessConnections) {
+  server_->Stop();
+  config_.max_connections = 3;
+  config_.unix_path = UniqueSocketPath();
+  server_ = std::make_unique<QueryServer>(*engine_, config_);
+  std::string error;
+  ASSERT_TRUE(server_->Start(&error)) << error;
+
+  std::vector<std::unique_ptr<RawConnection>> held;
+  for (int i = 0; i < 3; ++i) {
+    auto raw = std::make_unique<RawConnection>(config_.unix_path);
+    ASSERT_TRUE(raw->ok());
+    held.push_back(std::move(raw));
+  }
+  // Give the loop a moment to register all three, then the fourth must be
+  // accepted-and-closed: its first read sees EOF instead of a response.
+  for (int spin = 0; spin < 100; ++spin) {
+    if (server_->Snapshot().active_connections == 3u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server_->Snapshot().active_connections, 3u);
+  RawConnection over(config_.unix_path);
+  ASSERT_TRUE(over.ok());
+  ByteSink ping;
+  ping.WriteU32(static_cast<uint32_t>(MessageType::kPingRequest));
+  WriteFrame(over.fd(), ping, nullptr);  // may race the server-side close
+  EXPECT_FALSE(over.ReadResponseType().has_value());
+
+  // Dropping one held connection frees a slot for the next client.
+  held.pop_back();
+  for (int spin = 0; spin < 100; ++spin) {
+    if (server_->Snapshot().active_connections <= 2u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  QueryClient client = Connect();
+  EXPECT_TRUE(client.Ping(&error)) << error;
+}
+
+TEST_F(ServerTest, IdleTimeoutReapsQuietConnections) {
+  server_->Stop();
+  config_.idle_timeout_ms = 100;
+  config_.unix_path = UniqueSocketPath();
+  server_ = std::make_unique<QueryServer>(*engine_, config_);
+  std::string error;
+  ASSERT_TRUE(server_->Start(&error)) << error;
+
+  RawConnection raw(config_.unix_path);
+  ASSERT_TRUE(raw.ok());
+  // Quiet past the deadline (+ a loop tick of slack): the server hangs up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_FALSE(raw.ReadResponseType().has_value());
+
+  // An active client is never reaped between its requests' bytes.
+  QueryClient client = Connect();
+  EXPECT_TRUE(client.Ping(&error)) << error;
+}
+
+// ------------------------------------------------- request-id pipelining
+
+TEST_F(ServerTest, PipelinedQueriesMatchInProcessBatchEvaluation) {
+  // N tagged requests on ONE socket, more than the worker pool is wide;
+  // responses are matched by request id regardless of completion order and
+  // every count must equal the in-process EvaluateBatch result.
+  const std::vector<std::string> patterns = {
+      "(a:0)->(b:1)",
+      "(a:0)->(c:2)",
+      "(a:0)->(b:1), (a)->(c:2), (b)=>(c)",
+      "(b:1)=>(c:2)",
+  };
+  std::vector<PatternQuery> queries;
+  for (const std::string& p : patterns) {
+    auto q = ParsePattern(p);
+    ASSERT_TRUE(q.has_value()) << p;
+    queries.push_back(std::move(*q));
+  }
+  std::vector<GmResult> expected = engine_->EvaluateBatch(
+      std::span<const PatternQuery>(queries), GmOptions{}, nullptr);
+
+  constexpr int kRepeats = 4;  // 16 requests in flight on one connection
+  QueryClient client = Connect();
+  std::string error;
+  std::vector<QueryRequest> requests;
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::string& p : patterns) {
+      QueryRequest req;
+      req.patterns = {p};
+      requests.push_back(req);
+    }
+  }
+  auto responses = client.QueryPipelined(requests, &error);
+  ASSERT_TRUE(responses.has_value()) << error;
+  ASSERT_EQ(responses->size(), requests.size());
+  for (size_t i = 0; i < responses->size(); ++i) {
+    const QueryResponse& resp = (*responses)[i];
+    ASSERT_EQ(resp.status, StatusCode::kOk) << resp.error;
+    EXPECT_EQ(resp.results[0].num_occurrences,
+              expected[i % patterns.size()].num_occurrences)
+        << patterns[i % patterns.size()];
+  }
+  EXPECT_EQ(server_->Snapshot().errors, 0u);
+}
+
+TEST_F(ServerTest, TaggedResponsesCarryTheirRequestId) {
+  // Manual send/receive (no convenience wrapper): ids echo back and every
+  // in-flight request gets exactly one response.
+  QueryClient client = Connect();
+  std::string error;
+  std::set<uint64_t> sent;
+  for (int i = 0; i < 8; ++i) {
+    auto id = client.SendTagged(PaperRequest(), &error);
+    ASSERT_TRUE(id.has_value()) << error;
+    EXPECT_TRUE(sent.insert(*id).second) << "duplicate id " << *id;
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto tagged = client.ReceiveTagged(&error);
+    ASSERT_TRUE(tagged.has_value()) << error;
+    EXPECT_EQ(sent.erase(tagged->request_id), 1u)
+        << "unknown or repeated id " << tagged->request_id;
+    EXPECT_EQ(tagged->response.status, StatusCode::kOk);
+    EXPECT_EQ(tagged->response.results[0].num_occurrences, 4u);
+  }
+  EXPECT_TRUE(sent.empty());
+}
+
 // ---------------------------------------------------------- delta refresh
 
 TEST_F(ServerTest, RefreshWithoutDeltaConfiguredIsRejected) {
@@ -618,10 +806,11 @@ class RefreshTest : public ::testing::Test {
     ASSERT_TRUE(warm_.has_value()) << error;
 
     config_.unix_path = UniqueSocketPath();
-    // More workers than the 4 steady clients of the under-load test: a
-    // worker holds its connection until the client leaves, so the
-    // refresher's connection needs a free worker of its own.
-    config_.num_workers = 6;
+    // FEWER workers than the 4 steady clients of the under-load test, plus
+    // the refresher: the event loop multiplexes connections over the pool,
+    // so clients > workers must serve fine (the old thread-per-connection
+    // core starved the refresher under this sizing).
+    config_.num_workers = 2;
     config_.delta_path = delta_path_;
     config_.base_checksum = base_checksum_;
     server_ = std::make_unique<QueryServer>(*warm_->engine, config_);
