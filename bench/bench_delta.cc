@@ -129,7 +129,7 @@ int main() {
   });
   std::optional<WarmEngine> reloaded;
   double reload_ms =
-      TimeMs([&] { reloaded = LoadEngineSnapshot(full_snap, &error); });
+      TimeMs([&] { reloaded = LoadEngineSnapshot(full_snap, {}, &error); });
   if (!reloaded.has_value()) {
     std::fprintf(stderr, "cannot reload full snapshot: %s\n", error.c_str());
     return 1;
@@ -209,7 +209,7 @@ int main() {
   // log gains a batch and a kRefresh lands. No round trip may fail.
   std::printf("refresh under load (4 clients, Unix socket):\n");
   std::remove(delta_log.c_str());
-  auto warm = LoadEngineSnapshot(base_snap, &error);
+  auto warm = LoadEngineSnapshot(base_snap, {}, &error);
   if (!warm.has_value()) {
     std::fprintf(stderr, "cannot reload base snapshot: %s\n", error.c_str());
     return 1;

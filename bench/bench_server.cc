@@ -20,9 +20,18 @@
 // flood must not cost a single failed round trip, and the accept-to-
 // first-byte percentiles under churn come from the server's own stats.
 //
+// A fourth phase measures the multi-tenant catalog: the same daemon core
+// serving three distinct graphs from snapshots behind scoped sessions,
+// with an LRU cap below the tenant count (so every request may evict),
+// a delta-armed default tenant refreshed over the wire, and one legacy
+// unscoped client riding along. It reports per-tenant RPS plus the
+// catalog's hit/miss/evict counters, and every served count is verified
+// against per-tenant in-process evaluation.
+//
 // Knobs: RIGPM_SCALE scales the graph; RIGPM_SERVER_CLIENTS (default 4)
 // sets the concurrent client count; RIGPM_IDLE_CONNS (default 1000)
-// sizes the idle flood (0 skips the C10K phase).
+// sizes the idle flood (0 skips the C10K phase); RIGPM_MULTITENANT=0
+// skips the multi-tenant phase.
 
 #include <sys/resource.h>
 #include <unistd.h>
@@ -40,8 +49,11 @@
 
 #include "bench_common.h"
 #include "query/pattern_parser.h"
+#include "server/catalog.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/delta_log.h"
+#include "storage/snapshot.h"
 
 using namespace rigpm;
 using namespace rigpm::bench;
@@ -263,6 +275,204 @@ int main() {
   }
   server.Stop();
 
+  // --- (d) Multi-tenant catalog: three snapshot tenants behind one daemon,
+  // an LRU cap of 2 (below the tenant count, so the scoped flood churns
+  // evictions), scoped clients pinned per tenant plus one legacy unscoped
+  // client on the default, and a per-tenant refresh over the wire.
+  const char* mt_env = std::getenv("RIGPM_MULTITENANT");
+  const bool run_multitenant = mt_env == nullptr || std::strtol(
+      mt_env, nullptr, 10) != 0;
+  double mt_ms = 0.0;
+  std::atomic<uint64_t> mt_failures{0};
+  std::atomic<uint64_t> mt_mismatches{0};
+  uint64_t mt_tenant_queries[3] = {0, 0, 0};
+  uint64_t mt_legacy_queries = 0;
+  server::StatsResponse mt_stats;
+  uint64_t mt_refresh_records = 0;
+  if (run_multitenant) {
+    // Tenants: the bench graph itself plus two structural variants with
+    // deterministic extra edges — distinct graphs, distinct counts, so a
+    // misrouted request cannot return the right number by accident.
+    auto variant_edges = [&](uint32_t salt, size_t count) {
+      std::vector<std::pair<NodeId, NodeId>> edges;
+      edges.reserve(count);
+      const NodeId n_nodes = g.NumNodes();
+      for (size_t i = 0; i < count; ++i) {
+        edges.emplace_back(
+            static_cast<NodeId>((i * 7919u + salt) % n_nodes),
+            static_cast<NodeId>((i * 104729u + salt * 31u + 1) % n_nodes));
+      }
+      return edges;
+    };
+    // The default tenant serves base+delta: its log carries `t0_batch`
+    // before the daemon opens it, so the lazy open replays the log and the
+    // in-process oracle below must use the merged graph.
+    const auto t0_batch = variant_edges(3, 4);
+    Graph g0m = ApplyEdgesToGraph(g, t0_batch);
+    Graph g1 = ApplyEdgesToGraph(g, variant_edges(101, 16));
+    Graph g2 = ApplyEdgesToGraph(g, variant_edges(977, 16));
+    GmEngine e0m(g0m), e1(g1), e2(g2);
+    std::vector<GmResult> mt_direct[3];
+    const GmEngine* tenant_engines[3] = {&e0m, &e1, &e2};
+    for (int t = 0; t < 3; ++t) {
+      mt_direct[t] = tenant_engines[t]->EvaluateBatch(
+          std::span<const PatternQuery>(queries), batch_opts);
+    }
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("rigpm_bench_mt_" + std::to_string(::getpid())))
+            .string();
+    const std::string snaps[3] = {dir + "_0.snap", dir + "_1.snap",
+                                  dir + "_2.snap"};
+    const std::string t0_delta = dir + "_0.delta";
+    const GmEngine* base_engines[3] = {&engine, &e1, &e2};
+    for (int t = 0; t < 3; ++t) {
+      if (!SaveEngineSnapshot(*base_engines[t], snaps[t], &error)) {
+        std::fprintf(stderr, "cannot save tenant snapshot: %s\n",
+                     error.c_str());
+        return 1;
+      }
+    }
+    auto info0 = InspectSnapshot(snaps[0], &error);
+    if (!info0.has_value()) {
+      std::fprintf(stderr, "cannot inspect tenant snapshot: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    {
+      auto writer = DeltaWriter::Open(t0_delta, info0->stored_checksum,
+                                      g.NumNodes(), &error);
+      if (writer == nullptr || !writer->Append(t0_batch, &error)) {
+        std::fprintf(stderr, "cannot write tenant delta: %s\n",
+                     error.c_str());
+        return 1;
+      }
+    }
+
+    const char* tenant_ids[3] = {"t0", "t1", "t2"};
+    auto catalog = std::make_shared<server::EngineCatalog>(
+        /*max_engines=*/2);
+    for (int t = 0; t < 3; ++t) {
+      server::EngineSource source;
+      source.snapshot_path = snaps[t];
+      if (t == 0) source.delta_path = t0_delta;
+      if (!catalog->Register(tenant_ids[t], source, &error)) {
+        std::fprintf(stderr, "cannot register tenant: %s\n", error.c_str());
+        return 1;
+      }
+    }
+    server::ServerConfig mt_config;
+    mt_config.unix_path = config.unix_path + ".mt";
+    mt_config.num_workers = num_clients;
+    server::QueryServer mt_server(catalog, mt_config);
+    if (!mt_server.Start(&error)) {
+      std::fprintf(stderr, "cannot start multi-tenant server: %s\n",
+                   error.c_str());
+      return 1;
+    }
+
+    std::atomic<uint64_t> per_tenant[3]{};
+    std::atomic<uint64_t> legacy_served{0};
+    mt_ms = TimeMs([&] {
+      std::vector<std::thread> scoped;
+      for (uint32_t c = 0; c < num_clients; ++c) {
+        scoped.emplace_back([&, c] {
+          const int tenant = static_cast<int>(c % 3);
+          server::QueryClient client;
+          std::string cerr;
+          if (!client.ConnectUnix(mt_config.unix_path, &cerr)) {
+            ++mt_failures;
+            return;
+          }
+          client.SetGraph(tenant_ids[tenant]);
+          for (size_t i = c; i < query_texts.size(); i += num_clients) {
+            server::QueryRequest req;
+            req.patterns = {query_texts[i]};
+            req.limit = opts.limit;
+            auto resp = client.Query(req, &cerr);
+            if (!resp.has_value() ||
+                resp->status != server::StatusCode::kOk ||
+                resp->results.size() != 1) {
+              ++mt_failures;
+              continue;
+            }
+            per_tenant[tenant].fetch_add(1, std::memory_order_relaxed);
+            if (resp->results[0].num_occurrences !=
+                mt_direct[tenant][i].num_occurrences) {
+              ++mt_mismatches;
+            }
+          }
+        });
+      }
+      // The legacy rider: no envelope at all, served from the default
+      // tenant (t0, base+delta) like any pre-v2 client would be.
+      scoped.emplace_back([&] {
+        server::QueryClient client;
+        std::string cerr;
+        if (!client.ConnectUnix(mt_config.unix_path, &cerr)) {
+          ++mt_failures;
+          return;
+        }
+        for (size_t i = 0; i < query_texts.size(); i += 8) {
+          server::QueryRequest req;
+          req.patterns = {query_texts[i]};
+          req.limit = opts.limit;
+          auto resp = client.Query(req, &cerr);
+          if (!resp.has_value() ||
+              resp->status != server::StatusCode::kOk ||
+              resp->results.size() != 1) {
+            ++mt_failures;
+            continue;
+          }
+          legacy_served.fetch_add(1, std::memory_order_relaxed);
+          if (resp->results[0].num_occurrences !=
+              mt_direct[0][i].num_occurrences) {
+            ++mt_mismatches;
+          }
+        }
+      });
+      for (std::thread& t : scoped) t.join();
+    });
+    for (int t = 0; t < 3; ++t) mt_tenant_queries[t] = per_tenant[t].load();
+    mt_legacy_queries = legacy_served.load();
+
+    // Per-tenant refresh over the wire: grow t0's log and replay it live.
+    {
+      auto writer = DeltaWriter::Open(t0_delta, info0->stored_checksum,
+                                      g.NumNodes(), &error);
+      if (writer == nullptr ||
+          !writer->Append(variant_edges(7, 2), &error)) {
+        std::fprintf(stderr, "cannot grow tenant delta: %s\n",
+                     error.c_str());
+        return 1;
+      }
+    }
+    server::QueryClient admin;
+    std::string aerr;
+    if (!admin.ConnectUnix(mt_config.unix_path, &aerr)) {
+      std::fprintf(stderr, "admin connect failed: %s\n", aerr.c_str());
+      return 1;
+    }
+    admin.SetGraph("t0");
+    auto refreshed = admin.Refresh(&aerr);
+    if (!refreshed.has_value() ||
+        refreshed->status != server::StatusCode::kOk) {
+      ++mt_failures;
+    } else {
+      mt_refresh_records = refreshed->records_applied;
+    }
+    auto wire_stats = admin.Stats(&aerr);
+    if (wire_stats.has_value()) {
+      mt_stats = *wire_stats;
+    } else {
+      ++mt_failures;
+    }
+    mt_server.Stop();
+    for (const std::string& path : snaps) std::remove(path.c_str());
+    std::remove(t0_delta.c_str());
+  }
+
   const double n = static_cast<double>(queries.size());
   const double direct_rps = n / (direct_ms / 1000.0);
   const double served_rps = n / (served_ms / 1000.0);
@@ -295,6 +505,34 @@ int main() {
                 c10k_stats.accept_p50_ms, c10k_stats.accept_p99_ms);
   }
 
+  if (run_multitenant) {
+    std::printf("\nmulti-tenant phase (3 snapshot tenants, max-engines 2, "
+                "%.3f s):\n", mt_ms / 1000.0);
+    TablePrinter mt_table({"tenant", "queries", "RPS"});
+    const char* mt_rows[4] = {"t0 (scoped, base+delta)", "t1 (scoped)",
+                              "t2 (scoped)", "legacy unscoped -> t0"};
+    const uint64_t mt_counts[4] = {mt_tenant_queries[0], mt_tenant_queries[1],
+                                   mt_tenant_queries[2], mt_legacy_queries};
+    for (int t = 0; t < 4; ++t) {
+      char qbuf[32], rbuf[32];
+      std::snprintf(qbuf, sizeof(qbuf), "%llu",
+                    static_cast<unsigned long long>(mt_counts[t]));
+      std::snprintf(rbuf, sizeof(rbuf), "%.0f",
+                    mt_ms > 0 ? mt_counts[t] / (mt_ms / 1000.0) : 0.0);
+      mt_table.AddRow({mt_rows[t], qbuf, rbuf});
+    }
+    mt_table.Print();
+    std::printf("catalog: %llu graph(s), %llu resident, %llu hit(s), "
+                "%llu miss(es), %llu eviction(s); refresh applied %llu "
+                "record(s) to t0\n",
+                static_cast<unsigned long long>(mt_stats.graphs_registered),
+                static_cast<unsigned long long>(mt_stats.graphs_resident),
+                static_cast<unsigned long long>(mt_stats.catalog_hits),
+                static_cast<unsigned long long>(mt_stats.catalog_misses),
+                static_cast<unsigned long long>(mt_stats.catalog_evictions),
+                static_cast<unsigned long long>(mt_refresh_records));
+  }
+
   // Daemon memory footprint. This bench builds its engine in-process (cold),
   // so the whole graph is private heap; a production daemon loading the same
   // graph via an mmap snapshot keeps the bulk data in a MAP_SHARED mapping
@@ -311,18 +549,24 @@ int main() {
   }
 
   if (transport_failures.load() != 0 || mismatches.load() != 0 ||
-      c10k_failures.load() != 0 || c10k_mismatches.load() != 0) {
+      c10k_failures.load() != 0 || c10k_mismatches.load() != 0 ||
+      mt_failures.load() != 0 || mt_mismatches.load() != 0) {
     std::fprintf(stderr,
                  "FAIL: %llu transport failure(s), %llu count mismatch(es), "
-                 "%llu c10k failure(s), %llu c10k mismatch(es)\n",
+                 "%llu c10k failure(s), %llu c10k mismatch(es), "
+                 "%llu multi-tenant failure(s), %llu multi-tenant "
+                 "mismatch(es)\n",
                  static_cast<unsigned long long>(transport_failures.load()),
                  static_cast<unsigned long long>(mismatches.load()),
                  static_cast<unsigned long long>(c10k_failures.load()),
-                 static_cast<unsigned long long>(c10k_mismatches.load()));
+                 static_cast<unsigned long long>(c10k_mismatches.load()),
+                 static_cast<unsigned long long>(mt_failures.load()),
+                 static_cast<unsigned long long>(mt_mismatches.load()));
     return 1;
   }
   std::printf("served counts identical to in-process evaluation "
-              "(%zu queries%s)\n", queries.size(),
-              idle_conns > 0 ? ", sequential and pipelined" : "");
+              "(%zu queries%s%s)\n", queries.size(),
+              idle_conns > 0 ? ", sequential and pipelined" : "",
+              run_multitenant ? ", single- and multi-tenant" : "");
   return 0;
 }

@@ -83,7 +83,9 @@ WarmStartReport MeasureWarmStart(const std::string& snap_path,
     std::string error;
     std::optional<WarmEngine> warm;
     r.load_ms =
-        TimeMs([&] { warm = LoadEngineSnapshot(snap_path, &error, mode); });
+        TimeMs([&] {
+          warm = LoadEngineSnapshot(snap_path, {.io_mode = mode}, &error);
+        });
     if (warm.has_value()) {
       auto q = ParsePattern(pattern, &error);
       if (q.has_value()) {
@@ -160,7 +162,7 @@ int main() {
   // --- Warm start: deserialize graph + pre-built index.
   std::optional<WarmEngine> warm;
   double load_ms =
-      TimeMs([&] { warm = LoadEngineSnapshot(snap_path, &error); });
+      TimeMs([&] { warm = LoadEngineSnapshot(snap_path, {}, &error); });
   if (!warm.has_value()) {
     std::fprintf(stderr, "snapshot load failed: %s\n", error.c_str());
     return 1;

@@ -73,9 +73,26 @@ bool GraphDatabase::Save(const std::string& path, std::string* error) const {
 }
 
 std::optional<GraphDatabase> GraphDatabase::Load(const std::string& path,
-                                                 std::string* error,
-                                                 SnapshotIoMode mode) {
-  SnapshotReader reader(path, SnapshotKind::kGraphDatabase, mode);
+                                                 const LoadOptions& options,
+                                                 std::string* error) {
+  if (!options.delta_path.empty()) {
+    if (error != nullptr) {
+      *error = "delta overlay is not supported for database snapshots";
+    }
+    return std::nullopt;
+  }
+  if (options.expected_kind != SnapshotKind{0} &&
+      options.expected_kind != SnapshotKind::kGraphDatabase) {
+    if (error != nullptr) {
+      *error = "caller expects snapshot kind " +
+               std::to_string(static_cast<uint32_t>(options.expected_kind)) +
+               " but this loader decodes kind " +
+               std::to_string(
+                   static_cast<uint32_t>(SnapshotKind::kGraphDatabase));
+    }
+    return std::nullopt;
+  }
+  SnapshotReader reader(path, SnapshotKind::kGraphDatabase, options.io_mode);
   if (!reader.ok()) {
     if (error != nullptr) *error = reader.error();
     return std::nullopt;

@@ -75,10 +75,11 @@ class GraphDatabase {
   /// Restores a database written by Save. Returns std::nullopt (and fills
   /// *error) on any malformed input. In mmap mode (the default) member
   /// graphs and feature vectors are borrowed views into the shared file
-  /// mapping.
-  static std::optional<GraphDatabase> Load(
-      const std::string& path, std::string* error = nullptr,
-      SnapshotIoMode mode = DefaultSnapshotIoMode());
+  /// mapping. A database load produces no single graph to overlay, so a
+  /// non-empty options.delta_path is rejected.
+  static std::optional<GraphDatabase> Load(const std::string& path,
+                                           const LoadOptions& options = {},
+                                           std::string* error = nullptr);
 
  private:
   struct Member {

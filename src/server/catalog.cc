@@ -1,0 +1,407 @@
+#include "server/catalog.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "storage/delta_log.h"
+#include "storage/snapshot.h"
+
+namespace rigpm::server {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+}  // namespace
+
+EngineCatalog::EngineCatalog(uint32_t max_engines)
+    : max_engines_(max_engines) {}
+
+bool EngineCatalog::Register(const std::string& id, EngineSource source,
+                             std::string* error) {
+  if (id.empty()) {
+    SetError(error, "tenant id must not be empty");
+    return false;
+  }
+  if (source.snapshot_path.empty()) {
+    SetError(error, "tenant \"" + id + "\" needs a snapshot path");
+    return false;
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->id = id;
+  entry->source = std::move(source);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entries_.emplace(id, std::move(entry)).second) {
+    SetError(error, "tenant \"" + id + "\" is already registered");
+    return false;
+  }
+  if (default_id_.empty()) default_id_ = id;
+  return true;
+}
+
+bool EngineCatalog::AdoptEngine(const std::string& id, const GmEngine& engine,
+                                EngineSource source, uint64_t base_checksum,
+                                std::string* error) {
+  if (id.empty()) {
+    SetError(error, "tenant id must not be empty");
+    return false;
+  }
+  auto state = std::make_shared<EngineState>();
+  // Alias the caller's engine (which must outlive the catalog); refreshed
+  // successors own their graph + engine.
+  state->engine =
+      std::shared_ptr<const GmEngine>(std::shared_ptr<const GmEngine>(),
+                                      &engine);
+  state->base_checksum = base_checksum;
+  auto entry = std::make_shared<Entry>();
+  entry->id = id;
+  entry->source = std::move(source);
+  entry->adopted = true;
+  entry->state = std::move(state);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entries_.emplace(id, std::move(entry)).second) {
+    SetError(error, "tenant \"" + id + "\" is already registered");
+    return false;
+  }
+  if (default_id_.empty()) default_id_ = id;
+  return true;
+}
+
+std::shared_ptr<EngineCatalog::Entry> EngineCatalog::FindAndTouch(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& key = id.empty() ? default_id_ : id;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  it->second->last_used = ++clock_;
+  return it->second;
+}
+
+std::shared_ptr<EngineCatalog::Entry> EngineCatalog::Find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& key = id.empty() ? default_id_ : id;
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const EngineState> EngineCatalog::StateOf(
+    const Entry& e) const {
+  std::lock_guard<std::mutex> lock(e.state_mu);
+  return e.state;
+}
+
+std::shared_ptr<const EngineState> EngineCatalog::Acquire(
+    const std::string& id, std::string* error) {
+  std::shared_ptr<Entry> entry = FindAndTouch(id);
+  if (entry == nullptr) {
+    SetError(error, "unknown graph id \"" + (id.empty() ? default_id() : id) +
+                        "\"");
+    return nullptr;
+  }
+  if (auto state = StateOf(*entry)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return state;
+  }
+  // Cold (or evicted) tenant: open under the entry's open_mu so concurrent
+  // first requests load the snapshot once, while requests for OTHER
+  // tenants proceed untouched (no catalog-wide lock is held here).
+  std::lock_guard<std::mutex> open_lock(entry->open_mu);
+  if (auto state = StateOf(*entry)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return state;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const EngineState> opened = Open(*entry, error);
+  if (opened == nullptr) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(entry->state_mu);
+    entry->state = opened;
+  }
+  EnforceCap(entry.get());
+  return opened;
+}
+
+std::shared_ptr<const EngineState> EngineCatalog::Open(Entry& e,
+                                                       std::string* error) {
+  if (e.adopted) {
+    // Adopted engines have no source to reopen from; they are pinned
+    // resident, so a null state here cannot happen in practice.
+    SetError(error, "tenant \"" + e.id + "\" has no snapshot to open");
+    return nullptr;
+  }
+  // Replay the ENTIRE current log over the base: an open after eviction
+  // must serve base+log exactly as the pre-eviction engine did after its
+  // refreshes — never a stale base, never a partial prefix.
+  LoadOptions options;
+  options.io_mode = e.source.io_mode;
+  options.delta_path = e.source.delta_path;
+  options.delta_io = e.source.delta_io;
+  std::string load_error;
+  auto warm = LoadEngineSnapshot(e.source.snapshot_path, options, &load_error);
+  if (!warm.has_value()) {
+    SetError(error, "cannot open engine for graph \"" + e.id +
+                        "\": " + load_error);
+    return nullptr;
+  }
+  auto state = std::make_shared<EngineState>();
+  state->base_checksum = warm->stored_checksum;
+  state->applied_seqno = warm->applied_seqno;
+  state->applied_chain = warm->applied_chain;
+  state->graph = std::shared_ptr<const Graph>(std::move(warm->graph));
+  state->engine = std::shared_ptr<const GmEngine>(std::move(warm->engine));
+  return state;
+}
+
+void EngineCatalog::EnforceCap(const Entry* keep) {
+  if (max_engines_ == 0) return;
+  // Evict one LRU victim at a time until the cap holds. The victim's
+  // engine is only unreferenced here — requests that pinned it via
+  // Acquire finish normally and free it with the last pin.
+  while (true) {
+    std::shared_ptr<Entry> victim;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint32_t resident = 0;
+      uint64_t oldest = 0;
+      for (const auto& [id, entry] : entries_) {
+        if (entry->adopted) continue;  // pinned: nothing to reopen from
+        bool is_resident;
+        {
+          std::lock_guard<std::mutex> state_lock(entry->state_mu);
+          is_resident = entry->state != nullptr;
+        }
+        if (!is_resident) continue;
+        ++resident;
+        if (entry.get() == keep) continue;  // just touched; never the victim
+        if (victim == nullptr || entry->last_used < oldest) {
+          victim = entry;
+          oldest = entry->last_used;
+        }
+      }
+      if (resident <= max_engines_ || victim == nullptr) return;
+    }
+    {
+      std::lock_guard<std::mutex> state_lock(victim->state_mu);
+      if (victim->state == nullptr) continue;  // raced with another evictor
+      victim->state.reset();
+    }
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CatalogRefreshResult EngineCatalog::Refresh(const std::string& id) {
+  CatalogRefreshResult result;
+  std::shared_ptr<Entry> entry = FindAndTouch(id);
+  if (entry == nullptr) {
+    result.bad_request = true;
+    result.error =
+        "unknown graph id \"" + (id.empty() ? default_id() : id) + "\"";
+    return result;
+  }
+  if (entry->source.delta_path.empty()) {
+    result.bad_request = true;
+    result.error = "graph \"" + entry->id +
+                   "\" has no delta log configured (--delta)";
+    return result;
+  }
+
+  // One refresh (or open) per tenant at a time; a second request queues
+  // here and then finds the log already replayed (records_applied == 0).
+  // Other tenants' refreshes and opens run concurrently.
+  std::lock_guard<std::mutex> open_lock(entry->open_mu);
+
+  std::shared_ptr<const EngineState> old_state = StateOf(*entry);
+  bool newly_opened = false;
+  if (old_state == nullptr) {
+    // Refresh of a non-resident tenant: open the BASE alone (a cheap
+    // prebuilt-index deserialize) and run the normal replay path below, so
+    // the response reports exactly what the log contributed.
+    LoadOptions options;
+    options.io_mode = entry->source.io_mode;
+    std::string load_error;
+    auto warm =
+        LoadEngineSnapshot(entry->source.snapshot_path, options, &load_error);
+    if (!warm.has_value()) {
+      result.error = "cannot open engine for graph \"" + entry->id +
+                     "\": " + load_error;
+      return result;
+    }
+    auto base = std::make_shared<EngineState>();
+    base->base_checksum = warm->stored_checksum;
+    base->graph = std::shared_ptr<const Graph>(std::move(warm->graph));
+    base->engine = std::shared_ptr<const GmEngine>(std::move(warm->engine));
+    old_state = base;
+    newly_opened = true;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const Graph& old_graph = old_state->engine->graph();
+
+  auto publish = [&](std::shared_ptr<const EngineState> state) {
+    {
+      std::lock_guard<std::mutex> lock(entry->state_mu);
+      entry->state = std::move(state);
+    }
+    EnforceCap(entry.get());
+  };
+  auto caught_up = [&]() {
+    result.ok = true;
+    result.last_seqno = old_state->applied_seqno;
+    result.num_nodes = old_graph.NumNodes();
+    result.num_edges = old_graph.NumEdges();
+    if (newly_opened) publish(old_state);
+    return result;
+  };
+
+  // The log is created lazily by the first append; a refresh that beats it
+  // is a healthy caught-up state, not an error. A zero-length file is the
+  // same state one crashed step later.
+  struct stat st{};
+  if (::stat(entry->source.delta_path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return caught_up();
+  } else if (st.st_size == 0) {
+    return caught_up();
+  }
+
+  DeltaReader reader(entry->source.delta_path, entry->source.delta_io);
+  if (!reader.ok()) {
+    result.error = "cannot read delta log: " + reader.error();
+    return result;
+  }
+  if (old_state->base_checksum != 0 &&
+      reader.base_checksum() != old_state->base_checksum) {
+    result.bad_request = true;
+    result.error = "delta log is bound to a different base snapshot";
+    return result;
+  }
+
+  std::string replay_error;
+  ReplayStats stats;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  if (!CollectDeltaEdges(reader, old_graph.NumNodes(),
+                         old_state->applied_seqno, &edges, &stats,
+                         &replay_error)) {
+    result.error = replay_error;
+    return result;
+  }
+  // Corruption check FIRST: a corrupt record inside the already-applied
+  // prefix also stops the reader before the resume point, and diagnosing
+  // that as "rewritten log" would send the operator chasing the wrong
+  // remediation.
+  if (reader.truncated() && !reader.tail_torn()) {
+    result.error = "delta log is corrupt after record " +
+                   std::to_string(reader.records_read()) + " (" +
+                   reader.tail_error() + ") — refresh refused";
+    return result;
+  }
+  // The applied prefix must still be the prefix we applied: a log that was
+  // truncated and rewritten with reused seqnos must not be resumed by
+  // number alone.
+  if (old_state->applied_seqno > 0 &&
+      stats.resume_chain != old_state->applied_chain) {
+    result.bad_request = true;
+    result.error =
+        "delta log no longer contains the applied prefix (rewritten or "
+        "replaced since the last refresh) — restart the daemon from the "
+        "base snapshot";
+    return result;
+  }
+  result.log_truncated = reader.truncated();
+  result.records_applied = stats.records_applied;
+  result.edges_in_records = stats.edges_in_records;
+
+  if (stats.records_applied == 0) return caught_up();
+
+  // Build the successor state: merged graph + a fresh reachability index.
+  auto new_state = std::make_shared<EngineState>();
+  new_state->graph =
+      std::make_shared<const Graph>(ApplyEdgesToGraph(old_graph, edges));
+  new_state->engine = std::make_shared<const GmEngine>(*new_state->graph);
+  new_state->applied_seqno = stats.last_seqno;
+  new_state->applied_chain = stats.end_chain;
+  new_state->base_checksum = old_state->base_checksum;
+  result.ok = true;
+  result.last_seqno = stats.last_seqno;
+  result.num_nodes = new_state->graph->NumNodes();
+  result.num_edges = new_state->graph->NumEdges();
+  publish(std::move(new_state));
+  return result;
+}
+
+void EngineCatalog::CountQuery(const std::string& id, uint64_t n) {
+  std::shared_ptr<Entry> entry = Find(id);
+  if (entry != nullptr) {
+    entry->queries.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+std::vector<TenantInfo> EngineCatalog::List() const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& [id, entry] : entries_) entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a->id < b->id; });
+  std::vector<TenantInfo> infos;
+  infos.reserve(entries.size());
+  for (const auto& entry : entries) {
+    TenantInfo info;
+    info.id = entry->id;
+    info.refreshable = !entry->source.delta_path.empty();
+    info.queries = entry->queries.load(std::memory_order_relaxed);
+    if (auto state = StateOf(*entry)) {
+      info.resident = true;
+      info.applied_seqno = state->applied_seqno;
+    }
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+CatalogStats EngineCatalog::Stats() const {
+  CatalogStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.registered = entries_.size();
+  for (const auto& [id, entry] : entries_) {
+    std::lock_guard<std::mutex> state_lock(entry->state_mu);
+    if (entry->state != nullptr) ++stats.resident;
+  }
+  return stats;
+}
+
+bool EngineCatalog::Has(const std::string& id) const {
+  return Find(id) != nullptr;
+}
+
+bool EngineCatalog::any_refreshable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, entry] : entries_) {
+    if (!entry->source.delta_path.empty()) return true;
+  }
+  return false;
+}
+
+std::string EngineCatalog::default_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return default_id_;
+}
+
+bool EngineCatalog::SetDefault(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.find(id) == entries_.end()) return false;
+  default_id_ = id;
+  return true;
+}
+
+}  // namespace rigpm::server

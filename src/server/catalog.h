@@ -1,0 +1,208 @@
+#ifndef RIGPM_SERVER_CATALOG_H_
+#define RIGPM_SERVER_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/gm_engine.h"
+#include "graph/graph.h"
+#include "storage/snapshot_io.h"
+
+namespace rigpm::server {
+
+/// One immutable served unit — the RCU payload behind every query. A
+/// refresh (or a catalog reopen) publishes a new instance; queries in
+/// flight pin the old one via shared_ptr until they return, so nothing
+/// blocks and no engine is destroyed under a running evaluation.
+struct EngineState {
+  std::shared_ptr<const Graph> graph;      // null when the engine aliases a
+                                           // caller-owned graph (AdoptEngine)
+  std::shared_ptr<const GmEngine> engine;  // never null
+  uint64_t applied_seqno = 0;
+  /// Chain checksum of the delta record at applied_seqno (0 before any
+  /// replay). The next refresh verifies the log still carries this exact
+  /// prefix — resuming by seqno alone would silently skip a log that was
+  /// truncated and rewritten with reused sequence numbers.
+  uint64_t applied_chain = 0;
+  /// Stored payload checksum of the base snapshot this engine descends
+  /// from (0 for adopted engines with no snapshot identity). Refreshes
+  /// reject a delta log bound to a different base.
+  uint64_t base_checksum = 0;
+};
+
+/// Where a tenant's engine comes from: a snapshot on disk, optionally with
+/// a delta log replayed over it. The catalog opens the source lazily on
+/// first request and can reopen it after an eviction — which is why the
+/// source, not the engine, is what registration hands over.
+struct EngineSource {
+  std::string snapshot_path;
+  /// Optional delta log (storage/delta_log.h). Non-empty enables per-tenant
+  /// kRefresh; a lazy open replays the ENTIRE current log so an evicted-
+  /// and-reopened tenant serves exactly what it served before eviction,
+  /// never a time-traveled base.
+  std::string delta_path;
+  SnapshotIoMode io_mode = DefaultSnapshotIoMode();
+  /// kRead by default: a live log can be tail-truncated in place by a
+  /// recovering writer, which would SIGBUS an mmap reader (server.h).
+  SnapshotIoMode delta_io = SnapshotIoMode::kRead;
+};
+
+/// Per-tenant row of ListGraphs / the stats tail.
+struct TenantInfo {
+  std::string id;
+  bool resident = false;     // engine currently open in the catalog
+  bool refreshable = false;  // has a delta source
+  uint64_t applied_seqno = 0;
+  uint64_t queries = 0;  // queries served for this tenant since start
+};
+
+/// Point-in-time catalog counters.
+struct CatalogStats {
+  uint64_t registered = 0;
+  uint64_t resident = 0;
+  uint64_t hits = 0;       // Acquire found the engine open
+  uint64_t misses = 0;     // Acquire had to open (or reopen) the source
+  uint64_t evictions = 0;  // resident engines dropped by the LRU cap
+};
+
+/// What a per-tenant refresh did (the server translates this into a
+/// RefreshResponse; the catalog itself stays protocol-free).
+struct CatalogRefreshResult {
+  bool ok = false;
+  /// On failure: true for client-addressable mistakes (unknown tenant, no
+  /// delta configured, wrong base, rewritten prefix), false for I/O or
+  /// corruption trouble the client cannot fix.
+  bool bad_request = false;
+  std::string error;
+  uint64_t records_applied = 0;
+  uint64_t edges_in_records = 0;
+  uint64_t last_seqno = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  bool log_truncated = false;
+};
+
+/// The daemon-level lookup facade of the multi-tenant ROADMAP item: many
+/// engines behind one id-keyed catalog, the way an object store puts many
+/// packs behind one lookup interface. Tenants are registered up front
+/// (id -> EngineSource); engines are opened lazily on first Acquire, held
+/// behind the RCU EngineState, and — when a max_engines cap is set —
+/// evicted least-recently-used. Eviction only drops the catalog's
+/// reference: requests in flight keep their shared_ptr pins, so a victim
+/// engine finishes its queries and is freed when the last pin drops.
+///
+/// Locking: the catalog mutex guards the id map and the LRU clock and is
+/// never held across an open or a replay. Each entry carries two mutexes —
+/// a brief `state_mu` around the published-state pointer, and a long
+/// `open_mu` serializing that tenant's opens and refreshes. Acquire on a
+/// resident tenant touches only the brief locks, so queries never wait on
+/// another tenant's cold open or on a refresh in progress.
+class EngineCatalog {
+ public:
+  /// max_engines caps RESIDENT engines (0 = unlimited). Adopted engines
+  /// are pinned residents: they have no source to reopen from and are
+  /// never evicted (nor do they count against the cap).
+  explicit EngineCatalog(uint32_t max_engines = 0);
+
+  EngineCatalog(const EngineCatalog&) = delete;
+  EngineCatalog& operator=(const EngineCatalog&) = delete;
+
+  /// Adds a tenant served from a snapshot source. The first tenant
+  /// registered (or adopted) becomes the default for unaddressed requests.
+  /// Fails on a duplicate id or an empty snapshot path.
+  bool Register(const std::string& id, EngineSource source,
+                std::string* error = nullptr);
+
+  /// Adds a tenant around a caller-owned engine (which must outlive the
+  /// catalog) — the single-tenant legacy path. `source.snapshot_path` stays
+  /// empty; a non-empty `source.delta_path` makes the tenant refreshable,
+  /// with `base_checksum` binding the log to the engine's base snapshot
+  /// (0 skips the check).
+  bool AdoptEngine(const std::string& id, const GmEngine& engine,
+                   EngineSource source = {}, uint64_t base_checksum = 0,
+                   std::string* error = nullptr);
+
+  /// Resolves an id ("" = default tenant) to its served state, opening the
+  /// source on first use. Returns null (and fills *error) for an unknown
+  /// id or a failed open. The returned shared_ptr is the caller's pin:
+  /// eviction or refresh never invalidates it.
+  std::shared_ptr<const EngineState> Acquire(const std::string& id,
+                                             std::string* error = nullptr);
+
+  /// Replays the tenant's delta log records past the applied prefix and
+  /// publishes the merged engine — PR 5's kRefresh, scoped to one tenant;
+  /// every other tenant's engine is untouched. A refresh of a non-resident
+  /// tenant opens the base snapshot first and then replays the whole log,
+  /// so its response reports exact record counts. Per-tenant serialized:
+  /// concurrent refreshes of the SAME tenant queue, the second finding the
+  /// log already applied; refreshes of different tenants run concurrently.
+  CatalogRefreshResult Refresh(const std::string& id);
+
+  /// Attributes `n` served queries to the tenant ("" = default).
+  void CountQuery(const std::string& id, uint64_t n = 1);
+
+  /// Every tenant, sorted by id.
+  std::vector<TenantInfo> List() const;
+
+  CatalogStats Stats() const;
+
+  bool Has(const std::string& id) const;
+
+  /// True when at least one tenant has a delta source — the server's
+  /// "workers must drop idle engine pins" volatility signal, and the ping
+  /// capability bit for refresh.
+  bool any_refreshable() const;
+
+  uint32_t max_engines() const { return max_engines_; }
+
+  /// Id serving unaddressed (legacy) requests; "" while nothing is
+  /// registered. The first registration sets it; SetDefault overrides.
+  std::string default_id() const;
+  bool SetDefault(const std::string& id);
+
+ private:
+  struct Entry {
+    std::string id;
+    EngineSource source;
+    bool adopted = false;
+    std::atomic<uint64_t> queries{0};
+    uint64_t last_used = 0;  // catalog LRU clock; guarded by catalog mu_
+
+    /// Serializes this tenant's opens and refreshes (held across the whole
+    /// load/replay). Never acquired while holding mu_ or state_mu.
+    std::mutex open_mu;
+    /// Brief guard around the published state pointer only.
+    mutable std::mutex state_mu;
+    std::shared_ptr<const EngineState> state;  // null = not resident
+  };
+
+  /// "" resolves to the default id. Bumps the LRU clock on hit.
+  std::shared_ptr<Entry> FindAndTouch(const std::string& id);
+  std::shared_ptr<Entry> Find(const std::string& id) const;
+  std::shared_ptr<const EngineState> StateOf(const Entry& e) const;
+  /// Opens e.source (full delta replay included). Caller holds e.open_mu.
+  std::shared_ptr<const EngineState> Open(Entry& e, std::string* error);
+  /// Evicts least-recently-used evictable residents until the cap holds;
+  /// `keep` (the entry just touched) is never the victim.
+  void EnforceCap(const Entry* keep);
+
+  const uint32_t max_engines_;
+
+  mutable std::mutex mu_;  // entries_ map, LRU clock, default id
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  uint64_t clock_ = 0;
+  std::string default_id_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace rigpm::server
+
+#endif  // RIGPM_SERVER_CATALOG_H_

@@ -146,12 +146,17 @@ bool QueryClient::RoundTrip(const ByteSink& request,
   return ReadResponseFrame(payload, error);
 }
 
+ByteSink QueryClient::Addressed(const ByteSink& inner) const {
+  if (graph_.empty()) return inner;
+  return WrapScoped(graph_, inner);
+}
+
 std::optional<QueryResponse> QueryClient::Query(const QueryRequest& request,
                                                 std::string* error) {
   ByteSink sink;
   request.Serialize(sink);
   std::vector<uint8_t> payload;
-  if (!RoundTrip(sink, &payload, error)) return std::nullopt;
+  if (!RoundTrip(Addressed(sink), &payload, error)) return std::nullopt;
 
   ByteSource src(payload.data(), payload.size());
   return DecodeQueryPayload(src, error);
@@ -166,7 +171,10 @@ std::optional<uint64_t> QueryClient::SendTagged(const QueryRequest& request,
   uint64_t id = next_request_id_++;
   ByteSink inner;
   request.Serialize(inner);
-  ByteSink frame = WrapTagged(MessageType::kTaggedRequest, id, inner);
+  // Tagging outermost, addressing inside — the order the server's event
+  // loop peeks and the workers unwrap.
+  ByteSink frame =
+      WrapTagged(MessageType::kTaggedRequest, id, Addressed(inner));
   if (!WriteFrame(fd_, frame, error)) {
     Close();
     return std::nullopt;
@@ -259,7 +267,7 @@ std::optional<RefreshResponse> QueryClient::Refresh(std::string* error) {
   ByteSink sink;
   sink.WriteU32(static_cast<uint32_t>(MessageType::kRefreshRequest));
   std::vector<uint8_t> payload;
-  if (!RoundTrip(sink, &payload, error)) return std::nullopt;
+  if (!RoundTrip(Addressed(sink), &payload, error)) return std::nullopt;
 
   ByteSource src(payload.data(), payload.size());
   MessageType type = ReadMessageType(src);
@@ -294,6 +302,48 @@ bool QueryClient::Ping(std::string* error) {
     return false;
   }
   return true;
+}
+
+std::optional<ServerCapabilities> QueryClient::Capabilities(
+    std::string* error) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kPingRequest));
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(sink, &payload, error)) return std::nullopt;
+  ByteSource src(payload.data(), payload.size());
+  if (ReadMessageType(src) != MessageType::kPingResponse) {
+    SetError(error, "unexpected response type");
+    return std::nullopt;
+  }
+  return ParsePingResponse(src);
+}
+
+std::optional<ListGraphsResponse> QueryClient::ListGraphs(std::string* error) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kListGraphsRequest));
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(sink, &payload, error)) return std::nullopt;
+  ByteSource src(payload.data(), payload.size());
+  MessageType type = ReadMessageType(src);
+  if (type == MessageType::kErrorResponse) {
+    // A pre-v2 daemon answers "unknown request type 8".
+    ListGraphsResponse resp;
+    if (!DecodeErrorResponse(src, &resp.status, &resp.error)) {
+      SetError(error, "malformed error response");
+      return std::nullopt;
+    }
+    return resp;
+  }
+  if (type != MessageType::kListGraphsResponse) {
+    SetError(error, "unexpected response type");
+    return std::nullopt;
+  }
+  ListGraphsResponse resp = ListGraphsResponse::Deserialize(src);
+  if (!src.ok()) {
+    SetError(error, "malformed list-graphs response: " + src.error());
+    return std::nullopt;
+  }
+  return resp;
 }
 
 bool QueryClient::Shutdown(std::string* error) {

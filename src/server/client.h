@@ -14,6 +14,13 @@ namespace rigpm::server {
 /// requests pipelined on the one connection with out-of-order completion.
 /// Thread contract: one thread per client (open several clients for
 /// concurrency — the server multiplexes all of them over its event loop).
+///
+/// The client is the session: it owns the connection, the pipelining id
+/// counter, and the graph the session addresses. SetGraph routes every
+/// query, pipelined query, and refresh at one of a multi-graph daemon's
+/// tenants (the kScopedRequest envelope); the default — no graph set —
+/// emits no envelope at all, which any daemon revision serves from its
+/// default graph. Ping/Stats/Shutdown are daemon-wide and never scoped.
 class QueryClient {
  public:
   QueryClient() = default;
@@ -24,7 +31,8 @@ class QueryClient {
   QueryClient(QueryClient&& other) noexcept
       : max_frame_bytes(other.max_frame_bytes),
         fd_(other.fd_),
-        next_request_id_(other.next_request_id_) {
+        next_request_id_(other.next_request_id_),
+        graph_(std::move(other.graph_)) {
     other.fd_ = -1;
   }
 
@@ -33,6 +41,12 @@ class QueryClient {
                   std::string* error = nullptr);
   void Close();
   bool connected() const { return fd_ >= 0; }
+
+  /// Addresses this session's queries and refreshes at the named graph of
+  /// a multi-graph daemon ("" = the daemon's default graph, and the only
+  /// setting a pre-v2 daemon understands — see Capabilities().scoped()).
+  void SetGraph(std::string graph_id) { graph_ = std::move(graph_id); }
+  const std::string& graph() const { return graph_; }
 
   /// One query round trip. Returns nullopt only on transport failure;
   /// server-side rejections come back as a response with status != kOk.
@@ -74,6 +88,15 @@ class QueryClient {
   /// Liveness probe (also what scripts poll while the daemon starts up).
   bool Ping(std::string* error = nullptr);
 
+  /// Ping + feature detection: what the daemon advertised in its pong
+  /// tail. A bare pong (pre-v2 daemon) yields the revision-1 defaults, so
+  /// callers branch on the capability bits, never on errors.
+  std::optional<ServerCapabilities> Capabilities(std::string* error = nullptr);
+
+  /// The daemon's graph catalog (kListGraphsRequest; needs
+  /// Capabilities().list_graphs()).
+  std::optional<ListGraphsResponse> ListGraphs(std::string* error = nullptr);
+
   /// Asks the server to shut down gracefully (needs the server's
   /// allow_remote_shutdown). Returns true once the server acknowledges.
   bool Shutdown(std::string* error = nullptr);
@@ -93,8 +116,13 @@ class QueryClient {
   /// the stream is then desynchronized).
   bool ReadResponseFrame(std::vector<uint8_t>* payload, std::string* error);
 
+  /// Applies the session's graph address: wraps `inner` in a scoped
+  /// envelope when a graph is set, passes it through untouched otherwise.
+  ByteSink Addressed(const ByteSink& inner) const;
+
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  std::string graph_;
 };
 
 }  // namespace rigpm::server

@@ -197,6 +197,14 @@ void StatsResponse::Serialize(ByteSink& sink) const {
   sink.WriteU64(dispatch_depth);
   WriteF64(sink, accept_p50_ms);
   WriteF64(sink, accept_p99_ms);
+  // Engine-catalog fields, appended by the multi-tenant core (revision 2).
+  sink.WriteU64(graphs_registered);
+  sink.WriteU64(graphs_resident);
+  sink.WriteU64(catalog_hits);
+  sink.WriteU64(catalog_misses);
+  sink.WriteU64(catalog_evictions);
+  sink.WriteU32(static_cast<uint32_t>(tenants.size()));
+  for (const GraphInfoWire& t : tenants) t.Serialize(sink);
 }
 
 StatsResponse StatsResponse::Deserialize(ByteSource& src) {
@@ -218,7 +226,74 @@ StatsResponse StatsResponse::Deserialize(ByteSource& src) {
   s.dispatch_depth = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
   s.accept_p50_ms = src.remaining() >= sizeof(uint64_t) ? ReadF64(src) : 0.0;
   s.accept_p99_ms = src.remaining() >= sizeof(uint64_t) ? ReadF64(src) : 0.0;
+  // Engine-catalog fields, appended by the multi-tenant core. The tenant
+  // list is guarded by its count field: a pre-catalog daemon's payload
+  // simply ends here and the list stays empty.
+  s.graphs_registered = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.graphs_resident = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.catalog_hits = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.catalog_misses = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.catalog_evictions = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  if (src.remaining() >= sizeof(uint32_t)) {
+    uint32_t num_tenants = src.ReadU32();
+    if (num_tenants > src.remaining() / sizeof(uint64_t)) {
+      src.Fail("tenant count exceeds response size");
+      return s;
+    }
+    s.tenants.resize(num_tenants);
+    for (GraphInfoWire& t : s.tenants) {
+      if (!src.ok()) break;
+      t = GraphInfoWire::Deserialize(src);
+    }
+  }
   return s;
+}
+
+// ----------------------------------------------------------- catalog wire
+
+void GraphInfoWire::Serialize(ByteSink& sink) const {
+  sink.WriteString(id);
+  WriteBool(sink, resident);
+  WriteBool(sink, refreshable);
+  sink.WriteU64(applied_seqno);
+  sink.WriteU64(queries);
+}
+
+GraphInfoWire GraphInfoWire::Deserialize(ByteSource& src) {
+  GraphInfoWire g;
+  g.id = src.ReadString();
+  g.resident = ReadBool(src);
+  g.refreshable = ReadBool(src);
+  g.applied_seqno = src.ReadU64();
+  g.queries = src.ReadU64();
+  return g;
+}
+
+void ListGraphsResponse::Serialize(ByteSink& sink) const {
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kListGraphsResponse));
+  sink.WriteU32(static_cast<uint32_t>(status));
+  sink.WriteString(error);
+  sink.WriteString(default_id);
+  sink.WriteU32(static_cast<uint32_t>(graphs.size()));
+  for (const GraphInfoWire& g : graphs) g.Serialize(sink);
+}
+
+ListGraphsResponse ListGraphsResponse::Deserialize(ByteSource& src) {
+  ListGraphsResponse resp;
+  resp.status = static_cast<StatusCode>(src.ReadU32());
+  resp.error = src.ReadString();
+  resp.default_id = src.ReadString();
+  uint32_t num_graphs = src.ReadU32();
+  if (num_graphs > src.remaining() / sizeof(uint64_t)) {
+    src.Fail("graph count exceeds response size");
+    return resp;
+  }
+  resp.graphs.resize(num_graphs);
+  for (GraphInfoWire& g : resp.graphs) {
+    if (!src.ok()) break;
+    g = GraphInfoWire::Deserialize(src);
+  }
+  return resp;
 }
 
 // -------------------------------------------------------- RefreshResponse
@@ -342,5 +417,32 @@ ByteSink WrapTagged(MessageType envelope, uint64_t request_id,
 }
 
 uint64_t ReadTaggedId(ByteSource& src) { return src.ReadU64(); }
+
+ByteSink WrapScoped(const std::string& graph_id, const ByteSink& inner) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kScopedRequest));
+  sink.WriteString(graph_id);
+  sink.WriteRaw(inner.data().data(), inner.size());
+  return sink;
+}
+
+std::string ReadScopedId(ByteSource& src) { return src.ReadString(); }
+
+ByteSink MakePingResponse(const ServerCapabilities& caps) {
+  ByteSink sink;
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kPingResponse));
+  sink.WriteU32(caps.revision);
+  sink.WriteU32(caps.capabilities);
+  return sink;
+}
+
+ServerCapabilities ParsePingResponse(ByteSource& src) {
+  ServerCapabilities caps;  // revision-1 defaults for a bare pong
+  if (src.remaining() >= 2 * sizeof(uint32_t)) {
+    caps.revision = src.ReadU32();
+    caps.capabilities = src.ReadU32();
+  }
+  return caps;
+}
 
 }  // namespace rigpm::server

@@ -28,8 +28,28 @@ namespace rigpm::server {
 /// answers malformed-but-framed requests with an error response. Only an
 /// oversized length prefix (which poisons the stream position) closes the
 /// connection.
+///
+/// Envelopes compose in a fixed order (outermost first):
+///   kTaggedRequest  — u64 request id, then the wrapped payload
+///   kScopedRequest  — graph-id string, then the wrapped payload
+///   the actual request (kQueryRequest, kRefreshRequest, ...)
+/// Tagging stays outermost because the event loop peeks only the first u32
+/// of a frame for pipeline admission. An unaddressed (unscoped) request is
+/// served by the daemon's default graph, which is what keeps every pre-v2
+/// client working against a multi-graph daemon unchanged.
 
 inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Protocol revision advertised in the kPingResponse tail. Revision 2 added
+/// the scoped envelope, graph listing, and the capability tail itself;
+/// revision-1 daemons answer a bare pong.
+inline constexpr uint32_t kProtocolRevision = 2;
+
+/// Capability bits of the kPingResponse tail.
+inline constexpr uint32_t kCapTagged = 1u << 0;      // pipelining envelope
+inline constexpr uint32_t kCapRefresh = 1u << 1;     // >=1 refreshable graph
+inline constexpr uint32_t kCapScoped = 1u << 2;      // graph-addressed requests
+inline constexpr uint32_t kCapListGraphs = 1u << 3;  // kListGraphsRequest
 
 enum class MessageType : uint32_t {
   kQueryRequest = 1,
@@ -50,14 +70,28 @@ enum class MessageType : uint32_t {
   /// frames keep their PR-1 semantics: one at a time, answered in order,
   /// with an untagged response (conceptually id 0).
   kTaggedRequest = 6,
+  /// Tenant-addressing envelope: graph-id string, then a complete inner
+  /// request payload (u32 inner type + body). Routes the inner request to
+  /// the named catalog entry; an empty id means the default graph, same as
+  /// no envelope at all. Composes INSIDE kTaggedRequest (see above) and
+  /// never nests. The response carries no scoped envelope — it goes back
+  /// on the same connection, so the addressing is implicit.
+  kScopedRequest = 7,
+  /// Asks for the daemon's graph catalog (ids, residency, refreshability,
+  /// per-graph counters). Empty body; answered with kListGraphsResponse.
+  kListGraphsRequest = 8,
 
   kQueryResponse = 101,
   kStatsResponse = 102,
+  /// Bare type from revision-1 daemons; revision 2 appends a tolerated-
+  /// if-absent tail (u32 protocol revision + u32 capability bits) so a
+  /// client can feature-detect instead of probing with error responses.
   kPingResponse = 103,
   kShutdownResponse = 104,
   kRefreshResponse = 105,
   /// u64 request_id, then the complete inner response payload.
   kTaggedResponse = 106,
+  kListGraphsResponse = 107,
   kErrorResponse = 199,
 };
 
@@ -70,6 +104,19 @@ enum class StatusCode : uint32_t {
 };
 
 const char* StatusCodeName(StatusCode s);
+
+/// What a daemon advertises in its kPingResponse tail. A bare pong (no
+/// tail) is a revision-1 daemon: tagged pipelining already existed there,
+/// so that one bit is assumed; everything newer is reported absent.
+struct ServerCapabilities {
+  uint32_t revision = 1;
+  uint32_t capabilities = kCapTagged;
+
+  bool tagged() const { return (capabilities & kCapTagged) != 0; }
+  bool refresh() const { return (capabilities & kCapRefresh) != 0; }
+  bool scoped() const { return (capabilities & kCapScoped) != 0; }
+  bool list_graphs() const { return (capabilities & kCapListGraphs) != 0; }
+};
 
 /// One pattern-matching request. Either `patterns` (inline syntax of
 /// query_parser.h; >1 entries are served as one EvaluateBatch call) or
@@ -126,6 +173,18 @@ struct QueryResponse {
   static QueryResponse Deserialize(ByteSource& src);
 };
 
+/// One catalog row, as listed by kListGraphsResponse and the stats tail.
+struct GraphInfoWire {
+  std::string id;
+  bool resident = false;     // engine currently open in the daemon
+  bool refreshable = false;  // has a delta source (kRefresh will act)
+  uint64_t applied_seqno = 0;
+  uint64_t queries = 0;  // queries served for this graph since start
+
+  void Serialize(ByteSink& sink) const;
+  static GraphInfoWire Deserialize(ByteSource& src);
+};
+
 struct StatsResponse {
   uint64_t uptime_ms = 0;
   uint64_t connections_accepted = 0;
@@ -144,8 +203,29 @@ struct StatsResponse {
   double accept_p50_ms = 0.0;   // accept() to first response byte
   double accept_p99_ms = 0.0;
 
+  // Engine-catalog tail (revision 2; absent from older daemons and then
+  // reported as zero/empty). Single-tenant daemons report one tenant.
+  uint64_t graphs_registered = 0;
+  uint64_t graphs_resident = 0;
+  uint64_t catalog_hits = 0;
+  uint64_t catalog_misses = 0;
+  uint64_t catalog_evictions = 0;
+  std::vector<GraphInfoWire> tenants;
+
   void Serialize(ByteSink& sink) const;
   static StatsResponse Deserialize(ByteSource& src);
+};
+
+/// Answer to kListGraphsRequest: every registered graph, sorted by id,
+/// plus which one serves unaddressed requests.
+struct ListGraphsResponse {
+  StatusCode status = StatusCode::kOk;
+  std::string error;
+  std::string default_id;
+  std::vector<GraphInfoWire> graphs;
+
+  void Serialize(ByteSink& sink) const;
+  static ListGraphsResponse Deserialize(ByteSource& src);
 };
 
 /// Result of one kRefreshRequest. `records_applied` == 0 with status kOk
@@ -207,6 +287,24 @@ ByteSink WrapTagged(MessageType envelope, uint64_t request_id,
 /// ReadMessageType returned kTaggedRequest/kTaggedResponse. The source is
 /// then positioned at the inner payload's message type.
 uint64_t ReadTaggedId(ByteSource& src);
+
+/// Wraps a complete inner payload (u32 type + body) in a tenant-addressing
+/// envelope: kScopedRequest, graph-id string, inner bytes. Compose as
+/// WrapTagged(..., WrapScoped(id, inner)) when pipelining — tagging stays
+/// outermost.
+ByteSink WrapScoped(const std::string& graph_id, const ByteSink& inner);
+
+/// Reads the graph-id string of a scoped envelope; call after
+/// ReadMessageType returned kScopedRequest. The source is then positioned
+/// at the inner payload's message type.
+std::string ReadScopedId(ByteSource& src);
+
+/// Builds a kPingResponse payload with the revision-2 capability tail.
+ByteSink MakePingResponse(const ServerCapabilities& caps);
+
+/// Decodes a kPingResponse payload (the type already consumed). A bare
+/// pong yields the revision-1 defaults of ServerCapabilities.
+ServerCapabilities ParsePingResponse(ByteSource& src);
 
 }  // namespace rigpm::server
 

@@ -19,7 +19,6 @@
 
 #include "query/pattern_parser.h"
 #include "query/query_templates.h"
-#include "storage/delta_log.h"
 #include "util/concurrency.h"
 
 namespace rigpm::server {
@@ -89,17 +88,23 @@ uint32_t PeekType(const std::vector<uint8_t>& bytes, size_t offset = 0) {
 
 }  // namespace
 
-QueryServer::QueryServer(const GmEngine& engine, ServerConfig config)
-    : config_(std::move(config)) {
-  // The initial state aliases the caller's engine (which must outlive the
-  // server); refreshed states own their graph + engine.
-  auto initial = std::make_shared<EngineState>();
-  initial->engine = std::shared_ptr<const GmEngine>(
-      std::shared_ptr<const GmEngine>(), &engine);
-  state_ = std::move(initial);
+QueryServer::QueryServer(std::shared_ptr<EngineCatalog> catalog,
+                         ServerConfig config)
+    : config_(std::move(config)), catalog_(std::move(catalog)) {
   latency_ring_.resize(kLatencyRingCapacity, 0.0);
   accept_ring_.resize(kLatencyRingCapacity, 0.0);
   if (config_.max_pipeline == 0) config_.max_pipeline = 1;
+}
+
+QueryServer::QueryServer(const GmEngine& engine, ServerConfig config)
+    : QueryServer(std::make_shared<EngineCatalog>(), std::move(config)) {
+  // The adopted state aliases the caller's engine (which must outlive the
+  // server); refreshed states own their graph + engine.
+  EngineSource source;
+  source.delta_path = config_.delta_path;
+  source.delta_io = config_.delta_io;
+  catalog_->AdoptEngine("default", engine, std::move(source),
+                        config_.base_checksum);
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -109,24 +114,36 @@ std::string QueryServer::endpoint() const {
   return config_.host + ":" + std::to_string(bound_port_);
 }
 
-std::shared_ptr<const QueryServer::EngineState> QueryServer::CurrentState()
-    const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  return state_;
-}
-
-void QueryServer::SyncWorkerEngine(WorkerEngine& we) const {
-  std::shared_ptr<const EngineState> current = CurrentState();
-  if (current == we.state) return;
-  // The context references the state's graph/index; drop it before the
-  // state so nothing dangles, then rebuild against the fresh engine.
-  we.ctx.reset();
-  we.state = std::move(current);
-  we.ctx.emplace(we.state->engine->MakeContext());
+QueryServer::TenantSlot* QueryServer::SyncWorkerEngine(
+    WorkerEngine& we, const std::string& graph_id, std::string* error,
+    bool* bad_request) {
+  std::shared_ptr<const EngineState> current =
+      catalog_->Acquire(graph_id, error);
+  if (current == nullptr) {
+    // An id the catalog has never heard of is the client's mistake; a
+    // registered source that fails to open is the server's.
+    const std::string& resolved =
+        graph_id.empty() ? catalog_->default_id() : graph_id;
+    *bad_request = !catalog_->Has(resolved);
+    return nullptr;
+  }
+  // Slots are keyed by the resolved id so "" and the default tenant's
+  // explicit name share one pin (and one warm context).
+  const std::string key = graph_id.empty() ? catalog_->default_id() : graph_id;
+  TenantSlot& slot = we.slots[key];
+  if (current != slot.state) {
+    // The context references the state's graph/index; drop it before the
+    // state so nothing dangles, then rebuild against the fresh engine.
+    slot.ctx.reset();
+    slot.state = std::move(current);
+    slot.ctx.emplace(slot.state->engine->MakeContext());
+  }
+  return &slot;
 }
 
 uint64_t QueryServer::applied_seqno() const {
-  return CurrentState()->applied_seqno;
+  std::shared_ptr<const EngineState> state = catalog_->Acquire("");
+  return state != nullptr ? state->applied_seqno : 0;
 }
 
 bool QueryServer::Start(std::string* error) {
@@ -238,6 +255,10 @@ bool QueryServer::Start(std::string* error) {
   stop_.store(false);
   running_.store(true);
   start_time_ = std::chrono::steady_clock::now();
+  // Refreshable tenants can be superseded, capped catalogs can evict —
+  // either way an idle worker pin would keep a dead engine resident.
+  engines_volatile_ =
+      catalog_->any_refreshable() || catalog_->max_engines() > 0;
 
   uint32_t workers = ResolveWorkerCount(config_.num_workers,
                                         std::numeric_limits<size_t>::max());
@@ -663,13 +684,13 @@ void QueryServer::WorkerLoop(size_t /*worker_index*/) {
       queue_empty = dispatch_q_.empty();
     }
     ProcessItem(std::move(item), we);
-    if (!config_.delta_path.empty() || queue_empty) {
-      // Drop the engine pin between requests (refresh-enabled daemons) and
-      // whenever the worker goes idle: an idle pin would keep a superseded
-      // (refreshed-away) graph + index generation resident. Static-engine
-      // deployments under load keep the scratch context warm instead.
-      we.ctx.reset();
-      we.state.reset();
+    if (engines_volatile_ || queue_empty) {
+      // Drop the engine pins between requests (refreshable or evicting
+      // catalogs) and whenever the worker goes idle: an idle pin would
+      // keep a superseded or evicted graph + index generation resident.
+      // Static unlimited catalogs under load keep the contexts warm
+      // instead.
+      we.slots.clear();
     }
   }
 }
@@ -696,6 +717,30 @@ void QueryServer::ProcessItem(WorkItem item, WorkerEngine& we) {
     }
   }
 
+  // The tenant-addressing envelope sits inside any tagging (PumpDispatch
+  // peeks the outermost type for pipeline admission). An empty or absent
+  // id routes to the catalog's default tenant.
+  std::string graph_id;
+  if (!have_response && src.ok() && type == MessageType::kScopedRequest) {
+    graph_id = ReadScopedId(src);
+    if (!src.ok()) {
+      response = MakeErrorResponse(StatusCode::kBadRequest,
+                                   "scoped frame too short for a graph id");
+      have_response = true;
+    } else {
+      type = ReadMessageType(src);
+      if (src.ok() && type == MessageType::kScopedRequest) {
+        response = MakeErrorResponse(StatusCode::kBadRequest,
+                                     "scoped envelope cannot nest");
+        have_response = true;
+      } else if (src.ok() && type == MessageType::kTaggedRequest) {
+        response = MakeErrorResponse(StatusCode::kBadRequest,
+                                     "tagged envelope must be outermost");
+        have_response = true;
+      }
+    }
+  }
+
   if (!have_response) {
     if (!src.ok()) {
       response = MakeErrorResponse(StatusCode::kBadRequest,
@@ -709,24 +754,42 @@ void QueryServer::ProcessItem(WorkItem item, WorkerEngine& we) {
                 StatusCode::kBadRequest,
                 src.ok() ? "trailing bytes in query request" : src.error());
           } else {
-            // Pick up any engine published by a refresh since the last
-            // request; queries in flight elsewhere keep their own pins.
-            SyncWorkerEngine(we);
-            auto t0 = std::chrono::steady_clock::now();
-            response = HandleQuery(req, we);
-            RecordLatency(MsSince(t0));
+            // Pick up any engine published by a refresh (or reopened after
+            // an eviction) since the last request; queries in flight
+            // elsewhere keep their own pins.
+            std::string sync_error;
+            bool bad_request = false;
+            TenantSlot* slot =
+                SyncWorkerEngine(we, graph_id, &sync_error, &bad_request);
+            if (slot == nullptr) {
+              response = MakeErrorResponse(bad_request
+                                               ? StatusCode::kBadRequest
+                                               : StatusCode::kInternalError,
+                                           sync_error);
+            } else {
+              auto t0 = std::chrono::steady_clock::now();
+              response = HandleQuery(req, graph_id, *slot);
+              RecordLatency(MsSince(t0));
+            }
           }
           break;
         }
         case MessageType::kStatsRequest:
           response = HandleStats();
           break;
-        case MessageType::kPingRequest:
-          response.WriteU32(
-              static_cast<uint32_t>(MessageType::kPingResponse));
+        case MessageType::kPingRequest: {
+          ServerCapabilities caps;
+          caps.revision = kProtocolRevision;
+          caps.capabilities = kCapTagged | kCapScoped | kCapListGraphs |
+                              (catalog_->any_refreshable() ? kCapRefresh : 0u);
+          response = MakePingResponse(caps);
           break;
+        }
         case MessageType::kRefreshRequest:
-          response = HandleRefresh();
+          response = HandleRefresh(graph_id);
+          break;
+        case MessageType::kListGraphsRequest:
+          response = HandleListGraphs();
           break;
         case MessageType::kShutdownRequest:
           if (config_.allow_remote_shutdown) {
@@ -806,9 +869,11 @@ void QueryServer::FinishRequest(const std::shared_ptr<Connection>& conn,
 
 // -------------------------------------------------------------- handlers
 
-ByteSink QueryServer::HandleQuery(const QueryRequest& req, WorkerEngine& we) {
-  const GmEngine& engine = *we.state->engine;
-  EvalContext& ctx = *we.ctx;
+ByteSink QueryServer::HandleQuery(const QueryRequest& req,
+                                  const std::string& graph_id,
+                                  TenantSlot& slot) {
+  const GmEngine& engine = *slot.state->engine;
+  EvalContext& ctx = *slot.ctx;
   QueryResponse resp;
   auto respond_error = [&](StatusCode status, const std::string& msg) {
     {
@@ -917,145 +982,54 @@ ByteSink QueryServer::HandleQuery(const QueryRequest& req, WorkerEngine& we) {
     queries_served_ += queries.size();
     occurrences_emitted_ += occurrences;
   }
+  catalog_->CountQuery(graph_id, queries.size());
 
   ByteSink sink;
   resp.Serialize(sink);
   return sink;
 }
 
-ByteSink QueryServer::HandleRefresh() {
-  RefreshResponse resp;
-  auto respond = [&]() {
-    if (resp.status != StatusCode::kOk) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++errors_;
-    }
-    ByteSink sink;
-    resp.Serialize(sink);
-    return sink;
-  };
-  if (config_.delta_path.empty()) {
-    resp.status = StatusCode::kBadRequest;
-    resp.error = "server has no delta log configured (--delta)";
-    return respond();
-  }
-
-  // One refresh at a time; a second request queues here and then finds the
-  // log already replayed (records_applied == 0).
-  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+ByteSink QueryServer::HandleRefresh(const std::string& graph_id) {
+  // The replay/validate/swap pipeline (and its per-tenant serialization)
+  // lives in the catalog; this wrapper only translates the result onto the
+  // wire and into the serving counters.
   auto t0 = std::chrono::steady_clock::now();
-  std::shared_ptr<const EngineState> old_state = CurrentState();
-  const Graph& old_graph = old_state->engine->graph();
-  auto respond_caught_up = [&]() {
-    resp.last_seqno = old_state->applied_seqno;
-    resp.num_nodes = old_graph.NumNodes();
-    resp.num_edges = old_graph.NumEdges();
-    resp.refresh_ms = MsSince(t0);
-    return respond();
-  };
-
-  // The log is created lazily by the first append; a refresh that beats it
-  // is a healthy caught-up state, not an error. A zero-length file is the
-  // same state one crashed step later (open(O_CREAT) happened, the header
-  // pwrite did not) — DeltaWriter::Open likewise treats it as
-  // empty-to-initialize.
-  struct stat st{};
-  if (::stat(config_.delta_path.c_str(), &st) != 0) {
-    if (errno == ENOENT) return respond_caught_up();
-  } else if (st.st_size == 0) {
-    return respond_caught_up();
-  }
-
-  DeltaReader reader(config_.delta_path, config_.delta_io);
-  if (!reader.ok()) {
-    resp.status = StatusCode::kInternalError;
-    resp.error = "cannot read delta log: " + reader.error();
-    return respond();
-  }
-  if (config_.base_checksum != 0 &&
-      reader.base_checksum() != config_.base_checksum) {
-    resp.status = StatusCode::kBadRequest;
-    resp.error = "delta log is bound to a different base snapshot";
-    return respond();
-  }
-
-  // Note: every refresh re-validates the chain from record 1 (the seeded
-  // checksums require a prefix scan), so a caught-up poll costs O(total
-  // log), not O(new records). Fine while logs stay small relative to the
-  // base — compaction-by-resnapshot is the pressure valve; caching the
-  // (offset, chain) position across refreshes is the follow-on if polling
-  // long logs ever matters.
-  std::string replay_error;
-  ReplayStats stats;
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  if (!CollectDeltaEdges(reader, old_graph.NumNodes(),
-                         old_state->applied_seqno, &edges, &stats,
-                         &replay_error)) {
-    resp.status = StatusCode::kInternalError;
-    resp.error = replay_error;
-    return respond();
-  }
-  // Corruption check FIRST: a corrupt record inside the already-applied
-  // prefix also stops the reader before the resume point, and diagnosing
-  // that as "rewritten log" would send the operator chasing the wrong
-  // remediation.
-  if (reader.truncated() && !reader.tail_torn()) {
-    // Corruption of acknowledged data — NOT the benign crashed-append
-    // tail. Applying the valid prefix would silently serve a graph missing
-    // journaled updates; keep the current state and surface it.
-    resp.status = StatusCode::kInternalError;
-    resp.error = "delta log is corrupt after record " +
-                 std::to_string(reader.records_read()) + " (" +
-                 reader.tail_error() + ") — refresh refused";
-    return respond();
-  }
-  // The applied prefix must still be the prefix we applied: if the log
-  // was truncated and rewritten with reused seqnos (recovery after
-  // corruption, or delete + recreate), skipping by number alone would
-  // serve a silently stale graph forever. The chain checksum at the
-  // resume point detects any such rewrite.
-  if (old_state->applied_seqno > 0 &&
-      stats.resume_chain != old_state->applied_chain) {
-    resp.status = StatusCode::kBadRequest;
-    resp.error =
-        "delta log no longer contains the applied prefix (rewritten or "
-        "replaced since the last refresh) — restart the daemon from the "
-        "base snapshot";
-    return respond();
-  }
-  resp.log_truncated = reader.truncated();
-  resp.records_applied = stats.records_applied;
-  resp.edges_in_records = stats.edges_in_records;
-
-  // Already caught up: nothing to rebuild or swap.
-  if (stats.records_applied == 0) return respond_caught_up();
-
-  // Build the successor state: merged graph + a fresh reachability index.
-  // This is the refresh cost — and still far cheaper than re-dumping and
-  // reloading the whole snapshot (bench_delta measures both).
-  auto new_state = std::make_shared<EngineState>();
-  new_state->graph =
-      std::make_shared<const Graph>(ApplyEdgesToGraph(old_graph, edges));
-  new_state->engine = std::make_shared<const GmEngine>(*new_state->graph);
-  new_state->applied_seqno = stats.last_seqno;
-  new_state->applied_chain = stats.end_chain;
-  resp.last_seqno = stats.last_seqno;
-  resp.num_nodes = new_state->graph->NumNodes();
-  resp.num_edges = new_state->graph->NumEdges();
-
-  {
-    // RCU publish: workers pick the new state up on their next request;
-    // queries running right now finish on the old engine, which stays
-    // alive until the last of them drops its shared_ptr.
-    std::lock_guard<std::mutex> lock(state_mu_);
-    state_ = std::move(new_state);
-  }
-  {
+  CatalogRefreshResult result = catalog_->Refresh(graph_id);
+  RefreshResponse resp;
+  resp.records_applied = result.records_applied;
+  resp.edges_in_records = result.edges_in_records;
+  resp.last_seqno = result.last_seqno;
+  resp.num_nodes = result.num_nodes;
+  resp.num_edges = result.num_edges;
+  resp.log_truncated = result.log_truncated;
+  if (!result.ok) {
+    resp.status = result.bad_request ? StatusCode::kBadRequest
+                                     : StatusCode::kInternalError;
+    resp.error = result.error;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++errors_;
+  } else if (result.records_applied > 0) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++refreshes_;
   }
   resp.refresh_ms = MsSince(t0);
-  return respond();
+  ByteSink sink;
+  resp.Serialize(sink);
+  return sink;
+}
+
+ByteSink QueryServer::HandleListGraphs() const {
+  ListGraphsResponse resp;
+  resp.default_id = catalog_->default_id();
+  std::vector<TenantInfo> tenants = catalog_->List();
+  resp.graphs.reserve(tenants.size());
+  for (const TenantInfo& t : tenants) {
+    resp.graphs.push_back(GraphInfoWire{t.id, t.resident, t.refreshable,
+                                        t.applied_seqno, t.queries});
+  }
+  ByteSink sink;
+  resp.Serialize(sink);
+  return sink;
 }
 
 ByteSink QueryServer::HandleStats() const {
@@ -1074,6 +1048,18 @@ ByteSink QueryServer::HandleStats() const {
   resp.latency_p99_ms = stats.latency_p99_ms;
   resp.accept_p50_ms = stats.accept_p50_ms;
   resp.accept_p99_ms = stats.accept_p99_ms;
+  CatalogStats cstats = catalog_->Stats();
+  resp.graphs_registered = cstats.registered;
+  resp.graphs_resident = cstats.resident;
+  resp.catalog_hits = cstats.hits;
+  resp.catalog_misses = cstats.misses;
+  resp.catalog_evictions = cstats.evictions;
+  std::vector<TenantInfo> tenants = catalog_->List();
+  resp.tenants.reserve(tenants.size());
+  for (const TenantInfo& t : tenants) {
+    resp.tenants.push_back(GraphInfoWire{t.id, t.resident, t.refreshable,
+                                         t.applied_seqno, t.queries});
+  }
   ByteSink sink;
   resp.Serialize(sink);
   return sink;

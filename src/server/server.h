@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "engine/gm_engine.h"
+#include "server/catalog.h"
 #include "server/protocol.h"
 #include "storage/snapshot_io.h"
 
@@ -59,10 +60,13 @@ struct ServerConfig {
   /// still bound them.
   uint32_t idle_timeout_ms = 0;
 
-  /// Delta-log refresh source (storage/delta_log.h). When set, a
-  /// kRefreshRequest replays the log's new records over the served graph
-  /// and swaps the refreshed engine in without a restart. Empty disables
-  /// refresh (kRefreshRequest then draws an error response).
+  /// Delta-log refresh source (storage/delta_log.h) for the single-tenant
+  /// legacy constructor — it becomes the adopted tenant's EngineSource.
+  /// When set, a kRefreshRequest replays the log's new records over the
+  /// served graph and swaps the refreshed engine in without a restart.
+  /// Empty disables refresh (kRefreshRequest then draws an error
+  /// response). Catalog-constructed servers configure delta sources per
+  /// tenant in the catalog instead.
   std::string delta_path;
 
   /// Stored payload checksum of the base snapshot the engine was loaded
@@ -97,9 +101,16 @@ struct ServerStats {
 };
 
 /// The long-lived serving core the ROADMAP's daemon-mode item asks for: one
-/// process loads an engine (typically warm-started from a snapshot,
-/// storage/snapshot.h) and answers pattern queries over the frame protocol
-/// of server/protocol.h.
+/// process serves pattern queries over the frame protocol of
+/// server/protocol.h, from one or many graphs behind an EngineCatalog
+/// (server/catalog.h).
+///
+/// Multi-tenancy: every request resolves a graph id — the kScopedRequest
+/// envelope names one explicitly; an unscoped request goes to the catalog's
+/// default tenant, which is how every pre-v2 client keeps working against a
+/// multi-graph daemon. Workers pin engines per tenant; the catalog opens
+/// sources lazily and (with a max_engines cap) evicts least-recently-used,
+/// never under an in-flight query.
 ///
 /// Threading: one event-loop thread owns every socket — it accepts, does
 /// non-blocking frame reassembly per connection (epoll, level-triggered
@@ -118,13 +129,14 @@ struct ServerStats {
 /// and complete in any order. Untagged frames keep the original semantics
 /// — served one at a time, in order.
 ///
-/// Live refresh: the served engine lives behind a shared_ptr<EngineState>
-/// that workers re-load per request (RCU-style). A kRefreshRequest replays
-/// the configured delta log's new records (ReplayDelta), rebuilds the
-/// reachability index over the merged graph, and publishes the new state;
-/// queries already running keep their reference to the old engine until
-/// they finish, so nothing blocks and no connection drops. The old state is
-/// freed when its last in-flight query completes.
+/// Live refresh: every served engine lives behind a shared_ptr<EngineState>
+/// that workers re-acquire per request (RCU-style). A kRefreshRequest
+/// replays the addressed tenant's delta log records, rebuilds the
+/// reachability index over the merged graph, and publishes the new state —
+/// per tenant, every other graph untouched; queries already running keep
+/// their reference to the old engine until they finish, so nothing blocks
+/// and no connection drops. The old state is freed when its last in-flight
+/// query completes.
 ///
 /// Shutdown: Stop() (or a kShutdownRequest, or the daemon's SIGINT/SIGTERM
 /// handler calling RequestStop()) stops accepting, lets dispatched requests
@@ -132,7 +144,13 @@ struct ServerStats {
 /// closes every connection, and joins all threads.
 class QueryServer {
  public:
-  /// The engine (and the graph it references) must outlive the server. When
+  /// Multi-tenant form: serves every graph registered in `catalog`
+  /// (non-null; register tenants before Start so clients never race the
+  /// catalog setup). The catalog may be shared with other readers.
+  QueryServer(std::shared_ptr<EngineCatalog> catalog, ServerConfig config);
+
+  /// Single-tenant legacy form: adopts `engine` (which must outlive the
+  /// server) as the catalog's sole tenant, "default". When
   /// config.delta_path is set, refreshes build *owned* successor engines
   /// internally; the caller's engine only serves until the first refresh.
   QueryServer(const GmEngine& engine, ServerConfig config);
@@ -165,31 +183,28 @@ class QueryServer {
 
   ServerStats Snapshot() const;
 
-  /// Delta-log sequence number the served engine includes (0 before any
-  /// refresh). Test/diagnostic hook.
+  /// The catalog behind the daemon — register/inspect tenants through it.
+  EngineCatalog& catalog() { return *catalog_; }
+  const EngineCatalog& catalog() const { return *catalog_; }
+
+  /// Delta-log sequence number the default tenant's engine includes (0
+  /// before any refresh). Test/diagnostic hook.
   uint64_t applied_seqno() const;
 
  private:
-  /// One immutable served unit. Refresh publishes a new instance; queries
-  /// in flight pin the old one via shared_ptr until they return.
-  struct EngineState {
-    std::shared_ptr<const Graph> graph;      // null for the initial
-                                             // caller-owned engine
-    std::shared_ptr<const GmEngine> engine;  // never null
-    uint64_t applied_seqno = 0;
-    /// Chain checksum of the delta record at applied_seqno (0 before any
-    /// refresh). The next refresh verifies the log still carries this
-    /// exact prefix — resuming by seqno alone would silently skip a log
-    /// that was truncated and rewritten with reused sequence numbers.
-    uint64_t applied_chain = 0;
-  };
-
-  /// A worker's view of the served engine: the pinned state plus the
-  /// EvalContext built against it. Sync() re-pins and rebuilds the context
-  /// when a refresh has been published since the last request.
-  struct WorkerEngine {
+  /// A worker's pin on one tenant: the acquired state plus the EvalContext
+  /// built against it. Sync re-acquires and rebuilds the context when the
+  /// catalog published a newer state (refresh) since the last request.
+  struct TenantSlot {
     std::shared_ptr<const EngineState> state;
     std::optional<EvalContext> ctx;
+  };
+
+  /// A worker's view of the served engines, one slot per tenant it has
+  /// touched. Cleared between requests on volatile catalogs (refreshable
+  /// or capped) so idle workers hold no superseded or evicted engines.
+  struct WorkerEngine {
+    std::unordered_map<std::string, TenantSlot> slots;
   };
 
   /// Per-connection state machine. The event loop owns the fd and all
@@ -256,25 +271,34 @@ class QueryServer {
                      bool close_after);
   void WakeLoop();
 
-  std::shared_ptr<const EngineState> CurrentState() const;
-  void SyncWorkerEngine(WorkerEngine& we) const;
+  /// Resolves graph_id ("" = default) through the catalog into the
+  /// worker's slot for that tenant, re-pinning when the published state
+  /// changed. Returns null with *error filled (and *bad_request set for an
+  /// unknown id) when the tenant cannot be served.
+  TenantSlot* SyncWorkerEngine(WorkerEngine& we, const std::string& graph_id,
+                               std::string* error, bool* bad_request);
 
-  /// Evaluates one query request; returns the response payload.
-  ByteSink HandleQuery(const QueryRequest& req, WorkerEngine& we);
+  /// Evaluates one query request on the tenant's pinned engine; returns
+  /// the response payload.
+  ByteSink HandleQuery(const QueryRequest& req, const std::string& graph_id,
+                       TenantSlot& slot);
   ByteSink HandleStats() const;
-  /// Replays new delta records and swaps the engine (serialized; concurrent
-  /// refresh requests queue on refresh_mu_).
-  ByteSink HandleRefresh();
+  /// Replays the tenant's new delta records and swaps its engine
+  /// (per-tenant serialized inside the catalog).
+  ByteSink HandleRefresh(const std::string& graph_id);
+  ByteSink HandleListGraphs() const;
 
   void RecordLatency(double ms);
   void RecordAcceptLatency(double ms);
 
   ServerConfig config_;
 
-  // The served engine, swapped atomically on refresh.
-  mutable std::mutex state_mu_;
-  std::shared_ptr<const EngineState> state_;
-  std::mutex refresh_mu_;  // at most one refresh runs at a time
+  /// The served engines. Workers acquire per request; refresh and eviction
+  /// publish through it. Never null.
+  std::shared_ptr<EngineCatalog> catalog_;
+  /// Snapshot of "can an engine be superseded or evicted" taken at Start;
+  /// tells workers to drop their pins between requests.
+  bool engines_volatile_ = false;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -38,11 +38,16 @@ const char* NeedValue(int argc, char** argv, int* i, const char* flag) {
 int ServeUsage() {
   std::fprintf(
       stderr,
-      "usage: serve (--snapshot FILE | --graph FILE)\n"
+      "usage: serve (--snapshot FILE | --graph FILE | --graph "
+      "NAME=SNAP[:DELTA] ...)\n"
       "             (--socket PATH | --port N [--host ADDR])\n"
-      "             [--delta FILE] [--workers N] [--max-tuples N]\n"
-      "             [--max-conns N] [--idle-timeout-ms N]\n"
-      "             [--no-remote-shutdown] [--snapshot-io mmap|read]\n");
+      "             [--delta FILE] [--max-engines N] [--workers N]\n"
+      "             [--max-tuples N] [--max-conns N] [--idle-timeout-ms N]\n"
+      "             [--no-remote-shutdown] [--snapshot-io mmap|read]\n"
+      "  --graph NAME=SNAP[:DELTA] registers one tenant of a multi-graph\n"
+      "  daemon (repeatable; the first becomes the default unless\n"
+      "  --snapshot/--graph FILE provides one); --max-engines caps resident\n"
+      "  engines, evicting least-recently-used (0 = unlimited).\n");
   return 2;
 }
 
@@ -52,10 +57,39 @@ int ClientUsage() {
       "usage: client (--socket PATH | --host ADDR --port N)\n"
       "              (--pattern STR | --batch FILE | --template NAME\n"
       "               | --stats | --ping | --refresh | --shutdown\n"
-      "               | --idle-hold N [--hold-secs S])\n"
-      "              [--seed N] [--limit N] [--threads N] [--tuples N]\n"
-      "              [--print N] [--pipeline N]\n");
+      "               | --list-graphs | --idle-hold N [--hold-secs S])\n"
+      "              [--graph NAME] [--seed N] [--limit N] [--threads N]\n"
+      "              [--tuples N] [--print N] [--pipeline N]\n");
   return 2;
+}
+
+/// One `--graph NAME=SNAP[:DELTA]` tenant of a multi-graph daemon. The
+/// legacy `--graph FILE` form (no '=') keeps meaning a text graph file.
+struct GraphSpec {
+  std::string id;
+  std::string snapshot;
+  std::string delta;
+};
+
+bool ParseGraphSpec(const std::string& text, GraphSpec* spec,
+                    std::string* error) {
+  size_t eq = text.find('=');
+  if (eq == 0 || eq == std::string::npos) {
+    *error = "--graph tenant spec must be NAME=SNAPSHOT[:DELTA]";
+    return false;
+  }
+  spec->id = text.substr(0, eq);
+  std::string paths = text.substr(eq + 1);
+  // The first ':' splits snapshot from delta — tenant snapshot paths
+  // therefore cannot contain ':' (use the single-tenant flags for those).
+  size_t colon = paths.find(':');
+  spec->snapshot = paths.substr(0, colon);
+  if (colon != std::string::npos) spec->delta = paths.substr(colon + 1);
+  if (spec->snapshot.empty()) {
+    *error = "--graph " + spec->id + "= needs a snapshot path";
+    return false;
+  }
+  return true;
 }
 
 void PrintTuples(const QueryResponse& resp, uint64_t max_print) {
@@ -75,6 +109,8 @@ void PrintTuples(const QueryResponse& resp, uint64_t max_print) {
 int ServeToolMain(int argc, char** argv, int first_arg) {
   std::string snapshot_path, graph_path, socket_path, host = "127.0.0.1";
   std::string delta_path;
+  std::vector<GraphSpec> tenants;
+  uint32_t max_engines = 0;
   int port = -1;
   SnapshotIoMode io_mode = DefaultSnapshotIoMode();
   ServerConfig config;
@@ -99,7 +135,21 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
     } else if (std::strcmp(argv[i], "--graph") == 0) {
       if ((v = NeedValue(argc, argv, &i, "--graph")) == nullptr)
         return ServeUsage();
-      graph_path = v;
+      if (std::strchr(v, '=') != nullptr) {
+        GraphSpec spec;
+        std::string spec_error;
+        if (!ParseGraphSpec(v, &spec, &spec_error)) {
+          std::fprintf(stderr, "%s\n", spec_error.c_str());
+          return ServeUsage();
+        }
+        tenants.push_back(std::move(spec));
+      } else {
+        graph_path = v;
+      }
+    } else if (std::strcmp(argv[i], "--max-engines") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--max-engines")) == nullptr)
+        return ServeUsage();
+      max_engines = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(argv[i], "--socket") == 0) {
       if ((v = NeedValue(argc, argv, &i, "--socket")) == nullptr)
         return ServeUsage();
@@ -138,9 +188,15 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
       return ServeUsage();
     }
   }
-  if (snapshot_path.empty() == graph_path.empty()) {
+  if (!snapshot_path.empty() && !graph_path.empty()) {
     std::fprintf(stderr,
-                 "serve needs exactly one of --snapshot or --graph\n");
+                 "serve needs at most one of --snapshot and --graph FILE\n");
+    return ServeUsage();
+  }
+  if (snapshot_path.empty() && graph_path.empty() && tenants.empty()) {
+    std::fprintf(stderr,
+                 "serve needs --snapshot, --graph FILE, or --graph "
+                 "NAME=SNAP[:DELTA]\n");
     return ServeUsage();
   }
   if (socket_path.empty() && port < 0) {
@@ -156,11 +212,10 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
   config.unix_path = socket_path;
   config.host = host;
   config.port = static_cast<uint16_t>(port < 0 ? 0 : port);
-  config.delta_path = delta_path;
-  // config.delta_io stays on its kRead default: --snapshot-io governs how
-  // the (immutable, rename-replaced) snapshot is loaded, but the delta log
-  // is appended to and tail-truncated in place, where reading through a
-  // mapping could SIGBUS (server.h).
+  // EngineSource::delta_io stays on its kRead default: --snapshot-io
+  // governs how the (immutable, rename-replaced) snapshots are loaded, but
+  // delta logs are appended to and tail-truncated in place, where reading
+  // through a mapping could SIGBUS (server.h).
 
   // Load once; serve many. The snapshot path is the whole point: restart
   // cost is one deserialization, not a parse + index rebuild — and in mmap
@@ -168,49 +223,77 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
   // MAP_SHARED mapping, so N daemons on one snapshot share a single
   // physical copy through the page cache.
   std::string error;
+  auto catalog = std::make_shared<EngineCatalog>(max_engines);
   WarmEngine warm;
   std::optional<Graph> parsed_graph;
   std::optional<GmEngine> cold_engine;
-  const GmEngine* engine = nullptr;
   if (!snapshot_path.empty()) {
-    auto loaded = LoadEngineSnapshot(snapshot_path, &error, io_mode);
+    LoadOptions load_options;
+    load_options.io_mode = io_mode;
+    auto loaded = LoadEngineSnapshot(snapshot_path, load_options, &error);
     if (!loaded.has_value()) {
       std::fprintf(stderr, "cannot load snapshot: %s\n", error.c_str());
       return 1;
     }
     warm = std::move(*loaded);
-    engine = warm.engine.get();
     std::printf("snapshot: %s (warm start via %s)\n", snapshot_path.c_str(),
                 io_mode == SnapshotIoMode::kMmap ? "mmap" : "read");
     std::printf("graph: %s\n", warm.graph->Summary().c_str());
+    EngineSource source;
+    source.delta_path = delta_path;
     if (!delta_path.empty()) {
       // Bind refreshes to this exact base — the checksum of the bytes we
       // actually LOADED, not a re-read of the path (which a concurrent
       // compaction may have rename-replaced with a different snapshot).
-      config.base_checksum = warm.stored_checksum;
       std::printf("delta: %s (kRefresh enabled, base %016llx)\n",
                   delta_path.c_str(),
-                  static_cast<unsigned long long>(config.base_checksum));
+                  static_cast<unsigned long long>(warm.stored_checksum));
     }
-  } else {
+    catalog->AdoptEngine("default", *warm.engine, std::move(source),
+                         warm.stored_checksum);
+  } else if (!graph_path.empty()) {
     parsed_graph = ReadGraphFile(graph_path, &error);
     if (!parsed_graph.has_value()) {
       std::fprintf(stderr, "cannot read graph: %s\n", error.c_str());
       return 1;
     }
     cold_engine.emplace(*parsed_graph);
-    engine = &*cold_engine;
     std::printf("graph: %s (cold start, index built in %.2f ms)\n",
                 parsed_graph->Summary().c_str(), cold_engine->reach_build_ms());
+    catalog->AdoptEngine("default", *cold_engine);
+  }
+  for (const GraphSpec& spec : tenants) {
+    EngineSource source;
+    source.snapshot_path = spec.snapshot;
+    source.delta_path = spec.delta;
+    source.io_mode = io_mode;
+    if (!catalog->Register(spec.id, std::move(source), &error)) {
+      std::fprintf(stderr, "cannot register graph %s: %s\n", spec.id.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("graph %s: %s%s%s (lazy open)\n", spec.id.c_str(),
+                spec.snapshot.c_str(), spec.delta.empty() ? "" : " + delta ",
+                spec.delta.c_str());
+  }
+  // Fail fast on a broken default source instead of handing every
+  // unaddressed client the same open error at query time.
+  if (catalog->Acquire("", &error) == nullptr) {
+    std::fprintf(stderr, "cannot open default graph: %s\n", error.c_str());
+    return 1;
   }
 
-  QueryServer server(*engine, config);
+  QueryServer server(catalog, config);
   if (!server.Start(&error)) {
     std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
     return 1;
   }
-  std::printf("serving on %s (workers=%u)\n", server.endpoint().c_str(),
-              config.num_workers);
+  std::printf("serving on %s (workers=%u, graphs=%zu, default=%s%s)\n",
+              server.endpoint().c_str(), config.num_workers,
+              catalog->List().size(), catalog->default_id().c_str(),
+              max_engines > 0
+                  ? (", max-engines=" + std::to_string(max_engines)).c_str()
+                  : "");
   std::fflush(stdout);
 
   g_signal_stop = 0;
@@ -237,10 +320,10 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
 }
 
 int ClientToolMain(int argc, char** argv, int first_arg) {
-  std::string socket_path, host = "127.0.0.1", batch_path;
+  std::string socket_path, host = "127.0.0.1", batch_path, graph_id;
   int port = -1;
   bool want_stats = false, want_ping = false, want_shutdown = false;
-  bool want_refresh = false;
+  bool want_refresh = false, want_list_graphs = false;
   uint64_t print = 10;
   uint64_t pipeline = 0;
   uint64_t idle_hold = 0;
@@ -260,6 +343,10 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
       if ((v = NeedValue(argc, argv, &i, "--port")) == nullptr)
         return ClientUsage();
       port = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--graph") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--graph")) == nullptr)
+        return ClientUsage();
+      graph_id = v;
     } else if (std::strcmp(argv[i], "--pattern") == 0) {
       if ((v = NeedValue(argc, argv, &i, "--pattern")) == nullptr)
         return ClientUsage();
@@ -311,6 +398,8 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
       want_ping = true;
     } else if (std::strcmp(argv[i], "--refresh") == 0) {
       want_refresh = true;
+    } else if (std::strcmp(argv[i], "--list-graphs") == 0) {
+      want_list_graphs = true;
     } else if (std::strcmp(argv[i], "--shutdown") == 0) {
       want_shutdown = true;
     } else {
@@ -337,7 +426,7 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
   }
   const bool has_query = !req.patterns.empty() || !req.template_name.empty();
   if (!has_query && !want_stats && !want_ping && !want_refresh &&
-      !want_shutdown && idle_hold == 0) {
+      !want_list_graphs && !want_shutdown && idle_hold == 0) {
     std::fprintf(stderr, "client has nothing to do\n");
     return ClientUsage();
   }
@@ -390,13 +479,41 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
     std::fprintf(stderr, "cannot connect: %s\n", error.c_str());
     return 1;
   }
+  client.SetGraph(graph_id);
 
   if (want_ping) {
-    if (!client.Ping(&error)) {
+    auto caps = client.Capabilities(&error);
+    if (!caps.has_value()) {
       std::fprintf(stderr, "ping failed: %s\n", error.c_str());
       return 1;
     }
-    std::printf("pong\n");
+    std::printf("pong (protocol revision %u%s%s%s%s)\n", caps->revision,
+                caps->tagged() ? ", tagged" : "",
+                caps->refresh() ? ", refresh" : "",
+                caps->scoped() ? ", scoped" : "",
+                caps->list_graphs() ? ", list-graphs" : "");
+  }
+
+  if (want_list_graphs) {
+    auto list = client.ListGraphs(&error);
+    if (!list.has_value()) {
+      std::fprintf(stderr, "list-graphs failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (list->status != StatusCode::kOk) {
+      std::fprintf(stderr, "server rejected list-graphs (%s): %s\n",
+                   StatusCodeName(list->status), list->error.c_str());
+      return 1;
+    }
+    std::printf("graphs: %zu registered (default: %s)\n", list->graphs.size(),
+                list->default_id.c_str());
+    for (const GraphInfoWire& g : list->graphs) {
+      std::printf("  %s: %s%s, seqno %llu, %llu query(ies)\n", g.id.c_str(),
+                  g.resident ? "resident" : "cold",
+                  g.refreshable ? ", refreshable" : "",
+                  static_cast<unsigned long long>(g.applied_seqno),
+                  static_cast<unsigned long long>(g.queries));
+    }
   }
 
   if (want_refresh) {
@@ -504,6 +621,22 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
                 static_cast<unsigned long long>(stats->dispatch_depth));
     std::printf("accept-to-first-byte: p50 %.2f ms, p99 %.2f ms\n",
                 stats->accept_p50_ms, stats->accept_p99_ms);
+    if (stats->graphs_registered > 0) {
+      std::printf("catalog: %llu graph(s), %llu resident, %llu hit(s), "
+                  "%llu miss(es), %llu eviction(s)\n",
+                  static_cast<unsigned long long>(stats->graphs_registered),
+                  static_cast<unsigned long long>(stats->graphs_resident),
+                  static_cast<unsigned long long>(stats->catalog_hits),
+                  static_cast<unsigned long long>(stats->catalog_misses),
+                  static_cast<unsigned long long>(stats->catalog_evictions));
+      for (const GraphInfoWire& t : stats->tenants) {
+        std::printf("  %s: %s%s, seqno %llu, %llu query(ies)\n", t.id.c_str(),
+                    t.resident ? "resident" : "cold",
+                    t.refreshable ? ", refreshable" : "",
+                    static_cast<unsigned long long>(t.applied_seqno),
+                    static_cast<unsigned long long>(t.queries));
+      }
+    }
   }
 
   if (want_shutdown) {

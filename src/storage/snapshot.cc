@@ -1,14 +1,17 @@
 #include "storage/snapshot.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "reach/bfl_index.h"
+#include "storage/delta_log.h"
 
 namespace rigpm {
 
@@ -369,10 +372,82 @@ bool SaveGraphSnapshot(const Graph& g, const std::string& path,
   return WriteSnapshotFile(path, SnapshotKind::kGraph, sink, error);
 }
 
+namespace {
+
+/// The loader-side half of LoadOptions::expected_kind: a caller that
+/// asserted a kind must have routed the path to the loader that decodes it.
+bool CheckExpectedKind(const LoadOptions& options, SnapshotKind decodes,
+                       std::string* error) {
+  if (options.expected_kind == SnapshotKind{0} ||
+      options.expected_kind == decodes) {
+    return true;
+  }
+  SetError(error, "caller expects snapshot kind " +
+                      std::to_string(
+                          static_cast<uint32_t>(options.expected_kind)) +
+                      " but this loader decodes kind " +
+                      std::to_string(static_cast<uint32_t>(decodes)));
+  return false;
+}
+
+/// Shared delta-overlay step of the Load* entry points — one definition of
+/// "base + log", identical to the daemon's kRefresh replay. Returns false
+/// (with *error) on an unusable log. On success *merged holds the merged
+/// graph when records actually applied, and stays empty in the caught-up
+/// states (missing log, zero-length log, fully-compacted-away log) so an
+/// mmap-backed base is never deep-copied just to be thrown away. *stats
+/// reports the resume position for a later incremental refresh.
+bool OverlayDelta(const Graph& base, uint64_t base_checksum,
+                  const LoadOptions& options, std::optional<Graph>* merged,
+                  ReplayStats* stats, std::string* error) {
+  merged->reset();
+  *stats = ReplayStats{};
+  // The log is created lazily by the first append; loading before that (or
+  // after a crash between open(O_CREAT) and the header write) is the same
+  // healthy caught-up state the daemon's refresh poll reports.
+  struct stat st{};
+  if (::stat(options.delta_path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return true;
+  } else if (st.st_size == 0) {
+    return true;
+  }
+  DeltaReader reader(options.delta_path, options.delta_io);
+  if (!reader.ok()) {
+    SetError(error, "cannot read delta log: " + reader.error());
+    return false;
+  }
+  if (reader.base_checksum() != base_checksum) {
+    SetError(error, "delta log is bound to a different base snapshot");
+    return false;
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  if (!CollectDeltaEdges(reader, base.NumNodes(), /*after_seqno=*/0, &edges,
+                         stats, error)) {
+    return false;
+  }
+  if (reader.truncated() && !reader.tail_torn()) {
+    // Corruption of acknowledged data — not the benign crashed-append tail.
+    // Serving the valid prefix would silently drop journaled updates.
+    SetError(error, "delta log is corrupt after record " +
+                        std::to_string(reader.records_read()) + " (" +
+                        reader.tail_error() +
+                        ") — refusing to load a silently partial graph");
+    return false;
+  }
+  if (stats->records_applied == 0) return true;  // caught up; keep the base
+  merged->emplace(ApplyEdgesToGraph(base, edges));
+  return true;
+}
+
+}  // namespace
+
 std::optional<Graph> LoadGraphSnapshot(const std::string& path,
-                                       std::string* error,
-                                       SnapshotIoMode mode) {
-  SnapshotReader reader(path, SnapshotKind::kGraph, mode);
+                                       const LoadOptions& options,
+                                       std::string* error) {
+  if (!CheckExpectedKind(options, SnapshotKind::kGraph, error)) {
+    return std::nullopt;
+  }
+  SnapshotReader reader(path, SnapshotKind::kGraph, options.io_mode);
   if (!reader.ok()) {
     SetError(error, reader.error());
     return std::nullopt;
@@ -381,6 +456,15 @@ std::optional<Graph> LoadGraphSnapshot(const std::string& path,
   if (!reader.Finish()) {
     SetError(error, reader.error());
     return std::nullopt;
+  }
+  if (!options.delta_path.empty()) {
+    std::optional<Graph> merged;
+    ReplayStats stats;
+    if (!OverlayDelta(g, reader.stored_checksum(), options, &merged, &stats,
+                      error)) {
+      return std::nullopt;
+    }
+    if (merged.has_value()) return std::move(*merged);
   }
   return g;
 }
@@ -402,9 +486,12 @@ bool SaveEngineSnapshot(const GmEngine& engine, const std::string& path,
 }
 
 std::optional<WarmEngine> LoadEngineSnapshot(const std::string& path,
-                                             std::string* error,
-                                             SnapshotIoMode mode) {
-  SnapshotReader reader(path, SnapshotKind::kEngine, mode);
+                                             const LoadOptions& options,
+                                             std::string* error) {
+  if (!CheckExpectedKind(options, SnapshotKind::kEngine, error)) {
+    return std::nullopt;
+  }
+  SnapshotReader reader(path, SnapshotKind::kEngine, options.io_mode);
   if (!reader.ok()) {
     SetError(error, reader.error());
     return std::nullopt;
@@ -430,6 +517,23 @@ std::optional<WarmEngine> LoadEngineSnapshot(const std::string& path,
                                            std::move(condensation),
                                            std::move(intervals));
   warm.stored_checksum = reader.stored_checksum();
+  if (!options.delta_path.empty()) {
+    std::optional<Graph> merged;
+    ReplayStats stats;
+    if (!OverlayDelta(*warm.graph, warm.stored_checksum, options, &merged,
+                      &stats, error)) {
+      return std::nullopt;
+    }
+    if (merged.has_value()) {
+      warm.engine.reset();  // references the base graph; drop it first
+      warm.graph = std::make_unique<Graph>(std::move(*merged));
+      warm.engine = std::make_unique<GmEngine>(*warm.graph);
+      warm.applied_seqno = stats.last_seqno;
+      warm.applied_chain = stats.end_chain;
+    }
+    // An empty (or fully-compacted-away) log keeps the warm start warm:
+    // the snapshot's prebuilt index is already exactly right.
+  }
   return warm;
 }
 

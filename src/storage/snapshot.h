@@ -140,9 +140,14 @@ class SnapshotReader {
 
 bool SaveGraphSnapshot(const Graph& g, const std::string& path,
                        std::string* error = nullptr);
-std::optional<Graph> LoadGraphSnapshot(
-    const std::string& path, std::string* error = nullptr,
-    SnapshotIoMode mode = DefaultSnapshotIoMode());
+
+/// Loads a graph snapshot per `options` (storage/snapshot_io.h). With
+/// options.delta_path set, the log's records are replayed over the base and
+/// the MERGED graph is returned (an owned copy — the overlay gives up the
+/// zero-copy borrow; an empty or missing log keeps it).
+std::optional<Graph> LoadGraphSnapshot(const std::string& path,
+                                       const LoadOptions& options = {},
+                                       std::string* error = nullptr);
 
 // ----------------------------------------------------------------- engines
 
@@ -156,6 +161,14 @@ struct WarmEngine {
   /// loaded, so it cannot disagree with the served graph even if the file
   /// is rename-replaced concurrently.
   uint64_t stored_checksum = 0;
+  /// Delta-overlay resume point (LoadOptions::delta_path): sequence number
+  /// and chain checksum of the last log record replayed into this engine,
+  /// both 0 when no overlay was requested or the log held nothing. A
+  /// refresher resuming this engine passes applied_seqno to
+  /// CollectDeltaEdges and compares applied_chain against the log's
+  /// resume-point chain to detect a rewritten log (storage/delta_log.h).
+  uint64_t applied_seqno = 0;
+  uint64_t applied_chain = 0;
 };
 
 /// Persists `engine`'s graph and its pre-built BFL reachability index.
@@ -166,10 +179,13 @@ bool SaveEngineSnapshot(const GmEngine& engine, const std::string& path,
 
 /// Restores a graph + engine pair without re-parsing text or rebuilding the
 /// index: the whole load is deserialization (and in mmap mode, mostly just
-/// establishing views into the mapping).
-std::optional<WarmEngine> LoadEngineSnapshot(
-    const std::string& path, std::string* error = nullptr,
-    SnapshotIoMode mode = DefaultSnapshotIoMode());
+/// establishing views into the mapping). With options.delta_path set, the
+/// log's records are replayed over the base and the index rebuilt over the
+/// merged graph — the cold-rebuild twin of the daemon's kRefresh path, so
+/// the two can never diverge on what "base + log" serves.
+std::optional<WarmEngine> LoadEngineSnapshot(const std::string& path,
+                                             const LoadOptions& options = {},
+                                             std::string* error = nullptr);
 
 }  // namespace rigpm
 

@@ -507,7 +507,7 @@ TEST(DeltaLifecycle, SnapshotDeltaReplayMatchesDirectRebuild) {
   ASSERT_TRUE(writer->Append(batch2, &error));
   writer.reset();
 
-  auto warm = LoadEngineSnapshot(snap, &error);
+  auto warm = LoadEngineSnapshot(snap, {}, &error);
   ASSERT_TRUE(warm.has_value()) << error;
   DeltaReader reader(log);
   ASSERT_TRUE(reader.ok()) << reader.error();

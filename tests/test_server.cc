@@ -356,7 +356,7 @@ TEST(ServerSnapshot, WarmServerMatchesColdEngine) {
   std::string snap_path = UniqueSocketPath() + ".snap";
   std::string error;
   ASSERT_TRUE(SaveEngineSnapshot(cold, snap_path, &error)) << error;
-  auto warm = LoadEngineSnapshot(snap_path, &error);
+  auto warm = LoadEngineSnapshot(snap_path, {}, &error);
   ASSERT_TRUE(warm.has_value()) << error;
 
   ServerConfig config;
@@ -535,11 +535,10 @@ TEST_F(ServerTest, OversizeFrameIsRejectedAndConnectionClosed) {
 }
 
 TEST_F(ServerTest, OversizeResponseBecomesErrorNotCorruptFrame) {
-  // Re-start with a frame cap the paper request (85 bytes) and a stats
-  // response (108 bytes) fit under but the query response (>= 141 bytes of
-  // result + echoed tuples) does not; the server must substitute a small
-  // error response rather than send a frame the client rejects as
-  // oversize.
+  // Re-start with a frame cap the paper request (85 bytes) and a pong fit
+  // under but the query response (>= 141 bytes of result + echoed tuples)
+  // does not; the server must substitute a small error response rather
+  // than send a frame the client rejects as oversize.
   server_->Stop();
   config_.max_frame_bytes = 120;
   config_.unix_path = UniqueSocketPath();
@@ -553,10 +552,10 @@ TEST_F(ServerTest, OversizeResponseBecomesErrorNotCorruptFrame) {
   EXPECT_EQ(resp->status, StatusCode::kInternalError);
   EXPECT_NE(resp->error.find("frame cap"), std::string::npos) << resp->error;
 
-  // The connection survives for responses that do fit.
-  auto stats = client.Stats(&error);
-  ASSERT_TRUE(stats.has_value()) << error;
-  EXPECT_GE(stats->errors, 1u);
+  // The connection survives for responses that do fit, and the substituted
+  // error was counted.
+  EXPECT_TRUE(client.Ping(&error)) << error;
+  EXPECT_GE(server_->Snapshot().errors, 1u);
 }
 
 TEST_F(ServerTest, ClientDisconnectMidFrameDoesNotKillServer) {
@@ -802,7 +801,7 @@ class RefreshTest : public ::testing::Test {
     auto info = InspectSnapshot(snap_path_, &error);
     ASSERT_TRUE(info.has_value()) << error;
     base_checksum_ = info->stored_checksum;
-    warm_ = LoadEngineSnapshot(snap_path_, &error);
+    warm_ = LoadEngineSnapshot(snap_path_, {}, &error);
     ASSERT_TRUE(warm_.has_value()) << error;
 
     config_.unix_path = UniqueSocketPath();

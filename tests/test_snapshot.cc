@@ -185,7 +185,7 @@ TEST(GraphSnapshot, PaperExampleRoundTripsUnderBothIoModes) {
   std::string error;
   ASSERT_TRUE(SaveGraphSnapshot(g, file.path(), &error)) << error;
   for (SnapshotIoMode mode : kBothModes) {
-    auto loaded = LoadGraphSnapshot(file.path(), &error, mode);
+    auto loaded = LoadGraphSnapshot(file.path(), {.io_mode = mode}, &error);
     ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
     ExpectSameGraph(g, *loaded);
   }
@@ -204,7 +204,7 @@ TEST(GraphSnapshot, GeneratedGraphsRoundTrip) {
       std::string error;
       ASSERT_TRUE(SaveGraphSnapshot(g, file.path(), &error)) << error;
       for (SnapshotIoMode mode : kBothModes) {
-        auto loaded = LoadGraphSnapshot(file.path(), &error, mode);
+        auto loaded = LoadGraphSnapshot(file.path(), {.io_mode = mode}, &error);
         ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
         ExpectSameGraph(g, *loaded);
       }
@@ -221,7 +221,7 @@ TEST(GraphSnapshot, MmapLoadedGraphOutlivesReaderAndDeletedFile) {
   TempFile file("graph_lifetime");
   ASSERT_TRUE(SaveGraphSnapshot(g, file.path()));
   std::optional<Graph> loaded =
-      LoadGraphSnapshot(file.path(), nullptr, SnapshotIoMode::kMmap);
+      LoadGraphSnapshot(file.path(), {.io_mode = SnapshotIoMode::kMmap});
   ASSERT_TRUE(loaded.has_value());
   std::remove(file.path().c_str());  // mapping survives the unlink
 
@@ -256,7 +256,7 @@ TEST(GraphSnapshot, V1FormatLoadsViaCopyFallback) {
   EXPECT_EQ(info->version, kMinSnapshotVersion);
   EXPECT_FALSE(info->aligned);
   for (SnapshotIoMode mode : kBothModes) {
-    auto loaded = LoadGraphSnapshot(file.path(), &error, mode);
+    auto loaded = LoadGraphSnapshot(file.path(), {.io_mode = mode}, &error);
     ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
     ExpectSameGraph(g, *loaded);
   }
@@ -320,7 +320,7 @@ TEST(EngineSnapshot, WarmStartMatchesColdStartOnPaperExample) {
   std::string error;
   ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
   for (SnapshotIoMode mode : kBothModes) {
-    auto warm = LoadEngineSnapshot(file.path(), &error, mode);
+    auto warm = LoadEngineSnapshot(file.path(), {.io_mode = mode}, &error);
     ASSERT_TRUE(warm.has_value()) << ModeName(mode) << ": " << error;
     ExpectSameGraph(g, *warm->graph);
 
@@ -353,11 +353,11 @@ TEST(EngineSnapshot, WarmStartMatchesColdStartOnRandomGraphs) {
     ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
     // Load via zero-copy mmap AND streaming read: both engines must agree
     // with the cold build (and therefore with each other) on every query.
-    auto warm_mmap =
-        LoadEngineSnapshot(file.path(), &error, SnapshotIoMode::kMmap);
+    auto warm_mmap = LoadEngineSnapshot(
+        file.path(), {.io_mode = SnapshotIoMode::kMmap}, &error);
     ASSERT_TRUE(warm_mmap.has_value()) << error;
-    auto warm_read =
-        LoadEngineSnapshot(file.path(), &error, SnapshotIoMode::kRead);
+    auto warm_read = LoadEngineSnapshot(
+        file.path(), {.io_mode = SnapshotIoMode::kRead}, &error);
     ASSERT_TRUE(warm_read.has_value()) << error;
 
     for (uint64_t qseed = 1; qseed <= 5; ++qseed) {
@@ -388,7 +388,7 @@ TEST(EngineSnapshot, WarmStartMatchesColdStartOnTemplateWorkload) {
   TempFile file("engine_tmpl");
   std::string error;
   ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
-  auto warm = LoadEngineSnapshot(file.path(), &error);
+  auto warm = LoadEngineSnapshot(file.path(), {}, &error);
   ASSERT_TRUE(warm.has_value()) << error;
 
   auto workload = TemplateWorkload(g, RepresentativeTemplateNames(),
@@ -413,7 +413,8 @@ TEST(EngineSnapshot, MmapLoadMatchesColdOnTemplateWorkload) {
   TempFile file("engine_tmpl_mmap");
   std::string error;
   ASSERT_TRUE(SaveEngineSnapshot(cold, file.path(), &error)) << error;
-  auto warm = LoadEngineSnapshot(file.path(), &error, SnapshotIoMode::kMmap);
+  auto warm = LoadEngineSnapshot(file.path(),
+                                 {.io_mode = SnapshotIoMode::kMmap}, &error);
   ASSERT_TRUE(warm.has_value()) << error;
 
   auto workload = TemplateWorkload(g, RepresentativeTemplateNames(),
@@ -433,7 +434,7 @@ TEST(EngineSnapshot, BatchServingMatchesAcrossThreadCounts) {
   TempFile file("engine_batch");
   ASSERT_TRUE(SaveEngineSnapshot(cold, file.path()));
   for (SnapshotIoMode mode : kBothModes) {
-    auto warm = LoadEngineSnapshot(file.path(), nullptr, mode);
+    auto warm = LoadEngineSnapshot(file.path(), {.io_mode = mode});
     ASSERT_TRUE(warm.has_value());
 
     std::vector<PatternQuery> batch(6, PaperExample::MakeQuery());
@@ -470,7 +471,7 @@ TEST(GraphDatabaseSnapshot, SearchResultsSurviveRoundTrip) {
   std::string error;
   ASSERT_TRUE(db.Save(file.path(), &error)) << error;
   for (SnapshotIoMode mode : kBothModes) {
-    auto loaded = GraphDatabase::Load(file.path(), &error, mode);
+    auto loaded = GraphDatabase::Load(file.path(), {.io_mode = mode}, &error);
     ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
     ASSERT_EQ(loaded->Size(), db.Size());
     for (size_t id = 0; id < db.Size(); ++id) {
@@ -513,7 +514,7 @@ class MalformedSnapshotTest : public ::testing::Test {
     DumpFile(file_.path(), contents);
     for (SnapshotIoMode mode : kBothModes) {
       std::string error;
-      EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error, mode).has_value())
+      EXPECT_FALSE(LoadGraphSnapshot(file_.path(), {.io_mode = mode}, &error).has_value())
           << ModeName(mode);
       EXPECT_FALSE(error.empty()) << ModeName(mode);
       EXPECT_NE(error.find(expect_substr), std::string::npos)
@@ -548,7 +549,9 @@ TEST_F(MalformedSnapshotTest, KindMismatchIsRejected) {
   // A graph snapshot is not an engine snapshot.
   for (SnapshotIoMode mode : kBothModes) {
     std::string error;
-    EXPECT_FALSE(LoadEngineSnapshot(file_.path(), &error, mode).has_value());
+    EXPECT_FALSE(
+        LoadEngineSnapshot(file_.path(), {.io_mode = mode}, &error)
+            .has_value());
     EXPECT_NE(error.find("kind"), std::string::npos) << error;
   }
 }
@@ -620,7 +623,7 @@ TEST_F(MalformedSnapshotTest, LabelCountOverflowIsRejected) {
   ASSERT_TRUE(WriteSnapshotFile(file_.path(), SnapshotKind::kGraph, sink));
   for (SnapshotIoMode mode : kBothModes) {
     std::string error;
-    EXPECT_FALSE(LoadGraphSnapshot(file_.path(), &error, mode).has_value())
+    EXPECT_FALSE(LoadGraphSnapshot(file_.path(), {.io_mode = mode}, &error).has_value())
         << ModeName(mode);
     EXPECT_NE(error.find("inconsistent"), std::string::npos)
         << ModeName(mode) << ": " << error;
@@ -641,7 +644,7 @@ TEST_F(MalformedSnapshotTest, FifoStreamsViaReadFallback) {
       out.write(bytes_.data(), static_cast<std::streamsize>(bytes_.size()));
     });
     std::string error;
-    auto loaded = LoadGraphSnapshot(fifo_path, &error, mode);
+    auto loaded = LoadGraphSnapshot(fifo_path, {.io_mode = mode}, &error);
     writer.join();
     ASSERT_TRUE(loaded.has_value()) << ModeName(mode) << ": " << error;
     ExpectSameGraph(PaperExample::MakeGraph(), *loaded);
@@ -664,7 +667,7 @@ TEST_F(MalformedSnapshotTest, FifoWithLyingPayloadSizeIsRejectedBounded) {
     out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
   });
   std::string error;
-  EXPECT_FALSE(LoadGraphSnapshot(fifo_path, &error).has_value());
+  EXPECT_FALSE(LoadGraphSnapshot(fifo_path, {}, &error).has_value());
   writer.join();
   EXPECT_NE(error.find("truncated"), std::string::npos) << error;
   ::unlink(fifo_path.c_str());

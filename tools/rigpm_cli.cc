@@ -715,7 +715,12 @@ int main(int argc, char** argv) {
   WarmEngine warm;
   const Graph* graph = nullptr;
   if (!args.snapshot_path.empty()) {
-    auto loaded = LoadEngineSnapshot(args.snapshot_path, &error, args.io_mode);
+    // The overlay (when --delta is given) lives in LoadEngineSnapshot now:
+    // records replay over the base and the index is rebuilt over the merged
+    // graph — the cold-rebuild twin of the daemon's kRefresh path.
+    auto loaded = LoadEngineSnapshot(
+        args.snapshot_path,
+        {.io_mode = args.io_mode, .delta_path = args.delta_path}, &error);
     if (!loaded.has_value()) {
       std::fprintf(stderr, "cannot load snapshot: %s\n", error.c_str());
       return 1;
@@ -726,59 +731,16 @@ int main(int argc, char** argv) {
                 args.snapshot_path.c_str(),
                 args.io_mode == SnapshotIoMode::kMmap ? "mmap" : "read");
     if (!args.delta_path.empty()) {
-      // Overlay the delta log: replay its records over the base and rebuild
-      // the index over the merged graph, so every query below sees
-      // base+delta — the cold-rebuild twin of the daemon's kRefresh path.
-      // The binding check uses the checksum of the bytes actually LOADED
-      // (warm.stored_checksum), never a re-read of the path — a concurrent
-      // compaction may have rename-replaced the file since.
-      DeltaReader reader(args.delta_path, args.io_mode);
-      if (!reader.ok()) {
-        std::fprintf(stderr, "cannot read delta log: %s\n",
-                     reader.error().c_str());
-        return 1;
-      }
-      if (reader.base_checksum() != warm.stored_checksum) {
-        std::fprintf(stderr,
-                     "delta log is bound to a different base snapshot\n");
-        return 1;
-      }
-      // Same shape as the daemon's HandleRefresh: collect first, and only
-      // materialize a merged graph when records actually applied — an
-      // empty log must not deep-copy the mmap-backed graph just to throw
-      // the copy away.
-      ReplayStats stats;
-      std::vector<std::pair<NodeId, NodeId>> delta_edges;
-      if (!CollectDeltaEdges(reader, warm.graph->NumNodes(), 0,
-                             &delta_edges, &stats, &error)) {
-        std::fprintf(stderr, "delta replay failed: %s\n", error.c_str());
-        return 1;
-      }
-      if (reader.truncated() && !reader.tail_torn()) {
-        std::fprintf(stderr,
-                     "delta log is corrupt after record %llu (%s); "
-                     "refusing to serve a silently partial graph\n",
-                     static_cast<unsigned long long>(reader.records_read()),
-                     reader.tail_error().c_str());
-        return 1;
-      }
-      if (stats.records_applied == 0) {
+      if (warm.applied_seqno == 0) {
         // Empty (or fully-compacted-away) log: the snapshot's prebuilt
-        // index is already exactly right — keep the warm start warm.
+        // index is already exactly right — the warm start stayed warm.
         std::printf("delta: %s (no records to replay)\n",
                     args.delta_path.c_str());
       } else {
-        auto merged = std::make_unique<Graph>(
-            ApplyEdgesToGraph(*warm.graph, delta_edges));
-        warm.engine.reset();  // references the base graph; drop it first
-        warm.graph = std::move(merged);
-        warm.engine = std::make_unique<GmEngine>(*warm.graph);
-        graph = warm.graph.get();
-        std::printf("delta: %s (%llu record(s), %llu edge(s) replayed; "
+        std::printf("delta: %s (replayed through seqno %llu; "
                     "index rebuilt in %.2f ms)\n",
                     args.delta_path.c_str(),
-                    static_cast<unsigned long long>(stats.records_applied),
-                    static_cast<unsigned long long>(stats.edges_in_records),
+                    static_cast<unsigned long long>(warm.applied_seqno),
                     warm.engine->reach_build_ms());
       }
     }
