@@ -69,6 +69,106 @@ void BM_BitmapOrMany(benchmark::State& state) {
 }
 BENCHMARK(BM_BitmapOrMany)->Arg(4)->Arg(16)->Arg(64);
 
+// --- Per-container-type kernels ---------------------------------------------
+//
+// Shaped inputs that settle into one specific container kind per 64K chunk,
+// so each benchmark pins one cell of the container-pair kernel matrix
+// (array / bitset / run x And / Or / AndNot / ForEach). 16 chunks each:
+//  * array  — ~3000 scattered values per chunk (sparse, stays array);
+//  * bitset — ~20000 scattered values per chunk (dense and unclustered:
+//             runs would cost ~4x the 8 KiB bitset);
+//  * run    — 40 clusters of 800 consecutive values per chunk (160 B of
+//             runs vs 8 KiB decoded).
+
+enum class Shape { kArray, kBitset, kRun };
+
+rigpm::Bitmap ShapedBitmap(Shape shape, uint64_t seed) {
+  constexpr uint32_t kChunks = 16;
+  std::mt19937_64 rng(seed);
+  std::vector<uint32_t> values;
+  for (uint32_t chunk = 0; chunk < kChunks; ++chunk) {
+    const uint32_t base = chunk << 16;
+    std::uniform_int_distribution<uint32_t> dist(0, 0xFFFF);
+    switch (shape) {
+      case Shape::kArray:
+        for (int i = 0; i < 3000; ++i) values.push_back(base + dist(rng));
+        break;
+      case Shape::kBitset:
+        for (int i = 0; i < 20000; ++i) values.push_back(base + dist(rng));
+        break;
+      case Shape::kRun:
+        for (int r = 0; r < 40; ++r) {
+          uint32_t start = dist(rng) % (0x10000 - 800);
+          for (uint32_t v = 0; v < 800; ++v) {
+            values.push_back(base + start + v);
+          }
+        }
+        break;
+    }
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return rigpm::Bitmap::FromSorted(values);
+}
+
+enum class PairOp { kAnd, kOr, kAndNot };
+
+void BM_ContainerPair(benchmark::State& state, Shape sa, Shape sb, PairOp op) {
+  Bitmap a = ShapedBitmap(sa, 101);
+  Bitmap b = ShapedBitmap(sb, 202);
+  for (auto _ : state) {
+    switch (op) {
+      case PairOp::kAnd:
+        benchmark::DoNotOptimize(Bitmap::And(a, b));
+        break;
+      case PairOp::kOr:
+        benchmark::DoNotOptimize(Bitmap::Or(a, b));
+        break;
+      case PairOp::kAndNot:
+        benchmark::DoNotOptimize(Bitmap::AndNot(a, b));
+        break;
+    }
+  }
+}
+
+#define RIGPM_PAIR_BENCH(op_name, op)                                       \
+  BENCHMARK_CAPTURE(BM_ContainerPair, op_name##_array_array, Shape::kArray, \
+                    Shape::kArray, op);                                     \
+  BENCHMARK_CAPTURE(BM_ContainerPair, op_name##_array_bitset, Shape::kArray,\
+                    Shape::kBitset, op);                                    \
+  BENCHMARK_CAPTURE(BM_ContainerPair, op_name##_array_run, Shape::kArray,   \
+                    Shape::kRun, op);                                       \
+  BENCHMARK_CAPTURE(BM_ContainerPair, op_name##_bitset_array,               \
+                    Shape::kBitset, Shape::kArray, op);                     \
+  BENCHMARK_CAPTURE(BM_ContainerPair, op_name##_bitset_bitset,              \
+                    Shape::kBitset, Shape::kBitset, op);                    \
+  BENCHMARK_CAPTURE(BM_ContainerPair, op_name##_bitset_run, Shape::kBitset, \
+                    Shape::kRun, op);                                       \
+  BENCHMARK_CAPTURE(BM_ContainerPair, op_name##_run_array, Shape::kRun,     \
+                    Shape::kArray, op);                                     \
+  BENCHMARK_CAPTURE(BM_ContainerPair, op_name##_run_bitset, Shape::kRun,    \
+                    Shape::kBitset, op);                                    \
+  BENCHMARK_CAPTURE(BM_ContainerPair, op_name##_run_run, Shape::kRun,       \
+                    Shape::kRun, op)
+
+RIGPM_PAIR_BENCH(and, PairOp::kAnd);
+RIGPM_PAIR_BENCH(or, PairOp::kOr);
+RIGPM_PAIR_BENCH(andnot, PairOp::kAndNot);
+
+#undef RIGPM_PAIR_BENCH
+
+void BM_ContainerForEach(benchmark::State& state, Shape shape) {
+  Bitmap b = ShapedBitmap(shape, 303);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    b.ForEach([&sum](uint32_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK_CAPTURE(BM_ContainerForEach, array, Shape::kArray);
+BENCHMARK_CAPTURE(BM_ContainerForEach, bitset, Shape::kBitset);
+BENCHMARK_CAPTURE(BM_ContainerForEach, run, Shape::kRun);
+
 void BM_BitmapForEach(benchmark::State& state) {
   Bitmap b = RandomBitmap(1u << 20, 1u << 16, 5);
   for (auto _ : state) {

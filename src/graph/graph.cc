@@ -191,6 +191,24 @@ size_t Graph::OwnedHeapBytes() const {
   return bytes;
 }
 
+BitmapContainerStats Graph::SectionStats(BitmapSection section) const {
+  const std::vector<Bitmap>* bitmaps = nullptr;
+  switch (section) {
+    case BitmapSection::kForward:
+      bitmaps = &fwd_bitmaps_;
+      break;
+    case BitmapSection::kBackward:
+      bitmaps = &bwd_bitmaps_;
+      break;
+    case BitmapSection::kLabels:
+      bitmaps = &label_bitmaps_;
+      break;
+  }
+  BitmapContainerStats stats;
+  for (const Bitmap& b : *bitmaps) b.AccumulateStats(&stats);
+  return stats;
+}
+
 Graph Graph::MakeBidirected(const Graph& g) {
   std::vector<LabelId> labels(g.labels_.begin(), g.labels_.end());
   std::vector<std::pair<NodeId, NodeId>> edges;

@@ -110,6 +110,11 @@ class Graph {
   /// excluded — it is shared between every process mapping the snapshot.
   size_t OwnedHeapBytes() const;
 
+  /// Container census of one bitmap section (`rigpm_cli snapshot --inspect`
+  /// and the memory benches).
+  enum class BitmapSection { kForward, kBackward, kLabels };
+  BitmapContainerStats SectionStats(BitmapSection section) const;
+
   /// Returns a copy with every edge also present in the reverse direction —
   /// the "store each edge in both directions" transformation the paper uses
   /// to compare against engines that treat data graphs as undirected

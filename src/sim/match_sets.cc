@@ -21,6 +21,10 @@ CandidateSets InitialMatchSets(const Graph& g, const PatternQuery& q) {
   for (QueryNodeId i = 0; i < q.NumNodes(); ++i) {
     LabelId label = q.Label(i);
     if (label < g.NumLabels()) {
+      // Deep copy preserving each container's encoding: a run-encoded label
+      // list (contiguously-labeled generated graphs) stays run-encoded, and
+      // a borrowed mmap'd payload becomes a private copy of the *encoded*
+      // bytes — never a decode.
       sets[i] = g.LabelBitmap(label);
     }  // else: label absent from the graph -> empty candidate set
   }

@@ -158,6 +158,7 @@ std::optional<SnapshotInfo> InspectSnapshot(const std::string& path,
   info.kind_value = fields.kind_value;
   info.payload_size = fields.payload_size;
   info.aligned = info.version >= 2;
+  info.run_encoded = info.version >= 3;
   if (fields.kind_value == static_cast<uint32_t>(SnapshotKind::kDelta)) {
     // Delta logs reuse the container head but not its framing: the u64 slot
     // is the base snapshot checksum, the head is followed by an 8-byte
@@ -245,6 +246,7 @@ void SnapshotReader::InitFromMapping(SnapshotKind expected_kind) {
   mapping_->AdviseRandom();
   source_.emplace(payload, payload_size_);
   if (header.version < 2) source_->SetUnpadded();
+  if (header.version < 3) source_->DisallowRunContainers();
   // Deserialized objects retain the mapping via this token, so they outlive
   // the reader (and the mapping outlives them all).
   source_->EnableZeroCopy(mapping_);
@@ -346,6 +348,7 @@ void SnapshotReader::InitFromStream(const std::string& path,
   source_.emplace(seekable ? payload_raw_.get() : payload_buf_.data(),
                   payload_size_);
   if (header.version < 2) source_->SetUnpadded();
+  if (header.version < 3) source_->DisallowRunContainers();
   // No zero copy: decode copies out of payload_buf_, which dies with the
   // reader.
 }

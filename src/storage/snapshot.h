@@ -37,12 +37,28 @@ namespace rigpm {
 /// loader hand out typed pointers straight into the mapping. v1 files (no
 /// padding) still load — their arrays are copied out instead.
 ///
+/// Format v3 additionally stores bitmap run containers in their native
+/// encoding (bitmap/bitmap.h): clustered chunks ship as (start, length)
+/// pairs instead of materialized arrays/bitsets. It also drops the
+/// redundant per-bitmap total-cardinality word (the per-container
+/// cardinalities it summed are each validated on their own) — across the
+/// millions of tiny per-node CSR bitmaps that word alone is several percent
+/// of a graph snapshot, so v3 files are strictly smaller than their v2
+/// twins even with no run containers at all. Combined with the
+/// v2 alignment contract, an mmap'd load keeps those encoded payloads
+/// *borrowed inside the mapping* and decodes them lazily on first mutating
+/// touch. v1/v2 files still load unchanged (they simply contain no run
+/// containers — the reader rejects a run container in a pre-v3 file as
+/// corruption), and `WriteSnapshotFile(..., version=2)` together with
+/// `ByteSink(/*pad_arrays=*/true, /*encode_runs=*/false)` reproduces a v2
+/// file for migration tooling and compat tests.
+///
 /// Readers reject bad magic, unknown versions, kind mismatches, payload
 /// sizes inconsistent with the file, truncation, and checksum mismatches —
 /// each with a descriptive error, never by crashing or silently returning a
 /// partial structure.
 
-inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersion = 3;
 
 /// Oldest format version the reader still accepts (copy-out fallback).
 inline constexpr uint32_t kMinSnapshotVersion = 1;
@@ -77,6 +93,7 @@ struct SnapshotInfo {
   uint64_t stored_checksum = 0;  // trailing footer, NOT re-verified here
   uint64_t file_size = 0;
   bool aligned = false;  // version >= 2: arrays 8-byte padded (zero-copy OK)
+  bool run_encoded = false;  // version >= 3: may hold native run containers
 };
 
 /// Reads and validates only the container header + footer (magic, version

@@ -56,11 +56,18 @@ class Checksum64Stream {
 /// The snapshot writer frames the finished buffer with a header and CRC.
 ///
 /// `pad_arrays` controls whether WriteSpan/PadTo8 emit alignment padding
-/// (snapshot format v2). It exists only so tests and migration tools can
-/// reproduce the unpadded v1 layout; leave it on everywhere else.
+/// (snapshot format v2). `encode_runs` controls whether Bitmap::Serialize
+/// may emit run containers in their native encoding (snapshot format v3);
+/// with it off, run containers are materialized as array/bitset blocks so
+/// the image stays readable by pre-v3 decoders. Both exist only so tests
+/// and migration tools can reproduce older layouts; leave them on
+/// everywhere else.
 class ByteSink {
  public:
-  explicit ByteSink(bool pad_arrays = true) : pad_arrays_(pad_arrays) {}
+  explicit ByteSink(bool pad_arrays = true, bool encode_runs = true)
+      : pad_arrays_(pad_arrays), encode_runs_(encode_runs) {}
+
+  bool encode_runs() const { return encode_runs_; }
 
   void WriteRaw(const void* data, size_t n) {
     if (n == 0) return;
@@ -120,6 +127,7 @@ class ByteSink {
  private:
   std::vector<uint8_t> buffer_;
   bool pad_arrays_;
+  bool encode_runs_;
 };
 
 /// Bounded reader over an in-memory payload — either a buffer the snapshot
@@ -158,6 +166,14 @@ class ByteSource {
   /// Reads payloads written without alignment padding (snapshot format v1,
   /// where ReadSpan always copies and never skips pad bytes).
   void SetUnpadded() { padded_ = false; }
+
+  /// Switches Bitmap::Deserialize to the pre-v3 bitmap layout: the per-
+  /// bitmap redundant total-cardinality word is expected (v3 drops it), and
+  /// run containers are rejected — pre-v3 images never contain them, so one
+  /// appearing means the file is corrupt or mislabeled. The snapshot reader
+  /// calls this for version < 3 headers.
+  void DisallowRunContainers() { allow_runs_ = false; }
+  bool run_containers_allowed() const { return allow_runs_; }
 
   /// Null unless zero-copy mode is on.
   const std::shared_ptr<const void>& storage() const { return storage_; }
@@ -278,6 +294,7 @@ class ByteSource {
   uint64_t remaining_;
   bool ok_ = true;
   bool padded_ = true;
+  bool allow_runs_ = true;
   bool zero_copy_ = false;
   std::shared_ptr<const void> storage_;
   std::string error_;

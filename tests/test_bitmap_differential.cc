@@ -1,0 +1,510 @@
+// Randomized differential suite for the container-polymorphic bitmap
+// (bitmap/bitmap.h): every operation is checked against a std::set<uint32_t>
+// oracle across value distributions engineered to sit on the container-kind
+// boundaries — the array->bitset promotion edge at kArrayCapacity, the
+// run-vs-array and run-vs-bitset byte-cost thresholds, chunk edges (low bits
+// 0x0000/0xFFFF), and cross-kind operand pairings. Operands are additionally
+// exercised in their *borrowed* form (serialized to a file, mmap'd back with
+// zero-copy enabled) so the lazy-decode read path and the owned path are
+// differentially equivalent too, under both snapshot IO modes. A final group
+// covers v2 -> v3 cross-version snapshot round trips.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bitmap.h"
+#include "graph/generators.h"
+#include "storage/snapshot.h"
+#include "util/mapped_file.h"
+#include "util/serde.h"
+
+namespace rigpm {
+namespace {
+
+constexpr SnapshotIoMode kBothModes[] = {SnapshotIoMode::kMmap,
+                                         SnapshotIoMode::kRead};
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) {
+    static int counter = 0;
+    path_ = (std::filesystem::temp_directory_path() /
+             (stem + "." + std::to_string(::getpid()) + "." +
+              std::to_string(counter++) + ".snap"))
+                .string();
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ------------------------------------------------------ value generators
+
+// Distributions straddling every representation boundary. Values are the
+// low 16 bits; Materialize() places them into one or more chunks.
+enum class Dist {
+  kEmpty,
+  kSingleton,
+  kChunkEdges,        // 0x0000, 0x0001, 0xFFFE, 0xFFFF
+  kSparseArray,       // ~200 scattered values
+  kArrayCapacity,     // exactly kArrayCapacity values (promotion edge)
+  kArrayCapacityPlus, // kArrayCapacity + 1 (just past the edge)
+  kDenseBitset,       // ~20000 scattered values
+  kFullChunk,         // all 65536 values (single run)
+  kFewLongRuns,       // 8 runs of ~2000 (deep in run territory)
+  kRunThreshold,      // runs of 2: 4*runs == 2*card, exactly NOT smaller
+  kRunJustUnder,      // runs of 3: 4*runs < 2*card, smallest as runs
+  kAlternatingBits,   // every other value: worst case for runs, dense
+};
+
+constexpr Dist kAllDists[] = {
+    Dist::kEmpty,          Dist::kSingleton,     Dist::kChunkEdges,
+    Dist::kSparseArray,    Dist::kArrayCapacity, Dist::kArrayCapacityPlus,
+    Dist::kDenseBitset,    Dist::kFullChunk,     Dist::kFewLongRuns,
+    Dist::kRunThreshold,   Dist::kRunJustUnder,  Dist::kAlternatingBits,
+};
+
+const char* DistName(Dist d) {
+  switch (d) {
+    case Dist::kEmpty: return "empty";
+    case Dist::kSingleton: return "singleton";
+    case Dist::kChunkEdges: return "chunk_edges";
+    case Dist::kSparseArray: return "sparse_array";
+    case Dist::kArrayCapacity: return "array_capacity";
+    case Dist::kArrayCapacityPlus: return "array_capacity_plus";
+    case Dist::kDenseBitset: return "dense_bitset";
+    case Dist::kFullChunk: return "full_chunk";
+    case Dist::kFewLongRuns: return "few_long_runs";
+    case Dist::kRunThreshold: return "run_threshold";
+    case Dist::kRunJustUnder: return "run_just_under";
+    case Dist::kAlternatingBits: return "alternating_bits";
+  }
+  return "?";
+}
+
+std::vector<uint16_t> LowBits(Dist d, std::mt19937_64& rng) {
+  std::uniform_int_distribution<uint32_t> u16(0, 0xFFFF);
+  std::set<uint16_t> out;
+  switch (d) {
+    case Dist::kEmpty:
+      break;
+    case Dist::kSingleton:
+      out.insert(static_cast<uint16_t>(u16(rng)));
+      break;
+    case Dist::kChunkEdges:
+      out = {0x0000, 0x0001, 0xFFFE, 0xFFFF};
+      break;
+    case Dist::kSparseArray:
+      while (out.size() < 200) out.insert(static_cast<uint16_t>(u16(rng)));
+      break;
+    case Dist::kArrayCapacity:
+      while (out.size() < Bitmap::kArrayCapacity) {
+        out.insert(static_cast<uint16_t>(u16(rng)));
+      }
+      break;
+    case Dist::kArrayCapacityPlus:
+      while (out.size() < Bitmap::kArrayCapacity + 1) {
+        out.insert(static_cast<uint16_t>(u16(rng)));
+      }
+      break;
+    case Dist::kDenseBitset:
+      while (out.size() < 20000) out.insert(static_cast<uint16_t>(u16(rng)));
+      break;
+    case Dist::kFullChunk:
+      for (uint32_t v = 0; v <= 0xFFFF; ++v) {
+        out.insert(static_cast<uint16_t>(v));
+      }
+      break;
+    case Dist::kFewLongRuns:
+      for (uint32_t r = 0; r < 8; ++r) {
+        uint32_t start = r * 8000 + u16(rng) % 1000;
+        for (uint32_t i = 0; i < 2000; ++i) {
+          out.insert(static_cast<uint16_t>(start + i));
+        }
+      }
+      break;
+    case Dist::kRunThreshold:
+      // Runs of length 2 spaced apart: 4 bytes/run vs 4 bytes of array —
+      // run is NOT strictly smaller, so the encoder must keep the array.
+      for (uint32_t r = 0; r < 100; ++r) {
+        out.insert(static_cast<uint16_t>(r * 100));
+        out.insert(static_cast<uint16_t>(r * 100 + 1));
+      }
+      break;
+    case Dist::kRunJustUnder:
+      // Runs of length 3: 4 bytes/run vs 6 bytes of array — run wins.
+      for (uint32_t r = 0; r < 100; ++r) {
+        out.insert(static_cast<uint16_t>(r * 100));
+        out.insert(static_cast<uint16_t>(r * 100 + 1));
+        out.insert(static_cast<uint16_t>(r * 100 + 2));
+      }
+      break;
+    case Dist::kAlternatingBits:
+      for (uint32_t v = 0; v <= 0xFFFF; v += 2) {
+        out.insert(static_cast<uint16_t>(v));
+      }
+      break;
+  }
+  return {out.begin(), out.end()};
+}
+
+// Spreads one distribution across `chunks` chunks starting at `base_chunk`.
+std::set<uint32_t> Materialize(Dist d, uint32_t base_chunk, uint32_t chunks,
+                               std::mt19937_64& rng) {
+  std::set<uint32_t> out;
+  for (uint32_t c = 0; c < chunks; ++c) {
+    for (uint16_t low : LowBits(d, rng)) {
+      out.insert(((base_chunk + c) << 16) | low);
+    }
+  }
+  return out;
+}
+
+Bitmap FromSet(const std::set<uint32_t>& s) {
+  return Bitmap::FromSorted(std::vector<uint32_t>(s.begin(), s.end()));
+}
+
+// ------------------------------------------------------------ the oracle
+
+void ExpectMatches(const Bitmap& got, const std::set<uint32_t>& want,
+                   const std::string& what) {
+  EXPECT_EQ(got.Cardinality(), want.size()) << what;
+  EXPECT_EQ(got.ToVector(), std::vector<uint32_t>(want.begin(), want.end()))
+      << what;
+}
+
+// Runs the full operation matrix of one (a, b) pair against the oracle.
+void DifferentialCheck(const Bitmap& a, const Bitmap& b,
+                       const std::set<uint32_t>& ra,
+                       const std::set<uint32_t>& rb, const std::string& tag) {
+  std::set<uint32_t> and_ref, or_ref, andnot_ref;
+  std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::inserter(and_ref, and_ref.begin()));
+  std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                 std::inserter(or_ref, or_ref.begin()));
+  std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                      std::inserter(andnot_ref, andnot_ref.begin()));
+
+  ExpectMatches(a, ra, tag + " identity(a)");
+  ExpectMatches(Bitmap::And(a, b), and_ref, tag + " and");
+  ExpectMatches(Bitmap::Or(a, b), or_ref, tag + " or");
+  ExpectMatches(Bitmap::AndNot(a, b), andnot_ref, tag + " andnot");
+  ExpectMatches(Bitmap::AndNot(b, a),
+                [&] {
+                  std::set<uint32_t> r;
+                  std::set_difference(rb.begin(), rb.end(), ra.begin(),
+                                      ra.end(), std::inserter(r, r.begin()));
+                  return r;
+                }(),
+                tag + " andnot_rev");
+  EXPECT_EQ(a.Intersects(b), !and_ref.empty()) << tag;
+  EXPECT_EQ(b.Intersects(a), !and_ref.empty()) << tag;
+  EXPECT_EQ(a.IsSubsetOf(b),
+            std::includes(rb.begin(), rb.end(), ra.begin(), ra.end()))
+      << tag;
+  EXPECT_EQ(a == b, ra == rb) << tag;
+  if (!ra.empty()) EXPECT_EQ(a.First(), *ra.begin()) << tag;
+
+  // In-place forms agree with the static ones.
+  Bitmap c = a;
+  c.AndWith(b);
+  ExpectMatches(c, and_ref, tag + " andwith");
+  c = a;
+  c.OrWith(b);
+  ExpectMatches(c, or_ref, tag + " orwith");
+  c = a;
+  c.AndNotWith(b);
+  ExpectMatches(c, andnot_ref, tag + " andnotwith");
+
+  // ForEach visits exactly the oracle's values in order.
+  std::vector<uint32_t> seen;
+  a.ForEach([&seen](uint32_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, std::vector<uint32_t>(ra.begin(), ra.end())) << tag;
+}
+
+// ------------------------------------------- owned x owned, all pairings
+
+TEST(BitmapDifferential, AllDistributionPairings) {
+  std::mt19937_64 rng(2024);
+  for (Dist da : kAllDists) {
+    for (Dist db : kAllDists) {
+      // Overlapping chunk ranges: a in chunks [0, 2), b in chunks [1, 3),
+      // so the pair exercises disjoint-chunk and shared-chunk paths at once.
+      std::set<uint32_t> ra = Materialize(da, 0, 2, rng);
+      std::set<uint32_t> rb = Materialize(db, 1, 2, rng);
+      Bitmap a = FromSet(ra);
+      Bitmap b = FromSet(rb);
+      DifferentialCheck(a, b, ra, rb,
+                        std::string(DistName(da)) + " x " + DistName(db));
+    }
+  }
+}
+
+TEST(BitmapDifferential, RunOptimizedOperandsMatchOracle) {
+  std::mt19937_64 rng(7);
+  for (Dist da : {Dist::kFewLongRuns, Dist::kFullChunk, Dist::kRunJustUnder,
+                  Dist::kAlternatingBits, Dist::kDenseBitset}) {
+    for (Dist db : {Dist::kSparseArray, Dist::kFewLongRuns,
+                    Dist::kDenseBitset, Dist::kChunkEdges}) {
+      std::set<uint32_t> ra = Materialize(da, 0, 2, rng);
+      std::set<uint32_t> rb = Materialize(db, 0, 2, rng);
+      Bitmap a = FromSet(ra);
+      Bitmap b = FromSet(rb);
+      a.RunOptimize();
+      b.RunOptimize();
+      DifferentialCheck(a, b, ra, rb,
+                        std::string("runopt ") + DistName(da) + " x " +
+                            DistName(db));
+    }
+  }
+}
+
+// ------------------------------------------------- mutation at the edges
+
+TEST(BitmapDifferential, MutationSequenceAcrossPromotionEdges) {
+  // Random add/remove walk whose cardinality repeatedly crosses
+  // kArrayCapacity, interleaved with RunOptimize so mutations also hit
+  // run-encoded containers. One chunk so every crossing is this container's.
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<uint32_t> val(0, 0xFFFF);
+  std::uniform_int_distribution<int> coin(0, 99);
+  Bitmap b;
+  std::set<uint32_t> ref;
+  // Bias phases: grow to ~1.5x capacity, shrink back, repeat.
+  for (int phase = 0; phase < 4; ++phase) {
+    const bool growing = phase % 2 == 0;
+    const uint32_t steps = Bitmap::kArrayCapacity * 3 / 2;
+    for (uint32_t i = 0; i < steps; ++i) {
+      uint32_t v = val(rng);
+      if (coin(rng) < (growing ? 85 : 15)) {
+        b.Add(v);
+        ref.insert(v);
+      } else {
+        b.Remove(v);
+        ref.erase(v);
+      }
+      if (coin(rng) == 0) b.RunOptimize();
+    }
+    EXPECT_EQ(b.Cardinality(), ref.size()) << "phase " << phase;
+  }
+  ExpectMatches(b, ref, "mutation walk");
+  // Spot-check membership after the walk.
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t v = val(rng);
+    EXPECT_EQ(b.Contains(v), ref.count(v) > 0) << v;
+  }
+}
+
+TEST(BitmapDifferential, MutatingRunContainersDecodesCorrectly) {
+  std::mt19937_64 rng(55);
+  for (Dist d : {Dist::kFewLongRuns, Dist::kFullChunk, Dist::kRunJustUnder}) {
+    std::set<uint32_t> ref = Materialize(d, 0, 1, rng);
+    Bitmap b = FromSet(ref);
+    b.RunOptimize();
+    std::uniform_int_distribution<uint32_t> val(0, 0xFFFF);
+    for (int i = 0; i < 2000; ++i) {
+      uint32_t v = val(rng);
+      if (i % 2 == 0) {
+        b.Add(v);
+        ref.insert(v);
+      } else {
+        b.Remove(v);
+        ref.erase(v);
+      }
+    }
+    ExpectMatches(b, ref, std::string("mutate-after-runopt ") + DistName(d));
+  }
+}
+
+// ------------------------------------------ borrowed (mmap'd) operands
+
+// Serializes `b`, writes the bytes to a file, maps it, and deserializes
+// with zero-copy enabled — the returned bitmap borrows its array/run
+// payloads from the mapping. `keep_alive` holds the mapping.
+Bitmap BorrowedCopy(const Bitmap& b, const TempFile& file,
+                    std::shared_ptr<MappedFile>* keep_alive) {
+  ByteSink sink;
+  b.Serialize(sink);
+  {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(sink.data().data()),
+              static_cast<std::streamsize>(sink.size()));
+  }
+  std::string error;
+  *keep_alive = MappedFile::Open(file.path(), &error);
+  EXPECT_NE(*keep_alive, nullptr) << error;
+  ByteSource src((*keep_alive)->data(), (*keep_alive)->size());
+  src.EnableZeroCopy(*keep_alive);
+  Bitmap out = Bitmap::Deserialize(src);
+  EXPECT_TRUE(src.ok()) << src.error();
+  return out;
+}
+
+TEST(BitmapDifferential, BorrowedOperandsBehaveLikeOwned) {
+  std::mt19937_64 rng(31337);
+  for (Dist da : {Dist::kSparseArray, Dist::kFewLongRuns, Dist::kDenseBitset,
+                  Dist::kFullChunk}) {
+    for (Dist db : {Dist::kSparseArray, Dist::kFewLongRuns,
+                    Dist::kAlternatingBits}) {
+      std::set<uint32_t> ra = Materialize(da, 0, 2, rng);
+      std::set<uint32_t> rb = Materialize(db, 1, 2, rng);
+      Bitmap owned_a = FromSet(ra);
+      Bitmap owned_b = FromSet(rb);
+      owned_a.RunOptimize();
+      owned_b.RunOptimize();
+      TempFile fa("rigpm_diff_a"), fb("rigpm_diff_b");
+      std::shared_ptr<MappedFile> ma, mb;
+      Bitmap borrowed_a = BorrowedCopy(owned_a, fa, &ma);
+      Bitmap borrowed_b = BorrowedCopy(owned_b, fb, &mb);
+      std::string tag = std::string("borrowed ") + DistName(da) + " x " +
+                        DistName(db);
+      DifferentialCheck(borrowed_a, borrowed_b, ra, rb, tag);
+      // Mixed ownership pairings.
+      DifferentialCheck(borrowed_a, owned_b, ra, rb, tag + " (a borrowed)");
+      DifferentialCheck(owned_a, borrowed_b, ra, rb, tag + " (b borrowed)");
+      EXPECT_EQ(borrowed_a, owned_a) << tag;
+    }
+  }
+}
+
+TEST(BitmapDifferential, BorrowedContainersCostNoOwnedHeapUntilMutated) {
+  // The lazy-decode accounting contract (daemon RSS): a bitmap whose
+  // array/run payloads borrow from a mapping owns only its container table;
+  // the first mutating touch of a container materializes a private copy and
+  // the owned footprint grows.
+  std::mt19937_64 rng(4242);
+  std::set<uint32_t> ref = Materialize(Dist::kFullChunk, 0, 4, rng);
+  Bitmap owned = FromSet(ref);
+  owned.RunOptimize();
+  TempFile file("rigpm_diff_borrow");
+  std::shared_ptr<MappedFile> mapping;
+  Bitmap borrowed = BorrowedCopy(owned, file, &mapping);
+
+  BitmapContainerStats s;
+  borrowed.AccumulateStats(&s);
+  EXPECT_EQ(s.borrowed_containers, borrowed.ContainerCount());
+  const size_t before = borrowed.MemoryBytes();
+  // Borrowed encoded payloads are excluded from the owned footprint: four
+  // full-chunk run containers decode to 4 x 8 KiB, far above what the
+  // container table itself costs.
+  EXPECT_LT(before, 4096u);
+
+  // Reads do not decode.
+  EXPECT_TRUE(borrowed.Contains(*ref.begin()));
+  EXPECT_FALSE(borrowed.Contains(4u << 16));
+  borrowed.Add(100);           // already present: still no decode
+  EXPECT_EQ(borrowed.MemoryBytes(), before);
+
+  borrowed.Remove(100);        // real mutation: private decoded copy
+  ref.erase(100);
+  BitmapContainerStats after_stats;
+  borrowed.AccumulateStats(&after_stats);
+  EXPECT_EQ(after_stats.borrowed_containers, borrowed.ContainerCount() - 1);
+  EXPECT_GT(borrowed.MemoryBytes(), before);
+  ExpectMatches(borrowed, ref, "borrowed after mutation");
+}
+
+// ------------------------------------------- v2 -> v3 cross-version trips
+
+TEST(BitmapDifferential, CrossVersionGraphRoundTrips) {
+  // A graph written in the v2 format (no run containers) must load and
+  // re-save as v3 byte-identically in content, and vice versa, under both
+  // IO modes. Generated graphs give CSR bitmaps of every container kind.
+  GeneratorOptions gopts;
+  gopts.num_nodes = 4000;
+  gopts.num_edges = 60000;
+  gopts.num_labels = 3;
+  gopts.seed = 11;
+  Graph g = GenerateErdosRenyi(gopts);
+
+  TempFile v2_file("rigpm_diff_v2"), v3_file("rigpm_diff_v3");
+  std::string error;
+  // v2: pad arrays, no run containers, version-2 header.
+  ByteSink v2_sink(/*pad_arrays=*/true, /*encode_runs=*/false);
+  g.Serialize(v2_sink);
+  ASSERT_TRUE(WriteSnapshotFile(v2_file.path(), SnapshotKind::kGraph, v2_sink,
+                                &error, /*version=*/2))
+      << error;
+  ASSERT_TRUE(SaveGraphSnapshot(g, v3_file.path(), &error)) << error;
+
+  // v3 must not be larger than its v2 twin.
+  EXPECT_LE(std::filesystem::file_size(v3_file.path()),
+            std::filesystem::file_size(v2_file.path()));
+
+  for (SnapshotIoMode mode : kBothModes) {
+    std::optional<Graph> from_v2 =
+        LoadGraphSnapshot(v2_file.path(), {.io_mode = mode}, &error);
+    ASSERT_TRUE(from_v2.has_value()) << error;
+    std::optional<Graph> from_v3 =
+        LoadGraphSnapshot(v3_file.path(), {.io_mode = mode}, &error);
+    ASSERT_TRUE(from_v3.has_value()) << error;
+
+    ASSERT_EQ(from_v2->NumNodes(), g.NumNodes());
+    ASSERT_EQ(from_v3->NumNodes(), g.NumNodes());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(from_v2->OutBitmap(v), g.OutBitmap(v));
+      EXPECT_EQ(from_v3->OutBitmap(v), g.OutBitmap(v));
+      EXPECT_EQ(from_v2->InBitmap(v), from_v3->InBitmap(v));
+    }
+    for (LabelId l = 0; l < g.NumLabels(); ++l) {
+      EXPECT_EQ(from_v2->LabelBitmap(l), from_v3->LabelBitmap(l));
+    }
+
+    // Migration loop: v2 -> load -> save (v3 default) -> load.
+    TempFile resaved("rigpm_diff_resave");
+    ASSERT_TRUE(SaveGraphSnapshot(*from_v2, resaved.path(), &error)) << error;
+    std::optional<Graph> migrated =
+        LoadGraphSnapshot(resaved.path(), {.io_mode = mode}, &error);
+    ASSERT_TRUE(migrated.has_value()) << error;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(migrated->OutBitmap(v), g.OutBitmap(v));
+    }
+  }
+}
+
+TEST(BitmapDifferential, BitmapLevelCrossVersionRoundTrips) {
+  // Every distribution survives serialize(encode_runs=false) -> reader with
+  // runs disallowed (the v2 pipeline) and native v3 serialization alike.
+  std::mt19937_64 rng(606);
+  for (Dist d : kAllDists) {
+    std::set<uint32_t> ref = Materialize(d, 0, 3, rng);
+    Bitmap b = FromSet(ref);
+    b.RunOptimize();
+
+    ByteSink v2_sink(/*pad_arrays=*/true, /*encode_runs=*/false);
+    b.Serialize(v2_sink);
+    ByteSource v2_src(v2_sink.data().data(), v2_sink.size());
+    v2_src.DisallowRunContainers();
+    Bitmap from_v2 = Bitmap::Deserialize(v2_src);
+    EXPECT_TRUE(v2_src.ok()) << DistName(d) << ": " << v2_src.error();
+    ExpectMatches(from_v2, ref, std::string("v2 trip ") + DistName(d));
+
+    ByteSink v3_sink;
+    b.Serialize(v3_sink);
+    ByteSource v3_src(v3_sink.data().data(), v3_sink.size());
+    Bitmap from_v3 = Bitmap::Deserialize(v3_src);
+    EXPECT_TRUE(v3_src.ok()) << DistName(d) << ": " << v3_src.error();
+    ExpectMatches(from_v3, ref, std::string("v3 trip ") + DistName(d));
+    EXPECT_LE(v3_sink.size(), v2_sink.size()) << DistName(d);
+    EXPECT_EQ(from_v2, from_v3) << DistName(d);
+  }
+}
+
+}  // namespace
+}  // namespace rigpm

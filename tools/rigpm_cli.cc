@@ -241,8 +241,56 @@ const char* SnapshotKindName(uint32_t kind_value) {
   return "unknown";
 }
 
-// snapshot --inspect: header fields only, payload never decoded — the
-// debugging view for format v2 files.
+void PrintSectionStats(const char* name, const BitmapContainerStats& s) {
+  std::printf("  %-8s %5llu array  %5llu bitset  %5llu run  (%llu borrowed)"
+              "  encoded %llu B / decoded %llu B\n",
+              name, static_cast<unsigned long long>(s.array_containers),
+              static_cast<unsigned long long>(s.bitset_containers),
+              static_cast<unsigned long long>(s.run_containers),
+              static_cast<unsigned long long>(s.borrowed_containers),
+              static_cast<unsigned long long>(s.encoded_bytes),
+              static_cast<unsigned long long>(s.expanded_bytes));
+}
+
+// Deep view for graph-bearing snapshots: decode the graph part and report
+// the per-section bitmap container census (array/bitset/run counts and the
+// encoded-vs-decoded byte footprint that lazy decode preserves). Purely
+// additive diagnostics — a payload that fails to decode only prints a note,
+// because inspect's primary job is debugging files that do NOT load.
+void TryInspectContainers(const std::string& path, const SnapshotInfo& info) {
+  SnapshotKind kind = static_cast<SnapshotKind>(info.kind_value);
+  if (kind != SnapshotKind::kGraph && kind != SnapshotKind::kEngine) return;
+  SnapshotReader reader(path, kind);
+  if (!reader.ok()) {
+    std::printf("containers: unavailable (%s)\n", reader.error().c_str());
+    return;
+  }
+  Graph g = Graph::Deserialize(reader.source());
+  if (!reader.source().ok()) {
+    std::printf("containers: unavailable (%s)\n",
+                reader.source().error().c_str());
+    return;
+  }
+  BitmapContainerStats fwd = g.SectionStats(Graph::BitmapSection::kForward);
+  BitmapContainerStats bwd = g.SectionStats(Graph::BitmapSection::kBackward);
+  BitmapContainerStats lab = g.SectionStats(Graph::BitmapSection::kLabels);
+  std::printf("containers (graph part):\n");
+  PrintSectionStats("fwd", fwd);
+  PrintSectionStats("bwd", bwd);
+  PrintSectionStats("labels", lab);
+  BitmapContainerStats total = fwd;
+  total.Accumulate(bwd);
+  total.Accumulate(lab);
+  PrintSectionStats("total", total);
+  if (total.expanded_bytes > 0) {
+    std::printf("  bitmap payload compression: %.1f%% of decoded size\n",
+                100.0 * static_cast<double>(total.encoded_bytes) /
+                    static_cast<double>(total.expanded_bytes));
+  }
+}
+
+// snapshot --inspect: header fields always (payload never needs to decode);
+// for graph-bearing kinds, a best-effort container census on top.
 int RunInspect(const std::string& path) {
   std::string error;
   auto info = InspectSnapshot(path, &error);
@@ -277,6 +325,11 @@ int RunInspect(const std::string& path) {
   std::printf("alignment: %s\n",
               info->aligned ? "8-byte padded arrays (zero-copy mmap load)"
                             : "unpadded v1 arrays (loads copy out)");
+  std::printf("runs:      %s\n",
+              info->run_encoded
+                  ? "native run containers (v3; lazy-decoded from mmap)"
+                  : "pre-v3 (array/bitset containers only)");
+  TryInspectContainers(path, *info);
   return 0;
 }
 
