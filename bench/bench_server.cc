@@ -20,6 +20,13 @@
 // flood must not cost a single failed round trip, and the accept-to-
 // first-byte percentiles under churn come from the server's own stats.
 //
+// A cache phase replays a Zipfian repeat-heavy workload against a
+// delta-armed daemon: a cold pass first-touches every distinct template
+// instantiation, a hot pass re-draws them Zipfian so nearly every request
+// is a result-cache hit, and a final flood keeps querying while a live
+// kRefresh swaps the generation underneath — zero failed round trips
+// allowed, and every count must match the old or the new oracle.
+//
 // A fourth phase measures the multi-tenant catalog: the same daemon core
 // serving three distinct graphs from snapshots behind scoped sessions,
 // with an LRU cap below the tenant count (so every request may evict),
@@ -42,6 +49,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <random>
 #include <span>
 #include <string>
 #include <thread>
@@ -275,7 +283,195 @@ int main() {
   }
   server.Stop();
 
-  // --- (d) Multi-tenant catalog: three snapshot tenants behind one daemon,
+  // --- (d) Result cache: Zipfian repeat traffic against a delta-armed
+  // daemon. Unique keys come from re-instantiating the template workload
+  // under many seeds so the cold pass has enough first-touches to time.
+  std::vector<std::string> rc_texts;
+  for (uint64_t seed = 100; seed < 108; ++seed) {
+    auto w = TemplateWorkload(g, RepresentativeTemplateNames(),
+                              QueryVariant::kHybrid, seed);
+    for (const NamedQuery& nq : w) {
+      rc_texts.push_back(PatternToString(nq.query));
+    }
+  }
+  std::vector<PatternQuery> rc_queries;
+  for (const std::string& text : rc_texts) {
+    rc_queries.push_back(*ParsePattern(text));
+  }
+  std::vector<GmResult> rc_direct = engine.EvaluateBatch(
+      std::span<const PatternQuery>(rc_queries), batch_opts);
+
+  const std::string rc_snap = config.unix_path + ".rc.snap";
+  const std::string rc_delta = config.unix_path + ".rc.delta";
+  if (!SaveEngineSnapshot(engine, rc_snap, &error)) {
+    std::fprintf(stderr, "cannot save cache snapshot: %s\n", error.c_str());
+    return 1;
+  }
+  auto rc_info = InspectSnapshot(rc_snap, &error);
+  if (!rc_info.has_value()) {
+    std::fprintf(stderr, "cannot inspect cache snapshot: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  server::ServerConfig rc_config;
+  rc_config.unix_path = config.unix_path + ".rc";
+  rc_config.num_workers = num_clients;
+  rc_config.delta_path = rc_delta;
+  rc_config.base_checksum = rc_info->stored_checksum;
+  server::QueryServer rc_server(engine, rc_config);
+  if (!rc_server.Start(&error)) {
+    std::fprintf(stderr, "cannot start cache server: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::atomic<uint64_t> rc_failures{0};
+  std::atomic<uint64_t> rc_mismatches{0};
+  constexpr size_t kRcWindow = 16;
+  // One pipelined pass over a request-index list, verifying each count
+  // against the matching oracle slot.
+  auto rc_run = [&](const std::vector<size_t>& picks,
+                    const std::vector<GmResult>& oracle) {
+    std::vector<std::thread> threads;
+    threads.reserve(num_clients);
+    for (uint32_t c = 0; c < num_clients; ++c) {
+      threads.emplace_back([&, c] {
+        server::QueryClient client;
+        std::string cerr;
+        if (!client.ConnectUnix(rc_config.unix_path, &cerr)) {
+          ++rc_failures;
+          return;
+        }
+        std::vector<size_t> slice;
+        for (size_t i = c; i < picks.size(); i += num_clients) {
+          slice.push_back(picks[i]);
+        }
+        for (size_t start = 0; start < slice.size(); start += kRcWindow) {
+          size_t end = std::min(slice.size(), start + kRcWindow);
+          std::vector<server::QueryRequest> reqs;
+          reqs.reserve(end - start);
+          for (size_t k = start; k < end; ++k) {
+            server::QueryRequest req;
+            req.patterns = {rc_texts[slice[k]]};
+            req.limit = opts.limit;
+            reqs.push_back(std::move(req));
+          }
+          auto resps = client.QueryPipelined(reqs, &cerr);
+          if (!resps.has_value()) {
+            rc_failures += end - start;
+            return;
+          }
+          for (size_t k = start; k < end; ++k) {
+            const server::QueryResponse& r = (*resps)[k - start];
+            if (r.status != server::StatusCode::kOk ||
+                r.results.size() != 1) {
+              ++rc_failures;
+            } else if (r.results[0].num_occurrences !=
+                       oracle[slice[k]].num_occurrences) {
+              ++rc_mismatches;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  };
+
+  // Cold pass: every distinct query exactly once — all misses.
+  std::vector<size_t> cold_picks(rc_texts.size());
+  for (size_t i = 0; i < cold_picks.size(); ++i) cold_picks[i] = i;
+  double rc_cold_ms = TimeMs([&] { rc_run(cold_picks, rc_direct); });
+
+  // Hot pass: many Zipfian draws over the now-resident keys. The skew is
+  // cosmetic — after the cold pass EVERY draw is a hit; it just shapes
+  // the LRU traffic the way repeat-heavy dashboards do.
+  std::vector<double> zipf_w(rc_texts.size());
+  for (size_t i = 0; i < zipf_w.size(); ++i) zipf_w[i] = 1.0 / (i + 1.0);
+  std::mt19937 rc_rng(7);
+  std::discrete_distribution<size_t> zipf(zipf_w.begin(), zipf_w.end());
+  std::vector<size_t> hot_picks(rc_texts.size() * 24);
+  for (size_t& p : hot_picks) p = zipf(rc_rng);
+  double rc_hot_ms = TimeMs([&] { rc_run(hot_picks, rc_direct); });
+  server::ServerStats rc_warm_stats = rc_server.Snapshot();
+
+  // Invalidation flood: append + kRefresh while clients keep drawing.
+  // Counts may legally come from either generation; nothing may fail.
+  std::vector<std::pair<NodeId, NodeId>> rc_batch;
+  for (size_t i = 0; i < 8; ++i) {
+    rc_batch.emplace_back(static_cast<NodeId>((i * 7919u + 5) % g.NumNodes()),
+                          static_cast<NodeId>((i * 104729u + 13) %
+                                              g.NumNodes()));
+  }
+  Graph rc_merged = ApplyEdgesToGraph(g, rc_batch);
+  GmEngine rc_engine2(rc_merged);
+  std::vector<GmResult> rc_direct2 = rc_engine2.EvaluateBatch(
+      std::span<const PatternQuery>(rc_queries), batch_opts);
+  {
+    auto writer = DeltaWriter::Open(rc_delta, rc_info->stored_checksum,
+                                    g.NumNodes(), &error);
+    if (writer == nullptr || !writer->Append(rc_batch, &error)) {
+      std::fprintf(stderr, "cannot write cache delta: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::atomic<uint64_t> rc_refresh_failures{0};
+  {
+    std::vector<std::thread> flood;
+    flood.reserve(num_clients);
+    std::atomic<bool> go{false};
+    for (uint32_t c = 0; c < num_clients; ++c) {
+      flood.emplace_back([&, c] {
+        server::QueryClient client;
+        std::string cerr;
+        if (!client.ConnectUnix(rc_config.unix_path, &cerr)) {
+          ++rc_refresh_failures;
+          return;
+        }
+        std::mt19937 rng(100 + c);
+        std::discrete_distribution<size_t> draw(zipf_w.begin(),
+                                                zipf_w.end());
+        while (!go.load(std::memory_order_relaxed)) {
+          const size_t pick = draw(rng);
+          server::QueryRequest req;
+          req.patterns = {rc_texts[pick]};
+          req.limit = opts.limit;
+          auto resp = client.Query(req, &cerr);
+          if (!resp.has_value() ||
+              resp->status != server::StatusCode::kOk ||
+              resp->results.size() != 1) {
+            ++rc_refresh_failures;
+            return;
+          }
+          const uint64_t got = resp->results[0].num_occurrences;
+          if (got != rc_direct[pick].num_occurrences &&
+              got != rc_direct2[pick].num_occurrences) {
+            ++rc_mismatches;
+          }
+        }
+      });
+    }
+    server::QueryClient admin;
+    std::string aerr;
+    if (!admin.ConnectUnix(rc_config.unix_path, &aerr)) {
+      std::fprintf(stderr, "cache admin connect failed: %s\n", aerr.c_str());
+      return 1;
+    }
+    auto refreshed = admin.Refresh(&aerr);
+    if (!refreshed.has_value() ||
+        refreshed->status != server::StatusCode::kOk) {
+      ++rc_refresh_failures;
+    }
+    go.store(true);
+    for (std::thread& t : flood) t.join();
+    // Post-swap steady state: the whole key set must now answer from the
+    // NEW generation (a stale hit would still show an old count).
+    rc_run(cold_picks, rc_direct2);
+  }
+  server::ServerStats rc_stats = rc_server.Snapshot();
+  rc_server.Stop();
+  std::remove(rc_snap.c_str());
+  std::remove(rc_delta.c_str());
+
+  // --- (e) Multi-tenant catalog: three snapshot tenants behind one daemon,
   // an LRU cap of 2 (below the tenant count, so the scoped flood churns
   // evictions), scoped clients pinned per tenant plus one legacy unscoped
   // client on the default, and a per-tenant refresh over the wire.
@@ -503,6 +699,43 @@ int main() {
                 idle_conns,
                 static_cast<unsigned long long>(churn_accepts),
                 c10k_stats.accept_p50_ms, c10k_stats.accept_p99_ms);
+    std::printf("c10k flushes: %llu (%llu frame(s) flushed — >1 per flush "
+                "means the gather writes coalesced)\n",
+                static_cast<unsigned long long>(c10k_stats.flushes),
+                static_cast<unsigned long long>(c10k_stats.frames_flushed));
+  }
+
+  {
+    const double rc_cold_rps =
+        rc_texts.size() / (rc_cold_ms / 1000.0);
+    const double rc_hot_rps = hot_picks.size() / (rc_hot_ms / 1000.0);
+    std::printf("\nresult cache phase (%zu distinct queries, Zipfian "
+                "repeats):\n", rc_texts.size());
+    TablePrinter rc_table({"pass", "requests", "time(s)", "RPS"});
+    char rc_buf[4][32];
+    std::snprintf(rc_buf[0], sizeof(rc_buf[0]), "%zu", rc_texts.size());
+    std::snprintf(rc_buf[1], sizeof(rc_buf[1]), "%.0f", rc_cold_rps);
+    rc_table.AddRow({"cold (all misses)", rc_buf[0],
+                     FormatSeconds(rc_cold_ms), rc_buf[1]});
+    std::snprintf(rc_buf[2], sizeof(rc_buf[2]), "%zu", hot_picks.size());
+    std::snprintf(rc_buf[3], sizeof(rc_buf[3]), "%.0f", rc_hot_rps);
+    rc_table.AddRow({"hot (cache hits)", rc_buf[2],
+                     FormatSeconds(rc_hot_ms), rc_buf[3]});
+    rc_table.Print();
+    std::printf("cache speedup: %.1fx hit RPS over cold; warm pass: "
+                "%llu hit(s), %llu miss(es)\n",
+                rc_cold_rps > 0 ? rc_hot_rps / rc_cold_rps : 0.0,
+                static_cast<unsigned long long>(rc_warm_stats.cache.hits),
+                static_cast<unsigned long long>(rc_warm_stats.cache.misses));
+    std::printf("live refresh: generation swapped mid-flood with %llu "
+                "failed round trip(s); final counts match the new graph "
+                "(%llu total hit(s), %llu miss(es), %llu entry(ies), "
+                "%.1f MB cached)\n",
+                static_cast<unsigned long long>(rc_refresh_failures.load()),
+                static_cast<unsigned long long>(rc_stats.cache.hits),
+                static_cast<unsigned long long>(rc_stats.cache.misses),
+                static_cast<unsigned long long>(rc_stats.cache.entries),
+                rc_stats.cache.bytes_used / (1024.0 * 1024.0));
   }
 
   if (run_multitenant) {
@@ -550,16 +783,24 @@ int main() {
 
   if (transport_failures.load() != 0 || mismatches.load() != 0 ||
       c10k_failures.load() != 0 || c10k_mismatches.load() != 0 ||
+      rc_failures.load() != 0 || rc_mismatches.load() != 0 ||
+      rc_refresh_failures.load() != 0 ||
       mt_failures.load() != 0 || mt_mismatches.load() != 0) {
     std::fprintf(stderr,
                  "FAIL: %llu transport failure(s), %llu count mismatch(es), "
                  "%llu c10k failure(s), %llu c10k mismatch(es), "
+                 "%llu cache failure(s), %llu cache mismatch(es), "
+                 "%llu refresh-flood failure(s), "
                  "%llu multi-tenant failure(s), %llu multi-tenant "
                  "mismatch(es)\n",
                  static_cast<unsigned long long>(transport_failures.load()),
                  static_cast<unsigned long long>(mismatches.load()),
                  static_cast<unsigned long long>(c10k_failures.load()),
                  static_cast<unsigned long long>(c10k_mismatches.load()),
+                 static_cast<unsigned long long>(rc_failures.load()),
+                 static_cast<unsigned long long>(rc_mismatches.load()),
+                 static_cast<unsigned long long>(
+                     rc_refresh_failures.load()),
                  static_cast<unsigned long long>(mt_failures.load()),
                  static_cast<unsigned long long>(mt_mismatches.load()));
     return 1;

@@ -102,6 +102,29 @@ class PatternQuery {
   /// distinct endpoint pairs.
   bool IsUndirectedAcyclic() const;
 
+  /// Canonical byte encoding of the pattern, invariant under the node
+  /// renumbering that a permuted declaration order induces: two patterns
+  /// that are isomorphic as labeled typed digraphs produce identical bytes
+  /// (WL color refinement picks the node order; ties are broken by trying
+  /// every within-class permutation and keeping the lexicographically
+  /// smallest encoding). Distinct patterns always encode differently — the
+  /// encoding is a faithful serialization, so it is safe as an exact cache
+  /// key. For pathological patterns whose refined color classes admit more
+  /// than kMaxCanonicalPerms orderings the tie-break falls back to the
+  /// construction order: such twins may fail to collide (a cache miss),
+  /// never the reverse.
+  std::vector<uint8_t> CanonicalEncoding() const;
+
+  /// 64-bit digest of CanonicalEncoding() — the order-insensitive pattern
+  /// fingerprint the server's result cache keys on.
+  uint64_t CanonicalFingerprint() const;
+
+  /// Tie-break budget of CanonicalEncoding(): the maximum number of
+  /// within-color-class orderings tried before falling back (8! covers any
+  /// realistic pattern; the search only runs when refinement leaves
+  /// structurally indistinguishable nodes).
+  static constexpr uint64_t kMaxCanonicalPerms = 40320;
+
   /// One-line human-readable description for logs and bench output.
   std::string Summary() const;
 

@@ -59,6 +59,7 @@ bool EngineCatalog::AdoptEngine(const std::string& id, const GmEngine& engine,
       std::shared_ptr<const GmEngine>(std::shared_ptr<const GmEngine>(),
                                       &engine);
   state->base_checksum = base_checksum;
+  state->cache = MakeCache();
   auto entry = std::make_shared<Entry>();
   entry->id = id;
   entry->source = std::move(source);
@@ -95,6 +96,12 @@ std::shared_ptr<const EngineState> EngineCatalog::StateOf(
     const Entry& e) const {
   std::lock_guard<std::mutex> lock(e.state_mu);
   return e.state;
+}
+
+std::shared_ptr<ResultCache> EngineCatalog::MakeCache() const {
+  uint64_t bytes = cache_bytes();
+  if (bytes == 0) return nullptr;
+  return std::make_shared<ResultCache>(bytes);
 }
 
 std::shared_ptr<const EngineState> EngineCatalog::Acquire(
@@ -156,6 +163,7 @@ std::shared_ptr<const EngineState> EngineCatalog::Open(Entry& e,
   state->applied_chain = warm->applied_chain;
   state->graph = std::shared_ptr<const Graph>(std::move(warm->graph));
   state->engine = std::shared_ptr<const GmEngine>(std::move(warm->engine));
+  state->cache = MakeCache();
   return state;
 }
 
@@ -237,6 +245,7 @@ CatalogRefreshResult EngineCatalog::Refresh(const std::string& id) {
     base->base_checksum = warm->stored_checksum;
     base->graph = std::shared_ptr<const Graph>(std::move(warm->graph));
     base->engine = std::shared_ptr<const GmEngine>(std::move(warm->engine));
+    base->cache = MakeCache();
     old_state = base;
     newly_opened = true;
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -326,6 +335,9 @@ CatalogRefreshResult EngineCatalog::Refresh(const std::string& id) {
   new_state->applied_seqno = stats.last_seqno;
   new_state->applied_chain = stats.end_chain;
   new_state->base_checksum = old_state->base_checksum;
+  // A fresh EMPTY cache, never the old one: every entry of the outgoing
+  // generation answered on the pre-refresh graph.
+  new_state->cache = MakeCache();
   result.ok = true;
   result.last_seqno = stats.last_seqno;
   result.num_nodes = new_state->graph->NumNodes();
@@ -360,6 +372,7 @@ std::vector<TenantInfo> EngineCatalog::List() const {
     if (auto state = StateOf(*entry)) {
       info.resident = true;
       info.applied_seqno = state->applied_seqno;
+      if (state->cache != nullptr) info.cache = state->cache->Stats();
     }
     infos.push_back(std::move(info));
   }

@@ -11,6 +11,7 @@
 
 #include "engine/gm_engine.h"
 #include "graph/graph.h"
+#include "server/result_cache.h"
 #include "storage/snapshot_io.h"
 
 namespace rigpm::server {
@@ -33,6 +34,12 @@ struct EngineState {
   /// from (0 for adopted engines with no snapshot identity). Refreshes
   /// reject a delta log bound to a different base.
   uint64_t base_checksum = 0;
+  /// Query-result cache for THIS generation (null when caching is off).
+  /// Living on the state means invalidation is the RCU swap itself: a
+  /// refresh publishes a successor with a fresh empty cache, in-flight
+  /// hits on the old generation stay consistent with the engine they were
+  /// computed on, and evicting the tenant drops the cache with it.
+  std::shared_ptr<ResultCache> cache;
 };
 
 /// Where a tenant's engine comes from: a snapshot on disk, optionally with
@@ -59,6 +66,10 @@ struct TenantInfo {
   bool refreshable = false;  // has a delta source
   uint64_t applied_seqno = 0;
   uint64_t queries = 0;  // queries served for this tenant since start
+  /// Result-cache counters of the CURRENT generation (all zero when the
+  /// tenant is non-resident or caching is off). Reset by design at every
+  /// refresh — the cache is generation-scoped.
+  ResultCacheStats cache;
 };
 
 /// Point-in-time catalog counters.
@@ -160,6 +171,17 @@ class EngineCatalog {
 
   uint32_t max_engines() const { return max_engines_; }
 
+  /// Per-tenant result-cache byte budget attached to engines opened (or
+  /// refreshed) from now on; 0 disables caching for them. Configure before
+  /// serving starts — already-resident generations keep the cache they
+  /// were built with.
+  void set_cache_bytes(uint64_t bytes) {
+    cache_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  uint64_t cache_bytes() const {
+    return cache_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Id serving unaddressed (legacy) requests; "" while nothing is
   /// registered. The first registration sets it; SetDefault overrides.
   std::string default_id() const;
@@ -185,6 +207,8 @@ class EngineCatalog {
   std::shared_ptr<Entry> FindAndTouch(const std::string& id);
   std::shared_ptr<Entry> Find(const std::string& id) const;
   std::shared_ptr<const EngineState> StateOf(const Entry& e) const;
+  /// A fresh generation-scoped cache, or null when cache_bytes() is 0.
+  std::shared_ptr<ResultCache> MakeCache() const;
   /// Opens e.source (full delta replay included). Caller holds e.open_mu.
   std::shared_ptr<const EngineState> Open(Entry& e, std::string* error);
   /// Evicts least-recently-used evictable residents until the cap holds;
@@ -201,6 +225,7 @@ class EngineCatalog {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> cache_bytes_{kDefaultResultCacheBytes};
 };
 
 }  // namespace rigpm::server

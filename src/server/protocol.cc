@@ -205,6 +205,20 @@ void StatsResponse::Serialize(ByteSink& sink) const {
   sink.WriteU64(catalog_evictions);
   sink.WriteU32(static_cast<uint32_t>(tenants.size()));
   for (const GraphInfoWire& t : tenants) t.Serialize(sink);
+  // Result-cache + write-coalescing fields, appended after the tenant list
+  // (extending GraphInfoWire itself would desynchronize older readers
+  // mid-stream; a new appended section is merely absent for them).
+  sink.WriteU64(cache_hits);
+  sink.WriteU64(cache_misses);
+  sink.WriteU64(cache_inserts);
+  sink.WriteU64(cache_evictions);
+  sink.WriteU64(cache_singleflight_waits);
+  sink.WriteU64(cache_bytes_used);
+  sink.WriteU64(cache_entries);
+  sink.WriteU64(flushes);
+  sink.WriteU64(frames_flushed);
+  sink.WriteU32(static_cast<uint32_t>(tenant_caches.size()));
+  for (const TenantCacheWire& t : tenant_caches) t.Serialize(sink);
 }
 
 StatsResponse StatsResponse::Deserialize(ByteSource& src) {
@@ -246,6 +260,29 @@ StatsResponse StatsResponse::Deserialize(ByteSource& src) {
       t = GraphInfoWire::Deserialize(src);
     }
   }
+  // Result-cache + write-coalescing fields, appended one release later.
+  s.cache_hits = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.cache_misses = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.cache_inserts = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.cache_evictions = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.cache_singleflight_waits =
+      src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.cache_bytes_used = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.cache_entries = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.flushes = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.frames_flushed = src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  if (src.remaining() >= sizeof(uint32_t)) {
+    uint32_t num_caches = src.ReadU32();
+    if (num_caches > src.remaining() / sizeof(uint64_t)) {
+      src.Fail("tenant cache count exceeds response size");
+      return s;
+    }
+    s.tenant_caches.resize(num_caches);
+    for (TenantCacheWire& t : s.tenant_caches) {
+      if (!src.ok()) break;
+      t = TenantCacheWire::Deserialize(src);
+    }
+  }
   return s;
 }
 
@@ -267,6 +304,30 @@ GraphInfoWire GraphInfoWire::Deserialize(ByteSource& src) {
   g.applied_seqno = src.ReadU64();
   g.queries = src.ReadU64();
   return g;
+}
+
+void TenantCacheWire::Serialize(ByteSink& sink) const {
+  sink.WriteString(id);
+  sink.WriteU64(hits);
+  sink.WriteU64(misses);
+  sink.WriteU64(inserts);
+  sink.WriteU64(evictions);
+  sink.WriteU64(singleflight_waits);
+  sink.WriteU64(bytes_used);
+  sink.WriteU64(entries);
+}
+
+TenantCacheWire TenantCacheWire::Deserialize(ByteSource& src) {
+  TenantCacheWire t;
+  t.id = src.ReadString();
+  t.hits = src.ReadU64();
+  t.misses = src.ReadU64();
+  t.inserts = src.ReadU64();
+  t.evictions = src.ReadU64();
+  t.singleflight_waits = src.ReadU64();
+  t.bytes_used = src.ReadU64();
+  t.entries = src.ReadU64();
+  return t;
 }
 
 void ListGraphsResponse::Serialize(ByteSink& sink) const {

@@ -185,6 +185,25 @@ struct GraphInfoWire {
   static GraphInfoWire Deserialize(ByteSource& src);
 };
 
+/// Per-tenant result-cache row of the stats tail: counters of the tenant's
+/// CURRENT engine generation (the cache is generation-scoped, so a refresh
+/// resets them; see server/result_cache.h). Kept out of GraphInfoWire —
+/// extending that row mid-stream would break pre-cache readers of the
+/// tenant list, while a separate appended list is simply absent for them.
+struct TenantCacheWire {
+  std::string id;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t singleflight_waits = 0;
+  uint64_t bytes_used = 0;
+  uint64_t entries = 0;
+
+  void Serialize(ByteSink& sink) const;
+  static TenantCacheWire Deserialize(ByteSource& src);
+};
+
 struct StatsResponse {
   uint64_t uptime_ms = 0;
   uint64_t connections_accepted = 0;
@@ -211,6 +230,20 @@ struct StatsResponse {
   uint64_t catalog_misses = 0;
   uint64_t catalog_evictions = 0;
   std::vector<GraphInfoWire> tenants;
+
+  // Result-cache + write-coalescing tail (appended after the tenant list;
+  // absent from older daemons and then reported as zero/empty). The cache_*
+  // totals sum every resident tenant's current-generation cache.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_singleflight_waits = 0;
+  uint64_t cache_bytes_used = 0;
+  uint64_t cache_entries = 0;
+  uint64_t flushes = 0;         // sendmsg gather calls that moved bytes
+  uint64_t frames_flushed = 0;  // whole response frames those calls retired
+  std::vector<TenantCacheWire> tenant_caches;
 
   void Serialize(ByteSink& sink) const;
   static StatsResponse Deserialize(ByteSource& src);

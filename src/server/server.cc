@@ -7,6 +7,7 @@
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -98,6 +99,8 @@ QueryServer::QueryServer(std::shared_ptr<EngineCatalog> catalog,
 
 QueryServer::QueryServer(const GmEngine& engine, ServerConfig config)
     : QueryServer(std::make_shared<EngineCatalog>(), std::move(config)) {
+  // Before AdoptEngine: the cache is attached when the state is built.
+  catalog_->set_cache_bytes(config_.cache_bytes);
   // The adopted state aliases the caller's engine (which must outlive the
   // server); refreshed states own their graph + engine.
   EngineSource source;
@@ -547,31 +550,68 @@ void QueryServer::PumpDispatch(const std::shared_ptr<Connection>& conn) {
 }
 
 bool QueryServer::FlushWrites(const std::shared_ptr<Connection>& conn) {
+  // Gather cap per sendmsg (IOV_MAX is far higher; deeper queues loop).
+  constexpr size_t kMaxFlushIov = 64;
   std::lock_guard<std::mutex> lock(conn->mu);
+  uint64_t flushes = 0;
+  uint64_t frames = 0;
+  auto commit = [&] {
+    if (flushes == 0) return;
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    flushes_ += flushes;
+    frames_flushed_ += frames;
+  };
   while (!conn->wq.empty()) {
-    const std::vector<uint8_t>& front = conn->wq.front();
-    ssize_t r = ::send(conn->fd, front.data() + conn->wq_front_off,
-                       front.size() - conn->wq_front_off, MSG_NOSIGNAL);
+    // Writev-style coalescing: every queued response frame (up to the
+    // iovec cap) leaves in ONE gathering send — a pipeline of small
+    // responses costs one syscall and one packet, not one per frame.
+    iovec iov[kMaxFlushIov];
+    size_t niov = 0;
+    for (const std::vector<uint8_t>& frame : conn->wq) {
+      if (niov == kMaxFlushIov) break;
+      size_t off = niov == 0 ? conn->wq_front_off : 0;
+      iov[niov].iov_base = const_cast<uint8_t*>(frame.data() + off);
+      iov[niov].iov_len = frame.size() - off;
+      ++niov;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    // sendmsg rather than plain writev: only msg-based sends take
+    // MSG_NOSIGNAL, and a vanished peer must be an error return here, not
+    // a process-wide SIGPIPE.
+    ssize_t r = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (r > 0) {
       if (!conn->first_byte_recorded) {
         conn->first_byte_recorded = true;
         RecordAcceptLatency(MsSince(conn->accept_time));
       }
       conn->last_activity = std::chrono::steady_clock::now();
-      conn->wq_front_off += static_cast<size_t>(r);
       conn->wq_bytes -= static_cast<size_t>(r);
-      if (conn->wq_front_off == front.size()) {
+      ++flushes;
+      // Retire fully-sent frames, advance into a partially-sent one.
+      size_t sent = static_cast<size_t>(r);
+      while (sent > 0) {
+        size_t left = conn->wq.front().size() - conn->wq_front_off;
+        if (sent < left) {
+          conn->wq_front_off += sent;
+          break;
+        }
+        sent -= left;
         conn->wq.pop_front();
         conn->wq_front_off = 0;
+        ++frames;
       }
       continue;
     }
     if (r < 0 && errno == EINTR) continue;
+    commit();
     if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       return true;  // socket buffer full; EPOLLOUT re-arms the flush
     }
     return false;  // peer vanished
   }
+  commit();
   return !conn->close_after_flush;  // fully flushed; close if so marked
 }
 
@@ -874,23 +914,28 @@ ByteSink QueryServer::HandleQuery(const QueryRequest& req,
                                   TenantSlot& slot) {
   const GmEngine& engine = *slot.state->engine;
   EvalContext& ctx = *slot.ctx;
-  QueryResponse resp;
+  // Generation-scoped: lives and dies with the pinned state, so a hit is
+  // always consistent with the engine this request would have evaluated on.
+  const std::shared_ptr<ResultCache>& cache = slot.state->cache;
   auto respond_error = [&](StatusCode status, const std::string& msg) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++errors_;
     }
+    QueryResponse resp;
     resp.status = status;
     resp.error = msg;
-    resp.results.clear();
     ByteSink sink;
     resp.Serialize(sink);
     return sink;
   };
 
-  // Resolve the request into concrete queries.
+  // Validate and parse. Template INSTANTIATION is deferred past the cache
+  // probe: a template request's key needs only the name and seed, so the
+  // hot template hit path skips instantiation along with evaluation.
+  const bool is_template = !req.template_name.empty();
   std::vector<PatternQuery> queries;
-  if (!req.template_name.empty()) {
+  if (is_template) {
     if (!req.patterns.empty()) {
       return respond_error(StatusCode::kBadRequest,
                            "request has both patterns and a template");
@@ -899,10 +944,6 @@ ByteSink QueryServer::HandleQuery(const QueryRequest& req,
       return respond_error(StatusCode::kParseError,
                            "unknown query template " + req.template_name);
     }
-    queries.push_back(InstantiateTemplate(TemplateByName(req.template_name),
-                                          QueryVariant::kHybrid,
-                                          engine.graph().NumLabels(),
-                                          req.template_seed));
   } else {
     if (req.patterns.empty()) {
       return respond_error(StatusCode::kBadRequest,
@@ -923,6 +964,7 @@ ByteSink QueryServer::HandleQuery(const QueryRequest& req,
       queries.push_back(std::move(*q));
     }
   }
+  const uint64_t num_queries = is_template ? 1 : queries.size();
 
   GmOptions opts;
   opts.limit = req.limit;
@@ -939,54 +981,110 @@ ByteSink QueryServer::HandleQuery(const QueryRequest& req,
   const uint32_t tuple_cap =
       std::min(req.max_return_tuples, config_.max_return_tuples);
 
-  std::vector<GmResult> results;
-  if (queries.size() == 1) {
-    // The serving hot path: the worker's own reusable context.
-    resp.tuple_arity = queries[0].NumNodes();
-    std::mutex tuples_mu;  // parallel enumeration invokes the sink concurrently
-    OccurrenceSink sink = nullptr;
-    if (tuple_cap > 0) {
-      sink = [&](const Occurrence& t) {
-        std::lock_guard<std::mutex> lock(tuples_mu);
-        if (resp.tuples.size() / resp.tuple_arity <
-            static_cast<size_t>(tuple_cap)) {
-          resp.tuples.insert(resp.tuples.end(), t.begin(), t.end());
-        }
-        return true;
-      };
+  // Books a served response (hit or cold) and puts it on the wire.
+  auto serve = [&](const std::shared_ptr<const QueryResponse>& r) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      queries_served_ += num_queries;
+      occurrences_emitted_ += r->TotalOccurrences();
     }
-    results.push_back(engine.Evaluate(ctx, queries[0], opts, sink));
-  } else {
-    // Multi-pattern request: one EvaluateBatch call (its own worker pool
-    // and contexts; per-query results identical to sequential evaluation).
-    results = engine.EvaluateBatch(std::span<const PatternQuery>(queries),
-                                   opts, nullptr);
+    catalog_->CountQuery(graph_id, num_queries);
+    ByteSink sink;
+    r->Serialize(sink);
+    return sink;
+  };
+
+  // Cache key: exact canonical bytes (compared in full on every probe — a
+  // digest collision could serve a wrong result, so no digest-only keys),
+  // plus the result-relevant options. num_threads is excluded: per-query
+  // results are identical at every thread count (the PR 1 equivalence the
+  // tests lock), so thread-count variants share one entry.
+  std::string cache_key;
+  if (cache != nullptr) {
+    ByteSink kb;
+    if (is_template) {
+      kb.WriteU8('T');
+      kb.WriteString(req.template_name);
+      kb.WriteU64(req.template_seed);
+    } else {
+      // Per-pattern canonical encodings, concatenated in REQUEST order: a
+      // batch response carries one result row per request position, so
+      // batch order is result-relevant even though each pattern's own
+      // encoding is declaration-order-insensitive.
+      kb.WriteU8('P');
+      for (const PatternQuery& q : queries) {
+        std::vector<uint8_t> enc = q.CanonicalEncoding();
+        kb.WriteU64(enc.size());
+        kb.WriteRaw(enc.data(), enc.size());
+      }
+    }
+    kb.WriteU64(req.limit);
+    kb.WriteU8(req.use_transitive_reduction ? 1 : 0);
+    kb.WriteU8(req.use_prefilter ? 1 : 0);
+    kb.WriteU8(req.use_double_simulation ? 1 : 0);
+    kb.WriteU32(tuple_cap);
+    cache_key.assign(reinterpret_cast<const char*>(kb.data().data()),
+                     kb.size());
+    if (is_template) {
+      if (auto hit = cache->Lookup(cache_key)) return serve(hit);
+    }
   }
 
-  uint64_t occurrences = 0;
-  for (const GmResult& r : results) {
-    QueryResultWire w;
-    w.num_occurrences = r.num_occurrences;
-    w.hit_limit = r.hit_limit;
-    w.matching_ms = r.MatchingMs();
-    w.enumerate_ms = r.enumerate_ms;
-    w.phase_timings.reserve(r.phase_timings.size());
-    for (const PhaseTiming& pt : r.phase_timings) {
-      w.phase_timings.push_back(PhaseTimingWire{pt.name, pt.ms});
-    }
-    occurrences += r.num_occurrences;
-    resp.results.push_back(std::move(w));
+  if (is_template) {
+    queries.push_back(InstantiateTemplate(TemplateByName(req.template_name),
+                                          QueryVariant::kHybrid,
+                                          engine.graph().NumLabels(),
+                                          req.template_seed));
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    queries_served_ += queries.size();
-    occurrences_emitted_ += occurrences;
-  }
-  catalog_->CountQuery(graph_id, queries.size());
 
-  ByteSink sink;
-  resp.Serialize(sink);
-  return sink;
+  auto evaluate = [&]() -> std::shared_ptr<const QueryResponse> {
+    auto resp = std::make_shared<QueryResponse>();
+    std::vector<GmResult> results;
+    if (queries.size() == 1) {
+      // The serving hot path: the worker's own reusable context.
+      resp->tuple_arity = queries[0].NumNodes();
+      std::mutex tuples_mu;  // parallel enumeration invokes the sink
+                             // concurrently
+      OccurrenceSink sink = nullptr;
+      if (tuple_cap > 0) {
+        sink = [&](const Occurrence& t) {
+          std::lock_guard<std::mutex> lock(tuples_mu);
+          if (resp->tuples.size() / resp->tuple_arity <
+              static_cast<size_t>(tuple_cap)) {
+            resp->tuples.insert(resp->tuples.end(), t.begin(), t.end());
+          }
+          return true;
+        };
+      }
+      results.push_back(engine.Evaluate(ctx, queries[0], opts, sink));
+    } else {
+      // Multi-pattern request: one EvaluateBatch call (its own worker pool
+      // and contexts; per-query results identical to sequential
+      // evaluation).
+      results = engine.EvaluateBatch(std::span<const PatternQuery>(queries),
+                                     opts, nullptr);
+    }
+    for (const GmResult& r : results) {
+      QueryResultWire w;
+      w.num_occurrences = r.num_occurrences;
+      w.hit_limit = r.hit_limit;
+      w.matching_ms = r.MatchingMs();
+      w.enumerate_ms = r.enumerate_ms;
+      w.phase_timings.reserve(r.phase_timings.size());
+      for (const PhaseTiming& pt : r.phase_timings) {
+        w.phase_timings.push_back(PhaseTimingWire{pt.name, pt.ms});
+      }
+      resp->results.push_back(std::move(w));
+    }
+    return resp;
+  };
+
+  // Miss path: singleflight — N concurrent identical cold queries (a full
+  // pipeline of the same hot pattern) evaluate once and share the result.
+  std::shared_ptr<const QueryResponse> result =
+      cache != nullptr ? cache->GetOrCompute(cache_key, evaluate)
+                       : evaluate();
+  return serve(result);
 }
 
 ByteSink QueryServer::HandleRefresh(const std::string& graph_id) {
@@ -1056,10 +1154,24 @@ ByteSink QueryServer::HandleStats() const {
   resp.catalog_evictions = cstats.evictions;
   std::vector<TenantInfo> tenants = catalog_->List();
   resp.tenants.reserve(tenants.size());
+  resp.tenant_caches.reserve(tenants.size());
   for (const TenantInfo& t : tenants) {
     resp.tenants.push_back(GraphInfoWire{t.id, t.resident, t.refreshable,
                                          t.applied_seqno, t.queries});
+    resp.tenant_caches.push_back(TenantCacheWire{
+        t.id, t.cache.hits, t.cache.misses, t.cache.inserts,
+        t.cache.evictions, t.cache.singleflight_waits, t.cache.bytes_used,
+        t.cache.entries});
   }
+  resp.cache_hits = stats.cache.hits;
+  resp.cache_misses = stats.cache.misses;
+  resp.cache_inserts = stats.cache.inserts;
+  resp.cache_evictions = stats.cache.evictions;
+  resp.cache_singleflight_waits = stats.cache.singleflight_waits;
+  resp.cache_bytes_used = stats.cache.bytes_used;
+  resp.cache_entries = stats.cache.entries;
+  resp.flushes = stats.flushes;
+  resp.frames_flushed = stats.frames_flushed;
   ByteSink sink;
   resp.Serialize(sink);
   return sink;
@@ -1085,6 +1197,17 @@ ServerStats QueryServer::Snapshot() const {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stats.dispatch_depth = dispatch_q_.size();
   }
+  // Cache totals: sum every resident tenant's current-generation cache
+  // (the catalog walk takes its own locks, so it stays outside stats_mu_).
+  for (const TenantInfo& t : catalog_->List()) {
+    stats.cache.hits += t.cache.hits;
+    stats.cache.misses += t.cache.misses;
+    stats.cache.inserts += t.cache.inserts;
+    stats.cache.evictions += t.cache.evictions;
+    stats.cache.singleflight_waits += t.cache.singleflight_waits;
+    stats.cache.bytes_used += t.cache.bytes_used;
+    stats.cache.entries += t.cache.entries;
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats.connections_accepted = connections_accepted_;
   stats.active_connections = active_connections_;
@@ -1093,6 +1216,8 @@ ServerStats QueryServer::Snapshot() const {
   stats.errors = errors_;
   stats.occurrences_emitted = occurrences_emitted_;
   stats.refreshes = refreshes_;
+  stats.flushes = flushes_;
+  stats.frames_flushed = frames_flushed_;
   stats.uptime_ms = MsSince(start_time_);
   std::vector<double> samples(
       latency_ring_.begin(),

@@ -40,6 +40,12 @@ struct ServerConfig {
   /// regardless of what the request asks for.
   uint32_t max_return_tuples = 100000;
 
+  /// Per-tenant result-cache byte budget (server/result_cache.h); 0
+  /// disables caching. Applies to the legacy single-tenant constructor —
+  /// catalog-constructed servers configure the budget on the catalog
+  /// (set_cache_bytes) before registering tenants.
+  uint64_t cache_bytes = kDefaultResultCacheBytes;
+
   /// Honor kShutdownRequest frames (handy for scripted smoke tests; a
   /// deployment that only trusts signals can turn it off).
   bool allow_remote_shutdown = true;
@@ -93,6 +99,11 @@ struct ServerStats {
   uint64_t occurrences_emitted = 0;
   uint64_t refreshes = 0;
   uint64_t dispatch_depth = 0;  // parsed requests waiting for a worker
+  uint64_t flushes = 0;         // sendmsg gather calls that moved bytes
+  uint64_t frames_flushed = 0;  // whole response frames those calls retired
+  /// Result-cache totals summed over every resident tenant's current
+  /// generation (zero when caching is off).
+  ResultCacheStats cache;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double accept_p50_ms = 0.0;  // accept() to first response byte
@@ -341,6 +352,8 @@ class QueryServer {
   uint64_t errors_ = 0;
   uint64_t occurrences_emitted_ = 0;
   uint64_t refreshes_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t frames_flushed_ = 0;
   std::vector<double> latency_ring_;
   size_t latency_next_ = 0;
   bool latency_wrapped_ = false;

@@ -44,10 +44,13 @@ int ServeUsage() {
       "             [--delta FILE] [--max-engines N] [--workers N]\n"
       "             [--max-tuples N] [--max-conns N] [--idle-timeout-ms N]\n"
       "             [--no-remote-shutdown] [--snapshot-io mmap|read]\n"
+      "             [--cache-bytes N]\n"
       "  --graph NAME=SNAP[:DELTA] registers one tenant of a multi-graph\n"
       "  daemon (repeatable; the first becomes the default unless\n"
       "  --snapshot/--graph FILE provides one); --max-engines caps resident\n"
-      "  engines, evicting least-recently-used (0 = unlimited).\n");
+      "  engines, evicting least-recently-used (0 = unlimited);\n"
+      "  --cache-bytes budgets each tenant's query-result cache\n"
+      "  (default 64 MiB, 0 disables).\n");
   return 2;
 }
 
@@ -59,7 +62,10 @@ int ClientUsage() {
       "               | --stats | --ping | --refresh | --shutdown\n"
       "               | --list-graphs | --idle-hold N [--hold-secs S])\n"
       "              [--graph NAME] [--seed N] [--limit N] [--threads N]\n"
-      "              [--tuples N] [--print N] [--pipeline N]\n");
+      "              [--tuples N] [--print N] [--pipeline N] [--repeat N]\n"
+      "  --repeat re-issues the same query N times on one connection\n"
+      "  (composes with --pipeline: N rounds of M pipelined copies) —\n"
+      "  repeat-heavy traffic for exercising the server's result cache.\n");
   return 2;
 }
 
@@ -181,6 +187,10 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
         return ServeUsage();
       config.idle_timeout_ms =
           static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--cache-bytes") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--cache-bytes")) == nullptr)
+        return ServeUsage();
+      config.cache_bytes = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-remote-shutdown") == 0) {
       config.allow_remote_shutdown = false;
     } else {
@@ -224,6 +234,9 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
   // physical copy through the page cache.
   std::string error;
   auto catalog = std::make_shared<EngineCatalog>(max_engines);
+  // Before any engine opens: the result cache is attached per generation
+  // at open/adopt/refresh time with the budget in force right then.
+  catalog->set_cache_bytes(config.cache_bytes);
   WarmEngine warm;
   std::optional<Graph> parsed_graph;
   std::optional<GmEngine> cold_engine;
@@ -326,6 +339,7 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
   bool want_refresh = false, want_list_graphs = false;
   uint64_t print = 10;
   uint64_t pipeline = 0;
+  uint64_t repeat = 1;
   uint64_t idle_hold = 0;
   uint64_t hold_secs = 600;
   QueryRequest req;
@@ -384,6 +398,11 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
       if ((v = NeedValue(argc, argv, &i, "--pipeline")) == nullptr)
         return ClientUsage();
       pipeline = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--repeat") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--repeat")) == nullptr)
+        return ClientUsage();
+      repeat = std::strtoull(v, nullptr, 10);
+      if (repeat == 0) repeat = 1;
     } else if (std::strcmp(argv[i], "--idle-hold") == 0) {
       if ((v = NeedValue(argc, argv, &i, "--idle-hold")) == nullptr)
         return ClientUsage();
@@ -539,61 +558,74 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
                 static_cast<unsigned long long>(resp->num_edges));
   }
 
-  if (has_query && pipeline > 1) {
-    // Pipelined mode: N copies of the request in flight at once on this
-    // one connection, answered out of order and matched back by tag.
-    std::vector<QueryRequest> reqs(pipeline, req);
-    auto resps = client.QueryPipelined(reqs, &error);
-    if (!resps.has_value()) {
-      std::fprintf(stderr, "pipelined query failed: %s\n", error.c_str());
-      return 1;
+  // --repeat re-issues the same request N times on this one connection;
+  // only the final round is printed so scripted callers still see one
+  // occurrence line. With a warm server-side result cache every round
+  // after the first should be a hit.
+  for (uint64_t round = 0; has_query && round < repeat; ++round) {
+    const bool final_round = round + 1 == repeat;
+    if (final_round && repeat > 1) {
+      std::printf("repeat: %llu round(s) completed\n",
+                  static_cast<unsigned long long>(repeat));
     }
-    uint64_t ok = 0;
-    for (const QueryResponse& r : *resps) {
-      if (r.status != StatusCode::kOk) {
-        std::fprintf(stderr, "server rejected query (%s): %s\n",
-                     StatusCodeName(r.status), r.error.c_str());
+    if (pipeline > 1) {
+      // Pipelined mode: N copies of the request in flight at once on this
+      // one connection, answered out of order and matched back by tag.
+      std::vector<QueryRequest> reqs(pipeline, req);
+      auto resps = client.QueryPipelined(reqs, &error);
+      if (!resps.has_value()) {
+        std::fprintf(stderr, "pipelined query failed: %s\n", error.c_str());
         return 1;
       }
-      ++ok;
-    }
-    std::printf("pipeline: %llu request(s) completed\n",
-                static_cast<unsigned long long>(ok));
-    // Report the LAST response's counts: if a refresh raced the pipeline,
-    // earlier responses may legitimately reflect the older graph.
-    const QueryResponse& last = resps->back();
-    std::printf("%llu occurrence(s)%s\n",
-                static_cast<unsigned long long>(last.TotalOccurrences()),
-                !last.results.empty() && last.results.back().hit_limit
-                    ? " (limit reached)"
-                    : "");
-  } else if (has_query) {
-    auto resp = client.Query(req, &error);
-    if (!resp.has_value()) {
-      std::fprintf(stderr, "query failed: %s\n", error.c_str());
-      return 1;
-    }
-    if (resp->status != StatusCode::kOk) {
-      std::fprintf(stderr, "server rejected query (%s): %s\n",
-                   StatusCodeName(resp->status), resp->error.c_str());
-      return 1;
-    }
-    if (resp->results.size() == 1) {
-      PrintTuples(*resp, print);
-      std::printf("%llu occurrence(s)%s\n",
-                  static_cast<unsigned long long>(
-                      resp->results[0].num_occurrences),
-                  resp->results[0].hit_limit ? " (limit reached)" : "");
-    } else {
-      for (size_t i = 0; i < resp->results.size(); ++i) {
-        std::printf("query %zu: %llu occurrence(s)%s\n", i,
-                    static_cast<unsigned long long>(
-                        resp->results[i].num_occurrences),
-                    resp->results[i].hit_limit ? " (limit reached)" : "");
+      uint64_t ok = 0;
+      for (const QueryResponse& r : *resps) {
+        if (r.status != StatusCode::kOk) {
+          std::fprintf(stderr, "server rejected query (%s): %s\n",
+                       StatusCodeName(r.status), r.error.c_str());
+          return 1;
+        }
+        ++ok;
       }
-      std::printf("batch: %zu query(ies), %llu occurrence(s)\n",
-                  resp->results.size(),
-                  static_cast<unsigned long long>(resp->TotalOccurrences()));
+      if (!final_round) continue;
+      std::printf("pipeline: %llu request(s) completed\n",
+                  static_cast<unsigned long long>(ok));
+      // Report the LAST response's counts: if a refresh raced the pipeline,
+      // earlier responses may legitimately reflect the older graph.
+      const QueryResponse& last = resps->back();
+      std::printf("%llu occurrence(s)%s\n",
+                  static_cast<unsigned long long>(last.TotalOccurrences()),
+                  !last.results.empty() && last.results.back().hit_limit
+                      ? " (limit reached)"
+                      : "");
+    } else {
+      auto resp = client.Query(req, &error);
+      if (!resp.has_value()) {
+        std::fprintf(stderr, "query failed: %s\n", error.c_str());
+        return 1;
+      }
+      if (resp->status != StatusCode::kOk) {
+        std::fprintf(stderr, "server rejected query (%s): %s\n",
+                     StatusCodeName(resp->status), resp->error.c_str());
+        return 1;
+      }
+      if (!final_round) continue;
+      if (resp->results.size() == 1) {
+        PrintTuples(*resp, print);
+        std::printf("%llu occurrence(s)%s\n",
+                    static_cast<unsigned long long>(
+                        resp->results[0].num_occurrences),
+                    resp->results[0].hit_limit ? " (limit reached)" : "");
+      } else {
+        for (size_t i = 0; i < resp->results.size(); ++i) {
+          std::printf("query %zu: %llu occurrence(s)%s\n", i,
+                      static_cast<unsigned long long>(
+                          resp->results[i].num_occurrences),
+                      resp->results[i].hit_limit ? " (limit reached)" : "");
+        }
+        std::printf("batch: %zu query(ies), %llu occurrence(s)\n",
+                    resp->results.size(),
+                    static_cast<unsigned long long>(resp->TotalOccurrences()));
+      }
     }
   }
 
@@ -621,6 +653,20 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
                 static_cast<unsigned long long>(stats->dispatch_depth));
     std::printf("accept-to-first-byte: p50 %.2f ms, p99 %.2f ms\n",
                 stats->accept_p50_ms, stats->accept_p99_ms);
+    std::printf("flushes: %llu (%llu frame(s) flushed)\n",
+                static_cast<unsigned long long>(stats->flushes),
+                static_cast<unsigned long long>(stats->frames_flushed));
+    std::printf("result cache: %llu hit(s), %llu miss(es), %llu insert(s), "
+                "%llu eviction(s), %llu singleflight wait(s), %llu entry(ies), "
+                "%llu byte(s)\n",
+                static_cast<unsigned long long>(stats->cache_hits),
+                static_cast<unsigned long long>(stats->cache_misses),
+                static_cast<unsigned long long>(stats->cache_inserts),
+                static_cast<unsigned long long>(stats->cache_evictions),
+                static_cast<unsigned long long>(
+                    stats->cache_singleflight_waits),
+                static_cast<unsigned long long>(stats->cache_entries),
+                static_cast<unsigned long long>(stats->cache_bytes_used));
     if (stats->graphs_registered > 0) {
       std::printf("catalog: %llu graph(s), %llu resident, %llu hit(s), "
                   "%llu miss(es), %llu eviction(s)\n",
@@ -635,6 +681,15 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
                     t.refreshable ? ", refreshable" : "",
                     static_cast<unsigned long long>(t.applied_seqno),
                     static_cast<unsigned long long>(t.queries));
+      }
+      for (const TenantCacheWire& c : stats->tenant_caches) {
+        std::printf("  %s cache: %llu hit(s), %llu miss(es), %llu "
+                    "eviction(s), %llu entry(ies), %llu byte(s)\n",
+                    c.id.c_str(), static_cast<unsigned long long>(c.hits),
+                    static_cast<unsigned long long>(c.misses),
+                    static_cast<unsigned long long>(c.evictions),
+                    static_cast<unsigned long long>(c.entries),
+                    static_cast<unsigned long long>(c.bytes_used));
       }
     }
   }
