@@ -57,6 +57,18 @@ def main():
               f"current {cur_doc.get('scale')}) — timings are not "
               f"comparable", file=sys.stderr)
 
+    # Timings only compare between runs with the SAME core count: the
+    # parallel benches scale with it, so a 2-core runner against a 4-core
+    # baseline reads as a uniform "regression" that no threshold can
+    # tell from a real one. Status and presence are still checked.
+    base_cores = base_doc.get("cores")
+    cur_cores = cur_doc.get("cores")
+    compare_timings = base_cores is not None and base_cores == cur_cores
+    if not compare_timings:
+        print(f"warning: core counts differ or are unrecorded (baseline "
+              f"{base_cores}, current {cur_cores}) — only statuses are "
+              f"compared, timings are skipped", file=sys.stderr)
+
     failures = []
     width = max(len(n) for n in set(base) | set(cur))
     print(f"{'bench':<{width}}  {'base(s)':>8}  {'now(s)':>8}  "
@@ -78,6 +90,10 @@ def main():
                             f"(exit {c.get('exit_code')})")
             print(f"{name:<{width}}  {b['seconds']:>8}  {c['seconds']:>8}  "
                   f"{'-':>7}  {c.get('status').upper()}")
+            continue
+        if not compare_timings:
+            print(f"{name:<{width}}  {b['seconds']:>8}  "
+                  f"{c['seconds']:>8}  {'-':>7}  ok (cores differ)")
             continue
         bs, cs = float(b["seconds"]), float(c["seconds"])
         delta = cs - bs

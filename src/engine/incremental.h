@@ -12,23 +12,35 @@
 
 namespace rigpm {
 
-/// Incremental hybrid-pattern matching on a growing data graph — the
+/// The exact answer difference one op batch caused:
+/// added = Answer(G') \ Answer(G), removed = Answer(G) \ Answer(G').
+struct MatchDelta {
+  std::vector<Occurrence> added;
+  std::vector<Occurrence> removed;
+};
+
+/// Incremental hybrid-pattern matching on a mutating data graph — the
 /// "dynamic data graph setting where matches are computed incrementally"
-/// the paper names as future work (Section 9).
+/// the paper names as future work (Section 9), extended past growth-only:
+/// a batch may mix edge insertions and deletions.
 ///
-/// `ApplyAndDiff` ingests a batch of new edges and returns exactly the NEW
-/// occurrences of the query: Answer(G + ΔE) \ Answer(G). The implementation
-/// evaluates on the updated graph with GM but filters the enumeration
-/// through an "old-graph oracle": an occurrence is new iff at least one of
+/// `ApplyOpsAndDiff` ingests an op batch and returns the exact answer
+/// delta. Both directions use an enumeration filtered through the OTHER
+/// generation's oracle: an occurrence is newly ADDED iff at least one of
 /// its query-edge images was not matched in the old graph (a child edge
-/// mapping to a Δ edge, or a descendant edge whose path requires Δ). This is
-/// delta-correct for any batch, including batches that create new
-/// reachability transitively.
+/// mapping to an inserted edge, or a descendant edge whose path requires
+/// one), and an occurrence is RETRACTED iff it held on the old graph but
+/// at least one query-edge image no longer matches on the new one (a
+/// deleted edge, or reachability a deletion severed). Monotone batches
+/// skip the side they cannot affect: an add-only batch never retracts a
+/// match (answers are monotone in the edge set), so the old-graph
+/// enumeration is skipped entirely — exactly the PR 5 growth-only cost —
+/// and a delete-only batch symmetrically skips the no-new-matches probe.
 ///
-/// Cost model: a full (but RIG-pruned) re-enumeration per batch, plus one
-/// old-graph edge/reachability probe per query edge per result — the
-/// natural baseline the paper's future incremental algorithm would be
-/// compared against.
+/// Cost model: a full (but RIG-pruned) enumeration per affected side, plus
+/// one cross-generation edge/reachability probe per query edge per result
+/// — the natural baseline the paper's future incremental algorithm would
+/// be compared against.
 ///
 /// Persistence: attach a DeltaWriter (storage/delta_log.h) and every
 /// accepted batch is journaled as one delta record BEFORE it is applied
@@ -49,24 +61,31 @@ class IncrementalMatcher {
   std::vector<Occurrence> CurrentAnswer() const;
 
   /// Journals every subsequently accepted batch through `writer` (null
-  /// detaches). Write-ahead: ApplyAndDiff appends the deduplicated batch
+  /// detaches). Write-ahead: ApplyOpsAndDiff appends the normalized batch
   /// and only applies it once the record is durable, so a crash can lose
   /// an unapplied record (harmless — replay is idempotent) but never an
   /// applied-but-unjournaled batch. The writer must outlive the matcher or
   /// be detached first.
   void AttachJournal(DeltaWriter* writer) { journal_ = writer; }
 
-  /// Applies the edge batch and returns only the occurrences that the
-  /// batch created.
+  /// Applies the op batch and returns the exact occurrence delta it
+  /// caused.
   ///
-  /// Error path: every edge must connect nodes that already exist; a batch
+  /// Error path: every op must connect nodes that already exist; a batch
   /// naming a node id >= NumNodes() is rejected whole — nullopt, *error
   /// says which edge — and neither the graph nor the journal changes.
   /// (Node insertions are modeled by growing the graph out-of-band and
-  /// re-constructing; silently journaling such an edge would poison the
-  /// delta log with a record that can never replay against its base.)
-  /// A journal append failure is also reported here, again with the batch
-  /// left unapplied.
+  /// re-constructing; silently journaling such an op would poison the
+  /// delta log with a record that can never replay against its base.) A
+  /// journal append failure is also reported here, again with the batch
+  /// left unapplied — including the version refusal when the attached log
+  /// predates delete ops (kDeltaFormatOps).
+  std::optional<MatchDelta> ApplyOpsAndDiff(const std::vector<DeltaOp>& ops,
+                                            std::string* error = nullptr);
+
+  /// Add-only convenience over ApplyOpsAndDiff: applies the edge batch and
+  /// returns only the occurrences it created (the removed side is empty by
+  /// monotonicity).
   std::optional<std::vector<Occurrence>> ApplyAndDiff(
       const std::vector<std::pair<NodeId, NodeId>>& new_edges,
       std::string* error = nullptr);

@@ -1,9 +1,13 @@
 #include "server/catalog.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -17,6 +21,13 @@ namespace {
 void SetError(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg;
 }
+
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
 
 }  // namespace
 
@@ -143,15 +154,23 @@ std::shared_ptr<const EngineState> EngineCatalog::Open(Entry& e,
     SetError(error, "tenant \"" + e.id + "\" has no snapshot to open");
     return nullptr;
   }
+  // A compaction may have re-pointed this tenant's storage at a newer
+  // generation: always open what the lineage head names, not the
+  // configured gen-0 paths.
+  std::string lineage_error;
+  if (!ResolveEntryLineage(e, &lineage_error)) {
+    SetError(error, lineage_error);
+    return nullptr;
+  }
   // Replay the ENTIRE current log over the base: an open after eviction
   // must serve base+log exactly as the pre-eviction engine did after its
   // refreshes — never a stale base, never a partial prefix.
   LoadOptions options;
   options.io_mode = e.source.io_mode;
-  options.delta_path = e.source.delta_path;
+  options.delta_path = e.lineage.delta_path;
   options.delta_io = e.source.delta_io;
   std::string load_error;
-  auto warm = LoadEngineSnapshot(e.source.snapshot_path, options, &load_error);
+  auto warm = LoadEngineSnapshot(e.lineage.snapshot_path, options, &load_error);
   if (!warm.has_value()) {
     SetError(error, "cannot open engine for graph \"" + e.id +
                         "\": " + load_error);
@@ -161,10 +180,34 @@ std::shared_ptr<const EngineState> EngineCatalog::Open(Entry& e,
   state->base_checksum = warm->stored_checksum;
   state->applied_seqno = warm->applied_seqno;
   state->applied_chain = warm->applied_chain;
+  state->applied_end_offset = warm->applied_end_offset;
   state->graph = std::shared_ptr<const Graph>(std::move(warm->graph));
   state->engine = std::shared_ptr<const GmEngine>(std::move(warm->engine));
   state->cache = MakeCache();
   return state;
+}
+
+bool EngineCatalog::ResolveEntryLineage(Entry& e, std::string* error) {
+  if (e.lineage_resolved) return true;
+  if (e.source.snapshot_path.empty()) {
+    // Adopted without a snapshot identity: no head file to consult.
+    e.lineage.snapshot_path = e.source.snapshot_path;
+    e.lineage.delta_path = e.source.delta_path;
+    e.lineage.generation = 0;
+    e.lineage_resolved = true;
+    return true;
+  }
+  Lineage lineage;
+  std::string resolve_error;
+  if (!ResolveLineage(e.source.snapshot_path, e.source.delta_path, &lineage,
+                      &resolve_error)) {
+    SetError(error, "cannot resolve storage lineage for graph \"" + e.id +
+                        "\": " + resolve_error);
+    return false;
+  }
+  e.lineage = std::move(lineage);
+  e.lineage_resolved = true;
+  return true;
 }
 
 void EngineCatalog::EnforceCap(const Entry* keep) {
@@ -224,20 +267,31 @@ CatalogRefreshResult EngineCatalog::Refresh(const std::string& id) {
   // here and then finds the log already replayed (records_applied == 0).
   // Other tenants' refreshes and opens run concurrently.
   std::lock_guard<std::mutex> open_lock(entry->open_mu);
+  return RefreshLocked(*entry);
+}
 
-  std::shared_ptr<const EngineState> old_state = StateOf(*entry);
+CatalogRefreshResult EngineCatalog::RefreshLocked(Entry& e, bool fast_tail) {
+  CatalogRefreshResult result;
+  std::string lineage_error;
+  if (!ResolveEntryLineage(e, &lineage_error)) {
+    result.error = lineage_error;
+    return result;
+  }
+  const std::string delta_path = e.lineage.delta_path;
+
+  std::shared_ptr<const EngineState> old_state = StateOf(e);
   bool newly_opened = false;
   if (old_state == nullptr) {
     // Refresh of a non-resident tenant: open the BASE alone (a cheap
     // prebuilt-index deserialize) and run the normal replay path below, so
     // the response reports exactly what the log contributed.
     LoadOptions options;
-    options.io_mode = entry->source.io_mode;
+    options.io_mode = e.source.io_mode;
     std::string load_error;
     auto warm =
-        LoadEngineSnapshot(entry->source.snapshot_path, options, &load_error);
+        LoadEngineSnapshot(e.lineage.snapshot_path, options, &load_error);
     if (!warm.has_value()) {
-      result.error = "cannot open engine for graph \"" + entry->id +
+      result.error = "cannot open engine for graph \"" + e.id +
                      "\": " + load_error;
       return result;
     }
@@ -254,10 +308,10 @@ CatalogRefreshResult EngineCatalog::Refresh(const std::string& id) {
 
   auto publish = [&](std::shared_ptr<const EngineState> state) {
     {
-      std::lock_guard<std::mutex> lock(entry->state_mu);
-      entry->state = std::move(state);
+      std::lock_guard<std::mutex> lock(e.state_mu);
+      e.state = std::move(state);
     }
-    EnforceCap(entry.get());
+    EnforceCap(&e);
   };
   auto caught_up = [&]() {
     result.ok = true;
@@ -272,78 +326,381 @@ CatalogRefreshResult EngineCatalog::Refresh(const std::string& id) {
   // is a healthy caught-up state, not an error. A zero-length file is the
   // same state one crashed step later.
   struct stat st{};
-  if (::stat(entry->source.delta_path.c_str(), &st) != 0) {
+  if (::stat(delta_path.c_str(), &st) != 0) {
     if (errno == ENOENT) return caught_up();
   } else if (st.st_size == 0) {
     return caught_up();
-  }
-
-  DeltaReader reader(entry->source.delta_path, entry->source.delta_io);
-  if (!reader.ok()) {
-    result.error = "cannot read delta log: " + reader.error();
-    return result;
-  }
-  if (old_state->base_checksum != 0 &&
-      reader.base_checksum() != old_state->base_checksum) {
-    result.bad_request = true;
-    result.error = "delta log is bound to a different base snapshot";
-    return result;
+  } else if (fast_tail && old_state->applied_end_offset != 0 &&
+             static_cast<uint64_t>(st.st_size) ==
+                 old_state->applied_end_offset) {
+    // The O(1) poll answer: the log ends exactly where the applied prefix
+    // does, so there is nothing new — without reading a byte of it. (A
+    // same-size in-place rewrite is invisible to this check by design;
+    // that is why only the background poll takes it — an explicit client
+    // kRefresh re-validates the whole chain and catches the rewrite.)
+    return caught_up();
   }
 
   std::string replay_error;
   ReplayStats stats;
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  if (!CollectDeltaEdges(reader, old_graph.NumNodes(),
-                         old_state->applied_seqno, &edges, &stats,
+  std::vector<DeltaOp> ops;
+  bool collected = false;
+  bool tail_torn_fast = false;
+
+  // Fast path: seek straight past the applied prefix and parse only the
+  // tail — the maintenance poll must stay O(new records), not O(log).
+  // Sound because the first tail record's header checksum is seeded by the
+  // applied prefix's chain checksum: bytes at this offset that are not the
+  // true continuation of the prefix we applied cannot validate. ANY
+  // trouble here (failed seek, parse error, torn or corrupt tail) falls
+  // through to the full from-header scan, which tells a corrupt log from
+  // a rewritten one exactly.
+  if (fast_tail && old_state->applied_end_offset != 0) {
+    DeltaReader tail(delta_path, e.source.delta_io);
+    const uint64_t chain = old_state->applied_seqno == 0
+                               ? tail.base_checksum()
+                               : old_state->applied_chain;
+    if (tail.ok() &&
+        (old_state->base_checksum == 0 ||
+         tail.base_checksum() == old_state->base_checksum) &&
+        tail.SeekTo(old_state->applied_end_offset, old_state->applied_seqno,
+                    chain)) {
+      std::string fast_error;
+      ReplayStats fast_stats;
+      std::vector<DeltaOp> fast_ops;
+      if (CollectDeltaOps(tail, old_graph.NumNodes(),
+                          old_state->applied_seqno, &fast_ops, &fast_stats,
+                          &fast_error)) {
+        if (!tail.truncated()) {
+          ops = std::move(fast_ops);
+          stats = fast_stats;
+          collected = true;
+        } else if (tail.tail_torn() && fast_stats.records_applied > 0) {
+          // A benignly torn tail after validated new records: those
+          // records chained off the applied prefix, so they are genuine.
+          ops = std::move(fast_ops);
+          stats = fast_stats;
+          collected = true;
+          tail_torn_fast = true;
+        }
+      }
+    }
+  }
+
+  if (!collected) {
+    DeltaReader reader(delta_path, e.source.delta_io);
+    if (!reader.ok()) {
+      result.error = "cannot read delta log: " + reader.error();
+      return result;
+    }
+    if (old_state->base_checksum != 0 &&
+        reader.base_checksum() != old_state->base_checksum) {
+      result.bad_request = true;
+      result.error = "delta log is bound to a different base snapshot";
+      return result;
+    }
+    if (!CollectDeltaOps(reader, old_graph.NumNodes(),
+                         old_state->applied_seqno, &ops, &stats,
                          &replay_error)) {
-    result.error = replay_error;
-    return result;
+      result.error = replay_error;
+      return result;
+    }
+    // Corruption check FIRST: a corrupt record inside the already-applied
+    // prefix also stops the reader before the resume point, and diagnosing
+    // that as "rewritten log" would send the operator chasing the wrong
+    // remediation.
+    if (reader.truncated() && !reader.tail_torn()) {
+      result.error = "delta log is corrupt after record " +
+                     std::to_string(reader.records_read()) + " (" +
+                     reader.tail_error() + ") — refresh refused";
+      return result;
+    }
+    // The applied prefix must still be the prefix we applied: a log that
+    // was truncated and rewritten with reused seqnos must not be resumed
+    // by number alone.
+    if (old_state->applied_seqno > 0 &&
+        stats.resume_chain != old_state->applied_chain) {
+      result.bad_request = true;
+      result.error =
+          "delta log no longer contains the applied prefix (rewritten or "
+          "replaced since the last refresh) — restart the daemon from the "
+          "base snapshot";
+      return result;
+    }
+    result.log_truncated = reader.truncated();
+  } else {
+    result.log_truncated = tail_torn_fast;
   }
-  // Corruption check FIRST: a corrupt record inside the already-applied
-  // prefix also stops the reader before the resume point, and diagnosing
-  // that as "rewritten log" would send the operator chasing the wrong
-  // remediation.
-  if (reader.truncated() && !reader.tail_torn()) {
-    result.error = "delta log is corrupt after record " +
-                   std::to_string(reader.records_read()) + " (" +
-                   reader.tail_error() + ") — refresh refused";
-    return result;
-  }
-  // The applied prefix must still be the prefix we applied: a log that was
-  // truncated and rewritten with reused seqnos must not be resumed by
-  // number alone.
-  if (old_state->applied_seqno > 0 &&
-      stats.resume_chain != old_state->applied_chain) {
-    result.bad_request = true;
-    result.error =
-        "delta log no longer contains the applied prefix (rewritten or "
-        "replaced since the last refresh) — restart the daemon from the "
-        "base snapshot";
-    return result;
-  }
-  result.log_truncated = reader.truncated();
   result.records_applied = stats.records_applied;
   result.edges_in_records = stats.edges_in_records;
+  result.delete_ops = stats.delete_ops;
 
-  if (stats.records_applied == 0) return caught_up();
+  if (stats.records_applied == 0) {
+    // Nothing new — but remember where the validated log ends so the next
+    // poll's size comparison can answer without reading (this is what
+    // bootstraps adopted engines, whose end offset starts unknown).
+    if (stats.end_offset != 0 &&
+        stats.end_offset != old_state->applied_end_offset) {
+      auto bumped = std::make_shared<EngineState>(*old_state);
+      bumped->applied_end_offset = stats.end_offset;
+      publish(std::move(bumped));
+      newly_opened = false;  // just published
+    }
+    return caught_up();
+  }
 
   // Build the successor state: merged graph + a fresh reachability index.
   auto new_state = std::make_shared<EngineState>();
   new_state->graph =
-      std::make_shared<const Graph>(ApplyEdgesToGraph(old_graph, edges));
+      std::make_shared<const Graph>(ApplyDeltaOps(old_graph, ops));
   new_state->engine = std::make_shared<const GmEngine>(*new_state->graph);
   new_state->applied_seqno = stats.last_seqno;
   new_state->applied_chain = stats.end_chain;
+  new_state->applied_end_offset = stats.end_offset;
   new_state->base_checksum = old_state->base_checksum;
   // A fresh EMPTY cache, never the old one: every entry of the outgoing
   // generation answered on the pre-refresh graph.
   new_state->cache = MakeCache();
+  deletes_applied_.fetch_add(stats.delete_ops, std::memory_order_relaxed);
   result.ok = true;
   result.last_seqno = stats.last_seqno;
   result.num_nodes = new_state->graph->NumNodes();
   result.num_edges = new_state->graph->NumEdges();
   publish(std::move(new_state));
   return result;
+}
+
+CatalogCompactionResult EngineCatalog::Compact(const std::string& id) {
+  CatalogCompactionResult result;
+  std::shared_ptr<Entry> entry = FindAndTouch(id);
+  if (entry == nullptr) {
+    result.error =
+        "unknown graph id \"" + (id.empty() ? default_id() : id) + "\"";
+    return result;
+  }
+  if (entry->source.delta_path.empty()) {
+    result.error =
+        "graph \"" + entry->id + "\" has no delta log configured (--delta)";
+    return result;
+  }
+  std::lock_guard<std::mutex> open_lock(entry->open_mu);
+  return CompactLocked(*entry);
+}
+
+CatalogCompactionResult EngineCatalog::CompactLocked(Entry& e) {
+  CatalogCompactionResult result;
+  std::string lineage_error;
+  if (!ResolveEntryLineage(e, &lineage_error)) {
+    result.error = lineage_error;
+    return result;
+  }
+  if (e.source.snapshot_path.empty()) {
+    result.error = "graph \"" + e.id +
+                   "\" was adopted without a snapshot path — no file to "
+                   "re-point";
+    return result;
+  }
+  const Lineage old_lineage = e.lineage;
+  result.generation = old_lineage.generation;
+
+  // 1. Fence external appenders by taking the old log's writer flock. A
+  // held lock is a live appender mid-batch; with open_mu held we must not
+  // wait for it — skip this round, the next poll retries.
+  int lock_fd = ::open(old_lineage.delta_path.c_str(), O_RDWR | O_CLOEXEC);
+  if (lock_fd < 0) {
+    if (errno == ENOENT) {
+      // No log was ever created: nothing to fold in.
+      result.ok = true;
+      result.skipped = true;
+      return result;
+    }
+    result.error = "cannot open delta log " + old_lineage.delta_path + ": " +
+                   std::strerror(errno);
+    return result;
+  }
+  FdCloser closer{lock_fd};
+  if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    result.ok = true;
+    result.skipped = true;
+    return result;
+  }
+
+  // 2. Drain: appenders are fenced, so after this refresh the served
+  // engine is EXACTLY base + log, and the log cannot grow under us.
+  CatalogRefreshResult drained = RefreshLocked(e);
+  if (!drained.ok) {
+    result.error = "compaction drain failed: " + drained.error;
+    return result;
+  }
+  std::shared_ptr<const EngineState> state = StateOf(e);
+  if (state == nullptr || state->engine == nullptr) {
+    result.error =
+        "tenant \"" + e.id + "\" has no resident engine to snapshot";
+    return result;
+  }
+
+  // 3. Write generation N+1 off to the side — first sweeping any orphaned
+  // same-name files a compaction that crashed before its head publish
+  // left behind.
+  const uint64_t generation = old_lineage.generation + 1;
+  const std::string new_snapshot =
+      GenerationPath(e.source.snapshot_path, generation);
+  const std::string new_delta =
+      GenerationPath(e.source.delta_path, generation);
+  ::unlink(new_snapshot.c_str());
+  ::unlink(new_delta.c_str());
+  std::string io_error;
+  if (!SaveEngineSnapshot(*state->engine, new_snapshot, &io_error)) {
+    result.error = "cannot write compacted snapshot: " + io_error;
+    return result;
+  }
+  auto info = InspectSnapshot(new_snapshot, &io_error);
+  if (!info.has_value()) {
+    ::unlink(new_snapshot.c_str());
+    result.error = "cannot read back compacted snapshot: " + io_error;
+    return result;
+  }
+  {
+    // A fresh EMPTY log bound to the new base — created eagerly so
+    // appenders following the head never race its lazy creation.
+    auto writer = DeltaWriter::Open(
+        new_delta, info->stored_checksum,
+        static_cast<uint32_t>(state->engine->graph().NumNodes()), &io_error);
+    if (writer == nullptr) {
+      ::unlink(new_snapshot.c_str());
+      result.error = "cannot create compacted delta log: " + io_error;
+      return result;
+    }
+  }
+
+  uint64_t reclaimed = 0;
+  struct stat st{};
+  if (::stat(old_lineage.delta_path.c_str(), &st) == 0) {
+    reclaimed += static_cast<uint64_t>(st.st_size);
+  }
+  if (old_lineage.generation > 0 &&
+      ::stat(old_lineage.snapshot_path.c_str(), &st) == 0) {
+    reclaimed += static_cast<uint64_t>(st.st_size);
+  }
+
+  // 4. THE commit point: the head pointer flips to the new generation in
+  // one rename. A crash anywhere above leaves the old lineage fully
+  // intact (plus swept-next-time orphans); a crash below re-points on
+  // restart and merely re-reclaims.
+  Lineage next;
+  next.snapshot_path = new_snapshot;
+  next.delta_path = new_delta;
+  next.generation = generation;
+  if (!PublishLineage(e.source.snapshot_path, next, &io_error)) {
+    ::unlink(new_snapshot.c_str());
+    ::unlink(new_delta.c_str());
+    result.error = "cannot publish lineage head: " + io_error;
+    return result;
+  }
+
+  // 5. Committed. Re-point serving — same graph/engine/cache (the data
+  // did not change, only its storage identity), so in-flight queries and
+  // cached results stay valid — and reclaim the old generation. The
+  // configured gen-0 base snapshot is the operator's file and is never
+  // unlinked; the head pointer is what routes around it.
+  e.lineage = next;
+  auto new_state = std::make_shared<EngineState>(*state);
+  new_state->base_checksum = info->stored_checksum;
+  new_state->applied_seqno = 0;
+  new_state->applied_chain = 0;
+  new_state->applied_end_offset = kDeltaFileHeaderBytes;
+  {
+    std::lock_guard<std::mutex> lock(e.state_mu);
+    e.state = std::move(new_state);
+  }
+  ::unlink(old_lineage.delta_path.c_str());
+  if (old_lineage.generation > 0) {
+    ::unlink(old_lineage.snapshot_path.c_str());
+  }
+  bytes_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+
+  result.ok = true;
+  result.generation = generation;
+  result.bytes_reclaimed = reclaimed;
+  result.snapshot_path = new_snapshot;
+  result.delta_path = new_delta;
+  return result;
+}
+
+void EngineCatalog::SetMaintenancePolicy(const MaintenancePolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_ = policy;
+}
+
+MaintenancePolicy EngineCatalog::maintenance_policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_;
+}
+
+MaintenanceStats EngineCatalog::maintenance_stats() const {
+  MaintenanceStats stats;
+  stats.auto_refreshes = auto_refreshes_.load(std::memory_order_relaxed);
+  stats.auto_compactions = auto_compactions_.load(std::memory_order_relaxed);
+  stats.bytes_reclaimed = bytes_reclaimed_.load(std::memory_order_relaxed);
+  stats.deletes_applied = deletes_applied_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+uint32_t EngineCatalog::RunMaintenance() {
+  const MaintenancePolicy policy = maintenance_policy();
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& [id, entry] : entries_) entries.push_back(entry);
+  }
+  uint32_t actions = 0;
+  for (const auto& entry : entries) {
+    if (entry->source.delta_path.empty()) continue;
+    {
+      // Maintain RESIDENT tenants only: a cold tenant catches up in its
+      // lazy open, and waking it here would fight the LRU cap.
+      std::lock_guard<std::mutex> state_lock(entry->state_mu);
+      if (entry->state == nullptr) continue;
+    }
+    std::lock_guard<std::mutex> open_lock(entry->open_mu);
+    std::string error;
+    if (!ResolveEntryLineage(*entry, &error)) continue;
+    std::shared_ptr<const EngineState> state = StateOf(*entry);
+    if (state == nullptr) continue;  // evicted while we waited
+
+    // The O(1) poll: on-disk size vs applied end offset. Equal means
+    // caught up without reading a byte; on any difference the refresh
+    // core does the real (tail-seek) work and the exact diagnosis.
+    struct stat st{};
+    const bool have_log =
+        ::stat(entry->lineage.delta_path.c_str(), &st) == 0 && st.st_size > 0;
+    if (have_log &&
+        static_cast<uint64_t>(st.st_size) != state->applied_end_offset) {
+      CatalogRefreshResult r = RefreshLocked(*entry, /*fast_tail=*/true);
+      if (r.ok && r.records_applied > 0) {
+        auto_refreshes_.fetch_add(1, std::memory_order_relaxed);
+        ++actions;
+      }
+    }
+    if (policy.auto_compact_ratio > 0 && have_log &&
+        !entry->source.snapshot_path.empty()) {
+      struct stat log_st{};
+      struct stat base_st{};
+      if (::stat(entry->lineage.delta_path.c_str(), &log_st) == 0 &&
+          ::stat(entry->lineage.snapshot_path.c_str(), &base_st) == 0 &&
+          static_cast<double>(log_st.st_size) >
+              policy.auto_compact_ratio *
+                  static_cast<double>(base_st.st_size)) {
+        CatalogCompactionResult c = CompactLocked(*entry);
+        if (c.ok && !c.skipped) {
+          auto_compactions_.fetch_add(1, std::memory_order_relaxed);
+          ++actions;
+        }
+      }
+    }
+  }
+  return actions;
 }
 
 void EngineCatalog::CountQuery(const std::string& id, uint64_t n) {

@@ -12,6 +12,7 @@
 #include "engine/gm_engine.h"
 #include "graph/graph.h"
 #include "server/result_cache.h"
+#include "storage/lineage.h"
 #include "storage/snapshot_io.h"
 
 namespace rigpm::server {
@@ -34,6 +35,12 @@ struct EngineState {
   /// from (0 for adopted engines with no snapshot identity). Refreshes
   /// reject a delta log bound to a different base.
   uint64_t base_checksum = 0;
+  /// Byte offset just past the last applied log record (0 = unknown, e.g.
+  /// an adopted engine before its first refresh). The refresh poll's fast
+  /// path: when the log's on-disk size equals this, the tenant is caught
+  /// up without reading a byte, and when it is larger the reader seeks
+  /// straight here and validates only the tail — never O(total log).
+  uint64_t applied_end_offset = 0;
   /// Query-result cache for THIS generation (null when caching is off).
   /// Living on the state means invalidation is the RCU swap itself: a
   /// refresh publishes a successor with a fresh empty cache, in-flight
@@ -91,11 +98,47 @@ struct CatalogRefreshResult {
   bool bad_request = false;
   std::string error;
   uint64_t records_applied = 0;
-  uint64_t edges_in_records = 0;
+  uint64_t edges_in_records = 0;  // ops in applied records
+  uint64_t delete_ops = 0;        // of which deletes
   uint64_t last_seqno = 0;
   uint64_t num_nodes = 0;
   uint64_t num_edges = 0;
   bool log_truncated = false;
+};
+
+/// When the daemon maintains its tenants on its own (git `gc --auto`
+/// style): thresholds for background refresh and auto-compaction.
+struct MaintenancePolicy {
+  /// Compact a tenant when its delta log's on-disk bytes exceed this
+  /// fraction of its base snapshot's (replaying most of the graph again on
+  /// every open is when a re-snapshot pays for itself). 0 disables
+  /// auto-compaction.
+  double auto_compact_ratio = 0.0;
+  /// Poll period of the daemon's maintenance thread; 0 = no thread. The
+  /// thread belongs to QueryServer — the catalog only stores the policy
+  /// and exposes RunMaintenance() for it (and for tests) to call.
+  uint32_t interval_ms = 0;
+};
+
+/// Lifetime maintenance counters (the wire stats tail).
+struct MaintenanceStats {
+  uint64_t auto_refreshes = 0;    // background polls that applied records
+  uint64_t auto_compactions = 0;  // compactions the policy triggered
+  uint64_t bytes_reclaimed = 0;   // old generations' bytes unlinked
+  uint64_t deletes_applied = 0;   // delete ops applied by any refresh
+};
+
+/// What one compaction did.
+struct CatalogCompactionResult {
+  bool ok = false;
+  /// ok && skipped: nothing wrong, but compaction could not run right now
+  /// — an external appender holds the log's flock, or no log exists yet.
+  bool skipped = false;
+  std::string error;
+  uint64_t generation = 0;
+  uint64_t bytes_reclaimed = 0;
+  std::string snapshot_path;  // the new generation's files
+  std::string delta_path;
 };
 
 /// The daemon-level lookup facade of the multi-tenant ROADMAP item: many
@@ -154,6 +197,37 @@ class EngineCatalog {
   /// log already applied; refreshes of different tenants run concurrently.
   CatalogRefreshResult Refresh(const std::string& id);
 
+  /// Folds the tenant's delta log into a new base snapshot generation and
+  /// re-points serving at it — the delta-log answer to `git gc`:
+  ///   1. flock the current log (fences external appenders; a held lock
+  ///      means a live appender, and the compaction politely skips),
+  ///   2. drain the log tail into the served engine (a refresh),
+  ///   3. write generation N+1 files — `<snapshot>.gN+1` (SaveEngineSnapshot
+  ///      of the served engine) and `<delta>.gN+1` (a fresh empty log bound
+  ///      to the new base checksum),
+  ///   4. publish the `<snapshot>.head` lineage pointer (THE atomic commit:
+  ///      a crash anywhere before this leaves the old lineage fully
+  ///      intact, and stale generation files are swept by the next run),
+  ///   5. republish the tenant's EngineState with the new storage identity
+  ///      (same graph/engine/cache — the data did not change, so in-flight
+  ///      queries and cached results stay valid) and unlink the old
+  ///      generation's files.
+  /// Requires a registered snapshot + delta source. Caller-facing (tests,
+  /// future admin RPC); RunMaintenance calls it when the policy trips.
+  CatalogCompactionResult Compact(const std::string& id);
+
+  void SetMaintenancePolicy(const MaintenancePolicy& policy);
+  MaintenancePolicy maintenance_policy() const;
+  MaintenanceStats maintenance_stats() const;
+
+  /// One background maintenance pass over every refreshable RESIDENT
+  /// tenant (cold tenants catch up in their lazy open): an O(1) log-size
+  /// poll per tenant, a tail refresh for the ones that grew, and — when
+  /// the policy's ratio trips — a compaction. Returns how many tenants it
+  /// acted on. The server's maintenance thread calls this every
+  /// `interval_ms`; tests call it directly for determinism.
+  uint32_t RunMaintenance();
+
   /// Attributes `n` served queries to the tenant ("" = default).
   void CountQuery(const std::string& id, uint64_t n = 1);
 
@@ -201,6 +275,14 @@ class EngineCatalog {
     /// Brief guard around the published state pointer only.
     mutable std::mutex state_mu;
     std::shared_ptr<const EngineState> state;  // null = not resident
+
+    /// Current storage lineage (which generation's files to open); guarded
+    /// by open_mu. `source` keeps the CONFIGURED paths — the head file is
+    /// named after source.snapshot_path and resolved lazily on first open,
+    /// then kept current in memory by Compact (the daemon is the only
+    /// compactor of a live tenant; external appenders follow the head).
+    Lineage lineage;
+    bool lineage_resolved = false;
   };
 
   /// "" resolves to the default id. Bumps the LRU clock on hit.
@@ -211,6 +293,16 @@ class EngineCatalog {
   std::shared_ptr<ResultCache> MakeCache() const;
   /// Opens e.source (full delta replay included). Caller holds e.open_mu.
   std::shared_ptr<const EngineState> Open(Entry& e, std::string* error);
+  /// Resolves e.lineage from the head file on first use. Holds e.open_mu.
+  bool ResolveEntryLineage(Entry& e, std::string* error);
+  /// Refresh/Compact cores; caller holds e.open_mu. With `fast_tail` (the
+  /// maintenance poll) the refresh trusts applied_end_offset: equal log
+  /// size means caught up, a larger log is read from the seek point only.
+  /// Without it (client kRefresh, compaction drain) the whole chain is
+  /// re-validated from the header, which is what detects a log that was
+  /// rewritten in place with reused seqnos.
+  CatalogRefreshResult RefreshLocked(Entry& e, bool fast_tail = false);
+  CatalogCompactionResult CompactLocked(Entry& e);
   /// Evicts least-recently-used evictable residents until the cap holds;
   /// `keep` (the entry just touched) is never the victim.
   void EnforceCap(const Entry* keep);
@@ -226,6 +318,12 @@ class EngineCatalog {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> cache_bytes_{kDefaultResultCacheBytes};
+
+  MaintenancePolicy policy_;  // guarded by mu_
+  std::atomic<uint64_t> auto_refreshes_{0};
+  std::atomic<uint64_t> auto_compactions_{0};
+  std::atomic<uint64_t> bytes_reclaimed_{0};
+  std::atomic<uint64_t> deletes_applied_{0};
 };
 
 }  // namespace rigpm::server

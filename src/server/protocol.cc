@@ -219,6 +219,10 @@ void StatsResponse::Serialize(ByteSink& sink) const {
   sink.WriteU64(frames_flushed);
   sink.WriteU32(static_cast<uint32_t>(tenant_caches.size()));
   for (const TenantCacheWire& t : tenant_caches) t.Serialize(sink);
+  sink.WriteU64(auto_refreshes);
+  sink.WriteU64(auto_compactions);
+  sink.WriteU64(maintenance_bytes_reclaimed);
+  sink.WriteU64(deletes_applied);
 }
 
 StatsResponse StatsResponse::Deserialize(ByteSource& src) {
@@ -283,6 +287,14 @@ StatsResponse StatsResponse::Deserialize(ByteSource& src) {
       t = TenantCacheWire::Deserialize(src);
     }
   }
+  s.auto_refreshes =
+      src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.auto_compactions =
+      src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.maintenance_bytes_reclaimed =
+      src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
+  s.deletes_applied =
+      src.remaining() >= sizeof(uint64_t) ? src.ReadU64() : 0;
   return s;
 }
 

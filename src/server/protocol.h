@@ -244,6 +244,12 @@ struct StatsResponse {
   uint64_t flushes = 0;         // sendmsg gather calls that moved bytes
   uint64_t frames_flushed = 0;  // whole response frames those calls retired
   std::vector<TenantCacheWire> tenant_caches;
+  // Maintenance counters (appended tail; zero when absent or the daemon
+  // runs without a maintenance thread/policy).
+  uint64_t auto_refreshes = 0;
+  uint64_t auto_compactions = 0;
+  uint64_t maintenance_bytes_reclaimed = 0;
+  uint64_t deletes_applied = 0;
 
   void Serialize(ByteSink& sink) const;
   static StatsResponse Deserialize(ByteSource& src);

@@ -270,12 +270,34 @@ bool QueryServer::Start(std::string* error) {
     workers_.emplace_back(&QueryServer::WorkerLoop, this, i);
   }
   loop_thread_ = std::thread(&QueryServer::EventLoop, this);
+  if (config_.maintenance_interval_ms > 0) {
+    catalog_->SetMaintenancePolicy(MaintenancePolicy{
+        config_.auto_compact_ratio, config_.maintenance_interval_ms});
+    maintenance_thread_ = std::thread(&QueryServer::MaintenanceLoop, this);
+  }
   return true;
+}
+
+void QueryServer::MaintenanceLoop() {
+  const auto interval =
+      std::chrono::milliseconds(config_.maintenance_interval_ms);
+  std::unique_lock<std::mutex> lock(maint_mu_);
+  while (!stop_.load()) {
+    // Interruptible sleep FIRST: a tick at t=0 would race the daemon's
+    // own startup appends for nothing.
+    if (maint_cv_.wait_for(lock, interval, [&] { return stop_.load(); })) {
+      return;
+    }
+    lock.unlock();
+    catalog_->RunMaintenance();
+    lock.lock();
+  }
 }
 
 void QueryServer::RequestStop() {
   stop_.store(true);
   queue_cv_.notify_all();
+  maint_cv_.notify_all();
   WakeLoop();
 }
 
@@ -294,6 +316,7 @@ void QueryServer::Wait() {
 
 void QueryServer::Stop() {
   RequestStop();
+  if (maintenance_thread_.joinable()) maintenance_thread_.join();
   if (loop_thread_.joinable()) loop_thread_.join();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -1172,6 +1195,10 @@ ByteSink QueryServer::HandleStats() const {
   resp.cache_entries = stats.cache.entries;
   resp.flushes = stats.flushes;
   resp.frames_flushed = stats.frames_flushed;
+  resp.auto_refreshes = stats.auto_refreshes;
+  resp.auto_compactions = stats.auto_compactions;
+  resp.maintenance_bytes_reclaimed = stats.maintenance_bytes_reclaimed;
+  resp.deletes_applied = stats.deletes_applied;
   ByteSink sink;
   resp.Serialize(sink);
   return sink;
@@ -1207,6 +1234,13 @@ ServerStats QueryServer::Snapshot() const {
     stats.cache.singleflight_waits += t.cache.singleflight_waits;
     stats.cache.bytes_used += t.cache.bytes_used;
     stats.cache.entries += t.cache.entries;
+  }
+  {
+    MaintenanceStats maint = catalog_->maintenance_stats();
+    stats.auto_refreshes = maint.auto_refreshes;
+    stats.auto_compactions = maint.auto_compactions;
+    stats.maintenance_bytes_reclaimed = maint.bytes_reclaimed;
+    stats.deletes_applied = maint.deletes_applied;
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats.connections_accepted = connections_accepted_;

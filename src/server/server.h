@@ -87,6 +87,17 @@ struct ServerConfig {
   /// file under a live mapping raises SIGBUS in the reader — a slurped
   /// copy of a small log cannot be yanked away mid-replay.
   SnapshotIoMode delta_io = SnapshotIoMode::kRead;
+
+  /// Maintenance-thread poll period (catalog.h MaintenancePolicy); 0 = no
+  /// thread. Each tick polls every refreshable resident tenant's log tail
+  /// (an O(1) size check per tenant) and applies new records without any
+  /// client sending kRefresh.
+  uint32_t maintenance_interval_ms = 0;
+
+  /// Auto-compaction threshold: re-snapshot a tenant when its delta log
+  /// outgrows this fraction of its base snapshot. 0 disables. Takes effect
+  /// only with a maintenance thread (maintenance_interval_ms > 0).
+  double auto_compact_ratio = 0.0;
 };
 
 /// Point-in-time serving counters (also what a kStatsRequest returns).
@@ -101,6 +112,11 @@ struct ServerStats {
   uint64_t dispatch_depth = 0;  // parsed requests waiting for a worker
   uint64_t flushes = 0;         // sendmsg gather calls that moved bytes
   uint64_t frames_flushed = 0;  // whole response frames those calls retired
+  /// Catalog maintenance counters (all zero without a maintenance thread).
+  uint64_t auto_refreshes = 0;
+  uint64_t auto_compactions = 0;
+  uint64_t maintenance_bytes_reclaimed = 0;
+  uint64_t deletes_applied = 0;
   /// Result-cache totals summed over every resident tenant's current
   /// generation (zero when caching is off).
   ResultCacheStats cache;
@@ -256,6 +272,9 @@ class QueryServer {
 
   void EventLoop();
   void WorkerLoop(size_t worker_index);
+  /// Maintenance thread body: RunMaintenance() on the catalog every
+  /// config_.maintenance_interval_ms until stop (cv-interruptible sleep).
+  void MaintenanceLoop();
 
   // Event-loop internals (called only from the loop thread).
   void AcceptNewConnections();
@@ -324,6 +343,11 @@ class QueryServer {
 
   std::thread loop_thread_;
   std::vector<std::thread> workers_;
+
+  // Maintenance thread (spawned only when maintenance_interval_ms > 0).
+  std::thread maintenance_thread_;
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
 
   // Connections, keyed by fd. Loop-owned; Snapshot() reads counters from
   // stats_mu_ instead of touching this map.

@@ -14,6 +14,7 @@
 #include "graph/graph_io.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/lineage.h"
 #include "storage/snapshot.h"
 
 namespace rigpm::server {
@@ -44,13 +45,19 @@ int ServeUsage() {
       "             [--delta FILE] [--max-engines N] [--workers N]\n"
       "             [--max-tuples N] [--max-conns N] [--idle-timeout-ms N]\n"
       "             [--no-remote-shutdown] [--snapshot-io mmap|read]\n"
-      "             [--cache-bytes N]\n"
+      "             [--cache-bytes N] [--maintenance-interval-ms N]\n"
+      "             [--auto-compact-ratio R]\n"
       "  --graph NAME=SNAP[:DELTA] registers one tenant of a multi-graph\n"
       "  daemon (repeatable; the first becomes the default unless\n"
       "  --snapshot/--graph FILE provides one); --max-engines caps resident\n"
       "  engines, evicting least-recently-used (0 = unlimited);\n"
       "  --cache-bytes budgets each tenant's query-result cache\n"
-      "  (default 64 MiB, 0 disables).\n");
+      "  (default 64 MiB, 0 disables).\n"
+      "  --maintenance-interval-ms N polls every refreshable tenant's delta\n"
+      "  log every N ms and applies new records without client refreshes\n"
+      "  (0 = off); --auto-compact-ratio R additionally folds a tenant's\n"
+      "  log into a fresh snapshot generation once the log exceeds R x the\n"
+      "  base snapshot's size (e.g. 0.5; 0 = off).\n");
   return 2;
 }
 
@@ -191,6 +198,20 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
       if ((v = NeedValue(argc, argv, &i, "--cache-bytes")) == nullptr)
         return ServeUsage();
       config.cache_bytes = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--maintenance-interval-ms") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--maintenance-interval-ms")) ==
+          nullptr)
+        return ServeUsage();
+      config.maintenance_interval_ms =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--auto-compact-ratio") == 0) {
+      if ((v = NeedValue(argc, argv, &i, "--auto-compact-ratio")) == nullptr)
+        return ServeUsage();
+      config.auto_compact_ratio = std::strtod(v, nullptr);
+      if (config.auto_compact_ratio < 0) {
+        std::fprintf(stderr, "--auto-compact-ratio must be >= 0\n");
+        return ServeUsage();
+      }
     } else if (std::strcmp(argv[i], "--no-remote-shutdown") == 0) {
       config.allow_remote_shutdown = false;
     } else {
@@ -219,6 +240,12 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
     std::fprintf(stderr, "--delta requires --snapshot\n");
     return ServeUsage();
   }
+  if (config.auto_compact_ratio > 0 && config.maintenance_interval_ms == 0) {
+    std::fprintf(stderr,
+                 "--auto-compact-ratio needs --maintenance-interval-ms (the "
+                 "maintenance thread is what triggers compactions)\n");
+    return ServeUsage();
+  }
   config.unix_path = socket_path;
   config.host = host;
   config.port = static_cast<uint16_t>(port < 0 ? 0 : port);
@@ -241,25 +268,44 @@ int ServeToolMain(int argc, char** argv, int first_arg) {
   std::optional<Graph> parsed_graph;
   std::optional<GmEngine> cold_engine;
   if (!snapshot_path.empty()) {
+    // A previous compaction may have re-pointed the storage at a newer
+    // generation: resolve the lineage head and load what it names. The
+    // CONFIGURED paths stay in the EngineSource — they are the identity
+    // the head file itself is keyed by.
+    Lineage lineage;
+    lineage.snapshot_path = snapshot_path;
+    lineage.delta_path = delta_path;
+    if (!ResolveLineage(snapshot_path, delta_path, &lineage, &error)) {
+      std::fprintf(stderr, "cannot resolve storage lineage: %s\n",
+                   error.c_str());
+      return 1;
+    }
     LoadOptions load_options;
     load_options.io_mode = io_mode;
-    auto loaded = LoadEngineSnapshot(snapshot_path, load_options, &error);
+    auto loaded =
+        LoadEngineSnapshot(lineage.snapshot_path, load_options, &error);
     if (!loaded.has_value()) {
       std::fprintf(stderr, "cannot load snapshot: %s\n", error.c_str());
       return 1;
     }
     warm = std::move(*loaded);
-    std::printf("snapshot: %s (warm start via %s)\n", snapshot_path.c_str(),
-                io_mode == SnapshotIoMode::kMmap ? "mmap" : "read");
+    std::printf("snapshot: %s (warm start via %s%s)\n",
+                lineage.snapshot_path.c_str(),
+                io_mode == SnapshotIoMode::kMmap ? "mmap" : "read",
+                lineage.generation > 0 ? ", compacted lineage" : "");
     std::printf("graph: %s\n", warm.graph->Summary().c_str());
     EngineSource source;
+    source.snapshot_path = snapshot_path;
     source.delta_path = delta_path;
+    source.io_mode = io_mode;
     if (!delta_path.empty()) {
       // Bind refreshes to this exact base — the checksum of the bytes we
       // actually LOADED, not a re-read of the path (which a concurrent
       // compaction may have rename-replaced with a different snapshot).
-      std::printf("delta: %s (kRefresh enabled, base %016llx)\n",
-                  delta_path.c_str(),
+      std::printf("delta: %s (kRefresh enabled, generation %llu, "
+                  "base %016llx)\n",
+                  lineage.delta_path.c_str(),
+                  static_cast<unsigned long long>(lineage.generation),
                   static_cast<unsigned long long>(warm.stored_checksum));
     }
     catalog->AdoptEngine("default", *warm.engine, std::move(source),
@@ -647,6 +693,13 @@ int ClientToolMain(int argc, char** argv, int first_arg) {
                 static_cast<unsigned long long>(stats->occurrences_emitted));
     std::printf("refreshes: %llu\n",
                 static_cast<unsigned long long>(stats->refreshes));
+    std::printf("maintenance: %llu auto-refresh(es), %llu compaction(s), "
+                "%llu byte(s) reclaimed, %llu delete(s) applied\n",
+                static_cast<unsigned long long>(stats->auto_refreshes),
+                static_cast<unsigned long long>(stats->auto_compactions),
+                static_cast<unsigned long long>(
+                    stats->maintenance_bytes_reclaimed),
+                static_cast<unsigned long long>(stats->deletes_applied));
     std::printf("latency: p50 %.2f ms, p99 %.2f ms\n", stats->latency_p50_ms,
                 stats->latency_p99_ms);
     std::printf("dispatch depth: %llu\n",

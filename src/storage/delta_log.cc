@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iterator>
 #include <limits>
+#include <unordered_map>
 
 #include "storage/snapshot.h"
 #include "util/serde.h"
@@ -22,8 +23,9 @@ namespace {
 
 constexpr char kMagic[8] = {'R', 'I', 'G', 'P', 'M', 'S', 'N', 'P'};
 // 24-byte snapshot container head + u32 base node count + u32 reserved.
-constexpr uint64_t kFileHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint32_t) +
-                                      sizeof(uint64_t) + 2 * sizeof(uint32_t);
+constexpr uint64_t kFileHeaderBytes = kDeltaFileHeaderBytes;
+static_assert(kFileHeaderBytes == sizeof(kMagic) + 2 * sizeof(uint32_t) +
+                                      sizeof(uint64_t) + 2 * sizeof(uint32_t));
 // base checksum + seqno + edge count + flags (the fields the header
 // checksum covers).
 constexpr uint64_t kRecordFieldsBytes = 2 * sizeof(uint64_t) +
@@ -59,10 +61,10 @@ bool SyncParentDir(const std::string& path, std::string* error) {
 }
 
 /// Serializes the delta file header into `sink`.
-void WriteFileHeader(ByteSink& sink, uint64_t base_checksum,
-                     uint32_t base_num_nodes) {
+void WriteFileHeader(ByteSink& sink, uint32_t format_version,
+                     uint64_t base_checksum, uint32_t base_num_nodes) {
   sink.WriteRaw(kMagic, sizeof(kMagic));
-  sink.WriteU32(kSnapshotVersion);
+  sink.WriteU32(format_version);
   sink.WriteU32(static_cast<uint32_t>(SnapshotKind::kDelta));
   sink.WriteU64(base_checksum);
   sink.WriteU32(base_num_nodes);
@@ -71,8 +73,9 @@ void WriteFileHeader(ByteSink& sink, uint64_t base_checksum,
 
 /// Validates a delta file header in `data` (at least kFileHeaderBytes).
 /// Returns false with *error on anything but a well-formed delta header.
-bool ParseFileHeader(const uint8_t* data, uint64_t* base_checksum,
-                     uint32_t* base_num_nodes, std::string* error) {
+bool ParseFileHeader(const uint8_t* data, uint32_t* format_version,
+                     uint64_t* base_checksum, uint32_t* base_num_nodes,
+                     std::string* error) {
   if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
     SetError(error, "bad delta log magic (not a rigpm delta log)");
     return false;
@@ -81,9 +84,11 @@ bool ParseFileHeader(const uint8_t* data, uint64_t* base_checksum,
   uint32_t kind = 0;
   std::memcpy(&version, data + sizeof(kMagic), sizeof(version));
   std::memcpy(&kind, data + sizeof(kMagic) + sizeof(uint32_t), sizeof(kind));
-  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
+  if (version < kMinSnapshotVersion || version > kDeltaFormatOps) {
     SetError(error,
-             "unsupported delta log version " + std::to_string(version));
+             "unsupported delta log version " + std::to_string(version) +
+                 " (this build supports up to " +
+                 std::to_string(kDeltaFormatOps) + ")");
     return false;
   }
   if (kind != static_cast<uint32_t>(SnapshotKind::kDelta)) {
@@ -91,6 +96,7 @@ bool ParseFileHeader(const uint8_t* data, uint64_t* base_checksum,
                         ", not a delta log");
     return false;
   }
+  *format_version = version;
   std::memcpy(base_checksum, data + sizeof(kMagic) + 2 * sizeof(uint32_t),
               sizeof(*base_checksum));
   std::memcpy(base_num_nodes,
@@ -106,10 +112,13 @@ bool ParseFileHeader(const uint8_t* data, uint64_t* base_checksum,
 /// past end-of-file (a crashed append — Append writes each record with one
 /// pwrite, so a tear always leaves a strict prefix), false when the full
 /// record bytes are present but invalid (corruption of acknowledged data).
-/// Pure validation — shared by writer recovery and reader iteration.
+/// `format_version` is the log's header version: it gates which record
+/// flags are legal. Pure validation — shared by writer recovery and reader
+/// iteration.
 uint64_t ParseRecord(const uint8_t* data, uint64_t size, uint64_t offset,
-                     uint64_t expected_base, uint64_t expected_seqno,
-                     uint64_t chain_seed, DeltaRecord* out, std::string* why,
+                     uint32_t format_version, uint64_t expected_base,
+                     uint64_t expected_seqno, uint64_t chain_seed,
+                     DeltaRecord* out, std::string* why,
                      bool* torn_tail = nullptr) {
   if (torn_tail != nullptr) *torn_tail = false;
   if (size - offset < kRecordHeaderBytes) {
@@ -139,10 +148,13 @@ uint64_t ParseRecord(const uint8_t* data, uint64_t size, uint64_t offset,
                       std::to_string(expected_seqno) + ")");
     return 0;
   }
-  if (flags != 0) {
+  const uint32_t allowed_flags =
+      format_version >= kDeltaFormatOps ? kDeltaRecordHasOps : 0u;
+  if ((flags & ~allowed_flags) != 0) {
     SetError(why, "record has unknown flags");
     return 0;
   }
+  const bool has_ops = (flags & kDeltaRecordHasOps) != 0;
   // The header carries its own checksum so the edge count is trustworthy
   // BEFORE the truncated-body test below: without it, a bit flip in
   // num_edges would inflate the declared size past EOF and a corrupt
@@ -152,7 +164,8 @@ uint64_t ParseRecord(const uint8_t* data, uint64_t size, uint64_t offset,
     SetError(why, "record header checksum mismatch");
     return 0;
   }
-  const uint64_t body = kRecordHeaderBytes + uint64_t{num_edges} * kEdgeBytes;
+  const uint64_t body = kRecordHeaderBytes + uint64_t{num_edges} * kEdgeBytes +
+                        (has_ops ? uint64_t{num_edges} : 0);
   if (size - offset < body + sizeof(uint64_t)) {
     if (torn_tail != nullptr) *torn_tail = true;
     SetError(why, "truncated record body");
@@ -164,9 +177,22 @@ uint64_t ParseRecord(const uint8_t* data, uint64_t size, uint64_t offset,
     SetError(why, "record checksum mismatch");
     return 0;
   }
+  const uint8_t* op_kinds =
+      rec + kRecordHeaderBytes + uint64_t{num_edges} * kEdgeBytes;
+  if (has_ops) {
+    for (uint32_t i = 0; i < num_edges; ++i) {
+      if (op_kinds[i] > static_cast<uint8_t>(DeltaOpKind::kDelete)) {
+        // Checksum passed, so these bytes are what the writer wrote — an
+        // op kind we do not know is a format from the future, not a tear.
+        SetError(why, "record op kind " + std::to_string(op_kinds[i]) +
+                          " is unknown");
+        return 0;
+      }
+    }
+  }
   if (out != nullptr) {
     out->seqno = seqno;
-    out->edges.resize(num_edges);
+    out->ops.resize(num_edges);
     for (uint32_t i = 0; i < num_edges; ++i) {
       NodeId src = 0;
       NodeId dst = 0;
@@ -176,7 +202,9 @@ uint64_t ParseRecord(const uint8_t* data, uint64_t size, uint64_t offset,
                   rec + kRecordHeaderBytes + uint64_t{i} * kEdgeBytes +
                       sizeof(NodeId),
                   sizeof(dst));
-      out->edges[i] = {src, dst};
+      out->ops[i] = {src, dst,
+                     has_ops ? static_cast<DeltaOpKind>(op_kinds[i])
+                             : DeltaOpKind::kAdd};
     }
   }
   return body + sizeof(uint64_t);
@@ -192,6 +220,22 @@ void AdvanceChain(const uint8_t* data, uint64_t offset, uint64_t consumed,
 
 }  // namespace
 
+std::vector<DeltaOp> EdgesToOps(
+    std::span<const std::pair<NodeId, NodeId>> edges) {
+  std::vector<DeltaOp> ops;
+  ops.reserve(edges.size());
+  for (const auto& [src, dst] : edges) {
+    ops.push_back({src, dst, DeltaOpKind::kAdd});
+  }
+  return ops;
+}
+
+uint64_t DeltaRecord::delete_count() const {
+  uint64_t n = 0;
+  for (const DeltaOp& op : ops) n += op.kind == DeltaOpKind::kDelete;
+  return n;
+}
+
 // ----------------------------------------------------------- DeltaWriter
 
 DeltaWriter::~DeltaWriter() {
@@ -203,6 +247,12 @@ std::unique_ptr<DeltaWriter> DeltaWriter::Open(const std::string& path,
                                                uint32_t base_num_nodes,
                                                std::string* error,
                                                DeltaWriterOptions options) {
+  if (options.format_version < kMinSnapshotVersion ||
+      options.format_version > kDeltaFormatOps) {
+    SetError(error, "unsupported delta log version " +
+                        std::to_string(options.format_version));
+    return nullptr;
+  }
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     SetError(error, "cannot open " + path + ": " + std::strerror(errno));
@@ -225,6 +275,7 @@ std::unique_ptr<DeltaWriter> DeltaWriter::Open(const std::string& path,
   }
   writer->base_checksum_ = base_checksum;
   writer->chain_checksum_ = base_checksum;
+  writer->format_version_ = options.format_version;
   writer->options_ = options;
 
   // Read whatever is there: a fresh file gets a header; an existing log is
@@ -246,7 +297,8 @@ std::unique_ptr<DeltaWriter> DeltaWriter::Open(const std::string& path,
       return nullptr;
     }
     ByteSink header;
-    WriteFileHeader(header, base_checksum, base_num_nodes);
+    WriteFileHeader(header, options.format_version, base_checksum,
+                    base_num_nodes);
     if (::pwrite(fd, header.data().data(), header.size(), 0) !=
         static_cast<ssize_t>(header.size())) {
       SetError(error, "cannot initialize " + path + ": " +
@@ -280,9 +332,23 @@ std::unique_ptr<DeltaWriter> DeltaWriter::Open(const std::string& path,
     SetError(error, "cannot read " + path + ": " + std::strerror(errno));
     return nullptr;
   }
+  uint32_t file_version = 0;
   uint64_t file_base = 0;
   uint32_t file_num_nodes = 0;
-  if (!ParseFileHeader(bytes.data(), &file_base, &file_num_nodes, error)) {
+  if (!ParseFileHeader(bytes.data(), &file_version, &file_base,
+                       &file_num_nodes, error)) {
+    return nullptr;
+  }
+  // A clear version message, decided from the HEADER, before any chain
+  // validation: a writer built for version <= 3 must not misreport a
+  // version-4 log as a checksum failure (and must not append records the
+  // old format cannot express).
+  if (file_version > options.format_version) {
+    SetError(error, path + " is a format version " +
+                        std::to_string(file_version) +
+                        " delta log, but this writer supports up to "
+                        "version " + std::to_string(options.format_version) +
+                        " — upgrade the tool or recreate the log");
     return nullptr;
   }
   if (file_base != base_checksum) {
@@ -298,14 +364,17 @@ std::unique_ptr<DeltaWriter> DeltaWriter::Open(const std::string& path,
     return nullptr;
   }
   writer->base_num_nodes_ = file_num_nodes;
+  // An existing log keeps its stamped version: appends must stay readable
+  // by every consumer the header already promises compatibility to.
+  writer->format_version_ = file_version;
   uint64_t offset = kFileHeaderBytes;
   while (offset < bytes.size()) {
     std::string why;
     bool torn_tail = false;
     uint64_t consumed =
-        ParseRecord(bytes.data(), bytes.size(), offset, base_checksum,
-                    writer->last_seqno_ + 1, writer->chain_checksum_,
-                    nullptr, &why, &torn_tail);
+        ParseRecord(bytes.data(), bytes.size(), offset, file_version,
+                    base_checksum, writer->last_seqno_ + 1,
+                    writer->chain_checksum_, nullptr, &why, &torn_tail);
     if (consumed == 0) {
       if (!torn_tail) {
         // Full record bytes are present but invalid: that is corruption of
@@ -336,8 +405,8 @@ std::unique_ptr<DeltaWriter> DeltaWriter::Open(const std::string& path,
   return writer;
 }
 
-bool DeltaWriter::Append(std::span<const std::pair<NodeId, NodeId>> edges,
-                         std::string* error) {
+bool DeltaWriter::AppendOps(std::span<const DeltaOp> ops,
+                            std::string* error) {
   if (fd_ < 0) {
     SetError(error, "delta writer is not open");
     return false;
@@ -347,25 +416,45 @@ bool DeltaWriter::Append(std::span<const std::pair<NodeId, NodeId>> edges,
                     "be rolled back; reopen the log to recover)");
     return false;
   }
-  if (edges.size() > std::numeric_limits<uint32_t>::max()) {
-    SetError(error, "edge batch too large for one delta record");
+  if (ops.size() > std::numeric_limits<uint32_t>::max()) {
+    SetError(error, "op batch too large for one delta record");
     return false;
   }
   // The format layer's own line of defense: no record may ever reference a
   // node the base does not have, whatever the caller checked.
-  if (!ValidateEdgeEndpoints(edges, base_num_nodes_, error)) return false;
+  if (!ValidateOpEndpoints(ops, base_num_nodes_, error)) return false;
+  bool has_delete = false;
+  for (const DeltaOp& op : ops) has_delete |= op.kind == DeltaOpKind::kDelete;
+  if (has_delete && format_version_ < kDeltaFormatOps) {
+    SetError(error, "delta log has format version " +
+                        std::to_string(format_version_) +
+                        ", which cannot carry delete ops (version " +
+                        std::to_string(kDeltaFormatOps) +
+                        " required) — create a new log or compact to "
+                        "upgrade");
+    return false;
+  }
+  // Add-only batches use the flags == 0 encoding even in a version-4 log:
+  // byte-identical to the old format, and an op-kind byte per edge saved.
+  const uint32_t flags = has_delete ? kDeltaRecordHasOps : 0u;
   ByteSink record;
   record.WriteU64(base_checksum_);
   record.WriteU64(last_seqno_ + 1);
-  record.WriteU32(static_cast<uint32_t>(edges.size()));
-  record.WriteU32(0);  // flags
+  record.WriteU32(static_cast<uint32_t>(ops.size()));
+  record.WriteU32(flags);
   // Header checksum over the fields above: keeps the edge count
   // trustworthy for readers even when the body is torn (ParseRecord).
   record.WriteU64(
       Checksum64(record.data().data(), record.size(), chain_checksum_));
-  for (const auto& [src, dst] : edges) {
-    record.WriteU32(src);
-    record.WriteU32(dst);
+  for (const DeltaOp& op : ops) {
+    record.WriteU32(op.src);
+    record.WriteU32(op.dst);
+  }
+  if (flags & kDeltaRecordHasOps) {
+    for (const DeltaOp& op : ops) {
+      const uint8_t kind = static_cast<uint8_t>(op.kind);
+      record.WriteRaw(&kind, 1);
+    }
   }
   const uint64_t checksum =
       Checksum64(record.data().data(), record.size(), chain_checksum_);
@@ -403,6 +492,11 @@ bool DeltaWriter::Append(std::span<const std::pair<NodeId, NodeId>> edges,
   return true;
 }
 
+bool DeltaWriter::Append(std::span<const std::pair<NodeId, NodeId>> edges,
+                         std::string* error) {
+  return AppendOps(EdgesToOps(edges), error);
+}
+
 // ----------------------------------------------------------- DeltaReader
 
 DeltaReader::DeltaReader(const std::string& path, SnapshotIoMode mode) {
@@ -434,7 +528,8 @@ DeltaReader::DeltaReader(const std::string& path, SnapshotIoMode mode) {
     error_ = "truncated delta log (smaller than header)";
     return;
   }
-  if (!ParseFileHeader(data_, &base_checksum_, &base_num_nodes_, &error_)) {
+  if (!ParseFileHeader(data_, &format_version_, &base_checksum_,
+                       &base_num_nodes_, &error_)) {
     return;
   }
   chain_checksum_ = base_checksum_;
@@ -445,9 +540,9 @@ bool DeltaReader::Next(DeltaRecord* out) {
   if (!ok() || truncated_) return false;
   if (offset_ >= size_) return false;  // clean end of log
   std::string why;
-  uint64_t consumed = ParseRecord(data_, size_, offset_, base_checksum_,
-                                  last_seqno_ + 1, chain_checksum_, out,
-                                  &why, &tail_torn_);
+  uint64_t consumed = ParseRecord(data_, size_, offset_, format_version_,
+                                  base_checksum_, last_seqno_ + 1,
+                                  chain_checksum_, out, &why, &tail_torn_);
   if (consumed == 0) {
     truncated_ = true;
     tail_error_ = why;
@@ -457,6 +552,23 @@ bool DeltaReader::Next(DeltaRecord* out) {
   offset_ += consumed;
   ++last_seqno_;
   ++records_read_;
+  return true;
+}
+
+bool DeltaReader::SeekTo(uint64_t offset, uint64_t last_seqno,
+                         uint64_t chain_checksum) {
+  if (!ok()) return false;
+  // An offset past EOF means the log shrank (truncated and rewritten, or
+  // compacted away) — no byte range to resume into; the caller re-reads
+  // from the header for the real diagnosis.
+  if (offset < kFileHeaderBytes || offset > size_) return false;
+  offset_ = offset;
+  last_seqno_ = last_seqno;
+  chain_checksum_ = chain_checksum;
+  truncated_ = false;
+  tail_torn_ = false;
+  tail_error_.clear();
+  records_read_ = 0;
   return true;
 }
 
@@ -471,24 +583,63 @@ void DedupeNewEdges(const Graph& g,
   });
 }
 
+void NormalizeDeltaOps(const Graph& g, std::vector<DeltaOp>* ops) {
+  // Last op per (src, dst) wins: an add-then-delete in one batch nets to a
+  // delete, and vice versa. Insertion order decides, so walk forward and
+  // overwrite.
+  std::unordered_map<uint64_t, DeltaOpKind> last;
+  last.reserve(ops->size());
+  for (const DeltaOp& op : *ops) {
+    last[(uint64_t{op.src} << 32) | op.dst] = op.kind;
+  }
+  std::vector<DeltaOp> out;
+  out.reserve(last.size());
+  for (const auto& [key, kind] : last) {
+    const NodeId src = static_cast<NodeId>(key >> 32);
+    const NodeId dst = static_cast<NodeId>(key & 0xffffffffu);
+    // Drop no-ops against the graph: adding a present edge or deleting an
+    // absent one changes nothing, and journaling it would bloat the log.
+    const bool present = g.HasEdge(src, dst);
+    if (kind == DeltaOpKind::kAdd ? present : !present) continue;
+    out.push_back({src, dst, kind});
+  }
+  std::sort(out.begin(), out.end());
+  *ops = std::move(out);
+}
+
+Graph ApplyDeltaOps(const Graph& g, std::span<const DeltaOp> ops,
+                    bool already_normalized) {
+  std::vector<DeltaOp> fresh(ops.begin(), ops.end());
+  if (!already_normalized) NormalizeDeltaOps(g, &fresh);
+  std::vector<LabelId> labels(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) labels[v] = g.Label(v);
+  std::vector<std::pair<NodeId, NodeId>> adds;
+  std::vector<std::pair<NodeId, NodeId>> deletes;
+  for (const DeltaOp& op : fresh) {
+    (op.kind == DeltaOpKind::kAdd ? adds : deletes)
+        .emplace_back(op.src, op.dst);
+  }
+  std::sort(deletes.begin(), deletes.end());
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.NumEdges() + adds.size());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (!deletes.empty() &&
+          std::binary_search(deletes.begin(), deletes.end(),
+                             std::pair<NodeId, NodeId>{v, w})) {
+        continue;
+      }
+      edges.emplace_back(v, w);
+    }
+  }
+  edges.insert(edges.end(), adds.begin(), adds.end());
+  return Graph::FromEdges(std::move(labels), std::move(edges));
+}
+
 Graph ApplyEdgesToGraph(const Graph& g,
                         std::span<const std::pair<NodeId, NodeId>> new_edges,
                         bool already_deduplicated) {
-  std::vector<LabelId> labels(g.NumNodes());
-  for (NodeId v = 0; v < g.NumNodes(); ++v) labels[v] = g.Label(v);
-  // Dedupe the batch against itself and the existing adjacency so repeated
-  // batches cannot grow the rebuild input (Graph::FromEdges would drop the
-  // duplicates anyway, but re-sorting them on every rebuild is waste).
-  std::vector<std::pair<NodeId, NodeId>> fresh(new_edges.begin(),
-                                               new_edges.end());
-  if (!already_deduplicated) DedupeNewEdges(g, &fresh);
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  edges.reserve(g.NumEdges() + fresh.size());
-  for (NodeId v = 0; v < g.NumNodes(); ++v) {
-    for (NodeId w : g.OutNeighbors(v)) edges.emplace_back(v, w);
-  }
-  edges.insert(edges.end(), fresh.begin(), fresh.end());
-  return Graph::FromEdges(std::move(labels), std::move(edges));
+  return ApplyDeltaOps(g, EdgesToOps(new_edges), already_deduplicated);
 }
 
 bool ValidateEdgeEndpoints(std::span<const std::pair<NodeId, NodeId>> edges,
@@ -506,37 +657,62 @@ bool ValidateEdgeEndpoints(std::span<const std::pair<NodeId, NodeId>> edges,
   return true;
 }
 
-bool CollectDeltaEdges(DeltaReader& reader, uint32_t num_nodes,
-                       uint64_t after_seqno,
-                       std::vector<std::pair<NodeId, NodeId>>* edges,
-                       ReplayStats* stats, std::string* error) {
+bool ValidateOpEndpoints(std::span<const DeltaOp> ops, uint32_t num_nodes,
+                         std::string* error) {
+  for (const DeltaOp& op : ops) {
+    if (op.src >= num_nodes || op.dst >= num_nodes) {
+      SetError(error, "edge (" + std::to_string(op.src) + ", " +
+                          std::to_string(op.dst) + ") references node " +
+                          std::to_string(std::max(op.src, op.dst)) +
+                          ", but the graph has only " +
+                          std::to_string(num_nodes) + " nodes");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CollectDeltaOps(DeltaReader& reader, uint32_t num_nodes,
+                     uint64_t after_seqno, std::vector<DeltaOp>* ops,
+                     ReplayStats* stats, std::string* error) {
   if (!reader.ok()) {
     SetError(error, reader.error());
     return false;
   }
   ReplayStats local;
-  local.resume_chain = after_seqno == 0 ? reader.base_checksum() : 0;
+  // A reader SeekTo'd straight to the resume point never re-reads record
+  // after_seqno, so take the resume chain from its installed state; a
+  // fresh reader discovers it when the scan passes that record.
+  if (after_seqno == 0) {
+    local.resume_chain = reader.base_checksum();
+  } else if (reader.last_seqno() == after_seqno) {
+    local.resume_chain = reader.chain_checksum();
+  }
   local.end_chain = local.resume_chain;
+  local.end_offset = reader.offset();
   DeltaRecord rec;
   while (reader.Next(&rec)) {
     if (rec.seqno <= after_seqno) {
       if (rec.seqno == after_seqno) {
         local.resume_chain = reader.chain_checksum();
         local.end_chain = local.resume_chain;
+        local.end_offset = reader.offset();
       }
       continue;
     }
     std::string endpoint_error;
-    if (!ValidateEdgeEndpoints(rec.edges, num_nodes, &endpoint_error)) {
+    if (!ValidateOpEndpoints(rec.ops, num_nodes, &endpoint_error)) {
       SetError(error, "delta record " + std::to_string(rec.seqno) + ": " +
                           endpoint_error + " — log does not match this base");
       return false;
     }
-    edges->insert(edges->end(), rec.edges.begin(), rec.edges.end());
+    ops->insert(ops->end(), rec.ops.begin(), rec.ops.end());
     ++local.records_applied;
-    local.edges_in_records += rec.edges.size();
+    local.edges_in_records += rec.ops.size();
+    local.delete_ops += rec.delete_count();
     local.last_seqno = rec.seqno;
     local.end_chain = reader.chain_checksum();
+    local.end_offset = reader.offset();
   }
   if (stats != nullptr) *stats = local;
   return true;
@@ -545,15 +721,15 @@ bool CollectDeltaEdges(DeltaReader& reader, uint32_t num_nodes,
 std::optional<Graph> ReplayDelta(const Graph& base, DeltaReader& reader,
                                  std::string* error, ReplayStats* stats,
                                  uint64_t after_seqno) {
-  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<DeltaOp> ops;
   ReplayStats local;
-  if (!CollectDeltaEdges(reader, base.NumNodes(), after_seqno, &edges,
-                         &local, error)) {
+  if (!CollectDeltaOps(reader, base.NumNodes(), after_seqno, &ops, &local,
+                       error)) {
     return std::nullopt;
   }
   if (stats != nullptr) *stats = local;
   if (local.records_applied == 0) return base;  // copy of the base
-  return ApplyEdgesToGraph(base, edges);
+  return ApplyDeltaOps(base, ops);
 }
 
 }  // namespace rigpm

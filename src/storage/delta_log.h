@@ -28,32 +28,43 @@ namespace rigpm {
 /// than one checksummed payload — an append must not have to rewrite a
 /// trailing footer):
 ///   8 bytes  magic "RIGPMSNP"
-///   u32      format version (kSnapshotVersion)
+///   u32      format version — kDeltaFormatAddOnly (3) and below are the
+///            original add-only format; kDeltaFormatOps (4) additionally
+///            allows records carrying per-edge add/delete ops
 ///   u32      kind (SnapshotKind::kDelta)
 ///   u64      base checksum — the stored payload checksum of the base
 ///            snapshot file (SnapshotInfo::stored_checksum); binds the log
 ///            to exactly one base
 ///   u32      base node count — recorded at creation so later appends can
 ///            validate edge endpoints without decoding the base snapshot
-///            at all (edge insertions never add nodes, so the bound is
-///            permanent)
+///            at all (delta ops never add nodes, so the bound is permanent)
 ///   u32      reserved (0)
 /// followed by zero or more records, each:
 ///   u64      base checksum (repeated, so every record self-identifies)
 ///   u64      sequence number (1-based, consecutive)
 ///   u32      edge count
-///   u32      flags (reserved, 0)
+///   u32      flags — 0, or kDeltaRecordHasOps (bit 0, version >= 4 only):
+///            the record carries a per-edge op-kind byte array
 ///   u64      header checksum — Checksum64 over the four fields above,
 ///            seeded like the record checksum. It makes the edge count
 ///            trustworthy on its own, so a bit-flipped length that claims
 ///            to run past end-of-file is detected as corruption instead of
 ///            masquerading as a torn append.
 ///   pairs    edge list: (u32 src, u32 dst) per edge
+///   bytes    (kDeltaRecordHasOps only) one op kind per edge, in edge
+///            order: 0 = add, 1 = delete
 ///   u64      record checksum — Checksum64 over the record bytes above,
 ///            SEEDED with the previous record's checksum (the base checksum
 ///            for record 1). The seed chaining makes each checksum depend
 ///            on the whole prefix, so reordered, spliced, or cross-wired
 ///            records fail validation, not just bit-flipped ones.
+///
+/// Version compatibility: records with flags == 0 are byte-identical in
+/// every version, so a version-4 log full of add-only records differs from
+/// a version-3 log only in its header. An old build refuses a version-4
+/// header up front ("unsupported delta log version 4"), and a new build
+/// refuses to append delete ops into a version <= 3 log — both fail with a
+/// version message, never a misleading chain-checksum error.
 ///
 /// Durability: DeltaWriter::Append writes the record and fdatasync()s by
 /// default, so an acknowledged append survives a crash. A crash mid-append
@@ -62,19 +73,60 @@ namespace rigpm {
 ///
 /// All integers are host-endian, like every other rigpm persistence format.
 
-/// One replayable edge batch.
+/// Highest delta format version without delete ops (the original format;
+/// versions 1..3 track the snapshot container versions they shipped with).
+inline constexpr uint32_t kDeltaFormatAddOnly = 3;
+/// Delta format v2: records may carry per-edge add/delete ops.
+inline constexpr uint32_t kDeltaFormatOps = 4;
+/// Record flag: the record body carries an op-kind byte per edge.
+inline constexpr uint32_t kDeltaRecordHasOps = 1u << 0;
+/// Size of the fixed file header preceding record 1 — the end offset of an
+/// empty (freshly created) log, and the smallest offset DeltaReader::SeekTo
+/// accepts.
+inline constexpr uint64_t kDeltaFileHeaderBytes = 32;
+
+enum class DeltaOpKind : uint8_t { kAdd = 0, kDelete = 1 };
+
+/// One edge mutation. Ordered by (src, dst, kind) so normalized batches
+/// are deterministic.
+struct DeltaOp {
+  NodeId src = 0;
+  NodeId dst = 0;
+  DeltaOpKind kind = DeltaOpKind::kAdd;
+
+  friend bool operator==(const DeltaOp&, const DeltaOp&) = default;
+  friend bool operator<(const DeltaOp& a, const DeltaOp& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return static_cast<uint8_t>(a.kind) < static_cast<uint8_t>(b.kind);
+  }
+};
+
+/// Converts an add-only edge batch to ops (every op kAdd).
+std::vector<DeltaOp> EdgesToOps(
+    std::span<const std::pair<NodeId, NodeId>> edges);
+
+/// One replayable op batch. Records read from a version <= 3 log (or
+/// flags == 0 records of a version 4 log) come back with every op kAdd.
 struct DeltaRecord {
   uint64_t seqno = 0;
-  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<DeltaOp> ops;
+
+  uint64_t delete_count() const;
 };
 
 struct DeltaWriterOptions {
   /// fdatasync() after every record. Turn off only where losing the tail on
   /// a crash is acceptable (benchmarks).
   bool fsync_each_append = true;
+  /// Format version stamped on a log this writer CREATES, and the highest
+  /// version it will append to (an existing log keeps its own version; one
+  /// newer than this is refused with a version message). Pass
+  /// kDeltaFormatAddOnly to emulate a pre-ops build.
+  uint32_t format_version = kDeltaFormatOps;
 };
 
-/// Appends edge-batch records to a delta log, creating the file (and its
+/// Appends op-batch records to a delta log, creating the file (and its
 /// header) on first use. Open() recovers from a crashed append by
 /// truncating the invalid tail, then positions at the end of the valid
 /// prefix; Append() frames, checksums, and (by default) syncs one record.
@@ -112,12 +164,17 @@ class DeltaWriter {
                                            std::string* error,
                                            DeltaWriterOptions options = {});
 
-  /// Appends one record holding `edges` and assigns it the next sequence
+  /// Appends one record holding `ops` and assigns it the next sequence
   /// number. Every endpoint must be < base_num_nodes() — a violating batch
   /// is rejected whole (the format layer's own enforcement that no record
-  /// can ever be unreplayable, on top of the callers' earlier checks). An
-  /// empty batch is valid (and replayable) but pointless; callers usually
-  /// skip it.
+  /// can ever be unreplayable, on top of the callers' earlier checks). A
+  /// batch containing delete ops is refused with a version message when
+  /// the log's format version predates ops (format_version() <
+  /// kDeltaFormatOps). An empty batch is valid (and replayable) but
+  /// pointless; callers usually skip it.
+  bool AppendOps(std::span<const DeltaOp> ops, std::string* error);
+
+  /// Add-only convenience over AppendOps.
   bool Append(std::span<const std::pair<NodeId, NodeId>> edges,
               std::string* error);
   bool Append(std::initializer_list<std::pair<NodeId, NodeId>> edges,
@@ -130,6 +187,8 @@ class DeltaWriter {
   uint64_t base_checksum() const { return base_checksum_; }
   /// Node count of the base graph (from the header; the endpoint bound).
   uint32_t base_num_nodes() const { return base_num_nodes_; }
+  /// The log's format version (from its header, or the creation stamp).
+  uint32_t format_version() const { return format_version_; }
   /// Sequence number the next Append will stamp.
   uint64_t next_seqno() const { return last_seqno_ + 1; }
   /// Records in the log (== last stamped sequence number).
@@ -141,6 +200,7 @@ class DeltaWriter {
   int fd_ = -1;
   uint64_t base_checksum_ = 0;
   uint32_t base_num_nodes_ = 0;
+  uint32_t format_version_ = kDeltaFormatOps;
   uint64_t last_seqno_ = 0;
   uint64_t chain_checksum_ = 0;  // checksum of the last record (seed chain)
   /// A failed append whose rollback ALSO failed left unknown bytes at the
@@ -180,6 +240,8 @@ class DeltaReader {
   uint64_t base_checksum() const { return base_checksum_; }
   /// Node count of the base graph, from the header.
   uint32_t base_num_nodes() const { return base_num_nodes_; }
+  /// The log's format version, from the header.
+  uint32_t format_version() const { return format_version_; }
 
   /// Reads the next valid record into *out. Returns false at the end of
   /// the valid prefix — either a clean end of file, or a truncated/corrupt
@@ -200,11 +262,32 @@ class DeltaReader {
   /// Records successfully returned by Next() so far.
   uint64_t records_read() const { return records_read_; }
 
+  /// Sequence number of the last record Next() returned (0 before any),
+  /// or the resume seqno installed by SeekTo.
+  uint64_t last_seqno() const { return last_seqno_; }
+
   /// Checksum-chain value after the last record Next() returned (the base
   /// checksum before any). Two logs agree on a prefix iff they agree on
   /// this value at its end — consumers resuming "after seqno N" compare it
   /// to detect a log that was truncated and rewritten with reused seqnos.
   uint64_t chain_checksum() const { return chain_checksum_; }
+
+  /// Byte offset of the next unread record (the header size on a fresh
+  /// reader). Together with chain_checksum() and the last seqno it names a
+  /// resume point for SeekTo.
+  uint64_t offset() const { return offset_; }
+
+  /// Positions the reader at a previously recorded resume point — the
+  /// O(tail) refresh poll: instead of re-validating the whole chain from
+  /// the header, a caller that stored (offset, last_seqno, chain) when it
+  /// last applied the log resumes right there and pays only for new bytes.
+  /// The very next record is still fully validated against the seeded
+  /// chain, so a log that was truncated-and-rewritten underneath the
+  /// caller surfaces as a corrupt tail (the caller then falls back to a
+  /// full from-the-header read for an exact diagnosis). Returns false
+  /// (reader unusable for fast resume; construct a fresh one) when
+  /// `offset` is out of bounds — e.g. the log shrank.
+  bool SeekTo(uint64_t offset, uint64_t last_seqno, uint64_t chain_checksum);
 
  private:
   const uint8_t* data_ = nullptr;  // whole file
@@ -214,6 +297,7 @@ class DeltaReader {
   std::vector<uint8_t> buffer_;          // read mode owns the bytes
   uint64_t base_checksum_ = 0;
   uint32_t base_num_nodes_ = 0;
+  uint32_t format_version_ = 0;
   uint64_t chain_checksum_ = 0;
   uint64_t last_seqno_ = 0;
   uint64_t records_read_ = 0;
@@ -223,20 +307,27 @@ class DeltaReader {
   std::string error_;
 };
 
-/// Returns a copy of `g` with `new_edges` added (the node set and labels
-/// are unchanged). Every endpoint must be < g.NumNodes(); the caller
-/// validates. This is the shared rebuild step of IncrementalMatcher and
-/// delta replay. Duplicates — within the batch or against existing edges —
-/// are dropped; pass `already_deduplicated = true` when the caller has
-/// done that itself (IncrementalMatcher must, to journal exactly the
-/// edges that change the graph) to skip the second pass.
+/// Returns a copy of `g` with `ops` applied: delete ops remove existing
+/// edges, add ops insert new ones (the node set and labels are unchanged).
+/// Every endpoint must be < g.NumNodes(); the caller validates. This is
+/// the shared rebuild step of IncrementalMatcher, delta replay, and the
+/// daemon's refresh. Pass `already_normalized = true` when the caller has
+/// run NormalizeDeltaOps itself (IncrementalMatcher must, to journal
+/// exactly the ops that change the graph) to skip the second pass.
+Graph ApplyDeltaOps(const Graph& g, std::span<const DeltaOp> ops,
+                    bool already_normalized = false);
+
+/// Add-only convenience over ApplyDeltaOps (`already_deduplicated` maps to
+/// `already_normalized`). Kept for the many add-only callers; deletions go
+/// through ApplyDeltaOps.
 Graph ApplyEdgesToGraph(const Graph& g,
                         std::span<const std::pair<NodeId, NodeId>> new_edges,
                         bool already_deduplicated = false);
 
 struct ReplayStats {
   uint64_t records_applied = 0;
-  uint64_t edges_in_records = 0;  // before deduplication
+  uint64_t edges_in_records = 0;  // ops in applied records, pre-normalize
+  uint64_t delete_ops = 0;        // of which deletes
   uint64_t last_seqno = 0;        // 0 when nothing was applied
   /// Chain checksum at the resume point: the checksum of the record with
   /// seqno == after_seqno (the reader's base checksum when after_seqno is
@@ -247,6 +338,10 @@ struct ReplayStats {
   /// Chain checksum after the last applied record (== resume_chain when
   /// nothing applied); store it alongside last_seqno for the next resume.
   uint64_t end_chain = 0;
+  /// Byte offset just past the last applied record (the resume-point
+  /// offset when nothing applied). Store it with end_chain/last_seqno to
+  /// make the next poll O(tail) via DeltaReader::SeekTo.
+  uint64_t end_offset = 0;
 };
 
 /// Checks that every endpoint in `edges` names an existing node
@@ -258,23 +353,34 @@ struct ReplayStats {
 bool ValidateEdgeEndpoints(std::span<const std::pair<NodeId, NodeId>> edges,
                            uint32_t num_nodes, std::string* error);
 
+/// Op-batch flavor of ValidateEdgeEndpoints.
+bool ValidateOpEndpoints(std::span<const DeltaOp> ops, uint32_t num_nodes,
+                         std::string* error);
+
 /// Sorts *edges, drops in-batch duplicates, and drops edges `g` already
-/// has — the one definition of "the edges that actually change the graph",
-/// shared by journaling (IncrementalMatcher) and replay
-/// (ApplyEdgesToGraph) so the two can never diverge.
+/// has — the add-only special case of NormalizeDeltaOps, kept for callers
+/// that deal in plain edge batches.
 void DedupeNewEdges(const Graph& g,
                     std::vector<std::pair<NodeId, NodeId>>* edges);
 
+/// Reduces *ops to exactly the mutations that change `g`: within the
+/// batch the LAST op per (src, dst) wins (add-then-delete of the same edge
+/// is a delete, and vice versa), then adds of edges `g` already has and
+/// deletes of edges it lacks are dropped. The result is sorted by
+/// (src, dst). This is the one definition of "the ops that actually change
+/// the graph", shared by journaling (IncrementalMatcher) and replay
+/// (ApplyDeltaOps) so the two can never diverge.
+void NormalizeDeltaOps(const Graph& g, std::vector<DeltaOp>* ops);
+
 /// Reads every record of `reader` with seqno > `after_seqno`, validating
-/// each endpoint against `num_nodes`, and appends their edges to *edges.
+/// each endpoint against `num_nodes`, and appends their ops to *ops.
 /// False (with *error) on an out-of-range endpoint or an unreadable log.
 /// This is ReplayDelta without the graph rebuild — callers that may find
 /// nothing new (the daemon's caught-up refresh poll) use it to avoid
 /// materializing a merged graph just to discard it.
-bool CollectDeltaEdges(DeltaReader& reader, uint32_t num_nodes,
-                       uint64_t after_seqno,
-                       std::vector<std::pair<NodeId, NodeId>>* edges,
-                       ReplayStats* stats, std::string* error);
+bool CollectDeltaOps(DeltaReader& reader, uint32_t num_nodes,
+                     uint64_t after_seqno, std::vector<DeltaOp>* ops,
+                     ReplayStats* stats, std::string* error);
 
 /// Replays every record of `reader` with seqno > `after_seqno` over `base`
 /// and returns the merged graph. Fails (nullopt + *error) if any applied

@@ -1,0 +1,61 @@
+#ifndef RIGPM_STORAGE_LINEAGE_H_
+#define RIGPM_STORAGE_LINEAGE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rigpm {
+
+/// Storage lineage for a compactable tenant: which (snapshot, delta log)
+/// generation is current.
+///
+/// Compaction replaces a base snapshot + long delta log with a fresh
+/// snapshot of the replayed graph + an empty log. The two files cannot be
+/// swapped in place atomically (two renames, and the new log is bound to
+/// the NEW snapshot's checksum — any in-between state mixes generations),
+/// so the switch goes through one extra indirection: a tiny HEAD pointer
+/// file (`<snapshot_path>.head`) naming the current generation's paths.
+/// Publishing a new head via temp-file + rename + directory fsync is THE
+/// atomic commit point; a crash anywhere before it leaves the head (or its
+/// absence) pointing at the old generation, whose files are untouched —
+/// the old lineage still serves. Generation files left behind by such a
+/// crash are orphans that the next compaction unlinks and rewrites.
+///
+/// Generation 0 is the configured paths themselves (no head file needed);
+/// generation N >= 1 lives at `<snapshot_path>.g<N>` / `<delta_path>.g<N>`.
+/// Everyone that touches the pair — the daemon's catalog opens, refreshes,
+/// and compactions, and `rigpm_cli delta append` — resolves the head first
+/// and operates on the resolved paths.
+struct Lineage {
+  std::string snapshot_path;  // base snapshot currently serving
+  std::string delta_path;     // delta log currently appended to
+  uint64_t generation = 0;    // 0 = the configured paths verbatim
+};
+
+/// Path of the head pointer file for a configured snapshot path.
+std::string LineageHeadPath(const std::string& snapshot_path);
+
+/// Generation-N (N >= 1) file names derived from the configured paths.
+std::string GenerationPath(const std::string& path, uint64_t generation);
+
+/// Resolves the current lineage of the configured (snapshot, delta) pair:
+/// reads the head file when one exists, otherwise returns generation 0
+/// with the configured paths. A missing head is normal; a present but
+/// malformed head is an error (*error set, false returned) — guessing
+/// which generation is current risks serving or appending to the wrong
+/// one.
+bool ResolveLineage(const std::string& snapshot_path,
+                    const std::string& delta_path, Lineage* out,
+                    std::string* error);
+
+/// Atomically publishes `lineage` as the current head for
+/// `snapshot_path` (temp file + rename + parent directory fsync). This is
+/// the compaction commit point: once it returns true, every subsequent
+/// resolve sees the new generation; on failure or a crash before the
+/// rename lands, the old head keeps serving.
+bool PublishLineage(const std::string& snapshot_path, const Lineage& lineage,
+                    std::string* error);
+
+}  // namespace rigpm
+
+#endif  // RIGPM_STORAGE_LINEAGE_H_

@@ -423,9 +423,9 @@ bool OverlayDelta(const Graph& base, uint64_t base_checksum,
     SetError(error, "delta log is bound to a different base snapshot");
     return false;
   }
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  if (!CollectDeltaEdges(reader, base.NumNodes(), /*after_seqno=*/0, &edges,
-                         stats, error)) {
+  std::vector<DeltaOp> ops;
+  if (!CollectDeltaOps(reader, base.NumNodes(), /*after_seqno=*/0, &ops,
+                       stats, error)) {
     return false;
   }
   if (reader.truncated() && !reader.tail_torn()) {
@@ -438,7 +438,7 @@ bool OverlayDelta(const Graph& base, uint64_t base_checksum,
     return false;
   }
   if (stats->records_applied == 0) return true;  // caught up; keep the base
-  merged->emplace(ApplyEdgesToGraph(base, edges));
+  merged->emplace(ApplyDeltaOps(base, ops));
   return true;
 }
 
@@ -534,6 +534,7 @@ std::optional<WarmEngine> LoadEngineSnapshot(const std::string& path,
       warm.applied_seqno = stats.last_seqno;
       warm.applied_chain = stats.end_chain;
     }
+    warm.applied_end_offset = stats.end_offset;
     // An empty (or fully-compacted-away) log keeps the warm start warm:
     // the snapshot's prebuilt index is already exactly right.
   }

@@ -182,10 +182,14 @@ struct WarmEngine {
   /// and chain checksum of the last log record replayed into this engine,
   /// both 0 when no overlay was requested or the log held nothing. A
   /// refresher resuming this engine passes applied_seqno to
-  /// CollectDeltaEdges and compares applied_chain against the log's
+  /// CollectDeltaOps and compares applied_chain against the log's
   /// resume-point chain to detect a rewritten log (storage/delta_log.h).
   uint64_t applied_seqno = 0;
   uint64_t applied_chain = 0;
+  /// Byte offset just past the last replayed record (0 when no overlay was
+  /// requested or the log did not exist) — lets the refresher's poll seek
+  /// straight to the unread tail instead of re-validating the whole chain.
+  uint64_t applied_end_offset = 0;
 };
 
 /// Persists `engine`'s graph and its pre-built BFL reachability index.

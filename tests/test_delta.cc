@@ -179,7 +179,7 @@ TEST_P(DeltaIoTest, MidRecordTruncationReplaysTheValidPrefix) {
   DeltaRecord rec;
   ASSERT_TRUE(reader.Next(&rec));
   EXPECT_EQ(rec.seqno, 1u);
-  EXPECT_EQ(rec.edges.size(), 2u);
+  EXPECT_EQ(rec.ops.size(), 2u);
   EXPECT_FALSE(reader.Next(&rec));
   EXPECT_TRUE(reader.truncated());
   EXPECT_TRUE(reader.tail_torn());  // a tear, not corruption
@@ -397,10 +397,10 @@ TEST(DeltaWriter, ReopenTruncatesATornTailAndRecovers) {
   DeltaReader reader(path);
   DeltaRecord rec;
   ASSERT_TRUE(reader.Next(&rec));
-  EXPECT_EQ(rec.edges, (std::vector<std::pair<NodeId, NodeId>>{{0, 3}}));
+  EXPECT_EQ(rec.ops, (std::vector<DeltaOp>{{0, 3, DeltaOpKind::kAdd}}));
   ASSERT_TRUE(reader.Next(&rec));
   EXPECT_EQ(rec.seqno, 2u);
-  EXPECT_EQ(rec.edges, (std::vector<std::pair<NodeId, NodeId>>{{1, 5}}));
+  EXPECT_EQ(rec.ops, (std::vector<DeltaOp>{{1, 5, DeltaOpKind::kAdd}}));
   EXPECT_FALSE(reader.Next(&rec));
   EXPECT_FALSE(reader.truncated());
 }
@@ -525,6 +525,236 @@ TEST(DeltaLifecycle, SnapshotDeltaReplayMatchesDirectRebuild) {
   PatternQuery q = PaperExample::MakeQuery();
   EXPECT_EQ(merged_engine.EvaluateCollect(q).size(),
             direct_engine.EvaluateCollect(q).size());
+}
+
+// ---------------------------------------------------------------------------
+// Format v2 (ops) coverage: delete ops round-trip, the version gates between
+// add-only and ops builds, and crash recovery repeated for flagged records.
+
+TEST_P(DeltaIoTest, OpsRecordRoundTripsAddsAndDeletes) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  Graph base = PaperExample::MakeGraph();
+
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  EXPECT_EQ(writer->format_version(), kDeltaFormatOps);
+  // Delete two edges the paper-example graph really has, add one new one.
+  std::vector<DeltaOp> ops = {{0, 3, DeltaOpKind::kAdd},
+                              {1, 3, DeltaOpKind::kDelete},
+                              {2, 5, DeltaOpKind::kDelete}};
+  ASSERT_TRUE(writer->AppendOps(ops, &error)) << error;
+  writer.reset();
+
+  DeltaReader reader(path, GetParam());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.format_version(), kDeltaFormatOps);
+  DeltaRecord rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.ops, ops);
+  EXPECT_EQ(rec.delete_count(), 2u);
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_FALSE(reader.truncated());
+
+  DeltaReader replay_reader(path, GetParam());
+  ReplayStats stats;
+  auto merged = ReplayDelta(base, replay_reader, &error, &stats);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(stats.delete_ops, 2u);
+  Graph expected = ApplyDeltaOps(base, ops);
+  EXPECT_EQ(SerializeGraph(*merged), SerializeGraph(expected));
+  EXPECT_EQ(merged->NumEdges(), base.NumEdges() - 1);
+}
+
+TEST_P(DeltaIoTest, TornTailWithDeleteOpsReplaysTheValidPrefix) {
+  // The torn-tail recovery story must hold for flagged records too: their
+  // body carries an extra op-kind byte array, so the truncation point lands
+  // differently than for an add-only record of the same edge count.
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  Graph base = PaperExample::MakeGraph();
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  std::vector<DeltaOp> rec1 = {{0, 3, DeltaOpKind::kAdd},
+                               {1, 3, DeltaOpKind::kDelete}};
+  std::vector<DeltaOp> rec2 = {{6, 9, DeltaOpKind::kAdd},
+                               {2, 5, DeltaOpKind::kDelete}};
+  ASSERT_TRUE(writer->AppendOps(rec1, &error)) << error;
+  const uint64_t after_rec1 = FileSize(path);
+  ASSERT_TRUE(writer->AppendOps(rec2, &error)) << error;
+  writer.reset();
+
+  // Tear record 2 inside its op-kind byte array (just before the trailing
+  // checksum): everything but the last 9 bytes survives.
+  TruncateFile(path, FileSize(path) - 9);
+  DeltaReader reader(path, GetParam());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  ReplayStats stats;
+  auto merged = ReplayDelta(base, reader, &error, &stats);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(stats.records_applied, 1u);
+  EXPECT_EQ(stats.delete_ops, 1u);
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_TRUE(reader.tail_torn());
+  EXPECT_EQ(SerializeGraph(*merged),
+            SerializeGraph(ApplyDeltaOps(base, rec1)));
+
+  // Writer reopen truncates the torn flagged record and continues the
+  // chain; the re-appended record must validate against record 1's
+  // checksum, not the torn bytes'.
+  writer = DeltaWriter::Open(path, kBase, 0, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  EXPECT_EQ(FileSize(path), after_rec1);
+  EXPECT_EQ(writer->next_seqno(), 2u);
+  ASSERT_TRUE(writer->AppendOps(rec2, &error)) << error;
+  writer.reset();
+
+  DeltaReader reader2(path, GetParam());
+  ASSERT_TRUE(reader2.ok()) << reader2.error();
+  auto merged2 = ReplayDelta(base, reader2, &error, &stats);
+  ASSERT_TRUE(merged2.has_value()) << error;
+  EXPECT_EQ(stats.records_applied, 2u);
+  EXPECT_FALSE(reader2.truncated());
+  std::vector<DeltaOp> all = rec1;
+  all.insert(all.end(), rec2.begin(), rec2.end());
+  EXPECT_EQ(SerializeGraph(*merged2), SerializeGraph(ApplyDeltaOps(base, all)));
+}
+
+TEST(DeltaVersion, DeleteOpsRefusedOnAddOnlyLogWithVersionMessage) {
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  DeltaWriterOptions v1;
+  v1.format_version = kDeltaFormatAddOnly;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error, v1);
+  ASSERT_NE(writer, nullptr) << error;
+  EXPECT_EQ(writer->format_version(), kDeltaFormatAddOnly);
+  // Adds still work on the old format, deletes fail with a VERSION message
+  // (not a checksum one), and the failed append leaves the log appendable.
+  ASSERT_TRUE(writer->Append({{0, 3}}, &error)) << error;
+  std::vector<DeltaOp> del = {{0, 1, DeltaOpKind::kDelete}};
+  EXPECT_FALSE(writer->AppendOps(del, &error));
+  EXPECT_NE(error.find("cannot carry delete ops"), std::string::npos) << error;
+  EXPECT_EQ(error.find("checksum"), std::string::npos) << error;
+  ASSERT_TRUE(writer->Append({{0, 7}}, &error)) << error;
+  EXPECT_EQ(writer->record_count(), 2u);
+}
+
+TEST(DeltaVersion, OldBuildRefusesNewLogWithVersionMessageNotChainError) {
+  // A v1-era build (emulated via format_version) opening a version-4 log
+  // must say "version", never report a checksum/chain failure.
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->AppendOps(
+      std::vector<DeltaOp>{{0, 1, DeltaOpKind::kDelete}}, &error))
+      << error;
+  writer.reset();
+
+  DeltaWriterOptions v1;
+  v1.format_version = kDeltaFormatAddOnly;
+  auto old_writer = DeltaWriter::Open(path, kBase, 0, &error, v1);
+  EXPECT_EQ(old_writer, nullptr);
+  EXPECT_NE(error.find("format version 4"), std::string::npos) << error;
+  EXPECT_NE(error.find("supports up to"), std::string::npos) << error;
+  EXPECT_EQ(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(DeltaVersion, NewBuildAppendsAddOnlyRecordsToOldLog) {
+  // The converse direction stays compatible: a new build may keep
+  // appending ADD-only records to a version-3 log (they are byte-identical
+  // across versions), and the log stays readable as version 3.
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  DeltaWriterOptions v1;
+  v1.format_version = kDeltaFormatAddOnly;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error, v1);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->Append({{0, 3}}, &error)) << error;
+  writer.reset();
+
+  auto new_writer = DeltaWriter::Open(path, kBase, 0, &error);
+  ASSERT_NE(new_writer, nullptr) << error;
+  EXPECT_EQ(new_writer->format_version(), kDeltaFormatAddOnly);
+  ASSERT_TRUE(new_writer->Append({{0, 7}}, &error)) << error;
+  new_writer.reset();
+
+  DeltaReader reader(path);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.format_version(), kDeltaFormatAddOnly);
+  DeltaRecord rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.ops, (std::vector<DeltaOp>{{0, 7, DeltaOpKind::kAdd}}));
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST_P(DeltaIoTest, SeekToResumesAndValidatesTheTail) {
+  // The O(tail) poll contract: a caller that stored (end_offset, seqno,
+  // end_chain) resumes there and reads only new records; a bogus resume
+  // point is refused up front.
+  TempDir tmp;
+  const std::string path = tmp.Path("g.delta");
+  std::string error;
+  auto writer = DeltaWriter::Open(path, kBase, 10, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->AppendOps(
+      std::vector<DeltaOp>{{0, 3, DeltaOpKind::kAdd}}, &error));
+  ASSERT_TRUE(writer->AppendOps(
+      std::vector<DeltaOp>{{0, 1, DeltaOpKind::kDelete}}, &error));
+
+  DeltaReader full(path, GetParam());
+  ASSERT_TRUE(full.ok()) << full.error();
+  std::vector<DeltaOp> all_ops;
+  ReplayStats full_stats;
+  ASSERT_TRUE(CollectDeltaOps(full, 10, 0, &all_ops, &full_stats, &error))
+      << error;
+  EXPECT_EQ(full_stats.records_applied, 2u);
+  EXPECT_EQ(full_stats.end_offset, FileSize(path));
+
+  // Append one more record, then resume exactly past the applied prefix.
+  ASSERT_TRUE(writer->AppendOps(
+      std::vector<DeltaOp>{{6, 9, DeltaOpKind::kAdd}}, &error));
+  DeltaReader tail(path, GetParam());
+  ASSERT_TRUE(tail.ok()) << tail.error();
+  ASSERT_TRUE(tail.SeekTo(full_stats.end_offset, full_stats.last_seqno,
+                          full_stats.end_chain));
+  std::vector<DeltaOp> tail_ops;
+  ReplayStats tail_stats;
+  ASSERT_TRUE(CollectDeltaOps(tail, 10, full_stats.last_seqno, &tail_ops,
+                              &tail_stats, &error))
+      << error;
+  EXPECT_EQ(tail_stats.records_applied, 1u);
+  EXPECT_EQ(tail_ops, (std::vector<DeltaOp>{{6, 9, DeltaOpKind::kAdd}}));
+  EXPECT_EQ(tail_stats.end_offset, FileSize(path));
+  EXPECT_FALSE(tail.truncated());
+
+  // Out-of-bounds resume points are rejected: before the header, or past
+  // the end of the file (e.g. the log shrank underneath the caller).
+  DeltaReader bad(path, GetParam());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad.SeekTo(kDeltaFileHeaderBytes - 1, 0, kBase));
+  DeltaReader bad2(path, GetParam());
+  ASSERT_TRUE(bad2.ok());
+  EXPECT_FALSE(bad2.SeekTo(FileSize(path) + 1, 3, tail_stats.end_chain));
+
+  // A WRONG chain value at a plausible offset surfaces as a corrupt tail,
+  // not silently-wrong data: the next record's checksum is seeded by the
+  // chain, so validation fails.
+  DeltaReader wrong(path, GetParam());
+  ASSERT_TRUE(wrong.ok());
+  ASSERT_TRUE(wrong.SeekTo(full_stats.end_offset, full_stats.last_seqno,
+                           full_stats.end_chain ^ 0xdeadbeefull));
+  DeltaRecord rec;
+  EXPECT_FALSE(wrong.Next(&rec));
+  EXPECT_TRUE(wrong.truncated());
+  EXPECT_FALSE(wrong.tail_torn());
 }
 
 }  // namespace

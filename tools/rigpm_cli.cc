@@ -72,6 +72,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -85,6 +86,7 @@
 #include "query/transitive_reduction.h"
 #include "server/tool_main.h"
 #include "storage/delta_log.h"
+#include "storage/lineage.h"
 #include "storage/snapshot.h"
 
 namespace {
@@ -373,9 +375,16 @@ int DeltaUsage() {
   std::fprintf(
       stderr,
       "usage: delta append  --base SNAP --delta FILE --edges FILE\n"
+      "                     [--format-version 3|4]\n"
       "       delta inspect --delta FILE\n"
       "       delta replay  --base SNAP --delta FILE [--out SNAP2]\n"
-      "       (all verbs accept --snapshot-io mmap|read)\n");
+      "       (all verbs accept --snapshot-io mmap|read)\n"
+      "  edge files: one op per line — 'src dst' or '+ src dst' adds the\n"
+      "  edge, '- src dst' deletes it ('#' comments, blank lines skipped).\n"
+      "  Delete ops need a format-version 4 log (the default for new\n"
+      "  logs); --format-version 3 creates/append-checks the old add-only\n"
+      "  format. append follows the snapshot's compaction lineage\n"
+      "  (<SNAP>.head) when the daemon has compacted the pair.\n");
   return 2;
 }
 
@@ -422,11 +431,10 @@ std::optional<Graph> LoadBaseGraph(const std::string& path,
   return g;
 }
 
-// Edge batch file: one "src dst" pair per line, '#' comments and blank
-// lines skipped.
-bool ReadEdgeFile(const std::string& path,
-                  std::vector<std::pair<NodeId, NodeId>>* out,
-                  std::string* error) {
+// Op batch file: one op per line — "src dst" or "+ src dst" adds the
+// edge, "- src dst" deletes it; '#' comments and blank lines skipped.
+bool ReadOpFile(const std::string& path, std::vector<DeltaOp>* out,
+                std::string* error) {
   std::ifstream in(path);
   if (!in) {
     *error = "cannot open edge file " + path;
@@ -438,15 +446,22 @@ bool ReadEdgeFile(const std::string& path,
     ++line_no;
     size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
+    DeltaOpKind kind = DeltaOpKind::kAdd;
+    const char* text = line.c_str() + first;
+    if (*text == '+' || *text == '-') {
+      if (*text == '-') kind = DeltaOpKind::kDelete;
+      ++text;
+    }
     unsigned long long src = 0, dst = 0;
-    if (std::sscanf(line.c_str(), "%llu %llu", &src, &dst) != 2 ||
+    if (std::sscanf(text, "%llu %llu", &src, &dst) != 2 ||
         src > std::numeric_limits<NodeId>::max() ||
         dst > std::numeric_limits<NodeId>::max()) {
       *error = "edge file line " + std::to_string(line_no) +
-               " is not 'src dst'";
+               " is not '[+|-] src dst'";
       return false;
     }
-    out->emplace_back(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+    out->push_back(DeltaOp{static_cast<NodeId>(src),
+                           static_cast<NodeId>(dst), kind});
   }
   return true;
 }
@@ -456,6 +471,7 @@ int RunDelta(int argc, char** argv) {
   const std::string verb = argv[2];
   std::string base_path, delta_path, edges_path, out_path;
   SnapshotIoMode io_mode = DefaultSnapshotIoMode();
+  uint32_t format_version = kDeltaFormatOps;
   for (int i = 3; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -483,6 +499,15 @@ int RunDelta(int argc, char** argv) {
         std::fprintf(stderr, "--snapshot-io must be mmap or read\n");
         return DeltaUsage();
       }
+    } else if (std::strcmp(argv[i], "--format-version") == 0) {
+      if ((v = need_value("--format-version")) == nullptr) return DeltaUsage();
+      format_version = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      if (format_version != kDeltaFormatAddOnly &&
+          format_version != kDeltaFormatOps) {
+        std::fprintf(stderr, "--format-version must be %u or %u\n",
+                     kDeltaFormatAddOnly, kDeltaFormatOps);
+        return DeltaUsage();
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return DeltaUsage();
@@ -494,62 +519,103 @@ int RunDelta(int argc, char** argv) {
     if (base_path.empty() || delta_path.empty() || edges_path.empty()) {
       return DeltaUsage();
     }
-    // Appending to an EXISTING log needs only a header-read of the base
-    // (the cross-check against the log's own binding); the base GRAPH is
-    // decoded only when the log must be created — its header then records
-    // the node count, so every later append is O(batch) + the log scan,
-    // never O(base). On creation both the checksum and the node count come
-    // from the one read that decoded the graph, so a concurrent
-    // rename-replace of the base cannot bind mismatched values.
-    auto info = InspectSnapshot(base_path, &error);
-    if (!info.has_value()) {
-      std::fprintf(stderr, "cannot inspect base: %s\n", error.c_str());
-      return 1;
-    }
-    uint64_t bind_checksum = info->stored_checksum;
-    uint32_t base_nodes = 0;
-    std::error_code ec;
-    const bool log_has_header =
-        std::filesystem::exists(delta_path, ec) &&
-        std::filesystem::file_size(delta_path, ec) > 0;
-    if (!log_has_header) {
-      // Missing OR zero-length (a crashed first creation): Open will
-      // (re)initialize the header, which needs the base's node count.
-      auto base = LoadBaseGraph(base_path, io_mode, &bind_checksum, &error);
-      if (!base.has_value()) {
-        std::fprintf(stderr, "cannot load base: %s\n", error.c_str());
-        return 1;
-      }
-      base_nodes = base->NumNodes();
-    }
-    auto writer =
-        DeltaWriter::Open(delta_path, bind_checksum, base_nodes, &error);
-    if (writer == nullptr) {
-      std::fprintf(stderr, "cannot open delta log: %s\n", error.c_str());
-      return 1;
-    }
-    std::vector<std::pair<NodeId, NodeId>> edges;
-    if (!ReadEdgeFile(edges_path, &edges, &error)) {
+    std::vector<DeltaOp> ops;
+    if (!ReadOpFile(edges_path, &ops, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());
       return 1;
     }
-    // The precondition journaled records rely on: every endpoint exists in
-    // the base (Append enforces it too; checking first gives the clearer
-    // message without a half-advanced writer).
-    if (!ValidateEdgeEndpoints(edges, writer->base_num_nodes(), &error)) {
-      std::fprintf(stderr,
-                   "%s — refusing to journal an unreplayable record\n",
-                   error.c_str());
-      return 1;
+    // The daemon's auto-compaction re-points the (snapshot, delta) pair at
+    // a new generation through the <SNAP>.head lineage file — follow it,
+    // and RE-resolve after taking the writer flock: a compaction that
+    // committed between our resolve and our lock would otherwise get this
+    // append written into a log it already folded in and unlinked (the
+    // flock pins an inode, not the path). A lock held by the compactor (or
+    // another appender) is transient — retry briefly before giving up.
+    constexpr int kMaxAttempts = 10;
+    for (int attempt = 0;; ++attempt) {
+      Lineage lineage;
+      if (!ResolveLineage(base_path, delta_path, &lineage, &error)) {
+        std::fprintf(stderr, "cannot resolve lineage: %s\n", error.c_str());
+        return 1;
+      }
+      // Appending to an EXISTING log needs only a header-read of the base
+      // (the cross-check against the log's own binding); the base GRAPH is
+      // decoded only when the log must be created — its header then
+      // records the node count, so every later append is O(batch) + the
+      // log scan, never O(base). On creation both the checksum and the
+      // node count come from the one read that decoded the graph, so a
+      // concurrent rename-replace of the base cannot bind mismatched
+      // values.
+      auto info = InspectSnapshot(lineage.snapshot_path, &error);
+      if (!info.has_value()) {
+        std::fprintf(stderr, "cannot inspect base: %s\n", error.c_str());
+        return 1;
+      }
+      uint64_t bind_checksum = info->stored_checksum;
+      uint32_t base_nodes = 0;
+      std::error_code ec;
+      const bool log_has_header =
+          std::filesystem::exists(lineage.delta_path, ec) &&
+          std::filesystem::file_size(lineage.delta_path, ec) > 0;
+      if (!log_has_header) {
+        // Missing OR zero-length (a crashed first creation): Open will
+        // (re)initialize the header, which needs the base's node count.
+        auto base = LoadBaseGraph(lineage.snapshot_path, io_mode,
+                                  &bind_checksum, &error);
+        if (!base.has_value()) {
+          std::fprintf(stderr, "cannot load base: %s\n", error.c_str());
+          return 1;
+        }
+        base_nodes = base->NumNodes();
+      }
+      DeltaWriterOptions options;
+      options.format_version = format_version;
+      auto writer = DeltaWriter::Open(lineage.delta_path, bind_checksum,
+                                      base_nodes, &error, options);
+      if (writer == nullptr) {
+        if (error.find("locked by another delta writer") !=
+                std::string::npos &&
+            attempt + 1 < kMaxAttempts) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          continue;
+        }
+        std::fprintf(stderr, "cannot open delta log: %s\n", error.c_str());
+        return 1;
+      }
+      // Lock held — now make sure the lineage did not move underneath us.
+      Lineage recheck;
+      if (!ResolveLineage(base_path, delta_path, &recheck, &error)) {
+        std::fprintf(stderr, "cannot re-resolve lineage: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      if (recheck.delta_path != lineage.delta_path) {
+        writer.reset();  // stale generation: drop the lock and chase it
+        continue;
+      }
+      // The precondition journaled records rely on: every endpoint exists
+      // in the base (AppendOps enforces it too; checking first gives the
+      // clearer message without a half-advanced writer).
+      if (!ValidateOpEndpoints(ops, writer->base_num_nodes(), &error)) {
+        std::fprintf(stderr,
+                     "%s — refusing to journal an unreplayable record\n",
+                     error.c_str());
+        return 1;
+      }
+      if (!writer->AppendOps(ops, &error)) {
+        std::fprintf(stderr, "append failed: %s\n", error.c_str());
+        return 1;
+      }
+      uint64_t deletes = 0;
+      for (const DeltaOp& op : ops) {
+        if (op.kind == DeltaOpKind::kDelete) ++deletes;
+      }
+      std::printf("appended record %llu (%zu op(s), %llu delete(s)) to %s\n",
+                  static_cast<unsigned long long>(writer->record_count()),
+                  ops.size(), static_cast<unsigned long long>(deletes),
+                  lineage.delta_path.c_str());
+      return 0;
     }
-    if (!writer->Append(edges, &error)) {
-      std::fprintf(stderr, "append failed: %s\n", error.c_str());
-      return 1;
-    }
-    std::printf("appended record %llu (%zu edge(s)) to %s\n",
-                static_cast<unsigned long long>(writer->record_count()),
-                edges.size(), delta_path.c_str());
-    return 0;
   }
 
   if (verb == "inspect") {
@@ -560,22 +626,34 @@ int RunDelta(int argc, char** argv) {
                    reader.error().c_str());
       return 1;
     }
-    std::printf("delta log: %s\n", delta_path.c_str());
+    std::printf("delta log: %s (format version %u%s)\n", delta_path.c_str(),
+                reader.format_version(),
+                reader.format_version() >= kDeltaFormatOps
+                    ? ", add/delete ops"
+                    : ", add-only");
     std::printf("base:      %016llx (stored checksum of the base snapshot), "
                 "%u node(s)\n",
                 static_cast<unsigned long long>(reader.base_checksum()),
                 reader.base_num_nodes());
     DeltaRecord rec;
-    uint64_t total_edges = 0;
+    uint64_t total_adds = 0;
+    uint64_t total_deletes = 0;
     while (reader.Next(&rec)) {
-      std::printf("record %llu: %zu edge(s)\n",
-                  static_cast<unsigned long long>(rec.seqno),
-                  rec.edges.size());
-      total_edges += rec.edges.size();
+      const uint64_t deletes = rec.delete_count();
+      const uint64_t adds = rec.ops.size() - deletes;
+      std::printf("record %llu: %zu op(s) (%llu add(s), %llu delete(s))\n",
+                  static_cast<unsigned long long>(rec.seqno), rec.ops.size(),
+                  static_cast<unsigned long long>(adds),
+                  static_cast<unsigned long long>(deletes));
+      total_adds += adds;
+      total_deletes += deletes;
     }
-    std::printf("records:   %llu (%llu edge(s) total)\n",
+    std::printf("records:   %llu (%llu op(s) total: %llu add(s), "
+                "%llu delete(s))\n",
                 static_cast<unsigned long long>(reader.records_read()),
-                static_cast<unsigned long long>(total_edges));
+                static_cast<unsigned long long>(total_adds + total_deletes),
+                static_cast<unsigned long long>(total_adds),
+                static_cast<unsigned long long>(total_deletes));
     if (!reader.truncated()) {
       std::printf("chain:     valid\n");
       return 0;
@@ -640,9 +718,10 @@ int RunDelta(int argc, char** argv) {
       return 1;
     }
     std::printf("base:   %s\n", base->Summary().c_str());
-    std::printf("replay: %llu record(s), %llu edge(s)%s\n",
+    std::printf("replay: %llu record(s), %llu op(s) (%llu delete(s))%s\n",
                 static_cast<unsigned long long>(stats.records_applied),
                 static_cast<unsigned long long>(stats.edges_in_records),
+                static_cast<unsigned long long>(stats.delete_ops),
                 reader.truncated()
                     ? " (torn, never-acknowledged tail skipped)"
                     : "");
